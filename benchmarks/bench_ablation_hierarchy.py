@@ -1,0 +1,59 @@
+"""Ablation: progressive hierarchy vs flat single-granularity classification.
+
+Why does TrackerSift descend level by level instead of classifying every
+request at, say, script granularity directly?  Because the hierarchy peels
+off requests that are *already* attributable at coarse granularity, and a
+flat classification at a fine granularity both (a) wastes work on requests
+a domain rule would have settled and (b) leaves more requests stuck in
+mixed resources, since pure-domain traffic can still flow through mixed
+scripts.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core.classifier import ResourceClass
+from repro.core.hierarchy import HierarchicalSifter
+
+from conftest import write_artifact
+
+
+def _flat_separation(sifter, requests, granularity):
+    level = sifter.sift_flat(requests, granularity)
+    return level.separation_factor
+
+
+def test_hierarchy_vs_flat(benchmark, study, output_dir):
+    sifter = HierarchicalSifter()
+    requests = study.labeled.requests
+    report = benchmark(sifter.sift, requests)
+
+    rows = []
+    for granularity in ("domain", "hostname", "script", "method"):
+        flat = sifter.sift_flat(requests, granularity)
+        mixed_share = (
+            flat.request_count(ResourceClass.MIXED) / flat.request_count()
+        )
+        rows.append(
+            [
+                granularity,
+                f"{flat.separation_factor:.1%}",
+                f"{mixed_share:.1%}",
+            ]
+        )
+    table = ascii_table(
+        ["Flat granularity", "Separation factor", "Requests left mixed"], rows
+    )
+    artifact = (
+        "Ablation: flat single-level classification vs the hierarchy\n"
+        + table
+        + f"\n\nHierarchical cumulative separation: "
+        f"{report.final_separation:.1%} "
+        "(flat classification at any single level leaves more requests "
+        "unattributed)\n"
+    )
+    write_artifact(output_dir, "ablation_hierarchy.txt", artifact)
+    print("\n" + artifact)
+
+    for granularity in ("domain", "hostname", "script", "method"):
+        assert report.final_separation >= _flat_separation(
+            sifter, requests, granularity
+        ) - 1e-9

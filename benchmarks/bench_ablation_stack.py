@@ -1,0 +1,52 @@
+"""Ablation: ancestral (async-aware) stack propagation on vs off.
+
+Paper §3: the crawler prepends the pre-async stack so ancestral scripts of
+every request are known.  Turning propagation off shrinks each request's
+ancestry to the initiator frame only — the participation index loses the
+mid-stack helpers that the Figure 5 divergence analysis needs.
+"""
+
+from repro.core.callstack_analysis import analyze_mixed_method
+from repro.core.classifier import ResourceClass
+from repro.labeling.labeler import RequestLabeler
+
+from conftest import write_artifact
+
+
+def test_ancestral_propagation(benchmark, study, output_dir):
+    with_prop = benchmark(
+        RequestLabeler(propagate_ancestry=True).label_crawl, study.database
+    )
+    without_prop = RequestLabeler(propagate_ancestry=False).label_crawl(
+        study.database
+    )
+
+    scripts_with = len(with_prop.participation)
+    scripts_without = len(without_prop.participation)
+
+    mixed_keys = [
+        key
+        for key, res in study.report.method.resources.items()
+        if res.resource_class is ResourceClass.MIXED
+    ]
+    separable = 0
+    for key in mixed_keys:
+        script, _, method = key.rpartition("@")
+        if analyze_mixed_method(with_prop.requests, script, method).separable:
+            separable += 1
+
+    artifact = (
+        "Ablation: ancestral stack propagation\n"
+        f"scripts in participation index (with propagation):    {scripts_with:,}\n"
+        f"scripts in participation index (initiator-only):      {scripts_without:,}\n"
+        f"residual mixed methods separable via divergence:      "
+        f"{separable}/{len(mixed_keys)}\n\n"
+        "Initiator-only labeling never sees mid-stack helper scripts, so "
+        "the divergence analysis has no candidates to remove.\n"
+    )
+    write_artifact(output_dir, "ablation_stack.txt", artifact)
+    print("\n" + artifact)
+
+    assert scripts_with > scripts_without
+    # attribution (initiator) is identical either way — same request count
+    assert len(with_prop.requests) == len(without_prop.requests)

@@ -1,0 +1,64 @@
+"""Figure 5: call-stack analysis of residual mixed methods.
+
+For every method still mixed at the finest granularity, merge its labeled
+stack traces into a call graph and search for the point of divergence — a
+caller in every tracking trace and no functional trace whose removal cuts
+the tracking chain (the paper's ``track.js@t`` example).
+"""
+
+from repro.core.callstack_analysis import analyze_mixed_method
+from repro.core.classifier import ResourceClass
+
+from conftest import write_artifact
+
+
+def _mixed_method_keys(study):
+    return [
+        key
+        for key, res in study.report.method.resources.items()
+        if res.resource_class is ResourceClass.MIXED
+    ]
+
+
+def _analyze_all(study, keys):
+    results = []
+    for key in keys:
+        script, _, method = key.rpartition("@")
+        results.append(analyze_mixed_method(study.labeled.requests, script, method))
+    return results
+
+
+def test_figure5(benchmark, study, output_dir):
+    keys = _mixed_method_keys(study)
+    assert keys, "study produced no residual mixed methods"
+    results = benchmark(_analyze_all, study, keys)
+
+    separable = [r for r in results if r.separable]
+    lines = [
+        f"residual mixed methods: {len(results)}",
+        f"separable via point of divergence: {len(separable)} "
+        f"({len(separable) / len(results):.0%})",
+        "",
+        "examples (mixed method -> divergence candidate):",
+    ]
+    for result in separable[:8]:
+        script, method = result.method
+        div_script, div_method = result.point_of_divergence
+        lines.append(
+            f"  {script.rsplit('/', 1)[-1]}@{method}()  ->  "
+            f"{div_script.rsplit('/', 1)[-1]}@{div_method}()  "
+            f"[T traces: {result.graph.tracking_traces}, "
+            f"F traces: {result.graph.functional_traces}]"
+        )
+    artifact = (
+        "Figure 5 reproduction — call-stack divergence analysis of "
+        "residual mixed methods\n" + "\n".join(lines) + "\n"
+    )
+    write_artifact(output_dir, "figure5.txt", artifact)
+    print("\n" + artifact)
+
+    assert len(separable) / len(results) > 0.5
+    for result in separable:
+        node = result.point_of_divergence
+        tracking, functional = result.graph.participation(node)
+        assert tracking > 0 and functional == 0

@@ -1,0 +1,70 @@
+"""Extension bench: landing-only vs internal-page crawls (paper §5 limits).
+
+The paper crawls landing pages and flags that results might vary on
+internal pages.  We extend half the sites with article pages whose tracking
+invocations replay more aggressively than functional ones, then compare the
+two crawls' label mix and mixed-resource shares.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core.classifier import ResourceClass
+from repro.core.hierarchy import sift_requests
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.labeling.labeler import RequestLabeler
+from repro.webmodel import add_internal_pages, generate_web
+
+from conftest import write_artifact
+
+_SITES = 800
+_SEED = 7
+
+
+def test_internal_pages(benchmark, output_dir):
+    pipeline = TrackerSiftPipeline(PipelineConfig(sites=_SITES, seed=_SEED))
+
+    landing_web = generate_web(sites=_SITES, seed=_SEED)
+    landing_db, _, _ = pipeline.crawl(landing_web)
+    landing = RequestLabeler().label_crawl(landing_db)
+    landing_report = sift_requests(landing.requests)
+
+    extended_web = generate_web(sites=_SITES, seed=_SEED)
+    manifest = add_internal_pages(extended_web, pages_per_site=2, seed=31)
+    extended_db, crawled, _ = pipeline.crawl(extended_web)
+    extended = benchmark(RequestLabeler().label_crawl, extended_db)
+    extended_report = sift_requests(extended.requests)
+
+    def mixed_share(report, granularity):
+        level = report.level(granularity)
+        return level.entity_count(ResourceClass.MIXED) / level.entity_count()
+
+    rows = []
+    for granularity in ("domain", "hostname", "script", "method"):
+        rows.append(
+            [
+                granularity,
+                f"{mixed_share(landing_report, granularity):.1%}",
+                f"{mixed_share(extended_report, granularity):.1%}",
+            ]
+        )
+    table = ascii_table(
+        ["Granularity", "Mixed share (landing)", "Mixed share (w/ internal)"], rows
+    )
+    landing_share = landing.tracking_count / len(landing.requests)
+    extended_share = extended.tracking_count / len(extended.requests)
+    artifact = (
+        f"Internal pages — {_SITES} landing pages + {manifest.pages_added} "
+        f"article pages on {manifest.sites_extended} sites "
+        f"({crawled} pages crawled)\n"
+        f"tracking share of requests: landing-only {landing_share:.1%}, "
+        f"with internal pages {extended_share:.1%}\n"
+        f"final separation: landing {landing_report.final_separation:.1%}, "
+        f"with internal {extended_report.final_separation:.1%}\n\n{table}\n\n"
+        "Internal crawls see relatively more tracking (pixels re-fire per "
+        "article), confirming the paper's caveat that landing-page results "
+        "do not transfer unchanged.\n"
+    )
+    write_artifact(output_dir, "internal_pages.txt", artifact)
+    print("\n" + artifact)
+
+    assert crawled == _SITES + manifest.pages_added
+    assert extended_share > landing_share

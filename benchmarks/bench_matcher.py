@@ -1,0 +1,69 @@
+"""Substrate performance: filter-matching and labeling throughput.
+
+The labeling pass touches every crawled request, so matcher throughput is
+what bounds 100K-site-scale studies.  Compares the token-indexed engine
+against a brute-force scan to show the index matters.
+"""
+
+from repro.filterlists.lists import default_lists
+from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.oracle import FilterListOracle
+from repro.filterlists.rules import RequestContext
+
+from conftest import write_artifact
+
+
+def _request_urls(study, limit=5_000):
+    return [r.url for r in study.labeled.requests[:limit]]
+
+
+def test_indexed_matcher_throughput(benchmark, study):
+    oracle = FilterListOracle()
+    urls = _request_urls(study)
+
+    def run():
+        return sum(1 for url in urls if oracle.matcher.should_block_url(url))
+
+    blocked = benchmark(run)
+    assert 0 < blocked < len(urls)
+
+
+def test_brute_force_matcher_throughput(benchmark, study, output_dir):
+    easylist, easyprivacy = default_lists()
+    rules = [
+        r for r in easylist.rules + easyprivacy.rules if r.supported
+    ]
+    blocking = [r for r in rules if not r.is_exception]
+    exceptions = [r for r in rules if r.is_exception]
+    urls = _request_urls(study)
+
+    def run():
+        blocked = 0
+        for url in urls:
+            context = RequestContext(url=url)
+            if any(r.matches(context) for r in blocking) and not any(
+                r.matches(context) for r in exceptions
+            ):
+                blocked += 1
+        return blocked
+
+    brute_blocked = benchmark(run)
+    indexed = FilterMatcher(rules)
+    indexed_blocked = sum(1 for url in urls if indexed.should_block_url(url))
+    assert brute_blocked == indexed_blocked
+
+    write_artifact(
+        output_dir,
+        "matcher.txt",
+        "Filter matcher: indexed and brute-force agree on "
+        f"{len(urls):,} URLs ({indexed_blocked:,} blocked). See "
+        "pytest-benchmark output for the throughput gap.\n",
+    )
+
+
+def test_full_labeling_throughput(benchmark, study):
+    from repro.labeling.labeler import RequestLabeler
+
+    labeler = RequestLabeler()
+    crawl = benchmark(labeler.label_crawl, study.database)
+    assert crawl.requests

@@ -1,0 +1,91 @@
+"""§5 extensions: surrogate generation safety and guard quality.
+
+Quantifies the paper's proposal: generate surrogates for mixed scripts by
+stripping tracking methods, and guard residual mixed methods with inferred
+invariants.  Reports tracking removed, functional collateral, and breakage
+versus naive script-level blocking.
+"""
+
+from repro.browser.breakage import BreakageLevel, assess_breakage
+from repro.core.classifier import ResourceClass
+from repro.core.guards import mixed_method_guards
+from repro.core.surrogate import generate_surrogate, validate_surrogate
+
+from conftest import write_artifact
+
+
+def _surrogate_cases(study, limit=40):
+    mixed_urls = {
+        key
+        for key, res in study.report.script.resources.items()
+        if res.resource_class is ResourceClass.MIXED
+    }
+    cases = []
+    for site in study.web.websites:
+        for script in site.scripts:
+            if script.url in mixed_urls:
+                cases.append((site, script))
+    return cases[:limit]
+
+
+def test_surrogates(benchmark, study, output_dir):
+    cases = _surrogate_cases(study)
+
+    def run():
+        outcomes = []
+        for site, script in cases:
+            surrogate = generate_surrogate(script, study.report)
+            if surrogate.is_noop:
+                continue
+            outcomes.append(
+                (
+                    validate_surrogate(site, script, surrogate),
+                    assess_breakage(site, frozenset({script.url})),
+                )
+            )
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert outcomes
+
+    tracking_removed = sum(v.tracking_removed for v, _ in outcomes)
+    functional_removed = sum(v.functional_removed for v, _ in outcomes)
+    surrogate_broken = sum(
+        1 for v, _ in outcomes if v.breakage is not BreakageLevel.NONE
+    )
+    blocking_broken = sum(
+        1 for _, b in outcomes if b.level is not BreakageLevel.NONE
+    )
+    artifact = (
+        "Surrogate scripts vs script-level blocking "
+        f"({len(outcomes)} mixed scripts)\n"
+        f"tracking requests removed by surrogates:   {tracking_removed:,}\n"
+        f"functional requests removed (collateral):  {functional_removed:,}\n"
+        f"sites broken by surrogates:                {surrogate_broken}/{len(outcomes)}\n"
+        f"sites broken by blocking the script:       {blocking_broken}/{len(outcomes)}\n"
+    )
+    write_artifact(output_dir, "surrogate.txt", artifact)
+    print("\n" + artifact)
+
+    assert functional_removed == 0
+    assert surrogate_broken <= blocking_broken
+
+
+def test_guards(benchmark, study, output_dir):
+    results = benchmark(mixed_method_guards, study.web)
+    assert results
+    nonvacuous = [(g, e) for g, e in results if not g.vacuous]
+    true_blocks = sum(e.true_blocks for _, e in results)
+    false_blocks = sum(e.false_blocks for _, e in results)
+    missed = sum(e.missed_tracking for _, e in results)
+    precision = true_blocks / (true_blocks + false_blocks) if true_blocks else 0.0
+    recall = true_blocks / (true_blocks + missed) if true_blocks else 0.0
+    artifact = (
+        f"Guard inference over planned mixed methods ({len(results)} methods)\n"
+        f"non-vacuous guards:   {len(nonvacuous)}/{len(results)}\n"
+        f"held-out precision:   {precision:.1%}\n"
+        f"held-out recall:      {recall:.1%}\n"
+    )
+    write_artifact(output_dir, "guards.txt", artifact)
+    print("\n" + artifact)
+    assert precision > 0.9

@@ -1,0 +1,36 @@
+"""Benchmark fixtures: one study-scale pipeline run shared by all benches.
+
+Each bench times the analysis step it regenerates and writes the
+reproduced table/figure (with the paper's published values alongside) to
+``benchmarks/output/`` so EXPERIMENTS.md can reference concrete artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+
+BENCH_SITES = 2_000
+BENCH_SEED = 7
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The study-scale run every bench analyses (2,000 sites, seed 7)."""
+    config = PipelineConfig(sites=BENCH_SITES, seed=BENCH_SEED)
+    return TrackerSiftPipeline(config).run()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(output_dir: Path, name: str, text: str) -> None:
+    (output_dir / name).write_text(text, encoding="utf-8")

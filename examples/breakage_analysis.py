@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Breakage analysis (paper §5, Table 3) plus the blocking-strategy ladder.
+
+Runs the treatment/control comparison on a sample of sites that host
+TrackerSift-classified mixed scripts, then contrasts three blocking
+strategies on the same sites:
+
+* **block the script**  — what a filter rule does today,
+* **surrogate script**  — remove only the tracking methods,
+* **guards**            — veto only tracking *invocations* of mixed methods.
+
+Run:  python examples/breakage_analysis.py
+"""
+
+from repro.analysis.report import render_table3
+from repro.analysis.tables import build_table3
+from repro.browser.breakage import BreakageLevel, assess_breakage
+from repro.core.classifier import ResourceClass
+from repro.core.guards import collect_observations, evaluate_guard, infer_guard
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.core.surrogate import generate_surrogate, validate_surrogate
+from repro.webmodel.resources import Category
+
+
+def main() -> None:
+    config = PipelineConfig(sites=800, seed=11)
+    print(f"Running the study on {config.sites} sites ...")
+    result = TrackerSiftPipeline(config).run()
+
+    print("\nTable 3 — blocking mixed scripts on 10 random sites:")
+    rows = build_table3(result.web, result.report, sample_size=10, seed=2021)
+    print(render_table3(rows))
+    broken = sum(1 for r in rows if r.breakage != "None")
+    print(f"{broken}/10 sites break (paper: 9/10) — mixed scripts cannot be"
+          " safely blocked.\n")
+
+    print("=== Strategy comparison on the same mixed scripts ===")
+    mixed_urls = {
+        key
+        for key, res in result.report.script.resources.items()
+        if res.resource_class is ResourceClass.MIXED
+    }
+    cases = [
+        (site, script)
+        for site in result.web.websites
+        for script in site.scripts
+        if script.url in mixed_urls
+    ][:20]
+
+    block_breaks = surrogate_breaks = 0
+    tracking_via_surrogate = 0
+    for site, script in cases:
+        block_breaks += (
+            assess_breakage(site, frozenset({script.url})).level
+            is not BreakageLevel.NONE
+        )
+        surrogate = generate_surrogate(script, result.report)
+        outcome = validate_surrogate(site, script, surrogate)
+        surrogate_breaks += outcome.breakage is not BreakageLevel.NONE
+        tracking_via_surrogate += outcome.tracking_removed
+
+    print(f"  sites analysed:                  {len(cases)}")
+    print(f"  broken by blocking the script:   {block_breaks}/{len(cases)}")
+    print(f"  broken by installing surrogates: {surrogate_breaks}/{len(cases)}")
+    print(f"  tracking requests surrogates removed: {tracking_via_surrogate}")
+
+    print("\n=== Guards for residual mixed methods ===")
+    shown = 0
+    for script in result.web.scripts:
+        for method in script.methods:
+            if method.category is not Category.MIXED or len(method.invocations) < 8:
+                continue
+            observations = collect_observations(result.web, script.url, method.name)
+            guard = infer_guard(script.url, method.name, observations)
+            if guard.vacuous:
+                continue
+            evaluation = evaluate_guard(guard, observations)
+            name = script.url.rsplit("/", 1)[-1]
+            print(
+                f"  {name}@{method.name}(): invariant keys="
+                f"{sorted(guard.arg_invariants)} "
+                f"precision={evaluation.precision:.0%} "
+                f"recall={evaluation.recall:.0%}"
+            )
+            shown += 1
+            if shown >= 5:
+                break
+        if shown >= 5:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Circumvention case study: script inlining and bundling (paper §5).
+
+Builds the paper's two motivating scenarios by hand and shows why script-
+level blocking fails on them while TrackerSift's method level succeeds:
+
+1. **Inlining** — a Facebook-pixel-style tracking snippet is inlined into
+   the publisher's page, so its initiator URL *is* the page.  Blocking
+   that "script" means blocking the page's own inline code.
+2. **Bundling** — a webpack bundle (the paper's pressl.co example:
+   ``app.9115af433836fd824ec7.js``) intertwines the pixel with first-party
+   functional code in one URL.  The bundle classifies as mixed; its
+   methods still separate cleanly.
+
+Run:  python examples/circumvention_study.py
+"""
+
+import random
+
+from repro.browser.engine import BrowserEngine
+from repro.core.hierarchy import sift_requests
+from repro.core.surrogate import generate_surrogate, validate_surrogate
+from repro.crawler.storage import RequestDatabase
+from repro.labeling.labeler import RequestLabeler
+from repro.webmodel.bundler import bundle_scripts, inline_script
+from repro.webmodel.resources import (
+    Category,
+    Frame,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptSpec,
+)
+from repro.webmodel.website import Functionality, FunctionalityTier, Website
+
+PAGE = "https://pressl.co/"
+
+
+def tracking_method(name: str, count: int) -> MethodSpec:
+    return MethodSpec(
+        name=name,
+        category=Category.TRACKING,
+        invocations=[
+            Invocation(
+                site=PAGE,
+                requests=[
+                    PlannedRequest(
+                        url=f"https://i0.wp.com/pixel/{i}.gif",
+                        tracking=True,
+                        resource_type="image",
+                    )
+                ],
+                caller_chain=(Frame(f"{PAGE}#inline-0", "main"),),
+                args={"event": "imp", "dest": "i0.wp.com"},
+            )
+            for i in range(count)
+        ],
+    )
+
+
+def functional_method(name: str, count: int) -> MethodSpec:
+    return MethodSpec(
+        name=name,
+        category=Category.FUNCTIONAL,
+        invocations=[
+            Invocation(
+                site=PAGE,
+                requests=[
+                    PlannedRequest(
+                        url=f"https://i0.wp.com/img/photo-{i}.jpg",
+                        tracking=False,
+                        resource_type="image",
+                    )
+                ],
+                caller_chain=(Frame(f"{PAGE}#inline-0", "main"),),
+                args={"event": "load", "dest": "i0.wp.com"},
+            )
+            for i in range(count)
+        ],
+    )
+
+
+def classify_page(website: Website) -> None:
+    page = BrowserEngine().load(website)
+    database = RequestDatabase.from_events(page.requests, page.responses)
+    labeled = RequestLabeler().label_crawl(database)
+    report = sift_requests(labeled.requests)
+    print(f"  script-initiated requests: {len(labeled.requests)}")
+    for key, result in report.script.resources.items():
+        name = key.rsplit("/", 1)[-1] if "#" not in key else key
+        print(
+            f"  script {name}: T={result.counts.tracking} "
+            f"F={result.counts.functional} -> {result.resource_class.value}"
+        )
+    if report.levels[-1].granularity == "method":
+        for key, result in report.method.resources.items():
+            print(
+                f"    method {key.split('@')[-1]}(): "
+                f"T={result.counts.tracking} F={result.counts.functional} "
+                f"-> {result.resource_class.value}"
+            )
+    return report
+
+
+def main() -> None:
+    pixel = ScriptSpec(
+        url="https://connect.facebook.net/fbevents.js",
+        category=Category.TRACKING,
+        methods=[tracking_method("pxl", 6)],
+        sites=[PAGE],
+    )
+    app = ScriptSpec(
+        url=f"{PAGE}assets/app-src.js",
+        category=Category.FUNCTIONAL,
+        methods=[functional_method("render", 6)],
+        sites=[PAGE],
+    )
+
+    print("=== Scenario 1: separate external scripts (easy case) ===")
+    site = Website(url=PAGE, rank=1, scripts=[pixel, app])
+    classify_page(site)
+    print("Script-level blocking works here: fbevents.js is purely tracking.\n")
+
+    print("=== Scenario 2: the pixel is INLINED into the page ===")
+    inlined_pixel = inline_script(pixel, PAGE, index=1)
+    site = Website(url=PAGE, rank=1, scripts=[inlined_pixel, app])
+    classify_page(site)
+    print(
+        "The tracking 'script' is now the page itself "
+        f"({inlined_pixel.url}) — a filter rule against it would block "
+        "first-party code.\n"
+    )
+
+    print("=== Scenario 3: pixel BUNDLED with functional code (pressl.co) ===")
+    bundle = bundle_scripts(
+        [pixel, app],
+        f"{PAGE}assets/app.9115af433836fd824ec7.js",
+        site=PAGE,
+        rng=random.Random(0),
+    )
+    site = Website(url=PAGE, rank=1, scripts=[bundle])
+    site.functionalities = [
+        Functionality(
+            name="images",
+            tier=FunctionalityTier.CORE,
+            required_methods=frozenset({(bundle.url, "render")}),
+        )
+    ]
+    report = classify_page(site)
+    print(
+        "The bundle is MIXED at script level — blocking it breaks the "
+        "page; not blocking it lets the pixel through."
+    )
+
+    print("\n=== TrackerSift's way out: a surrogate for the bundle ===")
+    surrogate = generate_surrogate(bundle, report)
+    print(f"  removed methods: {surrogate.removed_methods}")
+    print(f"  kept methods:    {surrogate.kept_methods}")
+    outcome = validate_surrogate(site, bundle, surrogate)
+    print(
+        f"  replay: tracking removed={outcome.tracking_removed}, "
+        f"functional removed={outcome.functional_removed}, "
+        f"breakage={outcome.breakage.value}"
+    )
+    assert outcome.safe, "surrogate should be collateral-free here"
+    print("  -> the pixel is gone, the page still renders.")
+
+
+if __name__ == "__main__":
+    main()

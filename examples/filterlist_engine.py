@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Using the Adblock Plus filter engine standalone, plus an oracle ablation.
+
+The filter-list substrate is a complete ABP network-rule engine; this
+example exercises it directly (parsing, matching, options, exceptions) and
+then re-runs the study with EasyList only vs EasyPrivacy only vs both —
+the oracle composition visibly shifts what counts as "tracking".
+
+Run:  python examples/filterlist_engine.py
+"""
+
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.oracle import FilterListOracle
+from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import RequestContext, ResourceType
+
+
+def engine_tour() -> None:
+    print("=== ABP engine tour ===")
+    rules = """\
+! a tiny list in real Adblock Plus syntax
+||tracker.example^
+/adframe/*$subdocument
+||cdn.example^$script,third-party
+@@||tracker.example/consent^
+"""
+    parsed = parse_filter_list(rules, name="demo")
+    print(f"parsed {len(parsed.rules)} network rules "
+          f"({len(parsed.exception_rules)} exception)")
+    matcher = FilterMatcher.from_lists(parsed)
+
+    checks = [
+        RequestContext("https://sub.tracker.example/a.js"),
+        RequestContext("https://tracker.example/consent/v2"),
+        RequestContext(
+            "https://cdn.example/lib.js",
+            resource_type=ResourceType.SCRIPT,
+            third_party=True,
+        ),
+        RequestContext(
+            "https://cdn.example/lib.js",
+            resource_type=ResourceType.SCRIPT,
+            third_party=False,
+        ),
+        RequestContext(
+            "https://pub.example/adframe/x.html",
+            resource_type=ResourceType.SUBDOCUMENT,
+        ),
+    ]
+    for context in checks:
+        result = matcher.match(context)
+        verdict = "BLOCK" if result.blocked else "allow"
+        why = result.rule.text if result.rule else "-"
+        if result.exception:
+            why += f" overridden by {result.exception.text}"
+        print(f"  {verdict:5}  {context.url}  ({why})")
+
+
+def oracle_ablation() -> None:
+    print("\n=== Oracle ablation: which list does the labeling? ===")
+    from repro.filterlists.lists import load_easylist, load_easyprivacy
+
+    config = PipelineConfig(sites=400, seed=7)
+    web = TrackerSiftPipeline(config).generate()
+
+    for name, lists in (
+        ("EasyList only", (load_easylist(),)),
+        ("EasyPrivacy only", (load_easyprivacy(),)),
+        ("EasyList + EasyPrivacy (paper)", (load_easylist(), load_easyprivacy())),
+    ):
+        pipeline = TrackerSiftPipeline(config, oracle=FilterListOracle(*lists))
+        result = pipeline.run(web)
+        labeled = result.labeled
+        print(
+            f"  {name:32} tracking={labeled.tracking_count:6,}  "
+            f"functional={labeled.functional_count:6,}  "
+            f"final separation={result.report.final_separation:.1%}"
+        )
+    print("\nA single list misses part of the tracking population, so more")
+    print("of it hides inside 'functional' — the paper combines both.")
+
+
+if __name__ == "__main__":
+    engine_tour()
+    oracle_ablation()

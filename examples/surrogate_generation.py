@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Automatic surrogate-script generation, end to end (paper §5 and §7).
+
+"TrackerSift can help scale up the process of generating surrogate scripts
+by automatically detecting and removing tracking methods in mixed scripts."
+
+This example runs the full chain on real study output:
+
+1. run the measurement study;
+2. pick a mixed script the sift found;
+3. render its JavaScript source;
+4. generate the surrogate source (tracking methods stubbed);
+5. statically verify the surrogate (no network calls left in stubs);
+6. dynamically validate it (replay the page: tracking gone, page works);
+7. emit the deployable filter-list recommendation.
+
+Run:  python examples/surrogate_generation.py
+"""
+
+from repro.core.classifier import ResourceClass
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.core.rulegen import generate_recommendation
+from repro.core.surrogate import generate_surrogate, validate_surrogate
+from repro.jsgen import (
+    analyze_source,
+    generate_surrogate_source,
+    script_to_source,
+    verify_surrogate_source,
+)
+
+
+def main() -> None:
+    print("Running the study ...")
+    result = TrackerSiftPipeline(PipelineConfig(sites=600, seed=7)).run()
+
+    mixed_urls = {
+        key
+        for key, res in result.report.script.resources.items()
+        if res.resource_class is ResourceClass.MIXED
+    }
+    site, script = next(
+        (site, script)
+        for site in result.web.websites
+        for script in site.scripts
+        if script.url in mixed_urls
+        and not generate_surrogate(script, result.report).is_noop
+    )
+    name = script.url.rsplit("/", 1)[-1]
+    print(f"\nMixed script under repair: {name} on {site.url}")
+
+    surrogate = generate_surrogate(script, result.report)
+    print(f"  methods to remove: {surrogate.removed_methods}")
+    print(f"  methods to keep:   {surrogate.kept_methods}")
+
+    source = script_to_source(script)
+    original_analysis = analyze_source(source)
+    print(f"\nOriginal source: {len(source.splitlines())} lines, "
+          f"{len(original_analysis.all_network_urls())} network call sites")
+
+    shim = generate_surrogate_source(source, surrogate.removed_methods)
+    assert shim.complete
+    verified = verify_surrogate_source(shim, original_analysis)
+    print(f"Surrogate source: stubbed {shim.stubbed}; static verification: "
+          f"{'PASS' if verified else 'FAIL'}")
+    print("\n--- surrogate file (first 25 lines) ---")
+    print("\n".join(shim.source.splitlines()[:25]))
+    print("--- end ---")
+
+    outcome = validate_surrogate(site, script, surrogate)
+    print(
+        f"\nDynamic validation: tracking removed={outcome.tracking_removed}, "
+        f"functional removed={outcome.functional_removed}, "
+        f"breakage={outcome.breakage.value}"
+    )
+
+    rec = generate_recommendation(result.report)
+    print(
+        f"\nDeployable recommendation from this crawl: "
+        f"{len(rec.domain_rules)} domain rules, "
+        f"{len(rec.hostname_rules)} hostname rules, "
+        f"{len(rec.script_rules)} script rules, "
+        f"{len(rec.surrogates)} surrogate directives"
+    )
+    print("\nFilter-list preview:")
+    print("\n".join(rec.to_filter_list().splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

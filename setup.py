@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs on environments whose
+setuptools/pip lack PEP 660 editable-wheel support (no `wheel` package
+offline).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""TrackerSift reproduction — untangling mixed tracking and functional web
+resources (Amjad et al., ACM IMC 2021).
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+* :mod:`repro.urlkit` — URLs, hostnames, public-suffix eTLD+1,
+* :mod:`repro.filterlists` — Adblock Plus engine + EasyList/EasyPrivacy
+  snapshots (the labeling oracle),
+* :mod:`repro.webmodel` — calibrated synthetic web (the 100K-crawl stand-in),
+* :mod:`repro.browser` — simulated instrumented browser (DevTools events,
+  call stacks, blocking policies, breakage grading),
+* :mod:`repro.crawler` — ranked lists, stateless crawls, sharded cluster,
+  request database,
+* :mod:`repro.labeling` — oracle labeling with ancestral propagation,
+* :mod:`repro.core` — TrackerSift itself: the ratio classifier, the
+  hierarchical sifter, sensitivity, call-stack analysis, surrogates, guards,
+* :mod:`repro.analysis` — Tables 1-3 and Figures 3-5 builders + rendering.
+
+Quickstart::
+
+    from repro import run_study
+    result = run_study(sites=500, seed=7)
+    print(result.report.final_separation)       # ~0.98 in the paper
+"""
+
+from .core import (
+    HierarchicalSifter,
+    PipelineConfig,
+    PipelineResult,
+    RatioClassifier,
+    ResourceClass,
+    SiftReport,
+    TrackerSiftPipeline,
+    log_ratio,
+    run_study,
+    sift_requests,
+)
+from .filterlists import FilterListOracle, Label
+from .labeling import AnalyzedRequest, LabeledCrawl, RequestLabeler
+from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "log_ratio",
+    "ResourceClass",
+    "RatioClassifier",
+    "HierarchicalSifter",
+    "sift_requests",
+    "SiftReport",
+    "PipelineConfig",
+    "PipelineResult",
+    "TrackerSiftPipeline",
+    "run_study",
+    "FilterListOracle",
+    "Label",
+    "RequestLabeler",
+    "AnalyzedRequest",
+    "LabeledCrawl",
+    "SyntheticWeb",
+    "SyntheticWebGenerator",
+    "generate_web",
+    "PAPER",
+]

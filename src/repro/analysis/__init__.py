@@ -1,0 +1,62 @@
+"""Measurement analysis: table/figure builders, bootstrap confidence
+intervals, and rendering."""
+
+from .confidence import (
+    ConfidenceInterval,
+    bootstrap_metric,
+    bootstrap_separation_factors,
+)
+from .figures import (
+    HistogramBin,
+    RatioHistogram,
+    build_figure3,
+    build_figure3_panel,
+    build_figure4,
+    build_figure5,
+)
+from .report import (
+    PaperComparison,
+    ascii_table,
+    compare_with_paper,
+    render_comparison,
+    render_histogram,
+    render_table1,
+    render_table2,
+    render_table3,
+    rows_to_csv,
+)
+from .tables import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    build_table1,
+    build_table2,
+    build_table3,
+)
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "HistogramBin",
+    "RatioHistogram",
+    "build_figure3",
+    "build_figure3_panel",
+    "build_figure4",
+    "build_figure5",
+    "ascii_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_histogram",
+    "render_comparison",
+    "rows_to_csv",
+    "PaperComparison",
+    "compare_with_paper",
+    "ConfidenceInterval",
+    "bootstrap_metric",
+    "bootstrap_separation_factors",
+]

@@ -1,0 +1,141 @@
+"""Bootstrap confidence intervals for the study's headline metrics.
+
+The paper reports point estimates over one crawl.  For a measurement
+library, users also want to know how stable those estimates are under
+resampling.  We implement the standard **cluster bootstrap over sites**:
+requests from the same page load are correlated, so the resampling unit is
+the site, not the request — resample sites with replacement, re-run the
+(cheap, offline) sift on each replicate, and take percentile intervals.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.hierarchy import HierarchicalSifter
+from ..core.results import SiftReport
+from ..labeling.labeler import AnalyzedRequest
+
+__all__ = ["ConfidenceInterval", "bootstrap_metric", "bootstrap_separation_factors"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A percentile bootstrap interval for one metric."""
+
+    metric: str
+    point: float
+    low: float
+    high: float
+    level: float
+    replicates: int
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{self.metric}: {self.point:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] @ {self.level:.0%}"
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile on pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
+
+
+def bootstrap_metric(
+    requests: list[AnalyzedRequest],
+    metric: Callable[[SiftReport], float],
+    *,
+    name: str = "metric",
+    replicates: int = 200,
+    level: float = 0.95,
+    seed: int = 17,
+    threshold: float = 2.0,
+) -> ConfidenceInterval:
+    """Cluster-bootstrap one scalar metric of the sift report."""
+    if not 0 < level < 1:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if replicates < 2:
+        raise ValueError("need at least 2 replicates")
+    by_site: dict[str, list[AnalyzedRequest]] = defaultdict(list)
+    for request in requests:
+        by_site[request.page].append(request)
+    sites = sorted(by_site)
+    if not sites:
+        raise ValueError("no requests to bootstrap")
+
+    sifter = HierarchicalSifter()
+    if threshold != 2.0:
+        from ..core.classifier import RatioClassifier
+
+        sifter = HierarchicalSifter(RatioClassifier(threshold))
+
+    point = metric(sifter.sift(requests))
+    rng = random.Random(seed)
+    values: list[float] = []
+    for _ in range(replicates):
+        sample: list[AnalyzedRequest] = []
+        for _ in range(len(sites)):
+            sample.extend(by_site[rng.choice(sites)])
+        values.append(metric(sifter.sift(sample)))
+    values.sort()
+    alpha = (1 - level) / 2
+    return ConfidenceInterval(
+        metric=name,
+        point=point,
+        low=_percentile(values, alpha),
+        high=_percentile(values, 1 - alpha),
+        level=level,
+        replicates=replicates,
+    )
+
+
+def bootstrap_separation_factors(
+    requests: list[AnalyzedRequest],
+    *,
+    replicates: int = 200,
+    level: float = 0.95,
+    seed: int = 17,
+) -> list[ConfidenceInterval]:
+    """Intervals for each level's separation factor + the cumulative one."""
+    intervals: list[ConfidenceInterval] = []
+    for granularity in ("domain", "hostname", "script", "method"):
+        intervals.append(
+            bootstrap_metric(
+                requests,
+                lambda report, g=granularity: report.level(g).separation_factor,
+                name=f"{granularity} separation factor",
+                replicates=replicates,
+                level=level,
+                seed=seed,
+            )
+        )
+    intervals.append(
+        bootstrap_metric(
+            requests,
+            lambda report: report.final_separation,
+            name="cumulative separation factor",
+            replicates=replicates,
+            level=level,
+            seed=seed,
+        )
+    )
+    return intervals

@@ -1,0 +1,132 @@
+"""Figure builders: the data series behind Figures 3, 4 and 5.
+
+* **Figure 3 (a-d)** — per-granularity histogram of the common-log ratio,
+  three peaks: functional ``(-inf, -2]``, mixed ``(-2, 2)``, tracking
+  ``[2, inf)``.
+* **Figure 4** — share of mixed scripts versus classification threshold.
+* **Figure 5** — merged call graph of a mixed method with its point of
+  divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.callstack_analysis import DivergenceResult, analyze_mixed_method
+from ..core.results import LevelReport, SiftReport
+from ..core.sensitivity import SensitivityResult, threshold_sweep
+from ..labeling.labeler import AnalyzedRequest
+
+__all__ = [
+    "HistogramBin",
+    "RatioHistogram",
+    "build_figure3",
+    "build_figure4",
+    "build_figure5",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramBin:
+    """One histogram bar: ``[lo, hi)`` and the entity count inside."""
+
+    lo: float
+    hi: float
+    count: int
+
+    @property
+    def center(self) -> float:
+        return (self.lo + self.hi) / 2
+
+    @property
+    def region(self) -> str:
+        """Figure 3's colouring: which classification band the bin is in."""
+        if self.lo >= 2:
+            return "tracking"
+        if self.hi <= -2:
+            return "functional"
+        return "mixed"
+
+
+@dataclass
+class RatioHistogram:
+    """The Figure 3 panel for one granularity."""
+
+    granularity: str
+    bins: list[HistogramBin]
+    clip: float
+
+    @property
+    def total(self) -> int:
+        return sum(b.count for b in self.bins)
+
+    def peak_regions(self) -> dict[str, int]:
+        """Entity mass per band — the 'three distinct peaks' check."""
+        out = {"tracking": 0, "functional": 0, "mixed": 0}
+        for bin_ in self.bins:
+            out[bin_.region] += bin_.count
+        return out
+
+    def has_three_peaks(self) -> bool:
+        regions = self.peak_regions()
+        return all(count > 0 for count in regions.values())
+
+
+def _histogram(
+    ratios: list[float], granularity: str, bin_width: float, clip: float
+) -> RatioHistogram:
+    """Bin ratios; ±inf (and beyond-clip values) land in the edge bins."""
+    edges: list[float] = []
+    lo = -clip
+    while lo < clip - 1e-9:
+        edges.append(lo)
+        lo += bin_width
+    edges.append(clip)
+    counts = [0] * (len(edges) - 1)
+    for ratio in ratios:
+        if math.isnan(ratio):
+            continue
+        clipped = max(-clip, min(clip - 1e-9, ratio))
+        index = min(int((clipped + clip) / bin_width), len(counts) - 1)
+        counts[index] += 1
+    bins = [
+        HistogramBin(lo=edges[i], hi=edges[i + 1], count=counts[i])
+        for i in range(len(counts))
+    ]
+    return RatioHistogram(granularity=granularity, bins=bins, clip=clip)
+
+
+def build_figure3(
+    report: SiftReport, *, bin_width: float = 0.5, clip: float = 5.0
+) -> dict[str, RatioHistogram]:
+    """All four panels (a: domain, b: hostname, c: script, d: method)."""
+    out: dict[str, RatioHistogram] = {}
+    for level in report.levels:
+        out[level.granularity] = _histogram(
+            level.ratios(), level.granularity, bin_width, clip
+        )
+    return out
+
+
+def build_figure3_panel(
+    level: LevelReport, *, bin_width: float = 0.5, clip: float = 5.0
+) -> RatioHistogram:
+    return _histogram(level.ratios(), level.granularity, bin_width, clip)
+
+
+def build_figure4(
+    requests: list[AnalyzedRequest],
+    *,
+    granularity: str = "script",
+    thresholds: list[float] | None = None,
+) -> SensitivityResult:
+    """The Figure 4 curve (default: scripts, thresholds 1.0..3.0)."""
+    return threshold_sweep(requests, granularity, thresholds)
+
+
+def build_figure5(
+    requests: list[AnalyzedRequest], script: str, method: str
+) -> DivergenceResult:
+    """The Figure 5 call-stack analysis for one mixed method."""
+    return analyze_mixed_method(requests, script, method)

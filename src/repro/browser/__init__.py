@@ -1,0 +1,37 @@
+"""Instrumented-browser substrate.
+
+Simulates the paper's Chrome + DevTools + purpose-built extension setup:
+deterministic page loads over the synthetic web, ``requestWillBeSent`` /
+``responseReceived`` events with full (async-aware) call stacks, blocking
+policies for treatment/control experiments, and the automated breakage
+grader used for Table 3.
+"""
+
+from .breakage import (
+    BreakageAnalyzer,
+    BreakageLevel,
+    BreakageReport,
+    assess_breakage,
+)
+from .callstack import CallFrame, CallStack
+from .devtools import RequestWillBeSent, ResponseReceived, next_request_id
+from .engine import BlockingPolicy, BrowserEngine, PageLoad
+from .extension import CaptureStats, CrawlExtension, EventSink
+
+__all__ = [
+    "CallFrame",
+    "CallStack",
+    "RequestWillBeSent",
+    "ResponseReceived",
+    "next_request_id",
+    "BlockingPolicy",
+    "BrowserEngine",
+    "PageLoad",
+    "CrawlExtension",
+    "CaptureStats",
+    "EventSink",
+    "BreakageLevel",
+    "BreakageReport",
+    "assess_breakage",
+    "BreakageAnalyzer",
+]

@@ -1,0 +1,143 @@
+"""Functionality-breakage analysis (paper §5, Table 3).
+
+The paper manually loaded a sample of websites with (treatment) and without
+(control) blocking the mixed scripts TrackerSift found, and graded the
+damage:
+
+* **major** — core functionality broken (search bar, menu, images, page
+  navigation, page load …),
+* **minor** — secondary functionality broken (comments/reviews, media
+  widgets, video player, icons …),
+* **none** — treatment and control behave the same (missing ads are
+  explicitly *not* breakage).
+
+Our websites carry an explicit functionality model, so the comparison is
+automated: load control, load treatment, diff the feature status maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..webmodel.website import FunctionalityTier, Website
+from .engine import BlockingPolicy, BrowserEngine
+
+__all__ = ["BreakageLevel", "BreakageReport", "assess_breakage", "grade_breakage", "BreakageAnalyzer"]
+
+
+class BreakageLevel(str, Enum):
+    """The paper's three-way severity grading."""
+
+    MAJOR = "major"
+    MINOR = "minor"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class BreakageReport:
+    """Outcome of one treatment/control comparison."""
+
+    website: str
+    blocked_scripts: tuple[str, ...]
+    level: BreakageLevel
+    broken_core: tuple[str, ...]
+    broken_secondary: tuple[str, ...]
+    #: requests removed by the treatment (tracking *and* functional).
+    requests_removed: int
+    tracking_requests_removed: int
+
+    @property
+    def comment(self) -> str:
+        """A Table 3-style human-readable description of the damage."""
+        if self.level is BreakageLevel.NONE:
+            return "no visible functionality breakage"
+        broken = list(self.broken_core) + list(self.broken_secondary)
+        if "page load" in self.broken_core:
+            return "page did not load"
+        if len(broken) == 1:
+            return f"{broken[0]} missing"
+        return f"{', '.join(broken[:-1])} and {broken[-1]} missing"
+
+
+def grade_breakage(
+    control: dict[str, bool],
+    treatment: dict[str, bool],
+    website: Website,
+) -> tuple[BreakageLevel, tuple[str, ...], tuple[str, ...]]:
+    tiers = {f.name: f.tier for f in website.functionalities}
+    broken = [
+        name
+        for name, works in treatment.items()
+        if not works and control.get(name, True)
+    ]
+    core = tuple(n for n in broken if tiers.get(n) is FunctionalityTier.CORE)
+    secondary = tuple(
+        n for n in broken if tiers.get(n) is FunctionalityTier.SECONDARY
+    )
+    if core:
+        return BreakageLevel.MAJOR, core, secondary
+    if secondary:
+        return BreakageLevel.MINOR, core, secondary
+    return BreakageLevel.NONE, (), ()
+
+
+def assess_breakage(
+    website: Website,
+    blocked_scripts: frozenset[str],
+    *,
+    engine: BrowserEngine | None = None,
+) -> BreakageReport:
+    """Compare a control load against a treatment load with blocking."""
+    engine = engine or BrowserEngine()
+    control = engine.load(website)
+    treatment = engine.load(
+        website, policy=BlockingPolicy(blocked_scripts=blocked_scripts)
+    )
+    level, core, secondary = grade_breakage(
+        control.functionality, treatment.functionality, website
+    )
+    removed = len(control.script_initiated_requests) - len(
+        treatment.script_initiated_requests
+    )
+    tracking_removed = _tracking_delta(website, blocked_scripts)
+    return BreakageReport(
+        website=website.url,
+        blocked_scripts=tuple(sorted(blocked_scripts)),
+        level=level,
+        broken_core=core,
+        broken_secondary=secondary,
+        requests_removed=removed,
+        tracking_requests_removed=tracking_removed,
+    )
+
+
+def _tracking_delta(website: Website, blocked: frozenset[str]) -> int:
+    count = 0
+    for script in website.scripts:
+        if script.url not in blocked:
+            continue
+        tracking, _ = script.request_counts()
+        count += tracking
+    return count
+
+
+class BreakageAnalyzer:
+    """Batch treatment/control analysis over many sites."""
+
+    def __init__(self, engine: BrowserEngine | None = None) -> None:
+        self._engine = engine or BrowserEngine()
+
+    def analyze(
+        self, cases: list[tuple[Website, frozenset[str]]]
+    ) -> list[BreakageReport]:
+        return [
+            assess_breakage(site, blocked, engine=self._engine)
+            for site, blocked in cases
+        ]
+
+    def summary(self, reports: list[BreakageReport]) -> dict[BreakageLevel, int]:
+        counts = {level: 0 for level in BreakageLevel}
+        for report in reports:
+            counts[report.level] += 1
+        return counts

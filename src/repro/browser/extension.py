@@ -1,0 +1,86 @@
+"""The crawler's "purpose-built Chrome extension" (paper §3, Figure 2).
+
+The real study attached an extension that subscribed to the DevTools
+``requestWillBeSent`` and ``responseReceived`` events and wrote their
+payloads to a database.  This module reproduces that capture layer as an
+observer object: the engine produces events, the extension filters and
+forwards them to whatever sink the crawler wires in (usually a
+:class:`~repro.crawler.storage.RequestDatabase`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .devtools import RequestWillBeSent, ResponseReceived
+from .engine import PageLoad
+
+__all__ = ["EventSink", "CaptureStats", "CrawlExtension"]
+
+
+class EventSink(Protocol):
+    """Anything that can persist captured events."""
+
+    def add_request(self, event: RequestWillBeSent) -> None: ...
+
+    def add_response(self, event: ResponseReceived) -> None: ...
+
+
+@dataclass
+class CaptureStats:
+    """Bookkeeping the extension keeps during a crawl."""
+
+    pages: int = 0
+    requests_seen: int = 0
+    responses_seen: int = 0
+    script_initiated: int = 0
+    dropped_non_script: int = 0
+
+
+class CrawlExtension:
+    """Captures DevTools events during page loads and forwards them.
+
+    ``keep_non_script`` controls whether parser-initiated requests are
+    stored at all.  The paper stores everything and filters during
+    labeling; that is the default here too, but dropping at capture time is
+    supported for storage-constrained crawls (an explicit knob rather than
+    silent behaviour).
+    """
+
+    def __init__(
+        self,
+        sink: EventSink,
+        *,
+        keep_non_script: bool = True,
+        on_request: Callable[[RequestWillBeSent], None] | None = None,
+    ) -> None:
+        self._sink = sink
+        self._keep_non_script = keep_non_script
+        self._on_request = on_request
+        self.stats = CaptureStats()
+
+    # -- DevTools listeners -------------------------------------------------
+    def request_will_be_sent(self, event: RequestWillBeSent) -> None:
+        self.stats.requests_seen += 1
+        if event.script_initiated:
+            self.stats.script_initiated += 1
+        elif not self._keep_non_script:
+            self.stats.dropped_non_script += 1
+            return
+        self._sink.add_request(event)
+        if self._on_request is not None:
+            self._on_request(event)
+
+    def response_received(self, event: ResponseReceived) -> None:
+        self.stats.responses_seen += 1
+        self._sink.add_response(event)
+
+    # -- convenience ----------------------------------------------------------
+    def capture_page(self, page: PageLoad) -> None:
+        """Feed one simulated page load through both listeners."""
+        self.stats.pages += 1
+        for request in page.requests:
+            self.request_will_be_sent(request)
+        for response in page.responses:
+            self.response_received(response)

@@ -1,0 +1,186 @@
+"""Command-line runner: ``trackersift`` (or ``python -m repro``).
+
+Subcommands mirror the paper's workflow plus the library's extensions:
+
+* ``study``     — run the full pipeline and print Tables 1-2,
+* ``figure3``   — print the ratio histograms,
+* ``figure4``   — print the threshold-sensitivity curve (CSV),
+* ``table3``    — run the breakage analysis sample,
+* ``compare``   — paper-vs-measured shape comparison,
+* ``rules``     — emit a generated filter list (finer-grained blocking),
+* ``strategies``— score conservative / naive / TrackerSift policies,
+* ``bootstrap`` — confidence intervals for the separation factors,
+* ``export``    — dump the crawl database to JSONL or SQLite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.confidence import bootstrap_separation_factors
+from .analysis.figures import build_figure3, build_figure4
+from .analysis.report import (
+    ascii_table,
+    compare_with_paper,
+    render_comparison,
+    render_histogram,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from .analysis.tables import build_table1, build_table2, build_table3
+from .core.pipeline import PipelineConfig, TrackerSiftPipeline
+from .core.rulegen import compare_strategies, generate_recommendation
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trackersift",
+        description="TrackerSift (IMC 2021) reproduction pipeline",
+    )
+    parser.add_argument("--sites", type=int, default=1_000, help="crawl size")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument(
+        "--threshold", type=float, default=2.0, help="classification threshold"
+    )
+    parser.add_argument(
+        "--replicates", type=int, default=100, help="bootstrap replicates"
+    )
+    parser.add_argument(
+        "--out", type=str, default="", help="output path (rules/export)"
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "study",
+            "figure3",
+            "figure4",
+            "table3",
+            "compare",
+            "rules",
+            "strategies",
+            "bootstrap",
+            "export",
+        ],
+        help="what to run",
+    )
+    return parser
+
+
+def _cmd_study(result) -> None:
+    print(
+        f"Crawled {result.pages_crawled} landing pages "
+        f"({result.total_script_requests:,} script-initiated requests)"
+    )
+    print()
+    print("Table 1: requests classified at each granularity")
+    print(render_table1(build_table1(result.report)))
+    print()
+    print("Table 2: resources classified at each granularity")
+    print(render_table2(build_table2(result.report)))
+    print()
+    print(f"Final separation factor: {result.report.final_separation:.1%}")
+
+
+def _cmd_rules(result, out: str) -> None:
+    recommendation = generate_recommendation(result.report)
+    text = recommendation.to_filter_list()
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {recommendation.rule_count} rules and "
+            f"{len(recommendation.surrogates)} surrogate directives to {out}"
+        )
+    else:
+        print(text)
+
+
+def _cmd_strategies(result) -> None:
+    outcomes = compare_strategies(result.labeled.requests, result.report)
+    print(
+        ascii_table(
+            ["Strategy", "Tracking blocked", "Collateral", "Missed"],
+            [
+                [
+                    o.strategy.value,
+                    f"{o.tracking_coverage:.1%}",
+                    f"{o.collateral_rate:.1%}",
+                    f"{o.tracking_missed:,}",
+                ]
+                for o in outcomes
+            ],
+        )
+    )
+
+
+def _cmd_bootstrap(result, replicates: int) -> None:
+    intervals = bootstrap_separation_factors(
+        result.labeled.requests, replicates=replicates
+    )
+    print(
+        ascii_table(
+            ["Metric", "Point", "95% low", "95% high"],
+            [
+                [
+                    i.metric,
+                    f"{i.point:.3f}",
+                    f"{i.low:.3f}",
+                    f"{i.high:.3f}",
+                ]
+                for i in intervals
+            ],
+        )
+    )
+
+
+def _cmd_export(result, out: str) -> None:
+    if not out:
+        raise SystemExit("export requires --out <path.jsonl|path.sqlite>")
+    if out.endswith(".sqlite") or out.endswith(".db"):
+        result.database.to_sqlite(out)
+        print(f"wrote {len(result.database):,} events to SQLite {out}")
+    else:
+        lines = result.database.to_jsonl(out)
+        print(f"wrote {lines:,} JSONL records to {out}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = PipelineConfig(
+        sites=args.sites, seed=args.seed, threshold=args.threshold
+    )
+    result = TrackerSiftPipeline(config).run()
+    report = result.report
+
+    if args.command == "study":
+        _cmd_study(result)
+    elif args.command == "figure3":
+        for histogram in build_figure3(report).values():
+            print(render_histogram(histogram))
+            print()
+    elif args.command == "figure4":
+        sweep = build_figure4(result.labeled.requests)
+        print("threshold,mixed_share")
+        for point in sweep.points:
+            print(f"{point.threshold:.1f},{point.mixed_share:.4f}")
+    elif args.command == "table3":
+        print(render_table3(build_table3(result.web, report)))
+    elif args.command == "compare":
+        print(render_comparison(compare_with_paper(report)))
+    elif args.command == "rules":
+        _cmd_rules(result, args.out)
+    elif args.command == "strategies":
+        _cmd_strategies(result)
+    elif args.command == "bootstrap":
+        _cmd_bootstrap(result, args.replicates)
+    elif args.command == "export":
+        _cmd_export(result, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""TrackerSift core: the paper's primary contribution.
+
+* :mod:`classifier` — Equation 1 and the ±2 threshold classifier,
+* :mod:`hierarchy` — progressive domain → hostname → script → method sift,
+* :mod:`results` — level reports, separation factors,
+* :mod:`pipeline` — end-to-end study orchestration,
+* :mod:`sensitivity` — Figure 4 threshold sweep,
+* :mod:`callstack_analysis` — Figure 5 point-of-divergence search,
+* :mod:`surrogate` — automated surrogate scripts for mixed scripts,
+* :mod:`guards` — invariant-inference guards for residual mixed methods.
+"""
+
+from .callstack_analysis import (
+    CallGraph,
+    DivergenceResult,
+    analyze_mixed_method,
+    build_call_graph,
+)
+from .classifier import (
+    DEFAULT_THRESHOLD,
+    RatioClassifier,
+    ResourceClass,
+    ResourceCounts,
+    log_ratio,
+)
+from .guards import (
+    GuardEvaluation,
+    InvocationObservation,
+    MethodGuard,
+    collect_observations,
+    evaluate_guard,
+    infer_guard,
+    mixed_method_guards,
+)
+from .hierarchy import HierarchicalSifter, sift_requests
+from .pipeline import PipelineConfig, PipelineResult, TrackerSiftPipeline, run_study
+from .results import LevelReport, ResourceResult, SiftReport
+from .rulegen import (
+    BlockingStrategy,
+    FilterRecommendation,
+    StrategyOutcome,
+    compare_strategies,
+    evaluate_strategy,
+    generate_recommendation,
+)
+from .sensitivity import (
+    SensitivityPoint,
+    SensitivityResult,
+    sweep_level,
+    threshold_sweep,
+)
+from .surrogate import (
+    SurrogateScript,
+    SurrogateValidation,
+    generate_surrogate,
+    validate_surrogate,
+)
+
+__all__ = [
+    "log_ratio",
+    "DEFAULT_THRESHOLD",
+    "ResourceClass",
+    "ResourceCounts",
+    "RatioClassifier",
+    "LevelReport",
+    "ResourceResult",
+    "SiftReport",
+    "HierarchicalSifter",
+    "sift_requests",
+    "PipelineConfig",
+    "PipelineResult",
+    "TrackerSiftPipeline",
+    "run_study",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "sweep_level",
+    "threshold_sweep",
+    "CallGraph",
+    "DivergenceResult",
+    "build_call_graph",
+    "analyze_mixed_method",
+    "SurrogateScript",
+    "SurrogateValidation",
+    "generate_surrogate",
+    "validate_surrogate",
+    "InvocationObservation",
+    "MethodGuard",
+    "GuardEvaluation",
+    "collect_observations",
+    "infer_guard",
+    "evaluate_guard",
+    "mixed_method_guards",
+    "BlockingStrategy",
+    "FilterRecommendation",
+    "StrategyOutcome",
+    "generate_recommendation",
+    "evaluate_strategy",
+    "compare_strategies",
+]

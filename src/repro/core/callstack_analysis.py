@@ -1,0 +1,160 @@
+"""Call-stack analysis for mixed methods (paper §5, Figure 5).
+
+Even at method granularity, some methods stay mixed (a generic
+``xhrRequest`` serving whoever calls it).  The paper proposes analysing the
+*calling context*: snapshot the stack trace of every tracking and
+functional request a mixed method initiates, merge the traces into a call
+graph, and look for the **point of divergence** — a method in the tracking
+traces that never participates in functional traces.  Removing that method
+breaks the chain that invokes tracking without touching the functional
+path.
+
+In Figure 5's example, ``m2()`` in clone.js issues both ``ads-2`` and
+``nonads-2``; the merged graph shows ``track.js@t`` only on the tracking
+side, so ``t`` is the removal candidate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..labeling.labeler import AnalyzedRequest
+
+__all__ = ["CallGraph", "DivergenceResult", "analyze_mixed_method", "build_call_graph"]
+
+_Node = tuple[str, str]  # (script_url, method)
+
+
+@dataclass
+class CallGraph:
+    """Merged caller→callee graph over a set of labeled stack traces.
+
+    Nodes are (script, method) pairs.  Edges point from caller to callee.
+    Every node tallies how many tracking / functional *traces* it appears
+    in, which is the colouring of Figure 5 (red / green / yellow).
+    """
+
+    nodes: dict[_Node, list[int]] = field(default_factory=dict)
+    edges: set[tuple[_Node, _Node]] = field(default_factory=set)
+    tracking_traces: int = 0
+    functional_traces: int = 0
+
+    def add_trace(self, frames: tuple[_Node, ...], tracking: bool) -> None:
+        """Add one stack snapshot (innermost frame first)."""
+        if not frames:
+            return
+        if tracking:
+            self.tracking_traces += 1
+        else:
+            self.functional_traces += 1
+        index = 0 if tracking else 1
+        for node in frames:
+            self.nodes.setdefault(node, [0, 0])[index] += 1
+        # Innermost-first means frame i+1 *called* frame i.
+        for callee, caller in zip(frames, frames[1:]):
+            self.edges.add((caller, callee))
+
+    # -- node queries -------------------------------------------------------
+    def participation(self, node: _Node) -> tuple[int, int]:
+        entry = self.nodes.get(node, [0, 0])
+        return entry[0], entry[1]
+
+    def tracking_only_nodes(self) -> list[_Node]:
+        return [
+            node
+            for node, (t, f) in ((n, self.participation(n)) for n in self.nodes)
+            if t > 0 and f == 0
+        ]
+
+    def functional_only_nodes(self) -> list[_Node]:
+        return [
+            node
+            for node, (t, f) in ((n, self.participation(n)) for n in self.nodes)
+            if f > 0 and t == 0
+        ]
+
+    def mixed_nodes(self) -> list[_Node]:
+        return [
+            node
+            for node, (t, f) in ((n, self.participation(n)) for n in self.nodes)
+            if t > 0 and f > 0
+        ]
+
+    def callers(self, node: _Node) -> list[_Node]:
+        return [a for a, b in self.edges if b == node]
+
+    def callees(self, node: _Node) -> list[_Node]:
+        return [b for a, b in self.edges if a == node]
+
+
+@dataclass(frozen=True)
+class DivergenceResult:
+    """Outcome of the divergence search for one mixed method."""
+
+    method: _Node
+    graph: CallGraph
+    #: candidates ordered best-first: in *every* tracking trace, *no*
+    #: functional trace, closest to the initiator.
+    candidates: tuple[_Node, ...]
+
+    @property
+    def point_of_divergence(self) -> _Node | None:
+        return self.candidates[0] if self.candidates else None
+
+    @property
+    def separable(self) -> bool:
+        """Can this mixed method's tracking behaviour be cut upstream?"""
+        return bool(self.candidates)
+
+
+def build_call_graph(
+    traces: list[tuple[tuple[_Node, ...], bool]]
+) -> CallGraph:
+    """Build a merged call graph from (frames, is_tracking) snapshots."""
+    graph = CallGraph()
+    for frames, tracking in traces:
+        graph.add_trace(frames, tracking)
+    return graph
+
+
+def analyze_mixed_method(
+    requests: list[AnalyzedRequest],
+    script: str,
+    method: str,
+) -> DivergenceResult:
+    """Run the Figure 5 analysis for one (script, method) pair.
+
+    Collects every request the method initiated, merges the stack
+    snapshots, and ranks divergence candidates: a node must appear in every
+    tracking trace (removing it kills *all* tracking invocations) and in no
+    functional trace (removing it is collateral-free).  Ties break toward
+    the node nearest the initiator, where the tracking intent is most
+    specific.
+    """
+    graph = CallGraph()
+    tracking_traces: list[tuple[_Node, ...]] = []
+    depth_sum: dict[_Node, int] = defaultdict(int)
+    for request in requests:
+        if request.script != script or request.method != method:
+            continue
+        frames = tuple(request.frames)
+        graph.add_trace(frames, request.is_tracking)
+        if request.is_tracking:
+            tracking_traces.append(frames)
+            for depth, node in enumerate(frames):
+                depth_sum[node] += depth
+
+    candidates: list[_Node] = []
+    if tracking_traces:
+        in_all_tracking = set(tracking_traces[0])
+        for trace in tracking_traces[1:]:
+            in_all_tracking &= set(trace)
+        for node in in_all_tracking:
+            t, f = graph.participation(node)
+            if f == 0:
+                candidates.append(node)
+        candidates.sort(key=lambda n: depth_sum[n] / max(1, len(tracking_traces)))
+    return DivergenceResult(
+        method=(script, method), graph=graph, candidates=tuple(candidates)
+    )

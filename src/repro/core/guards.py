@@ -1,0 +1,236 @@
+"""Guard inference for mixed methods (paper §5, "Blocking mixed scripts").
+
+For methods that stay mixed even at the finest granularity, the paper
+proposes a *guard*: "a predicate that blocks tracking execution but allows
+functional execution", generated with classic invariant-inference over the
+method's calling context, scope and arguments — if an online invocation
+satisfies the invariant, the guard blocks it.
+
+We implement a Daikon-style inference over invocation observations:
+
+* per argument key, collect the value sets seen under tracking vs
+  functional invocations;
+* keep keys whose tracking values are disjoint from functional values
+  (set-membership invariants) — the safe direction: the guard only blocks
+  invocations matching a *tracking-only* value;
+* calling-context invariants use the caller chain the same way.
+
+The inferred guard plugs directly into
+:class:`~repro.browser.engine.BlockingPolicy.guards`, and the evaluator
+reports precision/recall on held-out invocations, which is how the
+benchmark quantifies how many of the residual mixed methods become
+blockable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..webmodel.generator import SyntheticWeb
+from ..webmodel.resources import Category, Invocation
+
+__all__ = [
+    "InvocationObservation",
+    "MethodGuard",
+    "GuardEvaluation",
+    "collect_observations",
+    "infer_guard",
+    "evaluate_guard",
+]
+
+
+@dataclass(frozen=True)
+class InvocationObservation:
+    """One observed invocation of a mixed method, with its context."""
+
+    args: dict[str, str]
+    caller: str  # "script@method" of the nearest caller, "" at top level
+    is_tracking: bool
+
+
+@dataclass(frozen=True)
+class MethodGuard:
+    """An inferred blocking predicate for one mixed method.
+
+    ``arg_invariants`` maps an argument key to the set of values that, in
+    every observation, co-occurred *only* with tracking behaviour.
+    ``caller_invariants`` does the same for the nearest caller.
+
+    Blocking is deliberately conservative — the paper's guard must "block
+    tracking execution but allow functional execution", so false blocks are
+    the failure mode to avoid.  An invocation is blocked only when *every*
+    argument invariant agrees it looks like tracking (conjunction); a
+    single incidental key (say, a destination host both behaviours use)
+    can therefore never veto a functional invocation on its own.  The
+    caller invariant is consulted only when no argument invariant exists.
+    """
+
+    script: str
+    method: str
+    arg_invariants: dict[str, frozenset[str]] = field(default_factory=dict)
+    caller_invariants: frozenset[str] = frozenset()
+
+    @property
+    def vacuous(self) -> bool:
+        """True when inference found nothing separable."""
+        return not self.arg_invariants and not self.caller_invariants
+
+    def should_block(self, args: dict[str, str], caller: str = "") -> bool:
+        if self.arg_invariants:
+            return all(
+                args.get(key) in tracking_values
+                for key, tracking_values in self.arg_invariants.items()
+            )
+        return bool(caller) and caller in self.caller_invariants
+
+    def as_policy_guard(self):
+        """Adapter for :class:`~repro.browser.engine.BlockingPolicy`."""
+
+        def predicate(script: str, method: str, args: dict[str, str]) -> bool:
+            return self.should_block(args)
+
+        return (self.script, self.method, predicate)
+
+
+def collect_observations(
+    web: SyntheticWeb, script_url: str, method_name: str
+) -> list[InvocationObservation]:
+    """Extract the invocation contexts of one method from the web plan.
+
+    This models the extra runtime instrumentation the paper says guard
+    generation needs ("collecting the context information, e.g., program
+    scope, method arguments, and stack trace, for each request").
+    """
+    script = web.script(script_url)
+    method = script.method(method_name)
+    observations: list[InvocationObservation] = []
+    for invocation in method.invocations:
+        observations.append(_observe(invocation))
+    return observations
+
+
+def _observe(invocation: Invocation) -> InvocationObservation:
+    caller = ""
+    if invocation.caller_chain:
+        frame = invocation.caller_chain[0]
+        caller = f"{frame.script_url}@{frame.method}"
+    is_tracking = any(r.tracking for r in invocation.requests)
+    return InvocationObservation(
+        args=dict(invocation.args), caller=caller, is_tracking=is_tracking
+    )
+
+
+def infer_guard(
+    script: str,
+    method: str,
+    observations: list[InvocationObservation],
+) -> MethodGuard:
+    """Infer set-membership invariants that separate tracking invocations."""
+    arg_values: dict[str, tuple[set[str], set[str]]] = {}
+    caller_tracking: set[str] = set()
+    caller_functional: set[str] = set()
+    for obs in observations:
+        bucket = 0 if obs.is_tracking else 1
+        for key, value in obs.args.items():
+            sets = arg_values.setdefault(key, (set(), set()))
+            sets[bucket].add(value)
+        if obs.caller:
+            (caller_tracking if obs.is_tracking else caller_functional).add(
+                obs.caller
+            )
+
+    arg_invariants: dict[str, frozenset[str]] = {}
+    for key, (tracking_values, functional_values) in arg_values.items():
+        only_tracking = tracking_values - functional_values
+        if only_tracking and not (tracking_values & functional_values):
+            # Fully disjoint: every tracking observation is covered and no
+            # functional observation can ever fire the guard.
+            arg_invariants[key] = frozenset(only_tracking)
+    caller_invariants = frozenset(caller_tracking - caller_functional)
+    return MethodGuard(
+        script=script,
+        method=method,
+        arg_invariants=arg_invariants,
+        caller_invariants=caller_invariants,
+    )
+
+
+@dataclass(frozen=True)
+class GuardEvaluation:
+    """Held-out precision/recall of a guard."""
+
+    guard: MethodGuard
+    true_blocks: int
+    false_blocks: int
+    missed_tracking: int
+    allowed_functional: int
+
+    @property
+    def precision(self) -> float:
+        fired = self.true_blocks + self.false_blocks
+        return self.true_blocks / fired if fired else 1.0
+
+    @property
+    def recall(self) -> float:
+        tracking = self.true_blocks + self.missed_tracking
+        return self.true_blocks / tracking if tracking else 1.0
+
+    @property
+    def breaks_functionality(self) -> bool:
+        return self.false_blocks > 0
+
+
+def evaluate_guard(
+    guard: MethodGuard,
+    observations: list[InvocationObservation],
+    *,
+    train_fraction: float = 0.6,
+    seed: int = 11,
+) -> GuardEvaluation:
+    """Re-infer on a train split and score on the held-out remainder.
+
+    The passed ``guard`` identifies the method; inference is repeated on
+    the training split so the evaluation is honest (no test leakage).
+    """
+    rng = random.Random(seed)
+    shuffled = observations[:]
+    rng.shuffle(shuffled)
+    cut = max(1, int(len(shuffled) * train_fraction))
+    train, test = shuffled[:cut], shuffled[cut:]
+    trained = infer_guard(guard.script, guard.method, train)
+
+    true_blocks = false_blocks = missed = allowed_functional = 0
+    for obs in test:
+        blocked = trained.should_block(obs.args, obs.caller)
+        if blocked and obs.is_tracking:
+            true_blocks += 1
+        elif blocked and not obs.is_tracking:
+            false_blocks += 1
+        elif not blocked and obs.is_tracking:
+            missed += 1
+        else:
+            allowed_functional += 1
+    return GuardEvaluation(
+        guard=trained,
+        true_blocks=true_blocks,
+        false_blocks=false_blocks,
+        missed_tracking=missed,
+        allowed_functional=allowed_functional,
+    )
+
+
+def mixed_method_guards(web: SyntheticWeb) -> list[tuple[MethodGuard, GuardEvaluation]]:
+    """Infer and evaluate guards for every planned mixed method."""
+    out: list[tuple[MethodGuard, GuardEvaluation]] = []
+    for script in web.scripts:
+        for method in script.methods:
+            if method.category is not Category.MIXED:
+                continue
+            observations = [_observe(inv) for inv in method.invocations]
+            if len(observations) < 4:
+                continue
+            guard = infer_guard(script.url, method.name, observations)
+            evaluation = evaluate_guard(guard, observations)
+            out.append((guard, evaluation))
+    return out

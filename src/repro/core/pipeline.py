@@ -1,0 +1,114 @@
+"""End-to-end TrackerSift pipeline: generate → crawl → label → sift.
+
+This is the orchestration a user runs to reproduce the paper's study at
+some scale.  Every stage is swappable — bring your own web (or a recorded
+event database), your own filter lists, your own threshold — which is also
+how the ablation benchmarks are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crawler.cluster import CrawlCluster
+from ..crawler.storage import RequestDatabase
+from ..filterlists.oracle import FilterListOracle
+from ..labeling.labeler import LabeledCrawl, RequestLabeler
+from ..webmodel.generator import SyntheticWeb, SyntheticWebGenerator
+from .classifier import RatioClassifier
+from .hierarchy import HierarchicalSifter
+from .results import SiftReport
+
+__all__ = ["PipelineConfig", "PipelineResult", "TrackerSiftPipeline", "run_study"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Study parameters (defaults mirror the paper, scaled down)."""
+
+    sites: int = 2_000
+    seed: int = 7
+    cluster_nodes: int = 13
+    threshold: float = 2.0
+    failure_rate: float = 0.0
+    propagate_ancestry: bool = True
+
+
+@dataclass
+class PipelineResult:
+    """Everything the study produced, stage by stage."""
+
+    config: PipelineConfig
+    web: SyntheticWeb
+    database: RequestDatabase
+    labeled: LabeledCrawl
+    report: SiftReport
+    pages_crawled: int = 0
+    pages_failed: int = 0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_script_requests(self) -> int:
+        return len(self.labeled.requests)
+
+
+class TrackerSiftPipeline:
+    """Composable pipeline; each stage can also be called on its own."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        oracle: FilterListOracle | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self._oracle = oracle or FilterListOracle()
+
+    # -- stages --------------------------------------------------------------
+    def generate(self) -> SyntheticWeb:
+        return SyntheticWebGenerator(
+            sites=self.config.sites, seed=self.config.seed
+        ).build()
+
+    def crawl(self, web: SyntheticWeb) -> tuple[RequestDatabase, int, int]:
+        cluster = CrawlCluster(
+            web,
+            nodes=self.config.cluster_nodes,
+            failure_rate=self.config.failure_rate,
+        )
+        result = cluster.crawl()
+        return result.database, result.pages_crawled, result.pages_failed
+
+    def label(self, database: RequestDatabase) -> LabeledCrawl:
+        labeler = RequestLabeler(
+            self._oracle, propagate_ancestry=self.config.propagate_ancestry
+        )
+        return labeler.label_crawl(database)
+
+    def sift(self, labeled: LabeledCrawl) -> SiftReport:
+        sifter = HierarchicalSifter(RatioClassifier(self.config.threshold))
+        return sifter.sift(labeled.requests)
+
+    # -- end to end -------------------------------------------------------------
+    def run(self, web: SyntheticWeb | None = None) -> PipelineResult:
+        web = web or self.generate()
+        database, crawled, failed = self.crawl(web)
+        labeled = self.label(database)
+        report = self.sift(labeled)
+        return PipelineResult(
+            config=self.config,
+            web=web,
+            database=database,
+            labeled=labeled,
+            report=report,
+            pages_crawled=crawled,
+            pages_failed=failed,
+        )
+
+
+def run_study(
+    sites: int = 2_000, seed: int = 7, threshold: float = 2.0
+) -> PipelineResult:
+    """One-call reproduction of the measurement study at a given scale."""
+    config = PipelineConfig(sites=sites, seed=seed, threshold=threshold)
+    return TrackerSiftPipeline(config).run()

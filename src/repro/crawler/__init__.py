@@ -1,0 +1,18 @@
+"""Crawl infrastructure: ranked site lists, stateless crawling, sharding,
+and the request database the offline analysis runs over."""
+
+from .cluster import ClusterCrawlResult, CrawlCluster, NodeReport
+from .crawler import Crawler, CrawlResult
+from .storage import RequestDatabase
+from .tranco import RankedSite, TrancoList
+
+__all__ = [
+    "RequestDatabase",
+    "RankedSite",
+    "TrancoList",
+    "Crawler",
+    "CrawlResult",
+    "CrawlCluster",
+    "ClusterCrawlResult",
+    "NodeReport",
+]

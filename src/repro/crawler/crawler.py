@@ -1,0 +1,107 @@
+"""Single-node stateless crawler (one Docker container in the paper).
+
+Visits each assigned landing page with a fresh browser state, captures
+DevTools events through the :class:`~repro.browser.extension.CrawlExtension`
+and writes them to a :class:`~repro.crawler.storage.RequestDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..browser.engine import BlockingPolicy, BrowserEngine
+from ..browser.extension import CrawlExtension
+from ..webmodel.generator import SyntheticWeb
+from ..webmodel.website import Website
+from .storage import RequestDatabase
+from .tranco import RankedSite, TrancoList
+
+__all__ = ["CrawlResult", "Crawler"]
+
+
+@dataclass
+class CrawlResult:
+    """One node's crawl output."""
+
+    database: RequestDatabase
+    pages_crawled: int
+    pages_failed: int
+    total_load_time: float
+    failed_urls: list[str] = field(default_factory=list)
+
+    @property
+    def average_load_time(self) -> float:
+        if self.pages_crawled == 0:
+            return 0.0
+        return self.total_load_time / self.pages_crawled
+
+
+class Crawler:
+    """Crawls landing pages of a synthetic web, one at a time, statelessly.
+
+    ``failure_rate`` injects page-load failures (timeouts, TLS errors …) the
+    way a real crawl suffers them; failed pages are recorded and skipped,
+    never silently retried with stale state.
+    """
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        *,
+        engine: BrowserEngine | None = None,
+        policy: BlockingPolicy | None = None,
+        failure_rate: float = 0.0,
+        failure_seed: int = 99,
+    ) -> None:
+        self._web = web
+        self._engine = engine or BrowserEngine()
+        self._policy = policy
+        self._failure_rate = failure_rate
+        self._failure_seed = failure_seed
+
+    def site_list(self) -> TrancoList:
+        """The ranked list the crawl samples from."""
+        return TrancoList(
+            [RankedSite(rank=w.rank, url=w.url) for w in self._web.websites]
+        )
+
+    def _should_fail(self, url: str) -> bool:
+        if self._failure_rate <= 0:
+            return False
+        import random
+
+        rng = random.Random(hash((self._failure_seed, url)) & 0x7FFFFFFF)
+        return rng.random() < self._failure_rate
+
+    def crawl(self, sites: list[RankedSite] | None = None) -> CrawlResult:
+        """Crawl the given sites (default: all of them, in rank order)."""
+        if sites is None:
+            sites = list(self.site_list())
+        database = RequestDatabase()
+        extension = CrawlExtension(database)
+        crawled = failed = 0
+        total_time = 0.0
+        failures: list[str] = []
+        by_url = {w.url: w for w in self._web.websites}
+        for site in sites:
+            website = by_url.get(site.url)
+            if website is None or self._should_fail(site.url):
+                failed += 1
+                failures.append(site.url)
+                continue
+            page = self._load(website)
+            extension.capture_page(page)
+            crawled += 1
+            total_time += page.load_time
+        return CrawlResult(
+            database=database,
+            pages_crawled=crawled,
+            pages_failed=failed,
+            total_load_time=total_time,
+            failed_urls=failures,
+        )
+
+    def _load(self, website: Website):
+        # Stateless crawling: the engine rebuilds everything per load and
+        # we never carry cookies/local state (the engine holds none).
+        return self._engine.load(website, policy=self._policy)

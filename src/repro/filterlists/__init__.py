@@ -1,0 +1,59 @@
+"""EasyList/EasyPrivacy substrate: Adblock Plus filter parsing and matching.
+
+This subpackage is TrackerSift's *test oracle* (paper §3, "Labeling"): a
+network request matching EasyList or EasyPrivacy is tracking, everything
+else is functional.  It is a complete ABP network-rule engine — parser,
+rule model with options, token-indexed matcher, and embedded list
+snapshots — not a lookup table.
+"""
+
+from .lists import (
+    AD_PATH_MARKERS,
+    ADVERTISING_DOMAINS,
+    EASYLIST_SNAPSHOT,
+    EASYPRIVACY_SNAPSHOT,
+    TRACKER_DOMAINS,
+    TRACKER_PATH_MARKERS,
+    default_lists,
+    load_easylist,
+    load_easyprivacy,
+)
+from .maintenance import ListDiff, diff_lists, find_redundant_rules
+from .matcher import FilterMatcher, MatchResult
+from .oracle import FilterListOracle, Label, LabeledRequest
+from .parser import ParsedList, parse_filter_list, parse_rule_line
+from .rules import (
+    NetworkRule,
+    RequestContext,
+    ResourceType,
+    RuleOptions,
+    RuleParseError,
+)
+
+__all__ = [
+    "NetworkRule",
+    "RequestContext",
+    "ResourceType",
+    "RuleOptions",
+    "RuleParseError",
+    "ParsedList",
+    "parse_filter_list",
+    "parse_rule_line",
+    "FilterMatcher",
+    "MatchResult",
+    "FilterListOracle",
+    "Label",
+    "LabeledRequest",
+    "load_easylist",
+    "load_easyprivacy",
+    "default_lists",
+    "EASYLIST_SNAPSHOT",
+    "EASYPRIVACY_SNAPSHOT",
+    "TRACKER_DOMAINS",
+    "ADVERTISING_DOMAINS",
+    "TRACKER_PATH_MARKERS",
+    "AD_PATH_MARKERS",
+    "ListDiff",
+    "diff_lists",
+    "find_redundant_rules",
+]

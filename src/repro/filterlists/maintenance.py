@@ -1,0 +1,119 @@
+"""Filter-list maintenance tooling: diffs and redundancy detection.
+
+The paper's framing (§1) leans on the operational reality of filter lists:
+they are community-maintained, slow to update, and bloat over time.  Two
+maintenance primitives support the workflows TrackerSift feeds into:
+
+* :func:`diff_lists` — what changed between two list versions (the
+  "update filter lists promptly and more frequently" arms race, made
+  inspectable);
+* :func:`find_redundant_rules` — rules that are *shadowed* by a broader
+  rule in the same list (every URL they block is already blocked), the
+  usual cleanup before shipping generated rules alongside existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .parser import ParsedList
+from .rules import NetworkRule
+
+__all__ = ["ListDiff", "diff_lists", "find_redundant_rules"]
+
+
+@dataclass
+class ListDiff:
+    """Rule-level difference between two parsed lists."""
+
+    added: list[NetworkRule] = field(default_factory=list)
+    removed: list[NetworkRule] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def churn(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added)} -{len(self.removed)} "
+            f"(unchanged {self.unchanged})"
+        )
+
+
+def diff_lists(old: ParsedList, new: ParsedList) -> ListDiff:
+    """Compare two list versions by canonical rule text."""
+    old_rules = {rule.text: rule for rule in old.rules}
+    new_rules = {rule.text: rule for rule in new.rules}
+    diff = ListDiff()
+    for text, rule in new_rules.items():
+        if text not in old_rules:
+            diff.added.append(rule)
+    for text, rule in old_rules.items():
+        if text not in new_rules:
+            diff.removed.append(rule)
+    diff.unchanged = len(old_rules.keys() & new_rules.keys())
+    return diff
+
+
+def _domain_of_host_anchor(rule: NetworkRule) -> str | None:
+    """For a plain ``||domain^`` rule, the anchored domain; else ``None``."""
+    pattern = rule.pattern
+    if not pattern.startswith("||") or not pattern.endswith("^"):
+        return None
+    body = pattern[2:-1]
+    if any(ch in body for ch in "*^/|?"):
+        return None
+    return body.lower()
+
+
+def _is_unconditional(rule: NetworkRule) -> bool:
+    options = rule.options
+    return (
+        not options.include_types
+        and not options.exclude_types
+        and options.third_party is None
+        and not options.include_domains
+        and not options.exclude_domains
+    )
+
+
+def find_redundant_rules(parsed: ParsedList) -> list[tuple[NetworkRule, NetworkRule]]:
+    """Rules shadowed by a broader unconditional ``||domain^`` rule.
+
+    A rule is redundant when every request it can block is already blocked
+    by another rule.  We detect the dominant practical case: any blocking
+    rule whose pattern is anchored at (a subdomain of) ``d`` is shadowed by
+    an unconditional ``||d^``.  Returns (shadowed, shadowing) pairs.
+    """
+    anchors: dict[str, NetworkRule] = {}
+    for rule in parsed.blocking_rules:
+        domain = _domain_of_host_anchor(rule)
+        if domain is not None and _is_unconditional(rule):
+            existing = anchors.get(domain)
+            if existing is None or len(rule.pattern) < len(existing.pattern):
+                anchors[domain] = rule
+
+    redundant: list[tuple[NetworkRule, NetworkRule]] = []
+    for rule in parsed.blocking_rules:
+        if not rule.pattern.startswith("||"):
+            continue
+        host_part = rule.pattern[2:]
+        for stop in "^/|?*":
+            index = host_part.find(stop)
+            if index >= 0:
+                host_part = host_part[:index]
+        host = host_part.lower()
+        if not host:
+            continue
+        for domain, anchor in anchors.items():
+            if anchor is rule:
+                continue
+            if host == domain or host.endswith("." + domain):
+                # ||sub.domain^... is fully covered by ||domain^ only when
+                # the shadowed rule has no *weaker* condition than the
+                # anchor; the anchor is unconditional, so any rule is.
+                if rule.pattern != anchor.pattern:
+                    redundant.append((rule, anchor))
+                break
+    return redundant

@@ -1,0 +1,151 @@
+"""Token-indexed filter matching engine.
+
+Real content blockers never test every rule against every request: rules are
+bucketed by a distinguishing literal token and only the buckets whose token
+appears in the request URL are consulted.  We implement the same scheme,
+which keeps labeling ~O(tokens-in-URL) instead of O(rules) and makes the
+100K-site-scale labeling pass tractable.
+
+Exception (``@@``) rules override blocking rules, exactly as in ABP: a
+request is *blocked* iff at least one blocking rule matches and no exception
+rule matches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from .parser import ParsedList, parse_filter_list
+from .rules import NetworkRule, RequestContext
+
+__all__ = ["MatchResult", "FilterMatcher"]
+
+_URL_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """Outcome of matching one request against a matcher's rules."""
+
+    blocked: bool
+    rule: NetworkRule | None = None
+    exception: NetworkRule | None = None
+
+    @property
+    def matched(self) -> bool:
+        """True when *any* rule (blocking or exception) applied."""
+        return self.rule is not None
+
+
+class _RuleIndex:
+    """Token -> rules bucket map with a catch-all bucket."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, list[NetworkRule]] = {}
+        self._catch_all: list[NetworkRule] = []
+        self._count = 0
+
+    def add(self, rule: NetworkRule) -> None:
+        token = rule.token
+        # Short tokens appear in nearly every URL; treating them as
+        # catch-all avoids giant useless buckets.
+        if len(token) >= 3:
+            self._buckets.setdefault(token, []).append(rule)
+        else:
+            self._catch_all.append(rule)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def candidates(self, url_tokens: set[str]) -> Iterable[NetworkRule]:
+        yield from self._catch_all
+        for token in url_tokens:
+            bucket = self._buckets.get(token)
+            if bucket:
+                yield from bucket
+
+    def first_match(
+        self, context: RequestContext, url_tokens: set[str]
+    ) -> NetworkRule | None:
+        for rule in self.candidates(url_tokens):
+            if rule.matches(context):
+                return rule
+        return None
+
+
+def _url_tokens(url: str) -> set[str]:
+    return set(_URL_TOKEN_RE.findall(url.lower()))
+
+
+class FilterMatcher:
+    """Matches requests against one or more parsed filter lists.
+
+    >>> matcher = FilterMatcher.from_text("||tracker.example^", name="mini")
+    >>> matcher.match(RequestContext("https://tracker.example/p.js")).blocked
+    True
+    """
+
+    def __init__(self, rules: Iterable[NetworkRule] = ()) -> None:
+        self._blocking = _RuleIndex()
+        self._exceptions = _RuleIndex()
+        self._lists: list[str] = []
+        self.add_rules(rules)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_text(cls, data: str, name: str = "") -> "FilterMatcher":
+        matcher = cls()
+        matcher.add_list(parse_filter_list(data, name=name))
+        return matcher
+
+    @classmethod
+    def from_lists(cls, *lists: ParsedList) -> "FilterMatcher":
+        matcher = cls()
+        for parsed in lists:
+            matcher.add_list(parsed)
+        return matcher
+
+    def add_list(self, parsed: ParsedList) -> None:
+        if parsed.name:
+            self._lists.append(parsed.name)
+        self.add_rules(parsed.rules)
+
+    def add_rules(self, rules: Iterable[NetworkRule]) -> None:
+        for rule in rules:
+            if not rule.supported:
+                continue
+            if rule.is_exception:
+                self._exceptions.add(rule)
+            else:
+                self._blocking.add(rule)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def list_names(self) -> tuple[str, ...]:
+        return tuple(self._lists)
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._blocking) + len(self._exceptions)
+
+    # -- matching ----------------------------------------------------------
+    def match(self, context: RequestContext) -> MatchResult:
+        """Full ABP decision: blocking rule minus exception override."""
+        tokens = _url_tokens(context.url)
+        blocking = self._blocking.first_match(context, tokens)
+        if blocking is None:
+            return MatchResult(blocked=False)
+        exception = self._exceptions.first_match(context, tokens)
+        if exception is not None:
+            return MatchResult(blocked=False, rule=blocking, exception=exception)
+        return MatchResult(blocked=True, rule=blocking)
+
+    def should_block(self, context: RequestContext) -> bool:
+        return self.match(context).blocked
+
+    def should_block_url(self, url: str) -> bool:
+        """Convenience wrapper for URL-only matching (default context)."""
+        return self.match(RequestContext(url=url)).blocked

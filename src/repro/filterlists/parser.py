@@ -1,0 +1,181 @@
+"""Filter-list text parser.
+
+Turns EasyList/EasyPrivacy-style text into :class:`NetworkRule` objects.
+Comment lines (``!``), metadata (``[Adblock Plus 2.0]`` headers) and cosmetic
+rules (``##``, ``#@#``, ``#?#`` …) are recognised and skipped — TrackerSift
+only consumes *network* rules, because its oracle labels network requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rules import NetworkRule, ResourceType, RuleOptions, RuleParseError
+
+__all__ = ["ParsedList", "parse_filter_list", "parse_rule_line"]
+
+_SUPPORTED_FLAGS = {
+    "third-party": ("third_party", True),
+    "3p": ("third_party", True),
+    "~third-party": ("third_party", False),
+    "first-party": ("third_party", False),
+    "1p": ("third_party", False),
+    "~first-party": ("third_party", True),
+}
+
+_COSMETIC_MARKERS = ("##", "#@#", "#?#", "#$#", "#%#")
+
+
+@dataclass
+class ParsedList:
+    """The result of parsing one filter list."""
+
+    name: str
+    rules: list[NetworkRule] = field(default_factory=list)
+    comment_count: int = 0
+    cosmetic_count: int = 0
+    error_lines: list[str] = field(default_factory=list)
+
+    @property
+    def blocking_rules(self) -> list[NetworkRule]:
+        return [r for r in self.rules if not r.is_exception]
+
+    @property
+    def exception_rules(self) -> list[NetworkRule]:
+        return [r for r in self.rules if r.is_exception]
+
+
+def _split_options(line: str) -> tuple[str, str | None]:
+    """Split ``pattern$options`` at the *last* unescaped ``$``.
+
+    ABP defines the options separator as the last ``$`` that is followed by
+    valid option syntax; patterns may legitimately contain ``$`` (rare) and
+    regex rules start with ``/``, which we treat as unsupported.
+    """
+    idx = line.rfind("$")
+    if idx < 0 or idx == len(line) - 1:
+        return line, None
+    options = line[idx + 1 :]
+    # Heuristic from real parsers: an options blob is a comma list of
+    # [~]name or name=value items without URL-ish characters.
+    for item in options.split(","):
+        item = item.strip()
+        if not item:
+            return line, None
+        name = item.lstrip("~").split("=", 1)[0]
+        if not name.replace("-", "").replace("_", "").isalnum():
+            return line, None
+    return line[:idx], options
+
+
+def _parse_options(options_text: str) -> RuleOptions:
+    include_types: set[ResourceType] = set()
+    exclude_types: set[ResourceType] = set()
+    third_party: bool | None = None
+    include_domains: list[str] = []
+    exclude_domains: list[str] = []
+    match_case = False
+    unsupported: list[str] = []
+
+    for raw in options_text.split(","):
+        item = raw.strip().lower()
+        if not item:
+            continue
+        if item in _SUPPORTED_FLAGS:
+            _, value = _SUPPORTED_FLAGS[item]
+            third_party = value
+            continue
+        if item == "match-case":
+            match_case = True
+            continue
+        if item.startswith("domain="):
+            for dom in item[len("domain=") :].split("|"):
+                dom = dom.strip()
+                if not dom:
+                    continue
+                if dom.startswith("~"):
+                    exclude_domains.append(dom[1:])
+                else:
+                    include_domains.append(dom)
+            continue
+        negated = item.startswith("~")
+        type_name = item[1:] if negated else item
+        resource = ResourceType.from_option(type_name)
+        if resource is not None:
+            (exclude_types if negated else include_types).add(resource)
+            continue
+        unsupported.append(item)
+
+    return RuleOptions(
+        include_types=frozenset(include_types),
+        exclude_types=frozenset(exclude_types),
+        third_party=third_party,
+        include_domains=tuple(sorted(include_domains)),
+        exclude_domains=tuple(sorted(exclude_domains)),
+        match_case=match_case,
+        unsupported=tuple(unsupported),
+    )
+
+
+def parse_rule_line(line: str, list_name: str = "") -> NetworkRule | None:
+    """Parse a single line; returns ``None`` for comments/cosmetics/blanks.
+
+    Raises :class:`RuleParseError` for lines that are clearly intended as
+    network rules but are malformed (e.g. empty pattern after options).
+    """
+    line = line.strip()
+    if not line or line.startswith("!") or line.startswith("["):
+        return None
+    if any(marker in line for marker in _COSMETIC_MARKERS):
+        return None
+
+    text = line
+    is_exception = line.startswith("@@")
+    if is_exception:
+        line = line[2:]
+
+    pattern, options_text = _split_options(line)
+    options = _parse_options(options_text) if options_text else RuleOptions()
+
+    if pattern.startswith("/") and pattern.endswith("/") and len(pattern) > 2:
+        # Raw-regex rules exist in EasyList; we record them as unsupported so
+        # the matcher never silently mis-handles them.
+        options = RuleOptions(unsupported=("regex-rule",) + options.unsupported)
+        pattern = pattern.strip("/")
+
+    if not pattern:
+        raise RuleParseError(f"empty pattern in rule: {text!r}")
+    return NetworkRule(
+        text=text,
+        pattern=pattern,
+        is_exception=is_exception,
+        options=options,
+        list_name=list_name,
+    )
+
+
+def parse_filter_list(data: str, name: str = "") -> ParsedList:
+    """Parse a full filter-list document, tolerating bad lines.
+
+    Mirrors real content blockers: one malformed community rule must not
+    take down the whole list, so parse errors are collected, not raised.
+    """
+    parsed = ParsedList(name=name)
+    for line in data.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("!") or stripped.startswith("["):
+            parsed.comment_count += 1
+            continue
+        if any(marker in stripped for marker in _COSMETIC_MARKERS):
+            parsed.cosmetic_count += 1
+            continue
+        try:
+            rule = parse_rule_line(stripped, list_name=name)
+        except RuleParseError:
+            parsed.error_lines.append(stripped)
+            continue
+        if rule is not None:
+            parsed.rules.append(rule)
+    return parsed

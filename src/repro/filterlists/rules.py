@@ -1,0 +1,207 @@
+"""Adblock Plus network-rule model.
+
+EasyList and EasyPrivacy are written in the Adblock Plus filter syntax.
+TrackerSift uses them as its *test oracle*: a network request that matches a
+blocking rule (and no exception rule) is labeled tracking.  This module
+models a single network rule and compiles its pattern to a regular
+expression once, at construction time.
+
+Supported syntax (the subset that covers network rules):
+
+* ``||host`` anchor — matches the start of the hostname (any subdomain),
+* ``|`` anchors at pattern start/end,
+* ``^`` separator placeholder,
+* ``*`` wildcard,
+* ``@@`` exception-rule prefix,
+* ``$`` options: resource types (``script``, ``image``, ``stylesheet``,
+  ``xmlhttprequest``, ``subdocument``, ``ping``, ``websocket``, ``font``,
+  ``media``, ``other`` and their ``~`` negations), ``third-party`` / ``3p``
+  (and negations), ``domain=a.com|~b.com``, ``match-case``.
+
+Unsupported options mark the rule as such; the matcher skips unsupported
+rules instead of mis-applying them (the behaviour of real content blockers
+for options they do not implement).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..urlkit import host_matches_domain
+
+__all__ = [
+    "ResourceType",
+    "RequestContext",
+    "RuleOptions",
+    "NetworkRule",
+    "RuleParseError",
+]
+
+
+class ResourceType(str, Enum):
+    """DevTools-style resource types, as used in rule options and events."""
+
+    SCRIPT = "script"
+    IMAGE = "image"
+    STYLESHEET = "stylesheet"
+    XHR = "xmlhttprequest"
+    SUBDOCUMENT = "subdocument"
+    PING = "ping"
+    WEBSOCKET = "websocket"
+    FONT = "font"
+    MEDIA = "media"
+    DOCUMENT = "document"
+    OTHER = "other"
+
+    @classmethod
+    def from_option(cls, name: str) -> "ResourceType | None":
+        aliases = {
+            "xhr": cls.XHR,
+            "css": cls.STYLESHEET,
+            "frame": cls.SUBDOCUMENT,
+            "beacon": cls.PING,
+        }
+        if name in aliases:
+            return aliases[name]
+        try:
+            return cls(name)
+        except ValueError:
+            return None
+
+
+class RuleParseError(ValueError):
+    """Raised for a line that looks like a network rule but cannot parse."""
+
+
+@dataclass(frozen=True, slots=True)
+class RequestContext:
+    """Everything the matcher needs to know about one network request."""
+
+    url: str
+    resource_type: ResourceType = ResourceType.OTHER
+    page_host: str = ""
+    third_party: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class RuleOptions:
+    """Parsed ``$`` options of a rule."""
+
+    include_types: frozenset[ResourceType] = frozenset()
+    exclude_types: frozenset[ResourceType] = frozenset()
+    third_party: bool | None = None
+    include_domains: tuple[str, ...] = ()
+    exclude_domains: tuple[str, ...] = ()
+    match_case: bool = False
+    unsupported: tuple[str, ...] = ()
+
+    def permits(self, context: RequestContext) -> bool:
+        """Check the non-pattern constraints against a request."""
+        if self.include_types and context.resource_type not in self.include_types:
+            return False
+        if context.resource_type in self.exclude_types:
+            return False
+        if self.third_party is not None and context.third_party != self.third_party:
+            return False
+        if self.exclude_domains and any(
+            host_matches_domain(context.page_host, d) for d in self.exclude_domains
+        ):
+            return False
+        if self.include_domains and not any(
+            host_matches_domain(context.page_host, d) for d in self.include_domains
+        ):
+            return False
+        return True
+
+
+# ``^`` in ABP matches a "separator": anything that is not a letter, digit or
+# one of ``_ - . %`` — or the end of the URL.
+_SEPARATOR = r"(?:[^a-zA-Z0-9_\-.%]|$)"
+# ``||`` anchors at a hostname-label boundary under any scheme.
+_HOST_ANCHOR = r"^[a-z][a-z0-9.+-]*://(?:[^/?#]*\.)?"
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def _compile_pattern(pattern: str, match_case: bool) -> re.Pattern[str]:
+    regex: list[str] = []
+    i = 0
+    if pattern.startswith("||"):
+        regex.append(_HOST_ANCHOR)
+        i = 2
+    elif pattern.startswith("|"):
+        regex.append("^")
+        i = 1
+    end = len(pattern)
+    trailing_anchor = False
+    if pattern.endswith("|") and end > i:
+        trailing_anchor = True
+        end -= 1
+    for ch in pattern[i:end]:
+        if ch == "*":
+            regex.append(".*")
+        elif ch == "^":
+            regex.append(_SEPARATOR)
+        else:
+            regex.append(re.escape(ch))
+    if trailing_anchor:
+        regex.append("$")
+    flags = 0 if match_case else re.IGNORECASE
+    return re.compile("".join(regex), flags)
+
+
+def _extract_token(pattern: str) -> str:
+    """The longest literal token of the pattern, used for indexing.
+
+    A token is a maximal ``[a-z0-9]+`` run of the lowercased pattern.  Any
+    URL matching the pattern must contain this run verbatim, so the matcher
+    can bucket rules by token and only test candidates.
+    """
+    body = pattern.lstrip("|").rstrip("|")
+    tokens = _TOKEN_RE.findall(body.lower())
+    if not tokens:
+        return ""
+    return max(tokens, key=len)
+
+
+@dataclass(frozen=True)
+class NetworkRule:
+    """One parsed network rule (blocking or exception)."""
+
+    text: str
+    pattern: str
+    is_exception: bool = False
+    options: RuleOptions = field(default_factory=RuleOptions)
+    list_name: str = ""
+
+    def __post_init__(self) -> None:
+        compiled = _compile_pattern(self.pattern, self.options.match_case)
+        object.__setattr__(self, "_regex", compiled)
+        object.__setattr__(self, "_token", _extract_token(self.pattern))
+
+    @property
+    def token(self) -> str:
+        """Indexing token (may be empty for token-free patterns like ``^``)."""
+        return self._token  # type: ignore[attr-defined]
+
+    @property
+    def supported(self) -> bool:
+        return not self.options.unsupported
+
+    def matches(self, context: RequestContext) -> bool:
+        """True when the rule applies to the given request."""
+        if not self.supported:
+            return False
+        if not self.options.permits(context):
+            return False
+        regex: re.Pattern[str] = self._regex  # type: ignore[attr-defined]
+        return regex.search(context.url) is not None
+
+    def matches_url(self, url: str) -> bool:
+        """Pattern-only match, ignoring options (useful in tests/tools)."""
+        regex: re.Pattern[str] = self._regex  # type: ignore[attr-defined]
+        return regex.search(url) is not None
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text

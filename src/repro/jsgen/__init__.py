@@ -1,0 +1,31 @@
+"""JavaScript source toolchain: emit script source, analyze it, and rewrite
+surrogate shims with tracking methods stubbed (paper §5)."""
+
+from .analyzer import (
+    FunctionInfo,
+    JsSyntaxError,
+    ScriptAnalysis,
+    Token,
+    analyze_source,
+    tokenize,
+)
+from .codegen import method_to_source, script_to_source
+from .surrogate import (
+    SurrogateSource,
+    generate_surrogate_source,
+    verify_surrogate_source,
+)
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "JsSyntaxError",
+    "FunctionInfo",
+    "ScriptAnalysis",
+    "analyze_source",
+    "script_to_source",
+    "method_to_source",
+    "SurrogateSource",
+    "generate_surrogate_source",
+    "verify_surrogate_source",
+]

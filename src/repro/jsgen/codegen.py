@@ -1,0 +1,113 @@
+"""JavaScript source emission for synthetic scripts.
+
+Content blockers do not ship blocking *policies* for mixed scripts — they
+ship **surrogate script files** (NoScript, uBlock Origin, AdGuard, Firefox
+SmartBlock, all cited in paper §5).  To make that end of the pipeline
+concrete, this module renders a :class:`~repro.webmodel.resources.ScriptSpec`
+into real JavaScript source: one function per method, whose body performs
+the planned network calls with the idiomatic API for each resource type
+(``fetch`` for XHR, ``new Image()`` for pixels, ``navigator.sendBeacon``
+for pings, DOM injection for scripts/styles).
+
+The companion :mod:`repro.jsgen.analyzer` can parse the emitted source back
+(function inventory + network-call sites), and
+:mod:`repro.jsgen.surrogate` rewrites it into a surrogate file with
+tracking methods stubbed.
+"""
+
+from __future__ import annotations
+
+from ..webmodel.resources import MethodSpec, ScriptSpec
+
+__all__ = ["script_to_source", "method_to_source"]
+
+_HEADER = "/* synthesised by repro.jsgen — behaviourally faithful source */"
+
+
+def _call_for(url: str, resource_type: str, indent: str) -> str:
+    if resource_type == "image":
+        return (
+            f"{indent}var img = new Image();\n"
+            f'{indent}img.src = "{url}";\n'
+        )
+    if resource_type == "ping":
+        return f'{indent}navigator.sendBeacon("{url}");\n'
+    if resource_type == "script":
+        return (
+            f"{indent}var s = document.createElement('script');\n"
+            f'{indent}s.src = "{url}";\n'
+            f"{indent}document.head.appendChild(s);\n"
+        )
+    if resource_type == "stylesheet":
+        return (
+            f"{indent}var l = document.createElement('link');\n"
+            f"{indent}l.rel = 'stylesheet';\n"
+            f'{indent}l.href = "{url}";\n'
+            f"{indent}document.head.appendChild(l);\n"
+        )
+    if resource_type == "font":
+        return (
+            f'{indent}new FontFace("webfont", "url({url})").load();\n'
+        )
+    return f'{indent}fetch("{url}");\n'
+
+
+def method_to_source(
+    method: MethodSpec, *, max_calls: int = 6, indent: str = "  "
+) -> str:
+    """Render one method as a function declaration (or namespaced member)."""
+    body_lines: list[str] = []
+    seen: set[str] = set()
+    for invocation in method.invocations:
+        for request in invocation.requests:
+            if request.url in seen:
+                continue
+            seen.add(request.url)
+            body_lines.append(
+                _call_for(request.url, request.resource_type, indent * 2)
+            )
+            if len(seen) >= max_calls:
+                break
+        if len(seen) >= max_calls:
+            break
+    if not body_lines:
+        body_lines.append(f"{indent * 2}/* no observed network behaviour */\n")
+    body = "".join(body_lines)
+
+    name = method.name
+    if "." in name:
+        # namespaced member, e.g. Pa.xhrRequest
+        namespace, _, member = name.rpartition(".")
+        return (
+            f"{indent}window.{namespace} = window.{namespace} || {{}};\n"
+            f"{indent}window.{namespace}.{member} = function () {{\n"
+            f"{body}"
+            f"{indent}}};\n"
+        )
+    if name == "anonymous":
+        return (
+            f"{indent}__callbacks.push(function () {{\n"
+            f"{body}"
+            f"{indent}}});\n"
+        )
+    return f"{indent}function {name}() {{\n{body}{indent}}}\n"
+
+
+def script_to_source(script: ScriptSpec) -> str:
+    """Render a whole script as an IIFE module."""
+    parts = [
+        _HEADER + "\n",
+        f"/* source: {script.url} ({script.kind.value}, "
+        f"{script.category.value}) */\n",
+        "(function () {\n",
+        "  'use strict';\n",
+        "  var __callbacks = [];\n",
+    ]
+    for method in script.methods:
+        parts.append(method_to_source(method))
+    exported = [m.name for m in script.methods if "." not in m.name and m.name != "anonymous"]
+    if exported:
+        names = ", ".join(f"{n}: {n}" for n in exported)
+        parts.append(f"  window.__module = {{ {names} }};\n")
+    parts.append("})();\n")
+    return "".join(parts)

@@ -1,0 +1,97 @@
+"""Surrogate *source* generation: rewrite a script file, stubbing methods.
+
+Real surrogate scripts keep the original API surface (so dependent code
+does not throw) while turning tracking entry points into no-ops.  Given the
+original source and the list of methods to remove — typically
+:class:`~repro.core.surrogate.SurrogateScript.removed_methods` from the
+sift — this module produces the shim file and verifies it:
+
+* every removed method's body becomes ``{ /* stubbed */ }``,
+* kept methods are byte-identical,
+* re-analysis proves no network call survives in stubbed methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analyzer import ScriptAnalysis, analyze_source
+
+__all__ = ["SurrogateSource", "generate_surrogate_source", "verify_surrogate_source"]
+
+_STUB_BODY = "{ /* stubbed by TrackerSift surrogate */ }"
+
+
+@dataclass(frozen=True)
+class SurrogateSource:
+    """The rewritten file plus bookkeeping."""
+
+    source: str
+    stubbed: tuple[str, ...]
+    missing: tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested method was found and stubbed."""
+        return not self.missing
+
+
+def generate_surrogate_source(
+    source: str, removed_methods: tuple[str, ...] | list[str]
+) -> SurrogateSource:
+    """Stub the bodies of ``removed_methods`` in ``source``.
+
+    Methods that cannot be located (e.g. removed names that only existed
+    under bundler renaming) are reported in ``missing`` rather than
+    silently ignored.
+    """
+    analysis = analyze_source(source)
+    spans: list[tuple[int, int, str]] = []
+    missing: list[str] = []
+    for name in removed_methods:
+        try:
+            info = analysis.function(name)
+        except KeyError:
+            missing.append(name)
+            continue
+        spans.append((info.char_start, info.char_end, name))
+
+    # rewrite back-to-front so offsets stay valid
+    out = source
+    stubbed: list[str] = []
+    for start, end, name in sorted(spans, reverse=True):
+        out = out[:start] + _STUB_BODY + out[end + 1 :]
+        stubbed.append(name)
+    header = (
+        "/* TrackerSift surrogate — tracking methods stubbed: "
+        + (", ".join(sorted(stubbed)) if stubbed else "none")
+        + " */\n"
+    )
+    return SurrogateSource(
+        source=header + out,
+        stubbed=tuple(sorted(stubbed)),
+        missing=tuple(missing),
+    )
+
+
+def verify_surrogate_source(
+    surrogate: SurrogateSource, original_analysis: ScriptAnalysis | None = None
+) -> bool:
+    """Check the surrogate: stubbed methods carry no network calls, kept
+    methods keep theirs."""
+    analysis = analyze_source(surrogate.source)
+    for name in surrogate.stubbed:
+        try:
+            info = analysis.function(name)
+        except KeyError:
+            return False
+        if info.has_network_calls:
+            return False
+    if original_analysis is not None:
+        for info in original_analysis.functions:
+            if not info.name or info.name in surrogate.stubbed:
+                continue
+            rewritten = analysis.function(info.name)
+            if sorted(rewritten.network_urls) != sorted(info.network_urls):
+                return False
+    return True

@@ -1,0 +1,6 @@
+"""Request labeling: the filter-list oracle applied to crawled events,
+with ancestral-script propagation through call stacks."""
+
+from .labeler import AnalyzedRequest, LabeledCrawl, RequestLabeler
+
+__all__ = ["AnalyzedRequest", "LabeledCrawl", "RequestLabeler"]

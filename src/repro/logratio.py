@@ -1,0 +1,32 @@
+"""Equation 1 of the paper: the common-log tracking/functional ratio.
+
+Kept in a dependency-free module because both the core classifier and the
+synthetic-web allocators (which must *plan* entities into classification
+bands) need the exact same arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["DEFAULT_THRESHOLD", "log_ratio"]
+
+#: The paper's symmetric classification threshold: |ratio| >= 2 is pure.
+DEFAULT_THRESHOLD = 2.0
+
+
+def log_ratio(tracking: int, functional: int) -> float:
+    """``log10(#tracking / #functional)`` with ±inf for one-sided counts.
+
+    An entity with no requests at all has no defined ratio and raises —
+    callers must never produce one.
+    """
+    if tracking < 0 or functional < 0:
+        raise ValueError("negative request counts")
+    if tracking == 0 and functional == 0:
+        raise ValueError("entity with no requests has no ratio")
+    if functional == 0:
+        return math.inf
+    if tracking == 0:
+        return -math.inf
+    return math.log10(tracking / functional)

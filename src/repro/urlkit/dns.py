@@ -1,0 +1,116 @@
+"""Minimal DNS substrate: CNAME chains and an uncloaking resolver.
+
+The paper's related work (§6) highlights **CNAME cloaking**: a publisher
+points a first-party subdomain (``metrics.shop.example``) at a third-party
+tracker via a DNS CNAME record, so request URLs look first-party and evade
+``||tracker.example^`` rules.  Defences (Brave, uBlock Origin on Firefox)
+resolve the CNAME chain and match filter rules against the *canonical*
+name.
+
+This module models exactly that: a zone file of CNAME records and a
+resolver that follows chains with loop/length protection.  The labeling
+stage can take a resolver to uncloak hostnames before matching
+(``RequestLabeler(resolver=...)``), and ``benchmarks/bench_cloaking.py``
+quantifies how much tracking the plain oracle misses without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .url import URLError, normalize_host
+
+__all__ = ["DnsError", "DnsZone", "CnameResolver"]
+
+_MAX_CHAIN = 16
+
+
+class DnsError(ValueError):
+    """Raised for malformed records or unresolvable chains."""
+
+
+@dataclass
+class DnsZone:
+    """A flat table of CNAME records (``alias -> canonical``)."""
+
+    records: dict[str, str] = field(default_factory=dict)
+
+    def add_cname(self, alias: str, canonical: str) -> None:
+        alias = normalize_host(alias)
+        canonical = normalize_host(canonical)
+        if alias == canonical:
+            raise DnsError(f"CNAME to self: {alias}")
+        self.records[alias] = canonical
+
+    def remove(self, alias: str) -> None:
+        self.records.pop(normalize_host(alias), None)
+
+    def lookup(self, host: str) -> str | None:
+        """One resolution step, or ``None`` when the host has no CNAME."""
+        try:
+            return self.records.get(normalize_host(host))
+        except URLError:
+            return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, host: str) -> bool:
+        return self.lookup(host) is not None
+
+    @classmethod
+    def from_records(cls, records: dict[str, str]) -> "DnsZone":
+        zone = cls()
+        for alias, canonical in records.items():
+            zone.add_cname(alias, canonical)
+        return zone
+
+
+class CnameResolver:
+    """Follows CNAME chains to the canonical hostname.
+
+    >>> zone = DnsZone.from_records({"metrics.shop.example": "t.tracker.example"})
+    >>> CnameResolver(zone).canonical_name("metrics.shop.example")
+    't.tracker.example'
+    """
+
+    def __init__(self, zone: DnsZone) -> None:
+        self._zone = zone
+
+    @property
+    def zone(self) -> DnsZone:
+        return self._zone
+
+    def canonical_name(self, host: str) -> str:
+        """The end of the CNAME chain (the host itself if no record)."""
+        current = normalize_host(host)
+        seen = {current}
+        for _ in range(_MAX_CHAIN):
+            target = self._zone.lookup(current)
+            if target is None:
+                return current
+            if target in seen:
+                raise DnsError(f"CNAME loop at {target}")
+            seen.add(target)
+            current = target
+        raise DnsError(f"CNAME chain longer than {_MAX_CHAIN} from {host}")
+
+    def chain(self, host: str) -> list[str]:
+        """The full chain, starting host first, canonical last."""
+        current = normalize_host(host)
+        out = [current]
+        seen = {current}
+        for _ in range(_MAX_CHAIN):
+            target = self._zone.lookup(current)
+            if target is None:
+                return out
+            if target in seen:
+                raise DnsError(f"CNAME loop at {target}")
+            seen.add(target)
+            out.append(target)
+            current = target
+        raise DnsError(f"CNAME chain longer than {_MAX_CHAIN} from {host}")
+
+    def is_cloaked(self, host: str) -> bool:
+        """True when the host resolves to a different canonical name."""
+        return self.canonical_name(host) != normalize_host(host)

@@ -1,0 +1,79 @@
+"""Domain and hostname helpers built on the URL parser and the PSL.
+
+These are the exact operations the TrackerSift hierarchy needs:
+
+* ``registrable_domain(url)`` — the *domain* granularity key (eTLD+1),
+* ``hostname(url)`` — the *hostname* granularity key,
+* first/third-party tests used by filter-rule options (``$third-party``,
+  ``$domain=...``).
+"""
+
+from __future__ import annotations
+
+from .psl import DEFAULT_PSL, PublicSuffixList
+from .url import URL, URLError, normalize_host, parse_url
+
+__all__ = [
+    "registrable_domain",
+    "hostname",
+    "same_site",
+    "is_third_party",
+    "host_matches_domain",
+]
+
+
+def _to_host(value: str | URL) -> str:
+    if isinstance(value, URL):
+        return value.host
+    value = value.strip()
+    if "://" in value or value.startswith("//"):
+        return parse_url(value).host
+    return normalize_host(value)
+
+
+def hostname(value: str | URL) -> str:
+    """Return the normalised hostname of a URL, host string, or URL object."""
+    return _to_host(value)
+
+
+def registrable_domain(
+    value: str | URL, psl: PublicSuffixList = DEFAULT_PSL
+) -> str | None:
+    """Return the eTLD+1 for a URL or host, or ``None`` for IPs/suffixes."""
+    return psl.registrable_domain(_to_host(value))
+
+
+def same_site(a: str | URL, b: str | URL, psl: PublicSuffixList = DEFAULT_PSL) -> bool:
+    """True when both URLs/hosts share a registrable domain.
+
+    Hosts without a registrable domain (IP literals, bare suffixes) are
+    same-site only when the hosts are identical — matching browser behaviour.
+    """
+    host_a, host_b = _to_host(a), _to_host(b)
+    dom_a, dom_b = psl.registrable_domain(host_a), psl.registrable_domain(host_b)
+    if dom_a is None or dom_b is None:
+        return host_a == host_b
+    return dom_a == dom_b
+
+
+def is_third_party(
+    request: str | URL, top_level: str | URL, psl: PublicSuffixList = DEFAULT_PSL
+) -> bool:
+    """True when a request is third-party relative to the page that made it."""
+    return not same_site(request, top_level, psl)
+
+
+def host_matches_domain(host: str, domain: str) -> bool:
+    """Filter-list style domain matching: exact host or any subdomain.
+
+    >>> host_matches_domain("cdn.google.com", "google.com")
+    True
+    >>> host_matches_domain("notgoogle.com", "google.com")
+    False
+    """
+    try:
+        host = normalize_host(host)
+        domain = normalize_host(domain)
+    except URLError:
+        return False
+    return host == domain or host.endswith("." + domain)

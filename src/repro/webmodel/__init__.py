@@ -1,0 +1,92 @@
+"""Synthetic web population — the substitute for the paper's 100K crawl.
+
+The generator builds a deterministic, seeded population of publishers,
+trackers, CDNs and mixed organisations whose planned traffic reproduces the
+paper's published marginals (Tables 1-2) at any crawl scale.  The
+TrackerSift pipeline never reads these plans; it re-derives everything from
+browser events plus the filter-list oracle.
+"""
+
+from .allocation import (
+    allocate_volumes,
+    impurity_for_pure,
+    largest_remainder,
+    log_ratio,
+    split_mixed_volume,
+    split_mixed_volumes,
+    zipf_weights,
+)
+from .bundler import bundle_scripts, inline_script, webpack_bundle_name
+from .calibration import (
+    PAPER,
+    LevelTargets,
+    PaperTargets,
+    ScaledTargets,
+    scale_targets,
+)
+from .anonymize import ANONYMOUS_NAME, AnonymizeManifest, anonymize_methods
+from .cloaking import CloakingManifest, apply_cname_cloaking
+from .generator import SyntheticWeb, SyntheticWebGenerator, generate_web
+from .internal import InternalPagesManifest, add_internal_pages
+from .naming import NameFactory
+from .resources import (
+    Category,
+    DomainSpec,
+    Frame,
+    HostnameSpec,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptKind,
+    ScriptSpec,
+)
+from .website import (
+    CORE_FEATURES,
+    SECONDARY_FEATURES,
+    Functionality,
+    FunctionalityTier,
+    Website,
+)
+
+__all__ = [
+    "Category",
+    "Frame",
+    "PlannedRequest",
+    "Invocation",
+    "MethodSpec",
+    "ScriptKind",
+    "ScriptSpec",
+    "HostnameSpec",
+    "DomainSpec",
+    "Functionality",
+    "FunctionalityTier",
+    "Website",
+    "CORE_FEATURES",
+    "SECONDARY_FEATURES",
+    "LevelTargets",
+    "PaperTargets",
+    "PAPER",
+    "ScaledTargets",
+    "scale_targets",
+    "SyntheticWeb",
+    "SyntheticWebGenerator",
+    "generate_web",
+    "CloakingManifest",
+    "apply_cname_cloaking",
+    "InternalPagesManifest",
+    "add_internal_pages",
+    "AnonymizeManifest",
+    "anonymize_methods",
+    "ANONYMOUS_NAME",
+    "NameFactory",
+    "bundle_scripts",
+    "inline_script",
+    "webpack_bundle_name",
+    "zipf_weights",
+    "largest_remainder",
+    "allocate_volumes",
+    "split_mixed_volume",
+    "split_mixed_volumes",
+    "impurity_for_pure",
+    "log_ratio",
+]

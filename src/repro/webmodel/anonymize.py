@@ -1,0 +1,104 @@
+"""Anonymous-function transform (paper §5, Limitations).
+
+"Our method-level analysis does not distinguish between different anonymous
+functions in a script and treats them as part of the same method.  This
+limitation can be addressed by using the line and column number information
+available for each method invocation in the call stack."
+
+This transform renames a slice of the methods inside mixed scripts to the
+anonymous name stack traces actually report, while assigning each a
+distinct source position.  With name-only attribution (the paper's
+default), all anonymous methods of a script collapse into one resource —
+merging, say, a tracking and a functional anonymous callback into a fake
+*mixed* method.  Position-aware attribution
+(``RequestLabeler(anonymous_by_position=True)``) recovers them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .generator import SyntheticWeb
+from .resources import Category
+from .website import Functionality
+
+__all__ = ["AnonymizeManifest", "anonymize_methods", "ANONYMOUS_NAME"]
+
+#: What DevTools reports for an anonymous function's functionName.
+ANONYMOUS_NAME = "anonymous"
+
+
+@dataclass
+class AnonymizeManifest:
+    """What the transform renamed."""
+
+    methods_anonymized: int = 0
+    scripts_touched: int = 0
+    #: (script_url, old_name) -> (line, column)
+    positions: dict[tuple[str, str], tuple[int, int]] = field(default_factory=dict)
+
+
+def anonymize_methods(
+    web: SyntheticWeb,
+    *,
+    fraction: float = 0.5,
+    seed: int = 47,
+) -> AnonymizeManifest:
+    """Turn ``fraction`` of mixed-script methods anonymous; mutates ``web``.
+
+    Every anonymized method keeps a unique (line, column) so the callstack
+    still carries enough information for position-aware attribution.
+    Functionality dependencies that referenced the old name are updated so
+    breakage semantics stay intact.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    manifest = AnonymizeManifest()
+    renames: dict[tuple[str, str], str] = {}
+
+    for script in web.scripts:
+        if script.category is not Category.MIXED or len(script.methods) < 2:
+            continue
+        touched = False
+        line = rng.randint(1, 40)
+        for method in script.methods:
+            if rng.random() >= fraction:
+                continue
+            old_name = method.name
+            line += rng.randint(20, 400)
+            column = rng.randint(0, 120)
+            method.name = ANONYMOUS_NAME
+            method.line = line
+            method.column = column
+            manifest.methods_anonymized += 1
+            manifest.positions[(script.url, old_name)] = (line, column)
+            renames[(script.url, old_name)] = ANONYMOUS_NAME
+            touched = True
+        if touched:
+            manifest.scripts_touched += 1
+
+    if renames:
+        _update_functionality(web, renames)
+    return manifest
+
+
+def _update_functionality(
+    web: SyntheticWeb, renames: dict[tuple[str, str], str]
+) -> None:
+    for site in web.websites:
+        for index, feature in enumerate(site.functionalities):
+            if not feature.required_methods:
+                continue
+            updated = frozenset(
+                (script, renames.get((script, name), name))
+                for script, name in feature.required_methods
+            )
+            if updated != feature.required_methods:
+                site.functionalities[index] = Functionality(
+                    name=feature.name,
+                    tier=feature.tier,
+                    required_scripts=feature.required_scripts,
+                    required_methods=updated,
+                )

@@ -1,0 +1,111 @@
+"""Script inlining and bundling — the circumvention transforms of paper §5.
+
+Two common techniques mix tracking with functional code inside a single
+script resource:
+
+* **Inlining** moves an external script's code into the page itself, so the
+  initiator URL DevTools reports becomes the *document* URL.
+* **Bundling** (webpack/browserify style) merges several source scripts —
+  possibly from different organisations — into one bundle URL, intertwining
+  their methods.
+
+Both transforms preserve behaviour (the same methods fire the same
+requests) while changing *identity*, which is exactly why script-level
+blocking fails on them and method-level sifting is needed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .resources import Category, MethodSpec, ScriptKind, ScriptSpec
+
+__all__ = ["inline_script", "bundle_scripts", "webpack_bundle_name"]
+
+
+def _merged_category(methods: list[MethodSpec]) -> Category:
+    tracking = functional = 0
+    for method in methods:
+        t, f = method.request_counts()
+        tracking += t
+        functional += f
+    if tracking and functional:
+        return Category.MIXED
+    if tracking or functional:
+        return Category.TRACKING if tracking else Category.FUNCTIONAL
+    # No planned behaviour at all: fall back to the declared method intents.
+    categories = {method.category for method in methods}
+    if categories == {Category.TRACKING}:
+        return Category.TRACKING
+    if categories == {Category.FUNCTIONAL}:
+        return Category.FUNCTIONAL
+    return Category.MIXED
+
+
+def inline_script(script: ScriptSpec, page_url: str, index: int) -> ScriptSpec:
+    """Inline ``script`` into the page at ``page_url``.
+
+    DevTools attributes inline code to the document, so the new identity is
+    the page URL plus an ``#inline-N`` discriminator (the paper's crawler
+    keeps the same convention).  The original URL is retained in
+    ``bundle_sources`` for provenance.
+    """
+    return ScriptSpec(
+        url=f"{page_url}#inline-{index}",
+        category=script.category,
+        kind=ScriptKind.INLINE,
+        methods=script.methods,
+        sites=[page_url],
+        bundle_sources=(script.url,),
+    )
+
+
+def webpack_bundle_name(rng: random.Random) -> str:
+    """A webpack-style content-hashed bundle file name."""
+    digest = "".join(rng.choice("0123456789abcdef") for _ in range(20))
+    return f"app.{digest}.js"
+
+
+def bundle_scripts(
+    scripts: list[ScriptSpec],
+    bundle_url: str,
+    *,
+    site: str,
+    rng: random.Random | None = None,
+) -> ScriptSpec:
+    """Merge several scripts into one bundle served at ``bundle_url``.
+
+    Method name collisions get a module-prefix (webpack keeps module paths),
+    and the method order is interleaved the way dependency-ordered bundlers
+    emit code.  The bundle's category is derived from the merged behaviour:
+    bundling a tracker with a functional library yields a *mixed* script —
+    the pressl.co case study from the paper.
+    """
+    if not scripts:
+        raise ValueError("cannot bundle zero scripts")
+    rng = rng or random.Random(0)
+    methods: list[MethodSpec] = []
+    seen_names: set[str] = set()
+    for module_index, source in enumerate(scripts):
+        for method in source.methods:
+            name = method.name
+            if name in seen_names:
+                name = f"__webpack_module_{module_index}__.{method.name}"
+            seen_names.add(name)
+            methods.append(
+                MethodSpec(
+                    name=name,
+                    category=method.category,
+                    invocations=method.invocations,
+                    coverage=method.coverage,
+                )
+            )
+    rng.shuffle(methods)
+    return ScriptSpec(
+        url=bundle_url,
+        category=_merged_category(methods),
+        kind=ScriptKind.BUNDLED,
+        methods=methods,
+        sites=[site],
+        bundle_sources=tuple(s.url for s in scripts),
+    )

@@ -1,0 +1,264 @@
+"""Deterministic name and URL synthesis for the synthetic web.
+
+Two hard requirements drive this module:
+
+1. **Oracle consistency** — a request the generator *intends* as tracking
+   must be labeled tracking by the filter-list oracle, and an intended
+   functional request must not match any rule.  Tracking URLs therefore
+   either live on a listed tracker domain or carry a listed path marker;
+   functional URLs are built only from the clean vocabulary below (the test
+   suite cross-checks every vocabulary entry against the oracle).
+2. **Paper anecdotes** — the domains, hostnames, scripts and methods the
+   paper names (google-analytics.com, pixel.wp.com, i1.wp.com,
+   jquery.min.js, ``Pa.xhrRequest`` …) appear verbatim so the case studies
+   replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..filterlists import (
+    AD_PATH_MARKERS,
+    ADVERTISING_DOMAINS,
+    TRACKER_DOMAINS,
+    TRACKER_PATH_MARKERS,
+)
+
+__all__ = ["NameFactory"]
+
+# Mixed first parties the paper names in §4.
+SEED_MIXED_DOMAINS = (
+    "gstatic.com",
+    "google.com",
+    "facebook.com",
+    "facebook.net",
+    "wp.com",
+)
+
+# Functional CDNs / content hosts the paper names in §4.
+SEED_FUNCTIONAL_DOMAINS = (
+    "twimg.com",
+    "zychr.com",
+    "fbcdn.net",
+    "w.org",
+    "parastorage.com",
+    "cdnjs-mirror.net",
+    "libstatic.org",
+)
+
+_TRACK_HOST_PREFIXES = ("pixel", "stats", "metrics", "events", "beacon", "tag")
+_FUNC_HOST_PREFIXES = ("cdn", "static", "img", "assets", "c0", "widgets", "media")
+_MIXED_HOST_PREFIXES = ("i0", "i1", "i2", "api", "www", "app", "edge")
+
+_TRACKER_DOMAIN_STEMS = (
+    "adtech", "trkmetrics", "pixelhub", "admesh", "clickstone", "audiencelab",
+    "beaconnet", "tagwire", "admetrica", "viewcounter",
+)
+_FUNCTIONAL_DOMAIN_STEMS = (
+    "cdnstack", "staticware", "webassets", "contenthub", "imagefarm",
+    "fontdepot", "mediastore", "uikit", "pagecache", "bundlehost",
+)
+_MIXED_DOMAIN_STEMS = (
+    "platformapi", "socialwidgets", "sitecloud", "webservices", "appgrid",
+    "connecthub", "portalnet", "omnistack",
+)
+_PUBLISHER_STEMS = (
+    "newsdaily", "shopsmart", "travelhub", "recipebox", "sportslive",
+    "techwire", "healthplus", "financetoday", "weathernow", "cinemaguide",
+    "gardenworld", "petcorner", "musicstream", "artgallery", "booknook",
+)
+_TLDS = ("com", "net", "org", "io", "co", "dev", "info", "site", "online")
+
+# Script-name vocabulary; tracking names echo the paper's examples.
+_TRACKING_SCRIPT_NAMES = (
+    "show_ads_impl_fy2019.js", "uc.js", "analytics.js", "fbevents.js",
+    "gtm.js", "pixel-loader.js", "tag-manager.js", "beacon.min.js",
+    "sdk.js", "adsbygoogle-loader.js",
+)
+_FUNCTIONAL_SCRIPT_NAMES = (
+    "jquery.min.js", "jquery-1.11.2.min.js", "jquery.js", "react.production.min.js",
+    "vue.runtime.min.js", "bootstrap.bundle.min.js", "swiper.min.js",
+    "stack.js", "ui-core.min.js", "carousel.js", "require.js",
+)
+_MIXED_SCRIPT_NAMES = (
+    "lazysizes.min.js", "app.js", "tfa.js", "main.js", "player.js",
+    "clone.js", "widgets.js", "MJ_Static-Built.js", "2.0c9c64b2.chunk.js",
+    "platform.js", "loader.js",
+)
+
+_TRACKING_METHOD_NAMES = (
+    "sendBeacon", "trackEvent", "fireTag", "get", "logImpression",
+    "reportView", "pxl", "collectStats", "m1",
+)
+_FUNCTIONAL_METHOD_NAMES = (
+    "render", "loadWidget", "fetchContent", "X", "initCarousel",
+    "lazyLoad", "hydrate", "mountPlayer", "m3",
+)
+_MIXED_METHOD_NAMES = (
+    "Pa.xhrRequest", "xhrRequest", "m2", "dispatch", "send", "request",
+    "loadResource",
+)
+
+_FUNCTIONAL_PATHS = (
+    "/static/js/app.{n}.js",
+    "/static/css/main.{n}.css",
+    "/img/hero-{n}.jpg",
+    "/img/logo-{n}.png",
+    "/assets/icons/sprite-{n}.svg",
+    "/api/v1/content/{n}",
+    "/api/v1/comments/{n}",
+    "/fonts/webfont-{n}.woff2",
+    "/media/clip-{n}.mp4",
+    "/widgets/embed-{n}.html",
+    "/data/feed-{n}.json",
+)
+
+_TRACKING_PATH_TEMPLATES_BY_MARKER = {
+    "/pixel": "/pixel/{n}.gif",
+    "/track/": "/track/event-{n}",
+    "/beacon": "/beacon/{n}",
+    "/telemetry/": "/telemetry/batch-{n}",
+    "/collect?": "/collect?tid={n}",
+    "/analytics/": "/analytics/hit-{n}",
+    "/fingerprint/": "/fingerprint/fp-{n}",
+    "/impression?": "/impression?cid={n}",
+    "/ads/": "/ads/slot-{n}.js",
+    "/adserver/": "/adserver/bid-{n}",
+    "/banners/": "/banners/creative-{n}.png",
+    "/sponsored/": "/sponsored/unit-{n}",
+    "/prebid/": "/prebid/auction-{n}",
+    "/adframe/": "/adframe/frame-{n}.html",
+}
+
+
+class NameFactory:
+    """Seeded source of unique names for every entity kind."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._counter = 0
+        self._seen_domains: set[str] = set()
+
+    def _next(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    # -- domains -----------------------------------------------------------
+    def _generated_domain(self, stems: tuple[str, ...]) -> str:
+        while True:
+            stem = self._rng.choice(stems)
+            tld = self._rng.choice(_TLDS)
+            name = f"{stem}{self._next():04d}.{tld}"
+            if name not in self._seen_domains:
+                self._seen_domains.add(name)
+                return name
+
+    def tracking_domains(self, count: int) -> list[str]:
+        """Tracking domains: listed real trackers first, then generated.
+
+        Generated tracking domains are not on any list — their requests get
+        labeled through path markers, which models trackers that rotate
+        domains faster than the lists (the circumvention the paper opens
+        with).  Returns (domain, listed?) implicitly: listed domains are
+        exactly the seed prefix.
+        """
+        seeds = [d for d in ADVERTISING_DOMAINS + TRACKER_DOMAINS]
+        self._rng.shuffle(seeds)
+        out = seeds[:count]
+        self._seen_domains.update(out)
+        while len(out) < count:
+            out.append(self._generated_domain(_TRACKER_DOMAIN_STEMS))
+        return out
+
+    def is_listed_tracker(self, domain: str) -> bool:
+        return domain in ADVERTISING_DOMAINS or domain in TRACKER_DOMAINS
+
+    def functional_domains(self, count: int) -> list[str]:
+        out = list(SEED_FUNCTIONAL_DOMAINS[: min(count, len(SEED_FUNCTIONAL_DOMAINS))])
+        self._seen_domains.update(out)
+        while len(out) < count:
+            out.append(self._generated_domain(_FUNCTIONAL_DOMAIN_STEMS))
+        return out
+
+    def mixed_domains(self, count: int) -> list[str]:
+        out = list(SEED_MIXED_DOMAINS[: min(count, len(SEED_MIXED_DOMAINS))])
+        self._seen_domains.update(out)
+        while len(out) < count:
+            out.append(self._generated_domain(_MIXED_DOMAIN_STEMS))
+        return out
+
+    def publisher_domains(self, count: int) -> list[str]:
+        return [self._generated_domain(_PUBLISHER_STEMS) for _ in range(count)]
+
+    # -- hostnames -----------------------------------------------------------
+    def hostname(self, domain: str, category: str, index: int) -> str:
+        prefixes = {
+            "tracking": _TRACK_HOST_PREFIXES,
+            "functional": _FUNC_HOST_PREFIXES,
+            "mixed": _MIXED_HOST_PREFIXES,
+        }[category]
+        prefix = prefixes[index % len(prefixes)]
+        if index >= len(prefixes):
+            prefix = f"{prefix}{index // len(prefixes)}"
+        return f"{prefix}.{domain}"
+
+    # -- scripts / methods ---------------------------------------------------
+    def script_name(self, category: str) -> str:
+        names = {
+            "tracking": _TRACKING_SCRIPT_NAMES,
+            "functional": _FUNCTIONAL_SCRIPT_NAMES,
+            "mixed": _MIXED_SCRIPT_NAMES,
+        }[category]
+        return self._rng.choice(names)
+
+    def script_url(self, host: str, category: str) -> str:
+        name = self.script_name(category)
+        return f"https://{host}/js/{self._next():05d}/{name}"
+
+    def method_names(self, category: str, count: int) -> list[str]:
+        names = {
+            "tracking": _TRACKING_METHOD_NAMES,
+            "functional": _FUNCTIONAL_METHOD_NAMES,
+            "mixed": _MIXED_METHOD_NAMES,
+        }[category]
+        out = []
+        for i in range(count):
+            base = names[i % len(names)]
+            out.append(base if i < len(names) else f"{base}_{i // len(names)}")
+        return out
+
+    # -- request paths ---------------------------------------------------------
+    def tracking_path(self, advertising: bool = False) -> str:
+        markers = AD_PATH_MARKERS if advertising else TRACKER_PATH_MARKERS
+        marker = self._rng.choice(markers)
+        template = _TRACKING_PATH_TEMPLATES_BY_MARKER[marker]
+        return template.format(n=self._next())
+
+    def functional_path(self) -> str:
+        template = self._rng.choice(_FUNCTIONAL_PATHS)
+        return template.format(n=self._next())
+
+    def request_url(self, host: str, tracking: bool, listed_host: bool = False) -> str:
+        """A concrete request URL with the right oracle label.
+
+        ``listed_host`` means the host is already covered by a ``||domain^``
+        rule, so a tracking request there can use any path.
+        """
+        if tracking:
+            if listed_host and self._rng.random() < 0.5:
+                path = self.functional_path()  # still labeled by domain rule
+            else:
+                path = self.tracking_path(advertising=self._rng.random() < 0.4)
+        else:
+            path = self.functional_path()
+        return f"https://{host}{path}"
+
+    @staticmethod
+    def functional_path_vocabulary() -> tuple[str, ...]:
+        """Exposed for the oracle-consistency test."""
+        return _FUNCTIONAL_PATHS
+
+    @staticmethod
+    def tracking_path_templates() -> dict[str, str]:
+        return dict(_TRACKING_PATH_TEMPLATES_BY_MARKER)

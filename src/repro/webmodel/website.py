@@ -1,0 +1,106 @@
+"""Websites, pages and their functionality model.
+
+A website in the synthetic web is a landing page (the paper crawls landing
+pages only) that includes a set of scripts and exposes *functionalities* —
+the user-visible features the paper's breakage analysis checks (§5,
+Table 3).  Core functionality (search bar, menu, images, page navigation)
+versus secondary functionality (comments, media widgets, video player,
+icons) follow the paper's definitions, and each functionality declares
+which scripts (optionally which methods) it needs to work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .resources import ScriptSpec
+
+__all__ = ["FunctionalityTier", "Functionality", "Website", "CORE_FEATURES", "SECONDARY_FEATURES"]
+
+
+class FunctionalityTier(str, Enum):
+    """The paper's breakage severity taxonomy."""
+
+    CORE = "core"
+    SECONDARY = "secondary"
+
+
+#: Feature vocabularies straight from the paper's breakage definitions.
+CORE_FEATURES: tuple[str, ...] = (
+    "search bar",
+    "menu",
+    "images",
+    "page navigation",
+    "scroll bar",
+    "page banners",
+    "page load",
+)
+SECONDARY_FEATURES: tuple[str, ...] = (
+    "comment section",
+    "review section",
+    "media widgets",
+    "video player",
+    "icons",
+    "social share buttons",
+    "newsletter signup",
+)
+
+
+@dataclass(slots=True)
+class Functionality:
+    """One user-visible feature and its script dependencies.
+
+    ``required_methods`` refines the dependency to specific methods: if
+    empty, blocking the script breaks the feature; if non-empty, the feature
+    breaks only when one of those methods is removed (this is what makes
+    method-granular surrogates safer than script blocking).
+    """
+
+    name: str
+    tier: FunctionalityTier
+    required_scripts: frozenset[str] = frozenset()
+    required_methods: frozenset[tuple[str, str]] = frozenset()
+
+    def works(self, blocked_scripts: frozenset[str], removed_methods: frozenset[tuple[str, str]]) -> bool:
+        """Does the feature work given blocked scripts / removed methods?"""
+        if self.required_methods:
+            if any(m in removed_methods for m in self.required_methods):
+                return False
+            # A method dependency also fails when its whole script is gone.
+            return not any(script in blocked_scripts for script, _ in self.required_methods)
+        return not (self.required_scripts & blocked_scripts)
+
+
+@dataclass(slots=True)
+class Website:
+    """One crawl target: a landing page, its scripts, its features."""
+
+    url: str
+    rank: int
+    scripts: list[ScriptSpec] = field(default_factory=list)
+    functionalities: list[Functionality] = field(default_factory=list)
+
+    @property
+    def domain_url(self) -> str:
+        return self.url
+
+    def script_urls(self) -> list[str]:
+        return [script.url for script in self.scripts]
+
+    def mixed_scripts(self) -> list[ScriptSpec]:
+        """Scripts whose *planned* behaviour is mixed (generator intent)."""
+        from .resources import Category
+
+        return [s for s in self.scripts if s.category is Category.MIXED]
+
+    def functionality_status(
+        self,
+        blocked_scripts: frozenset[str] = frozenset(),
+        removed_methods: frozenset[tuple[str, str]] = frozenset(),
+    ) -> dict[str, bool]:
+        """Map feature name -> works?, under the given blocking decision."""
+        return {
+            feature.name: feature.works(blocked_scripts, removed_methods)
+            for feature in self.functionalities
+        }

@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+The expensive artefacts (synthetic web, crawl, labeled requests, sift
+report) are session-scoped: many test modules read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.filterlists.oracle import FilterListOracle
+from repro.webmodel.generator import generate_web
+
+SMALL_SITES = 150
+STUDY_SITES = 1_000
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def oracle() -> FilterListOracle:
+    return FilterListOracle()
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    """A small calibrated population, enough for structural tests."""
+    return generate_web(sites=SMALL_SITES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A full pipeline run at study scale (shape assertions live here)."""
+    config = PipelineConfig(sites=STUDY_SITES, seed=SEED)
+    return TrackerSiftPipeline(config).run()
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A full pipeline run on the small web (cheaper, for non-shape tests)."""
+    config = PipelineConfig(sites=SMALL_SITES, seed=SEED)
+    return TrackerSiftPipeline(config).run()

@@ -1,0 +1,75 @@
+"""Shared builders for browser-level tests."""
+
+from repro.browser.engine import BlockingPolicy, BrowserEngine
+from repro.webmodel.resources import (
+    Category,
+    Frame,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptKind,
+    ScriptSpec,
+)
+from repro.webmodel.website import Functionality, FunctionalityTier, Website
+
+SITE = "https://www.pub.example/"
+
+
+def make_site(coverage: float = 1.0) -> tuple[Website, ScriptSpec]:
+    script = ScriptSpec(
+        url="https://cdn.example/app.js",
+        category=Category.MIXED,
+        kind=ScriptKind.EXTERNAL,
+        sites=[SITE],
+        methods=[
+            MethodSpec(
+                name="sendBeacon",
+                category=Category.TRACKING,
+                invocations=[
+                    Invocation(
+                        site=SITE,
+                        requests=[
+                            PlannedRequest(
+                                url="https://metricshark.net/collect?tid=1",
+                                tracking=True,
+                                resource_type="ping",
+                            )
+                        ],
+                        caller_chain=(Frame(f"{SITE}#inline-0", "main"),),
+                        args={"event": "imp", "dest": "metricshark.net"},
+                    )
+                ],
+            ),
+            MethodSpec(
+                name="render",
+                category=Category.FUNCTIONAL,
+                coverage=coverage,
+                invocations=[
+                    Invocation(
+                        site=SITE,
+                        requests=[
+                            PlannedRequest(
+                                url="https://cdn.example/img/logo-1.png",
+                                tracking=False,
+                                resource_type="image",
+                            )
+                        ],
+                        caller_chain=(Frame(f"{SITE}#inline-0", "main"),),
+                        async_chain=(Frame(f"{SITE}loader.js", "boot"),),
+                        args={"event": "load", "dest": "cdn.example"},
+                    )
+                ],
+            ),
+        ],
+    )
+    site = Website(url=SITE, rank=1, scripts=[script])
+    site.functionalities = [
+        Functionality(
+            name="images",
+            tier=FunctionalityTier.CORE,
+            required_scripts=frozenset({script.url}),
+        )
+    ]
+    return site, script
+
+

@@ -1,0 +1,188 @@
+"""Analysis layer: table builders, figure series, rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    build_figure3,
+    build_figure3_panel,
+    build_figure4,
+    build_figure5,
+)
+from repro.analysis.report import (
+    ascii_table,
+    compare_with_paper,
+    render_comparison,
+    render_histogram,
+    render_table1,
+    render_table2,
+    render_table3,
+    rows_to_csv,
+)
+from repro.analysis.tables import build_table1, build_table2, build_table3
+from repro.core.classifier import ResourceClass
+
+
+class TestTable1:
+    def test_rows_match_report(self, study):
+        rows = build_table1(study.report)
+        assert [r.granularity for r in rows] == [
+            "domain",
+            "hostname",
+            "script",
+            "method",
+        ]
+        level = study.report.domain
+        assert rows[0].tracking == level.request_count(ResourceClass.TRACKING)
+        assert rows[0].total == level.request_count()
+
+    def test_cumulative_monotone(self, study):
+        rows = build_table1(study.report)
+        values = [r.cumulative_separation for r in rows]
+        assert values == sorted(values)
+
+    def test_nesting(self, study):
+        rows = build_table1(study.report)
+        for parent, child in zip(rows, rows[1:]):
+            assert child.total == parent.mixed
+
+
+class TestTable2:
+    def test_entity_counts(self, study):
+        rows = build_table2(study.report)
+        level = study.report.script
+        script_row = next(r for r in rows if r.granularity == "script")
+        assert script_row.mixed == level.entity_count(ResourceClass.MIXED)
+        assert script_row.total == level.entity_count()
+
+    def test_mixed_share(self, study):
+        rows = build_table2(study.report)
+        domain_row = rows[0]
+        assert domain_row.mixed_share == pytest.approx(0.17, abs=0.03)
+
+
+class TestTable3:
+    def test_sample_breakage(self, study):
+        rows = build_table3(study.web, study.report, sample_size=10, seed=3)
+        assert len(rows) == 10
+        levels = {r.breakage for r in rows}
+        assert levels <= {"Major", "Minor", "None"}
+        # paper: 9/10 sites showed some breakage
+        broken = sum(1 for r in rows if r.breakage != "None")
+        assert broken >= 6
+
+    def test_rows_name_mixed_scripts(self, study):
+        rows = build_table3(study.web, study.report, sample_size=5, seed=3)
+        for row in rows:
+            assert row.mixed_script
+            assert row.comment
+
+    def test_deterministic_sampling(self, study):
+        a = build_table3(study.web, study.report, sample_size=5, seed=9)
+        b = build_table3(study.web, study.report, sample_size=5, seed=9)
+        assert [r.website for r in a] == [r.website for r in b]
+
+
+class TestFigure3:
+    def test_four_panels(self, study):
+        panels = build_figure3(study.report)
+        assert set(panels) == {"domain", "hostname", "script", "method"}
+
+    def test_three_peaks_everywhere(self, study):
+        for name, panel in build_figure3(study.report).items():
+            assert panel.has_three_peaks(), name
+
+    def test_bin_totals_match_entity_counts(self, study):
+        panels = build_figure3(study.report)
+        for name, panel in panels.items():
+            level = study.report.level(name)
+            assert panel.total == level.entity_count()
+
+    def test_infinite_ratios_clipped_to_edges(self):
+        from repro.core.results import LevelReport, ResourceResult
+        from repro.core.classifier import ResourceCounts, RatioClassifier
+
+        clf = RatioClassifier()
+        level = LevelReport(granularity="domain")
+        for i, (t, f) in enumerate([(5, 0), (0, 5), (1, 1)]):
+            counts = ResourceCounts(t, f)
+            level.resources[f"d{i}.com"] = ResourceResult(
+                key=f"d{i}.com", counts=counts, resource_class=clf.classify(counts)
+            )
+        panel = build_figure3_panel(level, clip=3.0)
+        assert panel.bins[0].count == 1  # -inf
+        assert panel.bins[-1].count == 1  # +inf
+        assert panel.total == 3
+
+    def test_region_colouring(self, study):
+        panel = build_figure3(study.report)["domain"]
+        for bin_ in panel.bins:
+            if bin_.lo >= 2:
+                assert bin_.region == "tracking"
+            elif bin_.hi <= -2:
+                assert bin_.region == "functional"
+            else:
+                assert bin_.region == "mixed"
+
+
+class TestFigure4And5:
+    def test_figure4_series(self, study):
+        sweep = build_figure4(study.labeled.requests)
+        assert len(sweep.points) == 21
+        assert sweep.is_monotone_nondecreasing()
+
+    def test_figure5_on_study_mixed_method(self, study):
+        mixed = [
+            key
+            for key, res in study.report.method.resources.items()
+            if res.resource_class is ResourceClass.MIXED
+        ]
+        script, _, method = mixed[0].rpartition("@")
+        result = build_figure5(study.labeled.requests, script, method)
+        assert result.graph.tracking_traces > 0
+        assert result.graph.functional_traces > 0
+
+
+class TestRendering:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["A", "Long header"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert "Long header" in lines[1]
+
+    def test_render_table1(self, study):
+        text = render_table1(build_table1(study.report))
+        assert "Granularity" in text and "domain" in text
+        assert "%" in text
+
+    def test_render_table2(self, study):
+        text = render_table2(build_table2(study.report))
+        assert "Mixed share" in text
+
+    def test_render_table3(self, study):
+        rows = build_table3(study.web, study.report, sample_size=3)
+        text = render_table3(rows)
+        assert "Breakage" in text
+
+    def test_render_histogram(self, study):
+        panel = build_figure3(study.report)["script"]
+        text = render_histogram(panel)
+        assert "Figure 3 (script)" in text
+        assert "#" in text
+
+    def test_csv(self):
+        out = rows_to_csv(["a", "b"], [["1", "2"]])
+        assert out.splitlines() == ["a,b", "1,2"]
+
+
+class TestPaperComparison:
+    def test_all_metrics_close(self, study):
+        comparisons = compare_with_paper(study.report)
+        assert len(comparisons) == 12
+        for comparison in comparisons:
+            assert comparison.within(0.07), comparison.metric
+
+    def test_render(self, study):
+        text = render_comparison(compare_with_paper(study.report))
+        assert "Paper" in text and "Measured" in text

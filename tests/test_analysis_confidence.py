@@ -1,0 +1,125 @@
+"""Bootstrap confidence intervals."""
+
+import pytest
+
+from repro.analysis.confidence import (
+    ConfidenceInterval,
+    bootstrap_metric,
+    bootstrap_separation_factors,
+)
+
+
+class TestBootstrapMetric:
+    def test_interval_brackets_point(self, small_study):
+        interval = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda report: report.final_separation,
+            name="final separation",
+            replicates=40,
+            seed=5,
+        )
+        assert interval.low <= interval.point <= interval.high
+        assert interval.replicates == 40
+        assert 0 < interval.width < 0.2
+
+    def test_deterministic(self, small_study):
+        a = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda r: r.final_separation,
+            replicates=20,
+            seed=9,
+        )
+        b = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda r: r.final_separation,
+            replicates=20,
+            seed=9,
+        )
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_seed_changes_interval(self, small_study):
+        a = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda r: r.final_separation,
+            replicates=20,
+            seed=1,
+        )
+        b = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda r: r.final_separation,
+            replicates=20,
+            seed=2,
+        )
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_level_validation(self, small_study):
+        with pytest.raises(ValueError):
+            bootstrap_metric(
+                small_study.labeled.requests,
+                lambda r: r.final_separation,
+                level=1.5,
+            )
+
+    def test_replicate_validation(self, small_study):
+        with pytest.raises(ValueError):
+            bootstrap_metric(
+                small_study.labeled.requests,
+                lambda r: r.final_separation,
+                replicates=1,
+            )
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_metric([], lambda r: 0.0)
+
+    def test_wider_level_never_narrower(self, small_study):
+        narrow = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda r: r.final_separation,
+            replicates=40,
+            level=0.5,
+            seed=3,
+        )
+        wide = bootstrap_metric(
+            small_study.labeled.requests,
+            lambda r: r.final_separation,
+            replicates=40,
+            level=0.99,
+            seed=3,
+        )
+        assert wide.width >= narrow.width
+
+
+class TestSeparationFactorIntervals:
+    def test_all_levels_plus_cumulative(self, small_study):
+        intervals = bootstrap_separation_factors(
+            small_study.labeled.requests, replicates=25
+        )
+        assert len(intervals) == 5
+        names = [i.metric for i in intervals]
+        assert names[0] == "domain separation factor"
+        assert names[-1] == "cumulative separation factor"
+
+    def test_paper_values_inside_intervals(self, small_study):
+        intervals = bootstrap_separation_factors(
+            small_study.labeled.requests, replicates=40
+        )
+        paper = {
+            "domain separation factor": 0.54,
+            "hostname separation factor": 0.24,
+            "script separation factor": 0.84,
+            "method separation factor": 0.72,
+            "cumulative separation factor": 0.98,
+        }
+        for interval in intervals:
+            target = paper[interval.metric]
+            # generously widened interval must cover the paper's value
+            assert abs(interval.point - target) < 0.12, interval.metric
+
+
+class TestIntervalObject:
+    def test_contains(self):
+        interval = ConfidenceInterval("x", 0.5, 0.4, 0.6, 0.95, 10)
+        assert interval.contains(0.5)
+        assert not interval.contains(0.7)
+        assert interval.width == pytest.approx(0.2)

@@ -1,0 +1,118 @@
+"""Call-stack model: initiator, flattening, async parents, serialisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.browser.callstack import CallFrame, CallStack
+from repro.webmodel.resources import Frame
+
+
+def frames(*pairs):
+    return tuple(CallFrame(url=u, function_name=m) for u, m in pairs)
+
+
+class TestBasics:
+    def test_initiator_is_first_frame(self):
+        stack = CallStack(frames=frames(("https://a/c.js", "m2"), ("https://a/t.js", "t")))
+        assert stack.initiator_script == "https://a/c.js"
+        assert stack.initiator_method == "m2"
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            CallStack(frames=())
+
+    def test_depth(self):
+        stack = CallStack(frames=frames(("a", "x"), ("b", "y")))
+        assert stack.depth == 2
+
+
+class TestAsyncChaining:
+    def make_async(self):
+        parent = CallStack(
+            frames=frames(("https://a/sched.js", "setup")), description="async"
+        )
+        return CallStack(frames=frames(("https://a/cb.js", "onTimeout")), parent=parent)
+
+    def test_flattened_includes_parent(self):
+        stack = self.make_async()
+        urls = [f.url for f in stack.flattened()]
+        assert urls == ["https://a/cb.js", "https://a/sched.js"]
+
+    def test_initiator_stays_innermost(self):
+        assert self.make_async().initiator_script == "https://a/cb.js"
+
+    def test_initiator_falls_through_empty_frames(self):
+        parent = CallStack(frames=frames(("https://a/s.js", "go")))
+        stack = CallStack(frames=(), parent=parent)
+        assert stack.initiator_script == "https://a/s.js"
+
+    def test_scripts_deduplicated_in_order(self):
+        stack = CallStack(
+            frames=frames(("a", "x"), ("b", "y"), ("a", "z")),
+        )
+        assert stack.scripts() == ("a", "b")
+
+    def test_nested_parents(self):
+        grand = CallStack(frames=frames(("g", "g1")))
+        parent = CallStack(frames=frames(("p", "p1")), parent=grand)
+        stack = CallStack(frames=frames(("c", "c1")), parent=parent)
+        assert [f.url for f in stack.flattened()] == ["c", "p", "g"]
+        assert stack.depth == 3
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        stack = CallStack(
+            frames=frames(("https://a/c.js", "m2")),
+            parent=CallStack(frames=frames(("https://a/s.js", "k")), description="async"),
+        )
+        assert CallStack.from_dict(stack.to_dict()) == stack
+
+    def test_devtools_field_names(self):
+        stack = CallStack(frames=(CallFrame("u", "f", 10, 4),))
+        data = stack.to_dict()
+        frame = data["callFrames"][0]
+        assert frame == {
+            "url": "u",
+            "functionName": "f",
+            "lineNumber": 10,
+            "columnNumber": 4,
+        }
+
+    @given(
+        urls=st.lists(
+            st.text(alphabet="abc/:.", min_size=1, max_size=12), min_size=1, max_size=5
+        )
+    )
+    def test_round_trip_property(self, urls):
+        stack = CallStack(
+            frames=tuple(CallFrame(url=u, function_name="f") for u in urls)
+        )
+        assert CallStack.from_dict(stack.to_dict()) == stack
+
+
+class TestFromFrames:
+    def test_webmodel_frames(self):
+        stack = CallStack.from_frames(
+            [Frame("https://a/c.js", "m2"), Frame("https://a/u.js", "k")],
+            async_frames=[Frame("https://a/g.js", "a")],
+        )
+        assert stack.initiator_method == "m2"
+        assert stack.parent is not None
+        assert stack.parent.description == "async"
+        assert [f.url for f in stack.flattened()] == [
+            "https://a/c.js",
+            "https://a/u.js",
+            "https://a/g.js",
+        ]
+
+    def test_no_async(self):
+        stack = CallStack.from_frames([Frame("https://a/c.js", "m2")])
+        assert stack.parent is None
+
+    def test_call_frame_helpers(self):
+        frame = CallFrame("https://a/c.js", "m2")
+        assert frame.script_url == "https://a/c.js"
+        assert frame.method == "m2"
+        assert frame.as_frame() == Frame("https://a/c.js", "m2")

@@ -1,0 +1,125 @@
+"""Page-load engine: event emission, blocking policies, coverage gaps."""
+
+from repro.browser.engine import BlockingPolicy, BrowserEngine
+from repro.webmodel.resources import (
+    Category,
+    Frame,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptKind,
+    ScriptSpec,
+)
+from repro.webmodel.website import Functionality, FunctionalityTier, Website
+
+from tests.helpers import SITE, make_site
+
+
+class TestLoad:
+    def test_emits_document_and_script_fetches_without_stacks(self):
+        site, script = make_site()
+        page = BrowserEngine().load(site)
+        parser_initiated = [r for r in page.requests if not r.script_initiated]
+        urls = {r.url for r in parser_initiated}
+        assert SITE in urls
+        assert script.url in urls
+
+    def test_emits_script_initiated_with_stacks(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        scripted = page.script_initiated_requests
+        assert len(scripted) == 2
+        for event in scripted:
+            assert event.call_stack is not None
+            assert event.top_level_url == SITE
+
+    def test_async_chain_becomes_parent_stack(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        image = next(r for r in page.script_initiated_requests if r.resource_type == "image")
+        assert image.call_stack.parent is not None
+        flattened = [f.url for f in image.call_stack.flattened()]
+        assert flattened[-1] == f"{SITE}loader.js"
+
+    def test_responses_paired(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        request_ids = {r.request_id for r in page.requests}
+        response_ids = {r.request_id for r in page.responses}
+        assert request_ids == response_ids
+
+    def test_timestamps_advance_between_loads(self):
+        site, _ = make_site()
+        engine = BrowserEngine()
+        first = engine.load(site)
+        second = engine.load(site)
+        assert min(r.timestamp for r in second.requests) > max(
+            r.timestamp for r in first.requests
+        )
+
+    def test_mime_types(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        mimes = {r.url: r.mime_type for r in page.responses}
+        assert mimes[SITE] == "text/html"
+
+
+class TestBlockingPolicy:
+    def test_blocked_script_suppresses_requests_and_breaks_feature(self):
+        site, script = make_site()
+        policy = BlockingPolicy(blocked_scripts=frozenset({script.url}))
+        page = BrowserEngine().load(site, policy=policy)
+        assert page.script_initiated_requests == []
+        assert page.functionality == {"images": False}
+        assert ("https://cdn.example/app.js", "sendBeacon") in page.blocked_invocations
+
+    def test_removed_method_suppresses_only_that_method(self):
+        site, script = make_site()
+        policy = BlockingPolicy(
+            removed_methods=frozenset({(script.url, "sendBeacon")})
+        )
+        page = BrowserEngine().load(site, policy=policy)
+        urls = [r.url for r in page.script_initiated_requests]
+        assert urls == ["https://cdn.example/img/logo-1.png"]
+        assert page.functionality == {"images": True}
+
+    def test_guard_blocks_matching_invocations(self):
+        site, script = make_site()
+        policy = BlockingPolicy(
+            guards=(
+                (
+                    script.url,
+                    "sendBeacon",
+                    lambda s, m, args: args.get("event") == "imp",
+                ),
+            )
+        )
+        page = BrowserEngine().load(site, policy=policy)
+        urls = [r.url for r in page.script_initiated_requests]
+        assert urls == ["https://cdn.example/img/logo-1.png"]
+
+    def test_none_policy_blocks_nothing(self):
+        policy = BlockingPolicy.none()
+        assert not policy.blocks_invocation("any", "method", {})
+
+
+class TestCoverage:
+    def test_full_coverage_observes_everything(self):
+        site, _ = make_site(coverage=1.0)
+        page = BrowserEngine().load(site)
+        assert len(page.script_initiated_requests) == 2
+
+    def test_coverage_gap_is_deterministic_per_seed(self):
+        site, _ = make_site(coverage=0.5)
+        a = len(BrowserEngine(seed=3).load(site).script_initiated_requests)
+        b = len(BrowserEngine(seed=3).load(site).script_initiated_requests)
+        assert a == b
+
+    def test_some_seed_misses_low_coverage_method(self):
+        site, _ = make_site(coverage=0.05)
+        observed = [
+            len(BrowserEngine(seed=s).load(site).script_initiated_requests)
+            for s in range(20)
+        ]
+        assert min(observed) == 1  # the render() path goes unobserved
+        assert max(observed) <= 2

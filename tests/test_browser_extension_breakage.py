@@ -1,0 +1,155 @@
+"""Capture extension and breakage grading."""
+
+from repro.browser.breakage import (
+    BreakageAnalyzer,
+    BreakageLevel,
+    assess_breakage,
+    grade_breakage,
+)
+from repro.browser.devtools import RequestWillBeSent, ResponseReceived
+from repro.browser.engine import BrowserEngine
+from repro.browser.extension import CaptureStats, CrawlExtension
+from repro.crawler.storage import RequestDatabase
+from repro.webmodel.resources import Category
+from repro.webmodel.website import Functionality, FunctionalityTier, Website
+
+from tests.helpers import SITE, make_site
+
+
+class TestExtension:
+    def test_capture_counts(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        db = RequestDatabase()
+        extension = CrawlExtension(db)
+        extension.capture_page(page)
+        assert extension.stats.pages == 1
+        assert extension.stats.requests_seen == len(page.requests)
+        assert extension.stats.script_initiated == 2
+        assert len(db) == len(page.requests)
+
+    def test_drop_non_script_mode(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        db = RequestDatabase()
+        extension = CrawlExtension(db, keep_non_script=False)
+        extension.capture_page(page)
+        assert extension.stats.dropped_non_script > 0
+        assert all(r.script_initiated for r in db.requests())
+
+    def test_on_request_hook(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        seen = []
+        extension = CrawlExtension(RequestDatabase(), on_request=seen.append)
+        extension.capture_page(page)
+        assert len(seen) == len(page.requests)
+
+    def test_default_stats(self):
+        stats = CaptureStats()
+        assert stats.pages == 0 and stats.requests_seen == 0
+
+
+def site_with_features(core_dep: str | None, secondary_dep: str | None) -> Website:
+    site = Website(url=SITE, rank=1)
+    features = []
+    if core_dep is not None:
+        features.append(
+            Functionality(
+                name="menu",
+                tier=FunctionalityTier.CORE,
+                required_scripts=frozenset({core_dep}),
+            )
+        )
+    if secondary_dep is not None:
+        features.append(
+            Functionality(
+                name="media widgets",
+                tier=FunctionalityTier.SECONDARY,
+                required_scripts=frozenset({secondary_dep}),
+            )
+        )
+    site.functionalities = features
+    return site
+
+
+class TestGrading:
+    def test_major_when_core_breaks(self):
+        site = site_with_features("https://a/x.js", "https://a/y.js")
+        treatment = site.functionality_status(
+            blocked_scripts=frozenset({"https://a/x.js"})
+        )
+        control = site.functionality_status()
+        level, core, secondary = grade_breakage(control, treatment, site)
+        assert level is BreakageLevel.MAJOR
+        assert core == ("menu",)
+
+    def test_minor_when_only_secondary_breaks(self):
+        site = site_with_features("https://a/x.js", "https://a/y.js")
+        treatment = site.functionality_status(
+            blocked_scripts=frozenset({"https://a/y.js"})
+        )
+        level, _, secondary = grade_breakage(
+            site.functionality_status(), treatment, site
+        )
+        assert level is BreakageLevel.MINOR
+        assert secondary == ("media widgets",)
+
+    def test_none_when_nothing_breaks(self):
+        site = site_with_features("https://a/x.js", None)
+        level, _, _ = grade_breakage(
+            site.functionality_status(),
+            site.functionality_status(blocked_scripts=frozenset({"https://a/unrelated.js"})),
+            site,
+        )
+        assert level is BreakageLevel.NONE
+
+
+class TestAssessBreakage:
+    def test_blocking_mixed_script_reports_breakage(self):
+        site, script = make_site()
+        report = assess_breakage(site, frozenset({script.url}))
+        assert report.level is BreakageLevel.MAJOR
+        assert report.requests_removed == 2
+        assert report.tracking_requests_removed == 1
+        assert "images" in report.comment or report.comment == "images missing"
+
+    def test_blocking_nothing_is_none(self):
+        site, _ = make_site()
+        report = assess_breakage(site, frozenset())
+        assert report.level is BreakageLevel.NONE
+        assert report.comment == "no visible functionality breakage"
+
+    def test_page_did_not_load_comment(self):
+        site = site_with_features("https://a/x.js", None)
+        site.functionalities[0] = Functionality(
+            name="page load",
+            tier=FunctionalityTier.CORE,
+            required_scripts=frozenset({"https://a/x.js"}),
+        )
+        report = assess_breakage(site, frozenset({"https://a/x.js"}))
+        assert report.comment == "page did not load"
+
+    def test_analyzer_summary(self):
+        site, script = make_site()
+        analyzer = BreakageAnalyzer()
+        reports = analyzer.analyze(
+            [(site, frozenset({script.url})), (site, frozenset())]
+        )
+        summary = analyzer.summary(reports)
+        assert summary[BreakageLevel.MAJOR] == 1
+        assert summary[BreakageLevel.NONE] == 1
+
+
+class TestEventRoundTrips:
+    def test_request_dict_round_trip(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        for event in page.requests:
+            assert RequestWillBeSent.from_dict(event.to_dict()) == event
+
+    def test_response_dict_round_trip(self):
+        site, _ = make_site()
+        page = BrowserEngine().load(site)
+        for event in page.responses:
+            assert ResponseReceived.from_dict(event.to_dict()) == event

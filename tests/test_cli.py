@@ -1,0 +1,79 @@
+"""CLI smoke tests (tiny crawls, captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--sites", "60", "--seed", "5"]
+
+
+class TestCommands:
+    def test_study(self, capsys):
+        assert main(ARGS + ["study"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Final separation factor" in out
+
+    def test_figure3(self, capsys):
+        assert main(ARGS + ["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3 (domain)" in out
+        assert "Figure 3 (method)" in out
+
+    def test_figure4(self, capsys):
+        assert main(ARGS + ["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("threshold,mixed_share")
+        assert len(out.splitlines()) == 22
+
+    def test_table3(self, capsys):
+        assert main(ARGS + ["table3"]) == 0
+        assert "Breakage" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(ARGS + ["compare"]) == 0
+        assert "Measured" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(ARGS + ["nonsense"])
+
+    def test_threshold_flag(self, capsys):
+        assert main(["--sites", "60", "--threshold", "1.5", "study"]) == 0
+
+    def test_rules_to_stdout(self, capsys):
+        assert main(ARGS + ["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "! Title: TrackerSift generated rules" in out
+        assert "||" in out
+
+    def test_rules_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "generated.txt"
+        assert main(ARGS + ["--out", str(out_path), "rules"]) == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_strategies(self, capsys):
+        assert main(ARGS + ["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "trackersift" in out and "conservative" in out
+
+    def test_bootstrap(self, capsys):
+        assert main(ARGS + ["--replicates", "10", "bootstrap"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative separation factor" in out
+
+    def test_export_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "crawl.jsonl"
+        assert main(ARGS + ["--out", str(out_path), "export"]) == 0
+        assert out_path.exists()
+
+    def test_export_sqlite(self, tmp_path, capsys):
+        out_path = tmp_path / "crawl.sqlite"
+        assert main(ARGS + ["--out", str(out_path), "export"]) == 0
+        assert out_path.exists()
+
+    def test_export_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(ARGS + ["export"])

@@ -1,0 +1,173 @@
+"""Figure 5: merged call graphs and point-of-divergence discovery."""
+
+from repro.core.callstack_analysis import (
+    CallGraph,
+    analyze_mixed_method,
+    build_call_graph,
+)
+from repro.filterlists.oracle import Label
+from repro.labeling.labeler import AnalyzedRequest
+
+CLONE = "https://test.com/clone.js"
+TRACK = "https://ads.com/track.js"
+USER = "https://test.com/user.js"
+GET = "https://test.com/get.js"
+
+
+def request(url, frames, tracking):
+    return AnalyzedRequest(
+        url=url,
+        label=Label.TRACKING if tracking else Label.FUNCTIONAL,
+        domain="google.com",
+        hostname="cdn.google.com",
+        script=frames[0][0],
+        method=frames[0][1],
+        page="https://test.com/",
+        resource_type="script",
+        ancestry=tuple(dict.fromkeys(f[0] for f in frames)),
+        frames=tuple(frames),
+    )
+
+
+def figure5_requests():
+    """Exactly the paper's Figure 5: ads-2 and nonads-2 via m2()."""
+    ads2 = request(
+        "https://cdn.google.com/ads-2",
+        [(CLONE, "m2"), (TRACK, "t")],
+        tracking=True,
+    )
+    nonads2 = request(
+        "https://cdn.google.com/nonads-2",
+        [(CLONE, "m2"), (USER, "k"), (GET, "a")],
+        tracking=False,
+    )
+    return [ads2, nonads2]
+
+
+class TestFigure5:
+    def test_point_of_divergence_is_track_t(self):
+        result = analyze_mixed_method(figure5_requests(), CLONE, "m2")
+        assert result.separable
+        assert result.point_of_divergence == (TRACK, "t")
+
+    def test_m2_itself_is_mixed_node(self):
+        result = analyze_mixed_method(figure5_requests(), CLONE, "m2")
+        assert (CLONE, "m2") in result.graph.mixed_nodes()
+
+    def test_functional_only_nodes(self):
+        result = analyze_mixed_method(figure5_requests(), CLONE, "m2")
+        assert set(result.graph.functional_only_nodes()) == {(USER, "k"), (GET, "a")}
+
+    def test_edges_are_caller_to_callee(self):
+        result = analyze_mixed_method(figure5_requests(), CLONE, "m2")
+        assert ((TRACK, "t"), (CLONE, "m2")) in result.graph.edges
+        assert ((USER, "k"), (CLONE, "m2")) in result.graph.edges
+        assert ((GET, "a"), (USER, "k")) in result.graph.edges
+
+    def test_callers_and_callees(self):
+        result = analyze_mixed_method(figure5_requests(), CLONE, "m2")
+        assert set(result.graph.callers((CLONE, "m2"))) == {(TRACK, "t"), (USER, "k")}
+        assert result.graph.callees((GET, "a")) == [(USER, "k")]
+
+    def test_other_methods_requests_ignored(self):
+        extra = request(
+            "https://cdn.google.com/other",
+            [(CLONE, "m1"), (TRACK, "t")],
+            tracking=True,
+        )
+        result = analyze_mixed_method(figure5_requests() + [extra], CLONE, "m2")
+        assert result.graph.tracking_traces == 1
+
+
+class TestDivergenceEdgeCases:
+    def test_inseparable_when_chains_identical(self):
+        shared = [(CLONE, "m2"), (USER, "k")]
+        reqs = [
+            request("https://cdn.google.com/a", shared, tracking=True),
+            request("https://cdn.google.com/b", shared, tracking=False),
+        ]
+        result = analyze_mixed_method(reqs, CLONE, "m2")
+        assert not result.separable
+        assert result.point_of_divergence is None
+
+    def test_candidate_must_cover_all_tracking_traces(self):
+        reqs = figure5_requests() + [
+            request(
+                "https://cdn.google.com/ads-3",
+                [(CLONE, "m2"), ("https://other.com/x.js", "z")],
+                tracking=True,
+            )
+        ]
+        result = analyze_mixed_method(reqs, CLONE, "m2")
+        # t is not in the second tracking trace, z not in the first: no
+        # single upstream removal kills all tracking
+        assert not result.separable
+
+    def test_candidates_ranked_by_depth(self):
+        deep = [(CLONE, "m2"), (TRACK, "t"), ("https://ads.com/root.js", "r")]
+        reqs = [
+            request("https://cdn.google.com/a", deep, tracking=True),
+            request(
+                "https://cdn.google.com/b",
+                [(CLONE, "m2"), (USER, "k")],
+                tracking=False,
+            ),
+        ]
+        result = analyze_mixed_method(reqs, CLONE, "m2")
+        assert result.candidates[0] == (TRACK, "t")
+        assert ("https://ads.com/root.js", "r") in result.candidates
+
+    def test_no_tracking_traces(self):
+        reqs = [
+            request(
+                "https://cdn.google.com/b",
+                [(CLONE, "m2"), (USER, "k")],
+                tracking=False,
+            )
+        ]
+        result = analyze_mixed_method(reqs, CLONE, "m2")
+        assert not result.separable
+
+
+class TestCallGraph:
+    def test_build_call_graph(self):
+        graph = build_call_graph(
+            [
+                (((CLONE, "m2"), (TRACK, "t")), True),
+                (((CLONE, "m2"), (USER, "k")), False),
+            ]
+        )
+        assert graph.tracking_traces == 1
+        assert graph.functional_traces == 1
+        assert graph.participation((CLONE, "m2")) == (1, 1)
+
+    def test_empty_trace_ignored(self):
+        graph = CallGraph()
+        graph.add_trace((), True)
+        assert graph.tracking_traces == 0
+
+    def test_tracking_only_nodes(self):
+        graph = build_call_graph([(((CLONE, "m2"), (TRACK, "t")), True)])
+        assert set(graph.tracking_only_nodes()) == {(CLONE, "m2"), (TRACK, "t")}
+
+
+class TestOnStudyData:
+    def test_mixed_methods_mostly_separable(self, study):
+        from repro.core.classifier import ResourceClass
+
+        method_level = study.report.method
+        mixed_keys = [
+            key
+            for key, res in method_level.resources.items()
+            if res.resource_class is ResourceClass.MIXED
+        ]
+        assert mixed_keys
+        separable = 0
+        for key in mixed_keys:
+            script, _, method = key.rpartition("@")
+            result = analyze_mixed_method(study.labeled.requests, script, method)
+            if result.separable:
+                separable += 1
+        # generator gives mixed methods divergent chains; the async-hop
+        # noise keeps a minority inseparable
+        assert separable / len(mixed_keys) > 0.5

@@ -1,0 +1,111 @@
+"""Ratio classifier: thresholds, infinities, monotonicity properties."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classifier import (
+    DEFAULT_THRESHOLD,
+    RatioClassifier,
+    ResourceClass,
+    ResourceCounts,
+)
+
+
+class TestDefaults:
+    def test_default_threshold_is_paper_value(self):
+        assert DEFAULT_THRESHOLD == 2.0
+        assert RatioClassifier().threshold == 2.0
+
+    def test_hundredfold_boundary_inclusive(self):
+        clf = RatioClassifier()
+        assert clf.classify_counts(100, 1) is ResourceClass.TRACKING
+        assert clf.classify_counts(1, 100) is ResourceClass.FUNCTIONAL
+
+    def test_just_inside_band_is_mixed(self):
+        clf = RatioClassifier()
+        assert clf.classify_counts(99, 1) is ResourceClass.MIXED
+        assert clf.classify_counts(1, 99) is ResourceClass.MIXED
+
+    def test_one_sided_counts(self):
+        clf = RatioClassifier()
+        assert clf.classify_counts(1, 0) is ResourceClass.TRACKING
+        assert clf.classify_counts(0, 1) is ResourceClass.FUNCTIONAL
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            RatioClassifier(threshold=0.0)
+        with pytest.raises(ValueError):
+            RatioClassifier(threshold=-1.0)
+
+    def test_with_threshold(self):
+        clf = RatioClassifier().with_threshold(1.0)
+        assert clf.threshold == 1.0
+        assert clf.classify_counts(11, 1) is ResourceClass.TRACKING
+
+
+class TestResourceCounts:
+    def test_add(self):
+        counts = ResourceCounts()
+        counts = counts.add(tracking=True).add(tracking=False).add(tracking=True)
+        assert counts == ResourceCounts(tracking=2, functional=1)
+        assert counts.total == 3
+
+    def test_ratio(self):
+        assert ResourceCounts(10, 1).ratio == pytest.approx(1.0)
+        assert ResourceCounts(1, 0).ratio == math.inf
+
+
+class TestProperties:
+    @given(t=st.integers(0, 100_000), f=st.integers(0, 100_000))
+    def test_always_classified(self, t, f):
+        if t == 0 and f == 0:
+            return
+        assert RatioClassifier().classify_counts(t, f) in ResourceClass
+
+    @given(t=st.integers(1, 100_000), f=st.integers(1, 100_000))
+    def test_symmetry(self, t, f):
+        clf = RatioClassifier()
+        forward = clf.classify_counts(t, f)
+        backward = clf.classify_counts(f, t)
+        flip = {
+            ResourceClass.TRACKING: ResourceClass.FUNCTIONAL,
+            ResourceClass.FUNCTIONAL: ResourceClass.TRACKING,
+            ResourceClass.MIXED: ResourceClass.MIXED,
+        }
+        assert backward is flip[forward]
+
+    @given(
+        t=st.integers(0, 10_000),
+        f=st.integers(0, 10_000),
+        small=st.floats(0.5, 2.0),
+        extra=st.floats(0.1, 2.0),
+    )
+    def test_widening_threshold_never_unmixes(self, t, f, small, extra):
+        if t == 0 and f == 0:
+            return
+        narrow = RatioClassifier(threshold=small)
+        wide = RatioClassifier(threshold=small + extra)
+        if narrow.classify_counts(t, f) is ResourceClass.MIXED:
+            assert wide.classify_counts(t, f) is ResourceClass.MIXED
+
+    @given(t=st.integers(1, 1_000), f=st.integers(1, 1_000), k=st.integers(2, 50))
+    def test_scale_invariance(self, t, f, k):
+        clf = RatioClassifier()
+        assert clf.classify_counts(t, f) is clf.classify_counts(t * k, f * k)
+
+    @given(t=st.integers(0, 1_000), f=st.integers(0, 1_000))
+    def test_adding_tracking_never_moves_toward_functional(self, t, f):
+        if t == 0 and f == 0:
+            return
+        clf = RatioClassifier()
+        order = {
+            ResourceClass.FUNCTIONAL: 0,
+            ResourceClass.MIXED: 1,
+            ResourceClass.TRACKING: 2,
+        }
+        before = clf.classify_counts(t, f)
+        after = clf.classify_counts(t + 1, f)
+        assert order[after] >= order[before]

@@ -1,0 +1,179 @@
+"""Hierarchical sifter: partition invariants and descent semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import RatioClassifier, ResourceClass
+from repro.core.hierarchy import HierarchicalSifter, sift_requests
+from repro.filterlists.oracle import Label
+from repro.labeling.labeler import AnalyzedRequest
+
+
+def request(domain, host, script, method, tracking):
+    return AnalyzedRequest(
+        url=f"https://{host}/x",
+        label=Label.TRACKING if tracking else Label.FUNCTIONAL,
+        domain=domain,
+        hostname=host,
+        script=script,
+        method=method,
+        page="https://pub.example/",
+        resource_type="xmlhttprequest",
+        ancestry=(script,),
+        frames=((script, method),),
+    )
+
+
+def figure1_requests():
+    """The paper's Figure 1 scenario, request by request."""
+    reqs = []
+    # ads.com: purely tracking (enough volume to clear the 100x bar)
+    reqs += [request("ads.com", "ads.com", "https://s/sdk.js", "run", True)] * 4
+    # news.com: purely functional
+    reqs += [request("news.com", "news.com", "https://s/app.js", "init", False)] * 4
+    # google.com: mixed domain
+    #   ad.google.com: tracking hostname
+    reqs += [request("google.com", "ad.google.com", "https://s/sdk.js", "run", True)] * 3
+    #   maps.google.com: functional hostname
+    reqs += [request("google.com", "maps.google.com", "https://s/maps.js", "draw", False)] * 3
+    #   cdn.google.com: mixed hostname, three initiator scripts
+    reqs += [request("google.com", "cdn.google.com", "https://s/sdk.js", "run", True)] * 2
+    reqs += [request("google.com", "cdn.google.com", "https://s/stack.js", "push", False)] * 2
+    #   clone.js: mixed script with three methods
+    reqs += [request("google.com", "cdn.google.com", "https://s/clone.js", "m1", True)] * 2
+    reqs += [request("google.com", "cdn.google.com", "https://s/clone.js", "m3", False)] * 2
+    reqs += [request("google.com", "cdn.google.com", "https://s/clone.js", "m2", True)]
+    reqs += [request("google.com", "cdn.google.com", "https://s/clone.js", "m2", False)]
+    return reqs
+
+
+class TestFigure1:
+    def test_domain_level(self):
+        report = sift_requests(figure1_requests())
+        domains = report.domain.resources
+        assert domains["ads.com"].resource_class is ResourceClass.TRACKING
+        assert domains["news.com"].resource_class is ResourceClass.FUNCTIONAL
+        assert domains["google.com"].resource_class is ResourceClass.MIXED
+
+    def test_hostname_level_only_covers_mixed_domains(self):
+        report = sift_requests(figure1_requests())
+        hosts = report.hostname.resources
+        assert "ads.com" not in hosts  # pure domain never descends
+        assert hosts["ad.google.com"].resource_class is ResourceClass.TRACKING
+        assert hosts["maps.google.com"].resource_class is ResourceClass.FUNCTIONAL
+        assert hosts["cdn.google.com"].resource_class is ResourceClass.MIXED
+
+    def test_script_level(self):
+        report = sift_requests(figure1_requests())
+        scripts = report.script.resources
+        assert scripts["https://s/sdk.js"].resource_class is ResourceClass.TRACKING
+        assert scripts["https://s/stack.js"].resource_class is ResourceClass.FUNCTIONAL
+        assert scripts["https://s/clone.js"].resource_class is ResourceClass.MIXED
+
+    def test_method_level(self):
+        report = sift_requests(figure1_requests())
+        methods = report.method.resources
+        assert methods["https://s/clone.js@m1"].resource_class is ResourceClass.TRACKING
+        assert methods["https://s/clone.js@m3"].resource_class is ResourceClass.FUNCTIONAL
+        assert methods["https://s/clone.js@m2"].resource_class is ResourceClass.MIXED
+
+    def test_unattributed_remainder(self):
+        report = sift_requests(figure1_requests())
+        assert report.unattributed_requests == 2  # m2's two requests
+
+
+class TestPartitionInvariants:
+    def test_level_totals_telescope(self, study):
+        report = study.report
+        assert report.total_requests == len(study.labeled.requests)
+        for parent, child in zip(report.levels, report.levels[1:]):
+            assert child.request_count() == parent.request_count(ResourceClass.MIXED)
+
+    def test_request_conservation(self, study):
+        report = study.report
+        attributed = sum(
+            level.request_count(ResourceClass.TRACKING)
+            + level.request_count(ResourceClass.FUNCTIONAL)
+            for level in report.levels
+        )
+        assert attributed + report.unattributed_requests == report.total_requests
+
+    def test_cumulative_separation_monotone(self, study):
+        cumulative = study.report.cumulative_separation()
+        assert all(a <= b + 1e-12 for a, b in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == pytest.approx(study.report.final_separation)
+
+    def test_every_resource_has_requests(self, study):
+        for level in study.report.levels:
+            for resource in level.resources.values():
+                assert resource.counts.total > 0
+
+
+class TestDescentSemantics:
+    def test_classification_order_invariant(self):
+        requests = figure1_requests()
+        shuffled = list(reversed(requests))
+        a = sift_requests(requests)
+        b = sift_requests(shuffled)
+        for level_a, level_b in zip(a.levels, b.levels):
+            keys_a = {k: r.resource_class for k, r in level_a.resources.items()}
+            keys_b = {k: r.resource_class for k, r in level_b.resources.items()}
+            assert keys_a == keys_b
+
+    def test_empty_input(self):
+        report = sift_requests([])
+        assert report.total_requests == 0
+        assert report.final_separation == 0.0
+
+    def test_all_pure_stops_after_domain(self):
+        reqs = [request("ads.com", "ads.com", "https://s/a.js", "m", True)] * 3
+        report = sift_requests(reqs)
+        assert len(report.levels) == 1
+
+    def test_custom_threshold_changes_mixing(self):
+        reqs = figure1_requests()
+        # threshold 0.1: nearly everything with both labels is pure
+        tight = sift_requests(reqs, threshold=0.1)
+        loose = sift_requests(reqs, threshold=3.0)
+        tight_mixed = tight.domain.entity_count(ResourceClass.MIXED)
+        loose_mixed = loose.domain.entity_count(ResourceClass.MIXED)
+        assert tight_mixed <= loose_mixed
+
+
+class TestFlatAblation:
+    def test_flat_script_sees_all_requests(self):
+        reqs = figure1_requests()
+        sifter = HierarchicalSifter()
+        flat = sifter.sift_flat(reqs, "script")
+        assert flat.request_count() == len(reqs)
+
+    def test_unknown_granularity(self):
+        with pytest.raises(KeyError):
+            HierarchicalSifter().sift_flat([], "nonsense")
+
+
+_keys = st.sampled_from(["a.com", "b.com", "c.com"])
+
+
+class TestRandomisedPartition:
+    @given(
+        data=st.lists(
+            st.tuples(_keys, st.booleans()), min_size=1, max_size=120
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_domain_partition_is_total(self, data):
+        reqs = [
+            request(domain, f"h.{domain}", "https://s/x.js", "m", tracking)
+            for domain, tracking in data
+        ]
+        report = HierarchicalSifter(RatioClassifier()).sift(reqs)
+        level = report.domain
+        assert (
+            level.request_count(ResourceClass.TRACKING)
+            + level.request_count(ResourceClass.FUNCTIONAL)
+            + level.request_count(ResourceClass.MIXED)
+            == len(reqs)
+        )
+        assert level.entity_count() == len({d for d, _ in data})

@@ -1,0 +1,123 @@
+"""The headline integration test: the pipeline re-derives the paper's shape.
+
+Everything here runs on the session-scoped 1,000-site study.  Tolerances
+are deliberately tight — the generator is calibrated, the pipeline is
+blind, so agreement must come out of the measurement itself.
+"""
+
+import pytest
+
+from repro.core.classifier import ResourceClass
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.webmodel.calibration import PAPER
+
+
+class TestSeparationFactors:
+    def test_domain(self, study):
+        assert study.report.domain.separation_factor == pytest.approx(0.54, abs=0.04)
+
+    def test_hostname(self, study):
+        assert study.report.hostname.separation_factor == pytest.approx(0.24, abs=0.04)
+
+    def test_script(self, study):
+        assert study.report.script.separation_factor == pytest.approx(0.84, abs=0.04)
+
+    def test_method(self, study):
+        assert study.report.method.separation_factor == pytest.approx(0.72, abs=0.06)
+
+    def test_cumulative_sequence(self, study):
+        cumulative = study.report.cumulative_separation()
+        paper = PAPER.cumulative_separation()
+        for measured, published in zip(cumulative, paper):
+            assert measured == pytest.approx(published, abs=0.03)
+
+    def test_headline_98_percent(self, study):
+        assert study.report.final_separation >= 0.95
+
+
+class TestMixedShares:
+    """Abstract: "more than 17% domains, 48% hostnames, 6% scripts, and
+    9% methods ... combine tracking and legitimate functionality"."""
+
+    def _share(self, level):
+        return level.entity_count(ResourceClass.MIXED) / level.entity_count()
+
+    def test_domains(self, study):
+        assert self._share(study.report.domain) == pytest.approx(0.17, abs=0.03)
+
+    def test_hostnames(self, study):
+        assert self._share(study.report.hostname) == pytest.approx(0.48, abs=0.06)
+
+    def test_scripts(self, study):
+        assert self._share(study.report.script) == pytest.approx(0.06, abs=0.02)
+
+    def test_methods(self, study):
+        assert self._share(study.report.method) == pytest.approx(0.09, abs=0.04)
+
+
+class TestRequestShares:
+    def test_domain_request_split(self, study):
+        level = study.report.domain
+        total = level.request_count()
+        assert level.request_count(ResourceClass.TRACKING) / total == pytest.approx(
+            0.31, abs=0.04
+        )
+        assert level.request_count(ResourceClass.FUNCTIONAL) / total == pytest.approx(
+            0.23, abs=0.04
+        )
+        assert level.request_count(ResourceClass.MIXED) / total == pytest.approx(
+            0.46, abs=0.04
+        )
+
+    def test_under_2_percent_unattributed(self, study):
+        share = study.report.unattributed_requests / study.report.total_requests
+        assert share < 0.05  # paper: <2%; small crawls wobble a little
+
+
+class TestAnecdotes:
+    def test_known_trackers_classified_tracking(self, study):
+        domains = study.report.domain.resources
+        for name in ("google-analytics.com", "doubleclick.net"):
+            if name in domains:
+                assert domains[name].resource_class is ResourceClass.TRACKING
+
+    def test_seed_mixed_domains_classified_mixed(self, study):
+        domains = study.report.domain.resources
+        seen = 0
+        for name in ("gstatic.com", "google.com", "facebook.com", "wp.com"):
+            if name in domains:
+                seen += 1
+                assert domains[name].resource_class is ResourceClass.MIXED, name
+        assert seen >= 2
+
+    def test_pure_domains_never_descend(self, study):
+        mixed_domains = study.report.domain.mixed_keys()
+        for host in study.report.hostname.resources:
+            domain = ".".join(host.split(".")[-2:])
+            assert domain in mixed_domains or any(
+                host.endswith("." + d) or host == d for d in mixed_domains
+            )
+
+
+class TestPipelinePlumbing:
+    def test_stage_accounting(self, study):
+        assert study.pages_crawled == study.config.sites
+        assert study.pages_failed == 0
+        assert study.total_script_requests > 15_000
+
+    def test_determinism(self):
+        config = PipelineConfig(sites=120, seed=21)
+        a = TrackerSiftPipeline(config).run()
+        b = TrackerSiftPipeline(config).run()
+        assert a.report.summary() == b.report.summary()
+
+    def test_failure_rate_plumbs_through(self):
+        config = PipelineConfig(sites=120, seed=21, failure_rate=0.2)
+        result = TrackerSiftPipeline(config).run()
+        assert result.pages_failed > 0
+        assert result.pages_crawled + result.pages_failed == 120
+
+    def test_threshold_override(self):
+        config = PipelineConfig(sites=120, seed=21, threshold=1.0)
+        result = TrackerSiftPipeline(config).run()
+        assert result.report is not None

@@ -1,0 +1,97 @@
+"""LevelReport / SiftReport unit tests."""
+
+import pytest
+
+from repro.core.classifier import RatioClassifier, ResourceClass, ResourceCounts
+from repro.core.results import LevelReport, ResourceResult, SiftReport
+
+
+def make_level(granularity: str, entries: dict[str, tuple[int, int]]) -> LevelReport:
+    clf = RatioClassifier()
+    level = LevelReport(granularity=granularity)
+    for key, (t, f) in entries.items():
+        counts = ResourceCounts(t, f)
+        level.resources[key] = ResourceResult(
+            key=key, counts=counts, resource_class=clf.classify(counts)
+        )
+    return level
+
+
+class TestLevelReport:
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            LevelReport(granularity="nonsense")
+
+    def test_counts(self):
+        level = make_level(
+            "domain",
+            {"t.com": (500, 1), "f.com": (0, 300), "m.com": (40, 60)},
+        )
+        assert level.entity_count() == 3
+        assert level.entity_count(ResourceClass.TRACKING) == 1
+        assert level.request_count() == 901
+        assert level.request_count(ResourceClass.MIXED) == 100
+        assert level.mixed_keys() == {"m.com"}
+
+    def test_separation_factor(self):
+        level = make_level("domain", {"t.com": (100, 0), "m.com": (50, 50)})
+        assert level.separation_factor == pytest.approx(0.5)
+
+    def test_empty_level(self):
+        level = LevelReport(granularity="domain")
+        assert level.separation_factor == 0.0
+        assert level.ratios() == []
+
+    def test_summary_row(self):
+        level = make_level("script", {"a.js": (10, 1000)})
+        row = level.summary_row()
+        assert row["granularity"] == "script"
+        assert row["entities_functional"] == 1
+        assert row["requests_functional"] == 1010
+
+    def test_ratios(self):
+        level = make_level("domain", {"a.com": (10, 10)})
+        assert level.ratios() == [pytest.approx(0.0)]
+
+
+class TestSiftReport:
+    def make_report(self):
+        report = SiftReport(total_requests=1000)
+        report.levels.append(
+            make_level("domain", {"t.com": (300, 2), "m.com": (300, 398)})
+        )
+        report.levels.append(
+            make_level("hostname", {"a.m.com": (296, 2), "b.m.com": (2, 398)})
+        )
+        return report
+
+    def test_level_lookup(self):
+        report = self.make_report()
+        assert report.level("domain").granularity == "domain"
+        assert report.domain is report.levels[0]
+        assert report.hostname is report.levels[1]
+        with pytest.raises(KeyError):
+            report.level("script")
+
+    def test_cumulative(self):
+        report = self.make_report()
+        cumulative = report.cumulative_separation()
+        assert cumulative[0] == pytest.approx(302 / 1000)
+        assert cumulative[1] == pytest.approx((302 + 698) / 1000)
+        assert report.final_separation == pytest.approx(1.0)
+
+    def test_unattributed(self):
+        report = self.make_report()
+        assert report.unattributed_requests == 0
+
+    def test_empty_report(self):
+        report = SiftReport()
+        assert report.cumulative_separation() == []
+        assert report.final_separation == 0.0
+        assert report.unattributed_requests == 0
+
+    def test_summary_keys(self):
+        report = self.make_report()
+        rows = report.summary()
+        assert len(rows) == 2
+        assert "cumulative_separation" in rows[0]

@@ -1,0 +1,117 @@
+"""Rule generation and blocking-strategy evaluation."""
+
+import pytest
+
+from repro.core.classifier import ResourceClass
+from repro.core.rulegen import (
+    BlockingStrategy,
+    compare_strategies,
+    evaluate_strategy,
+    generate_recommendation,
+)
+from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.parser import parse_filter_list
+
+
+class TestRecommendation:
+    def test_rule_counts_match_report(self, study):
+        rec = generate_recommendation(study.report)
+        report = study.report
+        assert len(rec.domain_rules) == report.domain.entity_count(
+            ResourceClass.TRACKING
+        )
+        assert len(rec.hostname_rules) == report.hostname.entity_count(
+            ResourceClass.TRACKING
+        )
+        assert len(rec.script_rules) == report.script.entity_count(
+            ResourceClass.TRACKING
+        )
+
+    def test_surrogates_cover_mixed_scripts_with_tracking_methods(self, study):
+        rec = generate_recommendation(study.report)
+        tracking_method_scripts = {
+            key.rpartition("@")[0]
+            for key, res in study.report.method.resources.items()
+            if res.resource_class is ResourceClass.TRACKING
+        }
+        assert {d.script for d in rec.surrogates} == tracking_method_scripts
+
+    def test_generated_list_parses_with_own_engine(self, study):
+        rec = generate_recommendation(study.report)
+        parsed = parse_filter_list(rec.to_filter_list(), name="generated")
+        assert not parsed.error_lines
+        assert len(parsed.blocking_rules) == rec.rule_count
+
+    def test_domain_rules_block_their_domains(self, study):
+        rec = generate_recommendation(study.report)
+        parsed = parse_filter_list(rec.to_filter_list(), name="generated")
+        matcher = FilterMatcher(parsed.rules)
+        tracking_domains = [
+            r.key for r in study.report.domain.by_class(ResourceClass.TRACKING)
+        ]
+        for domain in tracking_domains[:20]:
+            assert matcher.should_block_url(f"https://{domain}/anything")
+
+    def test_script_rules_are_script_scoped(self, study):
+        rec = generate_recommendation(study.report)
+        for rule in rec.script_rules:
+            assert rule.endswith("$script")
+            assert "#" not in rule  # inline fragments stripped
+
+    def test_filter_list_mentions_surrogates(self, study):
+        rec = generate_recommendation(study.report)
+        text = rec.to_filter_list()
+        if rec.surrogates:
+            assert "! surrogate:" in text
+
+
+class TestStrategyEvaluation:
+    def test_trackersift_dominates_conservative_on_coverage(self, study):
+        outcomes = {
+            o.strategy: o
+            for o in compare_strategies(study.labeled.requests, study.report)
+        }
+        conservative = outcomes[BlockingStrategy.CONSERVATIVE]
+        trackersift = outcomes[BlockingStrategy.TRACKERSIFT]
+        assert trackersift.tracking_coverage > conservative.tracking_coverage
+
+    def test_trackersift_dominates_naive_on_collateral(self, study):
+        outcomes = {
+            o.strategy: o
+            for o in compare_strategies(study.labeled.requests, study.report)
+        }
+        naive = outcomes[BlockingStrategy.NAIVE_MIXED]
+        trackersift = outcomes[BlockingStrategy.TRACKERSIFT]
+        assert trackersift.collateral_rate < naive.collateral_rate
+        # naive blocks every mixed-domain request: huge functional loss
+        assert naive.collateral_rate > 0.4
+
+    def test_trackersift_coverage_is_high_with_low_collateral(self, study):
+        outcome = evaluate_strategy(
+            study.labeled.requests, study.report, BlockingStrategy.TRACKERSIFT
+        )
+        assert outcome.tracking_coverage > 0.9
+        assert outcome.collateral_rate < 0.05
+
+    def test_totals_partition(self, study):
+        outcome = evaluate_strategy(
+            study.labeled.requests, study.report, BlockingStrategy.TRACKERSIFT
+        )
+        assert (
+            outcome.tracking_total + outcome.functional_total
+            == len(study.labeled.requests)
+        )
+        assert outcome.tracking_missed >= 0
+
+    def test_naive_coverage_is_total(self, study):
+        # blocking tracking + mixed domains catches every tracking request
+        # that the domain level can see
+        outcome = evaluate_strategy(
+            study.labeled.requests, study.report, BlockingStrategy.NAIVE_MIXED
+        )
+        assert outcome.tracking_coverage > 0.99
+
+    def test_empty_requests(self, study):
+        outcome = evaluate_strategy([], study.report, BlockingStrategy.TRACKERSIFT)
+        assert outcome.tracking_coverage == 0.0
+        assert outcome.collateral_rate == 0.0

@@ -1,0 +1,65 @@
+"""Figure 4 threshold sensitivity: monotonicity and the plateau at 2."""
+
+import math
+
+import pytest
+
+from repro.core.sensitivity import sweep_level, threshold_sweep
+
+
+class TestSweepLevel:
+    def test_counts(self):
+        ratios = [-3.0, -1.5, 0.0, 1.5, 3.0, math.inf, -math.inf]
+        result = sweep_level(ratios, "script", thresholds=[1.0, 2.0, 3.5])
+        assert [p.mixed_entities for p in result.points] == [1, 3, 5]
+        assert result.points[0].total_entities == 7
+
+    def test_shares(self):
+        result = sweep_level([0.0, 5.0], "script", thresholds=[1.0])
+        assert result.points[0].mixed_share == pytest.approx(0.5)
+
+    def test_empty(self):
+        result = sweep_level([], "script", thresholds=[2.0])
+        assert result.points[0].mixed_share == 0.0
+
+    def test_default_threshold_grid(self):
+        result = sweep_level([0.0], "script")
+        assert result.points[0].threshold == pytest.approx(1.0)
+        assert result.points[-1].threshold == pytest.approx(3.0)
+        assert len(result.points) == 21
+
+    def test_monotonicity_check(self):
+        result = sweep_level([-0.5, 0.5, 2.5], "script")
+        assert result.is_monotone_nondecreasing()
+
+    def test_plateau_start(self):
+        # all mass inside |ratio|<1: the curve is flat from the start
+        result = sweep_level([0.0, 0.2, -0.3], "script")
+        assert result.plateau_start() == pytest.approx(1.0)
+
+
+class TestFigure4OnStudy:
+    def test_monotone(self, study):
+        sweep = threshold_sweep(study.labeled.requests, "script")
+        assert sweep.is_monotone_nondecreasing()
+
+    def test_plateau_near_two(self, study):
+        sweep = threshold_sweep(study.labeled.requests, "script")
+        # paper: "the curve plateaus around our selected threshold of 2"
+        assert sweep.plateau_start(tolerance=0.004) <= 2.3
+
+    def test_mixed_share_near_paper_at_threshold_two(self, study):
+        sweep = threshold_sweep(study.labeled.requests, "script")
+        at_two = next(p for p in sweep.points if abs(p.threshold - 2.0) < 1e-9)
+        assert at_two.mixed_share == pytest.approx(0.06, abs=0.02)
+
+    def test_curve_rises_between_one_and_two(self, study):
+        sweep = threshold_sweep(study.labeled.requests, "script")
+        at_one = sweep.points[0].mixed_share
+        at_two = next(p for p in sweep.points if abs(p.threshold - 2.0) < 1e-9)
+        assert at_two.mixed_share >= at_one
+
+    def test_other_granularities_also_monotone(self, study):
+        for granularity in ("domain", "hostname", "method"):
+            sweep = threshold_sweep(study.labeled.requests, granularity)
+            assert sweep.is_monotone_nondecreasing(), granularity

@@ -1,0 +1,51 @@
+"""The paper's shape must hold across seeds, not just the default one."""
+
+import pytest
+
+from repro.core.classifier import ResourceClass
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+
+
+@pytest.fixture(scope="module", params=[21, 99, 1234])
+def seeded_study(request):
+    config = PipelineConfig(sites=400, seed=request.param)
+    return TrackerSiftPipeline(config).run()
+
+
+class TestShapeAcrossSeeds:
+    def test_separation_factors(self, seeded_study):
+        report = seeded_study.report
+        assert report.domain.separation_factor == pytest.approx(0.54, abs=0.06)
+        assert report.hostname.separation_factor == pytest.approx(0.24, abs=0.06)
+        assert report.script.separation_factor == pytest.approx(0.84, abs=0.06)
+        assert report.method.separation_factor == pytest.approx(0.72, abs=0.10)
+
+    def test_final_separation(self, seeded_study):
+        assert seeded_study.report.final_separation > 0.94
+
+    def test_mixed_shares(self, seeded_study):
+        report = seeded_study.report
+
+        def share(level):
+            return level.entity_count(ResourceClass.MIXED) / level.entity_count()
+
+        assert share(report.domain) == pytest.approx(0.17, abs=0.04)
+        assert share(report.hostname) == pytest.approx(0.48, abs=0.08)
+        assert share(report.script) == pytest.approx(0.06, abs=0.03)
+        assert share(report.method) == pytest.approx(0.09, abs=0.05)
+
+    def test_ordering_of_separation_factors(self, seeded_study):
+        # the paper's qualitative ordering: script level separates best,
+        # hostname level worst
+        report = seeded_study.report
+        factors = {
+            level.granularity: level.separation_factor for level in report.levels
+        }
+        assert factors["script"] > factors["domain"] > factors["hostname"]
+        assert factors["method"] > factors["hostname"]
+
+    def test_three_peaks_survive_seed_change(self, seeded_study):
+        from repro.analysis.figures import build_figure3
+
+        for name, panel in build_figure3(seeded_study.report).items():
+            assert panel.has_three_peaks(), name

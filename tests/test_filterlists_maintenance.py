@@ -1,0 +1,79 @@
+"""Filter-list maintenance: diffs and redundancy detection."""
+
+from repro.filterlists.maintenance import diff_lists, find_redundant_rules
+from repro.filterlists.parser import parse_filter_list
+
+
+class TestDiff:
+    def test_added_and_removed(self):
+        old = parse_filter_list("||a.example^\n||b.example^\n", name="v1")
+        new = parse_filter_list("||b.example^\n||c.example^\n", name="v2")
+        diff = diff_lists(old, new)
+        assert [r.text for r in diff.added] == ["||c.example^"]
+        assert [r.text for r in diff.removed] == ["||a.example^"]
+        assert diff.unchanged == 1
+        assert diff.churn == 2
+        assert diff.summary() == "+1 -1 (unchanged 1)"
+
+    def test_identical_lists(self):
+        text = "||a.example^\n/pixel*\n"
+        diff = diff_lists(parse_filter_list(text), parse_filter_list(text))
+        assert diff.churn == 0
+        assert diff.unchanged == 2
+
+    def test_option_change_counts_as_churn(self):
+        old = parse_filter_list("||a.example^$script\n")
+        new = parse_filter_list("||a.example^$script,third-party\n")
+        diff = diff_lists(old, new)
+        assert diff.churn == 2
+        assert diff.unchanged == 0
+
+
+class TestRedundancy:
+    def test_subdomain_rule_shadowed_by_domain_rule(self):
+        parsed = parse_filter_list("||tracker.example^\n||cdn.tracker.example^\n")
+        redundant = find_redundant_rules(parsed)
+        assert len(redundant) == 1
+        shadowed, shadowing = redundant[0]
+        assert shadowed.text == "||cdn.tracker.example^"
+        assert shadowing.text == "||tracker.example^"
+
+    def test_path_rule_under_anchored_domain_is_shadowed(self):
+        parsed = parse_filter_list("||tracker.example^\n||tracker.example/pixel^\n")
+        redundant = find_redundant_rules(parsed)
+        assert [(s.text, a.text) for s, a in redundant] == [
+            ("||tracker.example/pixel^", "||tracker.example^")
+        ]
+
+    def test_unrelated_domains_not_flagged(self):
+        parsed = parse_filter_list("||tracker.example^\n||nottracker.example^\n")
+        assert find_redundant_rules(parsed) == []
+
+    def test_conditional_anchor_does_not_shadow(self):
+        # a $script-only rule does not cover image requests, so the
+        # narrower rule is NOT redundant
+        parsed = parse_filter_list(
+            "||tracker.example^$script\n||cdn.tracker.example^\n"
+        )
+        assert find_redundant_rules(parsed) == []
+
+    def test_anchor_not_redundant_with_itself(self):
+        parsed = parse_filter_list("||tracker.example^\n")
+        assert find_redundant_rules(parsed) == []
+
+    def test_exception_rules_ignored(self):
+        parsed = parse_filter_list("||tracker.example^\n@@||cdn.tracker.example^\n")
+        assert find_redundant_rules(parsed) == []
+
+    def test_generated_rules_against_snapshot(self, study):
+        """Generated hostname rules under generated domain rules are
+        detected when merged into one list."""
+        from repro.core.rulegen import generate_recommendation
+
+        rec = generate_recommendation(study.report)
+        merged = "\n".join(
+            rec.domain_rules + [f"||x.{d.lstrip('|').rstrip('^')}^" for d in rec.domain_rules[:3]]
+        )
+        parsed = parse_filter_list(merged)
+        redundant = find_redundant_rules(parsed)
+        assert len(redundant) >= 3

@@ -1,0 +1,121 @@
+"""Matcher engine: token indexing correctness and exception semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import RequestContext
+
+
+class TestBasicMatching:
+    def test_block(self):
+        matcher = FilterMatcher.from_text("||tracker.example^")
+        assert matcher.should_block_url("https://tracker.example/x")
+
+    def test_no_match(self):
+        matcher = FilterMatcher.from_text("||tracker.example^")
+        assert not matcher.should_block_url("https://safe.example/x")
+
+    def test_exception_overrides_block(self):
+        matcher = FilterMatcher.from_text(
+            "||tracker.example^\n@@||tracker.example/legit^\n"
+        )
+        assert matcher.should_block_url("https://tracker.example/x")
+        assert not matcher.should_block_url("https://tracker.example/legit/x")
+
+    def test_exception_alone_does_not_block(self):
+        matcher = FilterMatcher.from_text("@@||anything.example^")
+        assert not matcher.should_block_url("https://anything.example/")
+
+    def test_match_result_provenance(self):
+        matcher = FilterMatcher.from_text("||t.example^", name="mini")
+        result = matcher.match(RequestContext("https://t.example/"))
+        assert result.blocked
+        assert result.rule is not None and result.rule.text == "||t.example^"
+        assert result.matched
+
+    def test_exception_recorded_in_result(self):
+        matcher = FilterMatcher.from_text("||t.example^\n@@||t.example/ok^")
+        result = matcher.match(RequestContext("https://t.example/ok/1"))
+        assert not result.blocked
+        assert result.exception is not None
+
+    def test_unsupported_rules_skipped(self):
+        matcher = FilterMatcher.from_text("/regexy/\n||real.example^")
+        assert matcher.rule_count == 1
+
+    def test_multiple_lists_combined(self):
+        a = parse_filter_list("||a.example^", name="a")
+        b = parse_filter_list("||b.example^", name="b")
+        matcher = FilterMatcher.from_lists(a, b)
+        assert matcher.should_block_url("https://a.example/")
+        assert matcher.should_block_url("https://b.example/")
+        assert matcher.list_names == ("a", "b")
+
+
+class _BruteForceMatcher:
+    """Reference implementation: test every rule, no index."""
+
+    def __init__(self, rules):
+        self._blocking = [r for r in rules if not r.is_exception and r.supported]
+        self._exceptions = [r for r in rules if r.is_exception and r.supported]
+
+    def should_block(self, context: RequestContext) -> bool:
+        if not any(r.matches(context) for r in self._blocking):
+            return False
+        return not any(r.matches(context) for r in self._exceptions)
+
+
+_RULES_TEXT = "\n".join(
+    [
+        "||tracker.example^",
+        "||ads.shop.example^$image",
+        "/pixel*",
+        "/collect?",
+        "-banner-",
+        "|https://exact.example/start",
+        "/media/ads^",
+        "@@||tracker.example/consent^",
+        "@@/pixel-opt-out",
+        "^",  # token-free catch-all exercising the catch-all bucket
+    ]
+)
+
+_urls = st.sampled_from(
+    [
+        "https://tracker.example/p.js",
+        "https://tracker.example/consent/x",
+        "https://ads.shop.example/b.png",
+        "https://safe.example/assets/app.js",
+        "https://safe.example/pixel-1.gif",
+        "https://safe.example/pixel-opt-out.gif",
+        "https://safe.example/collect?uid=2",
+        "https://cdn.example/img-banner-300.png",
+        "https://exact.example/start/page",
+        "https://media.example/media/ads?slot=1",
+    ]
+)
+
+
+class TestIndexEquivalence:
+    @given(url=_urls)
+    def test_indexed_equals_brute_force(self, url):
+        parsed = parse_filter_list(_RULES_TEXT)
+        indexed = FilterMatcher(parsed.rules)
+        brute = _BruteForceMatcher(parsed.rules)
+        context = RequestContext(url=url)
+        assert indexed.should_block(context) == brute.should_block(context)
+
+    @given(
+        path=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789/-_.?=",
+            max_size=30,
+        )
+    )
+    def test_indexed_equals_brute_force_random_paths(self, path):
+        parsed = parse_filter_list(_RULES_TEXT)
+        indexed = FilterMatcher(parsed.rules)
+        brute = _BruteForceMatcher(parsed.rules)
+        context = RequestContext(url=f"https://fuzz.example/{path}")
+        assert indexed.should_block(context) == brute.should_block(context)

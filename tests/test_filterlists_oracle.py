@@ -1,0 +1,132 @@
+"""Oracle tests: snapshot integrity and generator-vocabulary consistency.
+
+The last class is the keystone of the whole reproduction: every URL the
+generator can emit with tracking intent must be labeled tracking by the
+oracle, and every functional-intent URL must not match any rule.  If this
+drifts, the pipeline would no longer *re-derive* the paper's labels.
+"""
+
+import random
+
+from repro.filterlists.lists import (
+    AD_PATH_MARKERS,
+    ADVERTISING_DOMAINS,
+    TRACKER_DOMAINS,
+    TRACKER_PATH_MARKERS,
+    load_easylist,
+    load_easyprivacy,
+)
+from repro.filterlists.oracle import FilterListOracle, Label
+from repro.filterlists.rules import ResourceType
+from repro.webmodel.naming import NameFactory
+
+
+class TestSnapshots:
+    def test_easylist_parses(self):
+        parsed = load_easylist()
+        assert parsed.name == "easylist"
+        assert len(parsed.blocking_rules) > 20
+        assert len(parsed.exception_rules) >= 2
+        assert not parsed.error_lines
+
+    def test_easyprivacy_parses(self):
+        parsed = load_easyprivacy()
+        assert len(parsed.blocking_rules) > 20
+        assert not parsed.error_lines
+
+    def test_all_marker_rules_supported(self):
+        for parsed in (load_easylist(), load_easyprivacy()):
+            unsupported = [r.text for r in parsed.rules if not r.supported]
+            assert unsupported == []
+
+
+class TestOracleLabels:
+    def test_tracker_domain_is_tracking(self, oracle):
+        assert oracle.label("https://google-analytics.com/collect?v=1").is_tracking
+
+    def test_advertising_domain_is_tracking(self, oracle):
+        assert oracle.label("https://cdn.doubleclick.net/instream/ad.js").is_tracking
+
+    def test_clean_url_is_functional(self, oracle):
+        label = oracle.label("https://cdnjs-mirror.net/static/js/app.1.js")
+        assert label is Label.FUNCTIONAL
+
+    def test_marker_path_on_any_host(self, oracle):
+        assert oracle.label("https://i0.wp.com/pixel/44.gif").is_tracking
+        assert oracle.label("https://i0.wp.com/img/logo-1.png") is Label.FUNCTIONAL
+
+    def test_paper_hostname_rules(self, oracle):
+        assert oracle.label("https://pixel.wp.com/g.gif").is_tracking
+        assert oracle.label("https://widgets.wp.com/likes/master.html") is Label.FUNCTIONAL
+
+    def test_provenance_recorded(self, oracle):
+        labeled = oracle.label_request("https://scorecardresearch.com/beacon")
+        assert labeled.label.is_tracking
+        assert labeled.matched_list in ("easylist", "easyprivacy")
+        assert labeled.matched_rule
+
+    def test_functional_has_no_provenance(self, oracle):
+        labeled = oracle.label_request("https://twimg.com/media/clip-3.mp4")
+        assert labeled.matched_rule == ""
+
+    def test_exception_rule_flips_label(self, oracle):
+        # the snapshot allows the opt-out collect endpoint
+        assert (
+            oracle.label("https://weather-widgets.net/collect?opt_out=1")
+            is Label.FUNCTIONAL
+        )
+
+    def test_resource_type_scoped_rule(self, oracle):
+        # `.com/stats.php?$xmlhttprequest` only fires for XHR
+        url = "https://shop-a.com/stats.php?page=1"
+        assert oracle.label(url, resource_type=ResourceType.XHR).is_tracking
+        assert oracle.label(url, resource_type=ResourceType.IMAGE) is Label.FUNCTIONAL
+
+
+class TestGeneratorVocabularyConsistency:
+    """Every synthesisable URL must get the intended label."""
+
+    def test_tracking_paths_always_match(self, oracle):
+        rng = random.Random(0)
+        names = NameFactory(rng)
+        hosts = ["i0.wp.com", "cdn.unknownhost.example", "api.sitecloud0001.com"]
+        for _ in range(300):
+            host = rng.choice(hosts)
+            url = f"https://{host}{names.tracking_path(advertising=rng.random() < 0.5)}"
+            assert oracle.label(url).is_tracking, url
+
+    def test_functional_paths_never_match(self, oracle):
+        rng = random.Random(1)
+        names = NameFactory(rng)
+        hosts = [
+            "i0.wp.com",
+            "cdn.gstatic.com",
+            "static.newsdaily0001.com",
+            "widgets.wp.com",
+        ]
+        for _ in range(300):
+            host = rng.choice(hosts)
+            url = f"https://{host}{names.functional_path()}"
+            assert oracle.label(url) is Label.FUNCTIONAL, url
+
+    def test_every_functional_template_is_clean(self, oracle):
+        for template in NameFactory.functional_path_vocabulary():
+            url = f"https://anyhost.example{template.format(n=42)}"
+            assert oracle.label(url) is Label.FUNCTIONAL, url
+
+    def test_every_tracking_template_matches(self, oracle):
+        for marker, template in NameFactory.tracking_path_templates().items():
+            url = f"https://anyhost.example{template.format(n=42)}"
+            assert oracle.label(url).is_tracking, (marker, url)
+
+    def test_listed_domains_cover_all_seeds(self, oracle):
+        for domain in ADVERTISING_DOMAINS + TRACKER_DOMAINS:
+            url = f"https://{domain}/static/js/app.1.js"
+            assert oracle.label(url).is_tracking, domain
+
+    def test_markers_are_disjoint_from_functional_vocabulary(self):
+        markers = AD_PATH_MARKERS + TRACKER_PATH_MARKERS
+        for template in NameFactory.functional_path_vocabulary():
+            path = template.format(n=7)
+            for marker in markers:
+                assert marker not in path, (marker, path)

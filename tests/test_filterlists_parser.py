@@ -1,0 +1,90 @@
+"""Filter-list parsing: comments, cosmetics, options, error tolerance."""
+
+import pytest
+
+from repro.filterlists.parser import parse_filter_list, parse_rule_line
+from repro.filterlists.rules import ResourceType, RuleParseError
+
+
+class TestLineParsing:
+    def test_comment_returns_none(self):
+        assert parse_rule_line("! a comment") is None
+
+    def test_header_returns_none(self):
+        assert parse_rule_line("[Adblock Plus 2.0]") is None
+
+    def test_blank_returns_none(self):
+        assert parse_rule_line("   ") is None
+
+    @pytest.mark.parametrize(
+        "cosmetic",
+        [
+            "example.com###ad-banner",
+            "example.com#@#.ads",
+            "example.com#?#.sponsored:has(a)",
+        ],
+    )
+    def test_cosmetic_rules_skipped(self, cosmetic):
+        assert parse_rule_line(cosmetic) is None
+
+    def test_exception_prefix(self):
+        rule = parse_rule_line("@@||cdn.example^$image")
+        assert rule is not None and rule.is_exception
+
+    def test_options_parsed(self):
+        rule = parse_rule_line("||a.example^$script,third-party,domain=b.example|~c.b.example")
+        assert rule is not None
+        assert rule.options.include_types == frozenset({ResourceType.SCRIPT})
+        assert rule.options.third_party is True
+        assert rule.options.include_domains == ("b.example",)
+        assert rule.options.exclude_domains == ("c.b.example",)
+
+    def test_dollar_in_pattern_not_options(self):
+        # `$` followed by non-option syntax stays in the pattern
+        rule = parse_rule_line("/path$weird/value=x y")
+        assert rule is not None
+        assert rule.pattern == "/path$weird/value=x y"
+
+    def test_trailing_dollar_stays_in_pattern(self):
+        rule = parse_rule_line("/path$")
+        assert rule is not None
+        assert rule.pattern == "/path$"
+
+    def test_empty_pattern_raises(self):
+        with pytest.raises(RuleParseError):
+            parse_rule_line("@@$script")
+
+    def test_list_name_attached(self):
+        rule = parse_rule_line("||a.example^", list_name="easylist")
+        assert rule is not None and rule.list_name == "easylist"
+
+
+class TestDocumentParsing:
+    DOC = """\
+[Adblock Plus 2.0]
+! Title: test list
+||tracker.example^
+@@||tracker.example/allowed^
+example.com###sidebar-ad
+/pixel*
+
+! trailing comment
+"""
+
+    def test_counts(self):
+        parsed = parse_filter_list(self.DOC, name="test")
+        assert parsed.name == "test"
+        assert len(parsed.rules) == 3
+        assert len(parsed.blocking_rules) == 2
+        assert len(parsed.exception_rules) == 1
+        assert parsed.comment_count == 3  # header + 2 comments
+        assert parsed.cosmetic_count == 1
+
+    def test_malformed_line_collected_not_raised(self):
+        parsed = parse_filter_list("@@$script\n||good.example^\n")
+        assert parsed.error_lines == ["@@$script"]
+        assert len(parsed.rules) == 1
+
+    def test_empty_document(self):
+        parsed = parse_filter_list("")
+        assert parsed.rules == []

@@ -1,0 +1,236 @@
+"""JavaScript toolchain: lexer, analyzer, codegen, surrogate rewriting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.jsgen import (
+    JsSyntaxError,
+    analyze_source,
+    generate_surrogate_source,
+    script_to_source,
+    tokenize,
+    verify_surrogate_source,
+)
+from repro.webmodel.resources import (
+    Category,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptSpec,
+)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize('fetch("https://x/y"); // done')
+        kinds = [(t.kind, t.value) for t in tokens]
+        assert ("ident", "fetch") in kinds
+        assert ("string", "https://x/y") in kinds
+        assert all(v != "done" for _, v in kinds)  # comment dropped
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("a /* b \n c */ d")
+        assert [t.value for t in tokens] == ["a", "d"]
+        assert tokens[1].line == 2
+
+    def test_escaped_quotes(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].value == r"a\"b"
+
+    def test_template_literal_spans_lines(self):
+        tokens = tokenize("`line1\nline2`x")
+        assert tokens[0].kind == "string"
+        assert tokens[1].value == "x"
+        assert tokens[1].line == 2
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize('"unterminated\n')
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize("/* never closed")
+
+    @given(st.text(alphabet="abc(){};=. \n", max_size=60))
+    def test_never_crashes_on_quote_free_soup(self, text):
+        tokenize(text)
+
+
+SAMPLE = """
+(function () {
+  function pxl() {
+    var img = new Image();
+    img.src = "https://tracker.example/pixel/1.gif";
+  }
+  function render() {
+    fetch("https://cdn.example/api/v1/content/1");
+    fetch("https://cdn.example/api/v1/content/2");
+  }
+  window.Pa = window.Pa || {};
+  window.Pa.xhrRequest = function () {
+    fetch("https://i0.wp.com/data/feed-3.json");
+  };
+  fetch("https://cdn.example/boot.json");
+})();
+"""
+
+
+class TestAnalyzer:
+    def test_function_inventory(self):
+        analysis = analyze_source(SAMPLE)
+        assert set(analysis.function_names()) == {"pxl", "render", "Pa.xhrRequest"}
+
+    def test_network_attribution(self):
+        analysis = analyze_source(SAMPLE)
+        assert analysis.function("pxl").network_urls == [
+            "https://tracker.example/pixel/1.gif"
+        ]
+        assert len(analysis.function("render").network_urls) == 2
+        assert analysis.function("Pa.xhrRequest").network_urls == [
+            "https://i0.wp.com/data/feed-3.json"
+        ]
+
+    def test_toplevel_call_detected(self):
+        analysis = analyze_source(SAMPLE)
+        assert "https://cdn.example/boot.json" in analysis.toplevel_network_urls
+
+    def test_src_assignment_counts_as_network(self):
+        analysis = analyze_source(
+            'function f() { var i = new Image(); i.src = "https://a/b.gif"; }'
+        )
+        assert analysis.function("f").network_urls == ["https://a/b.gif"]
+
+    def test_missing_function_raises(self):
+        with pytest.raises(KeyError):
+            analyze_source(SAMPLE).function("nope")
+
+    def test_nested_braces_matched(self):
+        source = 'function f() { if (x) { fetch("https://a/b"); } }'
+        analysis = analyze_source(source)
+        assert analysis.function("f").network_urls == ["https://a/b"]
+
+
+def sample_script() -> ScriptSpec:
+    def make_method(name, url, tracking, rtype="xmlhttprequest"):
+        return MethodSpec(
+            name=name,
+            category=Category.TRACKING if tracking else Category.FUNCTIONAL,
+            invocations=[
+                Invocation(
+                    site="https://pub.example/",
+                    requests=[
+                        PlannedRequest(url=url, tracking=tracking, resource_type=rtype)
+                    ],
+                )
+            ],
+        )
+
+    return ScriptSpec(
+        url="https://cdn.example/app.js",
+        category=Category.MIXED,
+        methods=[
+            make_method("sendBeacon", "https://t.example/pixel/1.gif", True, "ping"),
+            make_method("render", "https://cdn.example/img/x.png", False, "image"),
+            make_method(
+                "Pa.xhrRequest", "https://i0.wp.com/data/feed-1.json", False
+            ),
+        ],
+    )
+
+
+class TestCodegen:
+    def test_round_trip_function_names(self):
+        script = sample_script()
+        analysis = analyze_source(script_to_source(script))
+        assert set(analysis.function_names()) == {
+            "sendBeacon",
+            "render",
+            "Pa.xhrRequest",
+        }
+
+    def test_round_trip_network_urls(self):
+        script = sample_script()
+        analysis = analyze_source(script_to_source(script))
+        planned = {
+            r.url
+            for m in script.methods
+            for inv in m.invocations
+            for r in inv.requests
+        }
+        assert set(analysis.all_network_urls()) == planned
+
+    def test_empty_method_gets_comment_body(self):
+        script = ScriptSpec(
+            url="https://a/x.js",
+            category=Category.FUNCTIONAL,
+            methods=[MethodSpec(name="noop", category=Category.FUNCTIONAL)],
+        )
+        source = script_to_source(script)
+        assert "no observed network behaviour" in source
+        assert analyze_source(source).function("noop").network_urls == []
+
+    def test_generated_source_tokenizes_cleanly(self, small_web):
+        for script in small_web.scripts[:20]:
+            tokenize(script_to_source(script))
+
+
+class TestSurrogateSource:
+    def test_stub_removes_network_calls(self):
+        script = sample_script()
+        source = script_to_source(script)
+        original = analyze_source(source)
+        surrogate = generate_surrogate_source(source, ["sendBeacon"])
+        assert surrogate.stubbed == ("sendBeacon",)
+        assert surrogate.complete
+        assert verify_surrogate_source(surrogate, original)
+        rewritten = analyze_source(surrogate.source)
+        assert rewritten.function("sendBeacon").network_urls == []
+        assert rewritten.function("render").network_urls == [
+            "https://cdn.example/img/x.png"
+        ]
+
+    def test_missing_method_reported(self):
+        source = script_to_source(sample_script())
+        surrogate = generate_surrogate_source(source, ["ghost"])
+        assert surrogate.missing == ("ghost",)
+        assert not surrogate.complete
+
+    def test_namespaced_method_stubbed(self):
+        source = script_to_source(sample_script())
+        surrogate = generate_surrogate_source(source, ["Pa.xhrRequest"])
+        assert surrogate.stubbed == ("Pa.xhrRequest",)
+        rewritten = analyze_source(surrogate.source)
+        assert rewritten.function("Pa.xhrRequest").network_urls == []
+
+    def test_header_names_stubbed_methods(self):
+        source = script_to_source(sample_script())
+        surrogate = generate_surrogate_source(source, ["sendBeacon"])
+        assert surrogate.source.startswith("/* TrackerSift surrogate")
+        assert "sendBeacon" in surrogate.source.splitlines()[0]
+
+    def test_end_to_end_with_sift(self, study):
+        """Full chain: sift -> surrogate policy -> surrogate *source*."""
+        from repro.core.classifier import ResourceClass
+        from repro.core.surrogate import generate_surrogate
+
+        mixed_urls = {
+            key
+            for key, res in study.report.script.resources.items()
+            if res.resource_class is ResourceClass.MIXED
+        }
+        script = next(
+            s for s in study.web.scripts if s.url in mixed_urls and s.methods
+        )
+        policy_surrogate = generate_surrogate(script, study.report)
+        source = script_to_source(script)
+        original = analyze_source(source)
+        source_surrogate = generate_surrogate_source(
+            source, policy_surrogate.removed_methods
+        )
+        assert source_surrogate.complete
+        assert verify_surrogate_source(source_surrogate, original)

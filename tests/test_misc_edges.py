@@ -1,0 +1,77 @@
+"""Edge coverage: devtools ids, report rendering, figure panels, pipeline
+stage reuse."""
+
+import pytest
+
+from repro.analysis.figures import HistogramBin
+from repro.analysis.report import PaperComparison, ascii_table, rows_to_csv
+from repro.browser.devtools import RequestWillBeSent, next_request_id
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+
+
+class TestRequestIds:
+    def test_monotonic_and_unique(self):
+        ids = [next_request_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        suffixes = [int(i.split(".", 1)[1]) for i in ids]
+        assert suffixes == sorted(suffixes)
+
+    def test_devtools_style(self):
+        assert next_request_id().startswith("1000.")
+
+
+class TestEventAccessors:
+    def test_non_script_initiator_raises(self):
+        event = RequestWillBeSent(
+            request_id="x.1",
+            url="https://a.example/",
+            top_level_url="https://a.example/",
+            frame_url="https://a.example/",
+            resource_type="document",
+            timestamp=0.0,
+            call_stack=None,
+        )
+        assert not event.script_initiated
+        with pytest.raises(ValueError):
+            _ = event.initiator_script
+        with pytest.raises(ValueError):
+            _ = event.initiator_method
+
+
+class TestRendering:
+    def test_ascii_table_empty_rows(self):
+        table = ascii_table(["A", "B"], [])
+        assert "A" in table and table.count("\n") == 3
+
+    def test_csv_quoting(self):
+        out = rows_to_csv(["a"], [['value, with "quotes"']])
+        assert '"value, with ""quotes"""' in out
+
+    def test_histogram_bin_regions(self):
+        assert HistogramBin(2.0, 2.5, 1).region == "tracking"
+        assert HistogramBin(-2.5, -2.0, 1).region == "functional"
+        assert HistogramBin(-0.5, 0.0, 1).region == "mixed"
+        assert HistogramBin(1.5, 2.0, 1).region == "mixed"
+
+    def test_paper_comparison_within(self):
+        comparison = PaperComparison("x", 0.54, 0.56)
+        assert comparison.within(0.05)
+        assert not comparison.within(0.01)
+        assert comparison.absolute_error == pytest.approx(0.02)
+
+
+class TestPipelineStageReuse:
+    def test_precomputed_web_is_reused(self):
+        pipeline = TrackerSiftPipeline(PipelineConfig(sites=40, seed=3))
+        web = pipeline.generate()
+        result = pipeline.run(web)
+        assert result.web is web
+
+    def test_stage_by_stage_equals_run(self):
+        config = PipelineConfig(sites=40, seed=3)
+        pipeline = TrackerSiftPipeline(config)
+        web = pipeline.generate()
+        database, _, _ = pipeline.crawl(web)
+        labeled = pipeline.label(database)
+        report = pipeline.sift(labeled)
+        assert report.summary() == pipeline.run(web).report.summary()

@@ -1,0 +1,169 @@
+"""Cross-module property tests: hypothesis-built mini-webs through the
+whole measurement pipeline."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser.engine import BrowserEngine
+from repro.core.classifier import ResourceClass
+from repro.core.hierarchy import sift_requests
+from repro.crawler.storage import RequestDatabase
+from repro.labeling.labeler import RequestLabeler
+from repro.webmodel.resources import (
+    Category,
+    Frame,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptSpec,
+)
+from repro.webmodel.website import Website
+
+SITE = "https://www.prop.example/"
+
+# Strategy: a "method blueprint" is (name_index, [(host_index, tracking)]).
+_method_blueprints = st.lists(
+    st.tuples(
+        st.integers(0, 4),  # method name index
+        st.lists(
+            st.tuples(st.integers(0, 3), st.booleans()),  # (host, tracking)
+            min_size=1,
+            max_size=6,
+        ),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+_HOSTS = ("i0.wp.com", "cdn.gstatic.com", "api.google.com", "static.w.org")
+_NAMES = ("alpha", "beta", "gamma", "delta", "epsilon")
+
+
+def _build_site(blueprints) -> Website:
+    script = ScriptSpec(
+        url="https://cdn.example/prop.js",
+        category=Category.MIXED,
+        sites=[SITE],
+    )
+    counter = 0
+    methods: dict[str, MethodSpec] = {}
+    for name_index, requests in blueprints:
+        name = _NAMES[name_index]
+        method = methods.get(name)
+        if method is None:
+            method = MethodSpec(name=name, category=Category.MIXED)
+            methods[name] = method
+            script.methods.append(method)
+        for host_index, tracking in requests:
+            counter += 1
+            host = _HOSTS[host_index]
+            path = f"/pixel/{counter}.gif" if tracking else f"/img/logo-{counter}.png"
+            method.invocations.append(
+                Invocation(
+                    site=SITE,
+                    requests=[
+                        PlannedRequest(
+                            url=f"https://{host}{path}",
+                            tracking=tracking,
+                            resource_type="image",
+                        )
+                    ],
+                    caller_chain=(Frame(f"{SITE}#inline-0", "main"),),
+                )
+            )
+    return Website(url=SITE, rank=1, scripts=[script])
+
+
+class TestPipelineProperties:
+    @given(blueprints=_method_blueprints)
+    @settings(max_examples=60, deadline=None)
+    def test_label_counts_match_intent(self, blueprints):
+        site = _build_site(blueprints)
+        page = BrowserEngine().load(site)
+        labeled = RequestLabeler().label_crawl(
+            RequestDatabase.from_events(page.requests)
+        )
+        planned_tracking = sum(
+            tracking for _, reqs in blueprints for _, tracking in reqs
+        )
+        planned_total = sum(len(reqs) for _, reqs in blueprints)
+        assert labeled.tracking_count == planned_tracking
+        assert len(labeled.requests) == planned_total
+
+    @given(blueprints=_method_blueprints)
+    @settings(max_examples=60, deadline=None)
+    def test_sift_partitions_requests_at_every_level(self, blueprints):
+        site = _build_site(blueprints)
+        page = BrowserEngine().load(site)
+        labeled = RequestLabeler().label_crawl(
+            RequestDatabase.from_events(page.requests)
+        )
+        report = sift_requests(labeled.requests)
+        previous_mixed = len(labeled.requests)
+        for level in report.levels:
+            total = level.request_count()
+            assert total == previous_mixed
+            parts = sum(
+                level.request_count(c)
+                for c in (
+                    ResourceClass.TRACKING,
+                    ResourceClass.FUNCTIONAL,
+                    ResourceClass.MIXED,
+                )
+            )
+            assert parts == total
+            previous_mixed = level.request_count(ResourceClass.MIXED)
+
+    @given(blueprints=_method_blueprints)
+    @settings(max_examples=40, deadline=None)
+    def test_every_classified_ratio_is_in_band(self, blueprints):
+        site = _build_site(blueprints)
+        page = BrowserEngine().load(site)
+        labeled = RequestLabeler().label_crawl(
+            RequestDatabase.from_events(page.requests)
+        )
+        report = sift_requests(labeled.requests)
+        for level in report.levels:
+            for resource in level.resources.values():
+                ratio = resource.ratio
+                if resource.resource_class is ResourceClass.TRACKING:
+                    assert ratio >= 2.0
+                elif resource.resource_class is ResourceClass.FUNCTIONAL:
+                    assert ratio <= -2.0
+                else:
+                    assert -2.0 < ratio < 2.0 or math.isnan(ratio) is False
+
+    @given(blueprints=_method_blueprints)
+    @settings(max_examples=30, deadline=None)
+    def test_storage_round_trip_preserves_sift(self, blueprints, tmp_path_factory):
+        site = _build_site(blueprints)
+        page = BrowserEngine().load(site)
+        database = RequestDatabase.from_events(page.requests)
+        path = tmp_path_factory.mktemp("prop") / "crawl.jsonl"
+        database.to_jsonl(path)
+        reloaded = RequestDatabase.from_jsonl(path)
+        labeler = RequestLabeler()
+        a = sift_requests(labeler.label_crawl(database).requests)
+        b = sift_requests(labeler.label_crawl(reloaded).requests)
+        assert a.summary() == b.summary()
+
+    @given(blueprints=_method_blueprints, threshold=st.floats(0.5, 3.5))
+    @settings(max_examples=40, deadline=None)
+    def test_separation_factor_decreases_with_threshold(
+        self, blueprints, threshold
+    ):
+        """A wider mixed band can only push requests downward (less pure)."""
+        site = _build_site(blueprints)
+        page = BrowserEngine().load(site)
+        labeled = RequestLabeler().label_crawl(
+            RequestDatabase.from_events(page.requests)
+        )
+        tight = sift_requests(labeled.requests, threshold=threshold)
+        loose = sift_requests(labeled.requests, threshold=threshold + 0.5)
+        for tight_level, loose_level in zip(tight.levels, loose.levels):
+            assert (
+                loose_level.separation_factor
+                <= tight_level.separation_factor + 1e-12
+            )

@@ -1,0 +1,66 @@
+"""Generator and pipeline behaviour at scale extremes."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.webmodel.calibration import scale_targets
+from repro.webmodel.generator import SyntheticWebGenerator, generate_web
+
+
+class TestTinyScale:
+    def test_minimum_viable_crawl(self):
+        web = generate_web(sites=10, seed=1)
+        web.validate()
+        assert web.planned_request_count() > 0
+
+    def test_tiny_pipeline_still_separates(self):
+        result = TrackerSiftPipeline(PipelineConfig(sites=30, seed=2)).run()
+        assert result.report.final_separation > 0.7
+        assert len(result.report.levels) >= 1
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWebGenerator(sites=9)
+
+
+class TestMediumScale:
+    @pytest.mark.parametrize("sites", [250, 700])
+    def test_request_rate_tracks_paper(self, sites):
+        # paper: ~24.5 script-initiated requests per site
+        web = generate_web(sites=sites, seed=4)
+        rate = web.planned_request_count() / sites
+        assert 18 < rate < 32
+
+    def test_entity_counts_scale_linearly(self):
+        small = generate_web(sites=300, seed=4)
+        large = generate_web(sites=900, seed=4)
+        small_domains = len(small.domains)
+        large_domains = len(large.domains)
+        assert 2.4 < large_domains / small_domains < 3.6
+
+
+class TestTargetsAtExtremes:
+    def test_tiny_targets_have_floors(self):
+        targets = scale_targets(10)
+        for level in targets.levels:
+            assert level.entities_mixed >= 2
+            assert level.requests_mixed >= 4 * level.entities_mixed
+
+    def test_large_scale_matches_paper_shares(self):
+        targets = scale_targets(50_000)
+        assert targets.domain.separation_factor == pytest.approx(0.54, abs=0.01)
+        assert targets.method.separation_factor == pytest.approx(0.72, abs=0.01)
+
+    def test_scales_are_monotone_in_sites(self):
+        previous_total = 0
+        for sites in (100, 1_000, 10_000):
+            total = scale_targets(sites).domain.requests_total
+            assert total > previous_total
+            previous_total = total
+
+
+class TestGeneratorStressSeeds:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_seeds_build_and_validate(self, seed):
+        web = generate_web(sites=60, seed=seed)
+        web.validate()

@@ -1,0 +1,88 @@
+"""DNS substrate: CNAME chains, loops, resolver semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.urlkit.dns import CnameResolver, DnsError, DnsZone
+
+
+class TestZone:
+    def test_add_and_lookup(self):
+        zone = DnsZone()
+        zone.add_cname("metrics.shop.example", "t.tracker.example")
+        assert zone.lookup("metrics.shop.example") == "t.tracker.example"
+        assert zone.lookup("other.example") is None
+        assert len(zone) == 1
+        assert "metrics.shop.example" in zone
+
+    def test_case_insensitive(self):
+        zone = DnsZone.from_records({"Metrics.Shop.example": "T.Tracker.example"})
+        assert zone.lookup("METRICS.shop.example") == "t.tracker.example"
+
+    def test_self_cname_rejected(self):
+        zone = DnsZone()
+        with pytest.raises(DnsError):
+            zone.add_cname("a.example", "a.example")
+
+    def test_remove(self):
+        zone = DnsZone.from_records({"a.example": "b.example"})
+        zone.remove("a.example")
+        assert "a.example" not in zone
+
+    def test_invalid_host_lookup_is_none(self):
+        assert DnsZone().lookup("") is None
+
+
+class TestResolver:
+    def test_no_record_returns_self(self):
+        resolver = CnameResolver(DnsZone())
+        assert resolver.canonical_name("plain.example") == "plain.example"
+        assert not resolver.is_cloaked("plain.example")
+
+    def test_single_hop(self):
+        resolver = CnameResolver(
+            DnsZone.from_records({"metrics.shop.example": "t.tracker.example"})
+        )
+        assert resolver.canonical_name("metrics.shop.example") == "t.tracker.example"
+        assert resolver.is_cloaked("metrics.shop.example")
+
+    def test_multi_hop_chain(self):
+        resolver = CnameResolver(
+            DnsZone.from_records(
+                {
+                    "a.pub.example": "edge.cdn.example",
+                    "edge.cdn.example": "collect.tracker.example",
+                }
+            )
+        )
+        assert resolver.canonical_name("a.pub.example") == "collect.tracker.example"
+        assert resolver.chain("a.pub.example") == [
+            "a.pub.example",
+            "edge.cdn.example",
+            "collect.tracker.example",
+        ]
+
+    def test_loop_detected(self):
+        resolver = CnameResolver(
+            DnsZone.from_records({"a.example": "b.example", "b.example": "a.example"})
+        )
+        with pytest.raises(DnsError):
+            resolver.canonical_name("a.example")
+        with pytest.raises(DnsError):
+            resolver.chain("a.example")
+
+    def test_chain_of_one(self):
+        resolver = CnameResolver(DnsZone())
+        assert resolver.chain("x.example") == ["x.example"]
+
+    @given(
+        hops=st.integers(1, 10),
+    )
+    def test_chain_length_matches_records(self, hops):
+        records = {
+            f"h{i}.example": f"h{i + 1}.example" for i in range(hops)
+        }
+        resolver = CnameResolver(DnsZone.from_records(records))
+        assert resolver.canonical_name("h0.example") == f"h{hops}.example"
+        assert len(resolver.chain("h0.example")) == hops + 1

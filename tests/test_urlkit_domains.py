@@ -1,0 +1,73 @@
+"""Domain helpers: hostname extraction, same-site, third-party, matching."""
+
+from repro.urlkit import (
+    host_matches_domain,
+    hostname,
+    is_third_party,
+    registrable_domain,
+    same_site,
+)
+
+
+class TestHostname:
+    def test_from_url(self):
+        assert hostname("https://cdn.google.com/ads-1") == "cdn.google.com"
+
+    def test_from_bare_host(self):
+        assert hostname("CDN.Google.com") == "cdn.google.com"
+
+    def test_from_scheme_relative(self):
+        assert hostname("//stats.wp.com/x.js") == "stats.wp.com"
+
+
+class TestRegistrableDomain:
+    def test_from_url(self):
+        assert registrable_domain("https://i0.wp.com/img.png") == "wp.com"
+
+    def test_multi_label_suffix(self):
+        assert registrable_domain("https://a.b.example.co.uk/") == "example.co.uk"
+
+    def test_none_for_ip(self):
+        assert registrable_domain("http://192.168.0.1/x") is None
+
+
+class TestSameSite:
+    def test_same_registrable_domain(self):
+        assert same_site("https://i0.wp.com/a", "https://stats.wp.com/b")
+
+    def test_different_domains(self):
+        assert not same_site("https://wp.com/", "https://wordpress.com/")
+
+    def test_ips_same_site_only_if_equal(self):
+        assert same_site("http://10.0.0.1/", "http://10.0.0.1/x")
+        assert not same_site("http://10.0.0.1/", "http://10.0.0.2/")
+
+
+class TestThirdParty:
+    def test_first_party_subdomain(self):
+        assert not is_third_party(
+            "https://cdn.shop.example/x.js", "https://www.shop.example/"
+        )
+
+    def test_third_party_tracker(self):
+        assert is_third_party(
+            "https://google-analytics.com/collect", "https://news.example/"
+        )
+
+
+class TestHostMatchesDomain:
+    def test_exact(self):
+        assert host_matches_domain("google.com", "google.com")
+
+    def test_subdomain(self):
+        assert host_matches_domain("cdn.google.com", "google.com")
+
+    def test_suffix_but_not_label_boundary(self):
+        assert not host_matches_domain("notgoogle.com", "google.com")
+
+    def test_reverse_not_matching(self):
+        assert not host_matches_domain("google.com", "cdn.google.com")
+
+    def test_invalid_input_is_false(self):
+        assert not host_matches_domain("", "google.com")
+        assert not host_matches_domain("google.com", "")

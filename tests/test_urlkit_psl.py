@@ -1,0 +1,118 @@
+"""Public Suffix List algorithm tests: longest match, wildcards, exceptions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.urlkit.psl import DEFAULT_PSL, PublicSuffixList
+from repro.urlkit.url import URLError
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self):
+        assert DEFAULT_PSL.public_suffix("example.com") == "com"
+
+    def test_two_level_suffix(self):
+        assert DEFAULT_PSL.public_suffix("shop.example.co.uk") == "co.uk"
+
+    def test_longest_match_wins(self):
+        # both `uk` and `co.uk` are rules; the longer one prevails
+        assert DEFAULT_PSL.public_suffix("a.co.uk") == "co.uk"
+
+    def test_unknown_tld_falls_back_to_last_label(self):
+        assert DEFAULT_PSL.public_suffix("example.unknowntld") == "unknowntld"
+
+    def test_host_that_is_a_suffix(self):
+        assert DEFAULT_PSL.public_suffix("co.uk") == "co.uk"
+
+    def test_private_section_entry(self):
+        assert DEFAULT_PSL.public_suffix("myapp.github.io") == "github.io"
+
+
+class TestWildcardAndException:
+    def test_wildcard_rule(self):
+        # *.ck makes every <x>.ck a public suffix
+        assert DEFAULT_PSL.public_suffix("foo.anything.ck") == "anything.ck"
+
+    def test_exception_rule(self):
+        # !www.ck carves www.ck out of *.ck: suffix drops to .ck
+        assert DEFAULT_PSL.public_suffix("www.ck") == "ck"
+        assert DEFAULT_PSL.registrable_domain("www.ck") == "www.ck"
+
+    def test_kawasaki_wildcard(self):
+        assert DEFAULT_PSL.public_suffix("x.sub.kawasaki.jp") == "sub.kawasaki.jp"
+
+    def test_kawasaki_exception(self):
+        assert DEFAULT_PSL.registrable_domain("city.kawasaki.jp") == "city.kawasaki.jp"
+
+
+class TestRegistrableDomain:
+    def test_etld_plus_one(self):
+        assert DEFAULT_PSL.registrable_domain("cdn.google.com") == "google.com"
+        assert DEFAULT_PSL.registrable_domain("a.b.c.example.co.uk") == "example.co.uk"
+
+    def test_bare_suffix_has_none(self):
+        assert DEFAULT_PSL.registrable_domain("com") is None
+        assert DEFAULT_PSL.registrable_domain("co.uk") is None
+
+    def test_ipv4_has_none(self):
+        assert DEFAULT_PSL.registrable_domain("192.168.1.1") is None
+
+    def test_ip_literal_raises_for_suffix(self):
+        with pytest.raises(URLError):
+            DEFAULT_PSL.public_suffix("[::1]")
+
+    def test_case_insensitive(self):
+        assert DEFAULT_PSL.registrable_domain("CDN.Google.COM") == "google.com"
+
+    def test_is_public_suffix(self):
+        assert DEFAULT_PSL.is_public_suffix("co.uk")
+        assert not DEFAULT_PSL.is_public_suffix("google.co.uk")
+
+    def test_contains(self):
+        assert "co.uk" in DEFAULT_PSL
+        assert "google.com" not in DEFAULT_PSL
+
+
+class TestCustomList:
+    def test_custom_rules(self):
+        psl = PublicSuffixList("com\nplatform.com\n")
+        assert psl.public_suffix("x.platform.com") == "platform.com"
+        assert psl.registrable_domain("a.x.platform.com") == "x.platform.com"
+
+    def test_comments_and_blanks_ignored(self):
+        psl = PublicSuffixList("// comment\n\ncom\n")
+        assert psl.public_suffix("a.com") == "com"
+
+    def test_rule_terminates_at_whitespace(self):
+        psl = PublicSuffixList("com trailing junk\n")
+        assert psl.public_suffix("a.com") == "com"
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6)
+
+
+class TestAlgorithmProperties:
+    @given(labels=st.lists(_label, min_size=2, max_size=5))
+    def test_suffix_is_host_suffix(self, labels):
+        host = ".".join(labels)
+        suffix = DEFAULT_PSL.public_suffix(host)
+        assert host == suffix or host.endswith("." + suffix)
+
+    @given(labels=st.lists(_label, min_size=2, max_size=5))
+    def test_registrable_is_suffix_plus_one_label(self, labels):
+        host = ".".join(labels)
+        domain = DEFAULT_PSL.registrable_domain(host)
+        if domain is None:
+            return
+        suffix = DEFAULT_PSL.public_suffix(host)
+        assert domain.endswith(suffix)
+        assert domain.count(".") == suffix.count(".") + 1
+        assert host == domain or host.endswith("." + domain)
+
+    @given(labels=st.lists(_label, min_size=2, max_size=4))
+    def test_registrable_domain_idempotent(self, labels):
+        host = ".".join(labels)
+        domain = DEFAULT_PSL.registrable_domain(host)
+        if domain is not None:
+            assert DEFAULT_PSL.registrable_domain(domain) == domain

@@ -1,0 +1,165 @@
+"""Allocator invariants: exact totals, minimums, band membership."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logratio import log_ratio
+from repro.webmodel.allocation import (
+    allocate_volumes,
+    impurity_for_pure,
+    largest_remainder,
+    split_mixed_volume,
+    split_mixed_volumes,
+    zipf_weights,
+)
+
+
+class TestLogRatio:
+    def test_balanced_is_zero(self):
+        assert log_ratio(10, 10) == 0.0
+
+    def test_hundredfold_is_two(self):
+        assert log_ratio(100, 1) == pytest.approx(2.0)
+        assert log_ratio(1, 100) == pytest.approx(-2.0)
+
+    def test_one_sided_is_inf(self):
+        assert log_ratio(5, 0) == math.inf
+        assert log_ratio(0, 5) == -math.inf
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            log_ratio(0, 0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            log_ratio(-1, 5)
+
+    @given(t=st.integers(1, 10_000), f=st.integers(1, 10_000))
+    def test_antisymmetry(self, t, f):
+        assert log_ratio(t, f) == pytest.approx(-log_ratio(f, t))
+
+
+class TestZipfWeights:
+    def test_descending(self):
+        weights = zipf_weights(10)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_empty(self):
+        assert zipf_weights(0) == []
+
+    def test_exponent_zero_is_uniform(self):
+        assert zipf_weights(4, exponent=0.0) == [1.0] * 4
+
+
+class TestLargestRemainder:
+    def test_exact_total(self):
+        result = largest_remainder([3.0, 2.0, 1.0], 100)
+        assert sum(result) == 100
+
+    def test_proportionality(self):
+        result = largest_remainder([3.0, 1.0], 40)
+        assert result == [30, 10]
+
+    def test_minimum_respected(self):
+        result = largest_remainder([100.0, 0.001, 0.001], 10, minimum=2)
+        assert sum(result) == 10
+        assert all(x >= 2 for x in result)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            largest_remainder([1.0, 1.0], 3, minimum=2)
+
+    def test_zero_entities_zero_total(self):
+        assert largest_remainder([], 0) == []
+
+    def test_zero_entities_positive_total_raises(self):
+        with pytest.raises(ValueError):
+            largest_remainder([], 5)
+
+    def test_degenerate_weights_fall_back_to_uniform(self):
+        result = largest_remainder([0.0, 0.0], 10)
+        assert sum(result) == 10
+
+    @given(
+        weights=st.lists(st.floats(0.01, 100), min_size=1, max_size=20),
+        total=st.integers(0, 1_000),
+    )
+    def test_sum_is_always_exact(self, weights, total):
+        result = largest_remainder(weights, total)
+        assert sum(result) == total
+        assert all(x >= 0 for x in result)
+
+
+class TestAllocateVolumes:
+    def test_totals_and_minimums(self):
+        rng = random.Random(3)
+        volumes = allocate_volumes(25, 1_000, rng, minimum=2)
+        assert sum(volumes) == 1_000
+        assert all(v >= 2 for v in volumes)
+
+    def test_heavy_tail(self):
+        rng = random.Random(3)
+        volumes = allocate_volumes(100, 100_000, rng)
+        assert max(volumes) > 10 * (sum(volumes) / len(volumes))
+
+
+class TestSplitMixedVolume:
+    @given(volume=st.integers(2, 50_000), seed=st.integers(0, 100))
+    @settings(max_examples=200)
+    def test_split_stays_strictly_mixed(self, volume, seed):
+        rng = random.Random(seed)
+        t, f = split_mixed_volume(volume, rng)
+        assert t >= 1 and f >= 1
+        assert t + f == volume
+        assert -2.0 < log_ratio(t, f) < 2.0
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            split_mixed_volume(1, random.Random(0))
+
+
+class TestSplitMixedVolumes:
+    def test_exact_class_totals(self):
+        rng = random.Random(5)
+        volumes = allocate_volumes(40, 4_000, rng, minimum=4)
+        splits = split_mixed_volumes(volumes, 1_500, 2_500, rng)
+        assert sum(t for t, _ in splits) == 1_500
+        assert sum(f for _, f in splits) == 2_500
+        for (t, f), v in zip(splits, volumes):
+            assert t + f == v
+            assert -2.0 < log_ratio(t, f) < 2.0
+
+    def test_mismatched_totals_raise(self):
+        rng = random.Random(5)
+        with pytest.raises(ValueError):
+            split_mixed_volumes([10, 10], 15, 10, rng)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_random_targets_always_met(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 30)
+        volumes = allocate_volumes(n, rng.randint(8 * n, 40 * n), rng, minimum=4)
+        total = sum(volumes)
+        tracking = rng.randint(total // 4, 3 * total // 4)
+        splits = split_mixed_volumes(volumes, tracking, total - tracking, rng)
+        assert sum(t for t, _ in splits) == tracking
+        assert all(-2.0 < log_ratio(t, f) < 2.0 for t, f in splits)
+
+
+class TestImpurity:
+    @given(volume=st.integers(2, 1_000_000), seed=st.integers(0, 200))
+    @settings(max_examples=200)
+    def test_impurity_keeps_entity_pure(self, volume, seed):
+        rng = random.Random(seed)
+        impurity = impurity_for_pure(volume, rng)
+        assert impurity >= 0
+        if impurity:
+            assert log_ratio(volume - impurity, impurity) >= 2.0
+
+    def test_tiny_volume_never_impure(self):
+        assert impurity_for_pure(1, random.Random(0)) == 0

@@ -1,0 +1,122 @@
+"""Inlining and bundling transforms (paper §5 circumvention techniques)."""
+
+import random
+
+import pytest
+
+from repro.webmodel.bundler import bundle_scripts, inline_script, webpack_bundle_name
+from repro.webmodel.resources import (
+    Category,
+    Invocation,
+    MethodSpec,
+    PlannedRequest,
+    ScriptKind,
+    ScriptSpec,
+)
+
+
+def make_script(url: str, category: Category, method_names: list[str]) -> ScriptSpec:
+    tracking = category in (Category.TRACKING, Category.MIXED)
+    methods = []
+    for i, name in enumerate(method_names):
+        is_tracking = tracking and (category is Category.TRACKING or i == 0)
+        methods.append(
+            MethodSpec(
+                name=name,
+                category=Category.TRACKING if is_tracking else Category.FUNCTIONAL,
+                invocations=[
+                    Invocation(
+                        site="https://www.pub.example/",
+                        requests=[
+                            PlannedRequest(
+                                url="https://x.example/pixel/1.gif"
+                                if is_tracking
+                                else "https://x.example/img/logo-1.png",
+                                tracking=is_tracking,
+                            )
+                        ],
+                    )
+                ],
+            )
+        )
+    return ScriptSpec(url=url, category=category, methods=methods)
+
+
+class TestInlining:
+    def test_identity_becomes_document_url(self):
+        script = make_script("https://cdn.example/fb.js", Category.TRACKING, ["pxl"])
+        inlined = inline_script(script, "https://www.pub.example/", 3)
+        assert inlined.url == "https://www.pub.example/#inline-3"
+        assert inlined.kind is ScriptKind.INLINE
+
+    def test_behaviour_preserved(self):
+        script = make_script("https://cdn.example/fb.js", Category.TRACKING, ["pxl"])
+        inlined = inline_script(script, "https://www.pub.example/", 1)
+        assert inlined.methods is script.methods
+        assert inlined.request_counts() == script.request_counts()
+
+    def test_provenance_kept(self):
+        script = make_script("https://cdn.example/fb.js", Category.TRACKING, ["pxl"])
+        inlined = inline_script(script, "https://www.pub.example/", 1)
+        assert inlined.bundle_sources == ("https://cdn.example/fb.js",)
+
+
+class TestBundling:
+    def test_merged_category_mixed(self):
+        tracker = make_script("https://t.example/pixel.js", Category.TRACKING, ["pxl"])
+        library = make_script("https://c.example/ui.js", Category.FUNCTIONAL, ["render"])
+        bundle = bundle_scripts(
+            [tracker, library],
+            "https://www.pub.example/assets/app.abc123.js",
+            site="https://www.pub.example/",
+            rng=random.Random(0),
+        )
+        assert bundle.category is Category.MIXED
+        assert bundle.kind is ScriptKind.BUNDLED
+        assert set(bundle.bundle_sources) == {tracker.url, library.url}
+
+    def test_pure_bundle_stays_pure(self):
+        a = make_script("https://c.example/a.js", Category.FUNCTIONAL, ["r1"])
+        b = make_script("https://c.example/b.js", Category.FUNCTIONAL, ["r2"])
+        bundle = bundle_scripts(
+            [a, b], "https://p.example/app.js", site="https://p.example/"
+        )
+        assert bundle.category is Category.FUNCTIONAL
+
+    def test_name_collisions_get_module_prefix(self):
+        a = make_script("https://c.example/a.js", Category.FUNCTIONAL, ["init"])
+        b = make_script("https://c.example/b.js", Category.FUNCTIONAL, ["init"])
+        bundle = bundle_scripts(
+            [a, b], "https://p.example/app.js", site="https://p.example/"
+        )
+        names = {m.name for m in bundle.methods}
+        assert "init" in names
+        assert any("__webpack_module_" in n for n in names)
+        assert len(names) == 2
+
+    def test_request_counts_preserved(self):
+        tracker = make_script("https://t.example/p.js", Category.TRACKING, ["pxl"])
+        library = make_script("https://c.example/u.js", Category.FUNCTIONAL, ["r"])
+        bundle = bundle_scripts(
+            [tracker, library], "https://p.example/app.js", site="https://p.example/"
+        )
+        t, f = bundle.request_counts()
+        assert (t, f) == (1, 1)
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            bundle_scripts([], "https://p.example/app.js", site="https://p.example/")
+
+
+class TestBundleName:
+    def test_webpack_style(self):
+        name = webpack_bundle_name(random.Random(7))
+        assert name.startswith("app.") and name.endswith(".js")
+        digest = name[len("app.") : -len(".js")]
+        assert len(digest) == 20
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_deterministic(self):
+        assert webpack_bundle_name(random.Random(7)) == webpack_bundle_name(
+            random.Random(7)
+        )

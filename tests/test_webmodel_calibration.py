@@ -1,0 +1,97 @@
+"""Calibration targets: paper constants and scaling invariants."""
+
+import pytest
+
+from repro.webmodel.calibration import PAPER, LevelTargets, scale_targets
+
+
+class TestPaperConstants:
+    def test_total_requests(self):
+        # The paper reports 2.43M script-initiated requests; Table 1's
+        # domain row sums to the exact population.
+        assert PAPER.domain.requests_total == 2_451_703
+
+    def test_entity_totals(self):
+        assert PAPER.domain.entities_total == 69_292
+        assert PAPER.hostname.entities_total == 26_060
+        assert PAPER.script.entities_total == 350_050
+        assert PAPER.method.entities_total == 64_019
+
+    def test_level_nesting(self):
+        # Each level's request total is the previous level's mixed count.
+        assert PAPER.hostname.requests_total == PAPER.domain.requests_mixed
+        assert PAPER.script.requests_total == PAPER.hostname.requests_mixed
+        assert PAPER.method.requests_total == PAPER.script.requests_mixed
+
+    def test_published_separation_factors(self):
+        assert PAPER.domain.separation_factor == pytest.approx(0.54, abs=0.005)
+        assert PAPER.hostname.separation_factor == pytest.approx(0.24, abs=0.005)
+        assert PAPER.script.separation_factor == pytest.approx(0.84, abs=0.005)
+        assert PAPER.method.separation_factor == pytest.approx(0.72, abs=0.005)
+
+    def test_published_cumulative_separation(self):
+        cumulative = PAPER.cumulative_separation()
+        assert cumulative[0] == pytest.approx(0.54, abs=0.01)
+        assert cumulative[1] == pytest.approx(0.65, abs=0.01)
+        assert cumulative[2] == pytest.approx(0.94, abs=0.01)
+        assert cumulative[3] == pytest.approx(0.98, abs=0.01)
+
+    def test_published_mixed_shares(self):
+        assert PAPER.domain.mixed_entity_share == pytest.approx(0.17, abs=0.01)
+        assert PAPER.hostname.mixed_entity_share == pytest.approx(0.48, abs=0.01)
+        assert PAPER.script.mixed_entity_share == pytest.approx(0.06, abs=0.01)
+        assert PAPER.method.mixed_entity_share == pytest.approx(0.09, abs=0.005)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("sites", [100, 500, 2_000, 10_000])
+    def test_nesting_preserved(self, sites):
+        targets = scale_targets(sites)
+        assert targets.hostname.requests_total == targets.domain.requests_mixed
+        assert targets.script.requests_total == targets.hostname.requests_mixed
+        assert targets.method.requests_total == targets.script.requests_mixed
+
+    @pytest.mark.parametrize("sites", [100, 500, 2_000])
+    def test_floors(self, sites):
+        targets = scale_targets(sites)
+        for level in targets.levels:
+            assert level.entities_tracking >= 2
+            assert level.entities_functional >= 2
+            assert level.entities_mixed >= 2
+            assert level.requests_tracking >= level.entities_tracking
+            assert level.requests_functional >= level.entities_functional
+            assert level.requests_mixed >= 4 * level.entities_mixed
+
+    def test_shares_roughly_preserved_at_scale(self):
+        targets = scale_targets(5_000)
+        assert targets.domain.separation_factor == pytest.approx(
+            PAPER.domain.separation_factor, abs=0.02
+        )
+        assert targets.script.mixed_entity_share == pytest.approx(
+            PAPER.script.mixed_entity_share, abs=0.02
+        )
+
+    def test_identity_at_paper_scale(self):
+        targets = scale_targets(100_000)
+        assert targets.domain.requests_total == PAPER.domain.requests_total
+        assert targets.domain.entities_mixed == PAPER.domain.entities_mixed
+
+    def test_nonpositive_sites_rejected(self):
+        with pytest.raises(ValueError):
+            scale_targets(0)
+        with pytest.raises(ValueError):
+            scale_targets(-5)
+
+
+class TestLevelTargets:
+    def test_totals(self):
+        level = LevelTargets(1, 2, 3, 10, 20, 30)
+        assert level.entities_total == 6
+        assert level.requests_total == 60
+        assert level.separation_factor == pytest.approx(0.5)
+        assert level.mixed_entity_share == pytest.approx(0.5)
+
+    def test_empty_level(self):
+        level = LevelTargets(0, 0, 0, 0, 0, 0)
+        assert level.separation_factor == 0.0
+        assert level.mixed_entity_share == 0.0

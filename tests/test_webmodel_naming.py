@@ -1,0 +1,115 @@
+"""NameFactory: uniqueness, determinism, vocabulary structure."""
+
+import random
+
+from repro.filterlists import ADVERTISING_DOMAINS, TRACKER_DOMAINS
+from repro.webmodel.naming import (
+    SEED_FUNCTIONAL_DOMAINS,
+    SEED_MIXED_DOMAINS,
+    NameFactory,
+)
+
+
+def factory(seed=0) -> NameFactory:
+    return NameFactory(random.Random(seed))
+
+
+class TestDomains:
+    def test_tracking_domains_start_with_listed_seeds(self):
+        names = factory()
+        domains = names.tracking_domains(10)
+        assert len(domains) == 10
+        assert all(names.is_listed_tracker(d) for d in domains)
+
+    def test_tracking_domains_beyond_seeds_are_generated(self):
+        names = factory()
+        count = len(ADVERTISING_DOMAINS) + len(TRACKER_DOMAINS) + 5
+        domains = names.tracking_domains(count)
+        assert len(domains) == count
+        generated = [d for d in domains if not names.is_listed_tracker(d)]
+        assert len(generated) == 5
+
+    def test_mixed_domains_include_paper_seeds(self):
+        domains = factory().mixed_domains(8)
+        for seed_domain in SEED_MIXED_DOMAINS[:5]:
+            assert seed_domain in domains
+
+    def test_functional_domains_include_paper_seeds(self):
+        domains = factory().functional_domains(10)
+        assert SEED_FUNCTIONAL_DOMAINS[0] in domains
+
+    def test_all_domains_unique(self):
+        names = factory()
+        everything = (
+            names.tracking_domains(60)
+            + names.functional_domains(40)
+            + names.mixed_domains(20)
+            + names.publisher_domains(50)
+        )
+        assert len(everything) == len(set(everything))
+
+    def test_deterministic(self):
+        assert factory(3).publisher_domains(5) == factory(3).publisher_domains(5)
+
+
+class TestHostnames:
+    def test_category_prefixes(self):
+        names = factory()
+        assert names.hostname("wp.com", "tracking", 0).split(".")[0] == "pixel"
+        assert names.hostname("wp.com", "functional", 0).split(".")[0] == "cdn"
+        assert names.hostname("wp.com", "mixed", 0).split(".")[0] == "i0"
+
+    def test_index_overflow_gets_suffix(self):
+        names = factory()
+        host = names.hostname("wp.com", "tracking", 13)
+        assert host.endswith(".wp.com")
+        prefix = host.removesuffix(".wp.com")
+        assert any(c.isdigit() for c in prefix)
+
+    def test_unique_within_domain_across_indexes(self):
+        names = factory()
+        hosts = {names.hostname("x.com", "mixed", i) for i in range(20)}
+        assert len(hosts) == 20
+
+
+class TestUrls:
+    def test_script_urls_unique(self):
+        names = factory()
+        urls = {names.script_url("cdn.example", "functional") for _ in range(50)}
+        assert len(urls) == 50
+
+    def test_method_names_extend_with_suffix(self):
+        names = factory()
+        method_names = names.method_names("mixed", 20)
+        assert len(method_names) == 20
+        assert len(set(method_names)) == 20
+
+    def test_tracking_request_urls_carry_markers_when_unlisted(self):
+        from repro.filterlists import AD_PATH_MARKERS, TRACKER_PATH_MARKERS
+
+        names = factory()
+        markers = AD_PATH_MARKERS + TRACKER_PATH_MARKERS
+        for _ in range(50):
+            url = names.request_url("plain.example", tracking=True, listed_host=False)
+            assert any(m in url for m in markers), url
+
+    def test_functional_request_urls_never_carry_markers(self):
+        from repro.filterlists import AD_PATH_MARKERS, TRACKER_PATH_MARKERS
+
+        names = factory()
+        markers = AD_PATH_MARKERS + TRACKER_PATH_MARKERS
+        for _ in range(50):
+            url = names.request_url("plain.example", tracking=False)
+            assert not any(m in url for m in markers), url
+
+    def test_listed_host_tracking_may_use_clean_paths(self):
+        names = factory(1)
+        urls = [
+            names.request_url("doubleclick.net", tracking=True, listed_host=True)
+            for _ in range(40)
+        ]
+        from repro.filterlists import AD_PATH_MARKERS, TRACKER_PATH_MARKERS
+
+        markers = AD_PATH_MARKERS + TRACKER_PATH_MARKERS
+        clean = [u for u in urls if not any(m in u for m in markers)]
+        assert clean  # domain rule carries the label, path can be anything

@@ -1,0 +1,89 @@
+"""Website functionality model: dependency and breakage semantics."""
+
+from repro.webmodel.resources import Category, MethodSpec, ScriptSpec
+from repro.webmodel.website import Functionality, FunctionalityTier, Website
+
+
+def feature(name, tier, scripts=(), methods=()):
+    return Functionality(
+        name=name,
+        tier=tier,
+        required_scripts=frozenset(scripts),
+        required_methods=frozenset(methods),
+    )
+
+
+class TestFunctionalityWorks:
+    def test_works_with_nothing_blocked(self):
+        f = feature("menu", FunctionalityTier.CORE, scripts=["https://a/x.js"])
+        assert f.works(frozenset(), frozenset())
+
+    def test_breaks_when_script_blocked(self):
+        f = feature("menu", FunctionalityTier.CORE, scripts=["https://a/x.js"])
+        assert not f.works(frozenset({"https://a/x.js"}), frozenset())
+
+    def test_method_dependency_breaks_on_method_removal(self):
+        f = feature(
+            "video player",
+            FunctionalityTier.SECONDARY,
+            methods=[("https://a/x.js", "mountPlayer")],
+        )
+        assert not f.works(frozenset(), frozenset({("https://a/x.js", "mountPlayer")}))
+
+    def test_method_dependency_survives_other_method_removal(self):
+        f = feature(
+            "video player",
+            FunctionalityTier.SECONDARY,
+            methods=[("https://a/x.js", "mountPlayer")],
+        )
+        assert f.works(frozenset(), frozenset({("https://a/x.js", "sendBeacon")}))
+
+    def test_method_dependency_breaks_when_whole_script_blocked(self):
+        f = feature(
+            "video player",
+            FunctionalityTier.SECONDARY,
+            methods=[("https://a/x.js", "mountPlayer")],
+        )
+        assert not f.works(frozenset({"https://a/x.js"}), frozenset())
+
+    def test_no_dependencies_never_breaks(self):
+        f = feature("icons", FunctionalityTier.SECONDARY)
+        assert f.works(frozenset({"https://a/x.js"}), frozenset())
+
+
+class TestWebsite:
+    def make_site(self):
+        mixed = ScriptSpec(
+            url="https://cdn.example/lazysizes.min.js",
+            category=Category.MIXED,
+            methods=[MethodSpec(name="m2", category=Category.MIXED)],
+        )
+        functional = ScriptSpec(
+            url="https://cdn.example/jquery.min.js", category=Category.FUNCTIONAL
+        )
+        site = Website(url="https://www.pub.example/", rank=1)
+        site.scripts = [mixed, functional]
+        site.functionalities = [
+            feature("menu", FunctionalityTier.CORE, scripts=[functional.url]),
+            feature("media widgets", FunctionalityTier.SECONDARY, scripts=[mixed.url]),
+        ]
+        return site, mixed, functional
+
+    def test_mixed_scripts(self):
+        site, mixed, _ = self.make_site()
+        assert site.mixed_scripts() == [mixed]
+
+    def test_script_urls(self):
+        site, mixed, functional = self.make_site()
+        assert site.script_urls() == [mixed.url, functional.url]
+
+    def test_functionality_status_control(self):
+        site, _, _ = self.make_site()
+        status = site.functionality_status()
+        assert status == {"menu": True, "media widgets": True}
+
+    def test_functionality_status_treatment(self):
+        site, mixed, _ = self.make_site()
+        status = site.functionality_status(blocked_scripts=frozenset({mixed.url}))
+        assert status["media widgets"] is False
+        assert status["menu"] is True
