@@ -1,0 +1,19 @@
+#!/bin/sh
+# One-command gate for builders: the ROADMAP tier-1 suite, then the
+# streaming/cache invariants on their own (fast, and loudly attributable
+# when they break).  No make, no extra deps — plain sh + pytest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full suite (ROADMAP.md verify command) =="
+python -m pytest -x -q
+
+echo
+echo "== tier1-marked invariants: equivalence + cache + resume =="
+python -m pytest -q -m tier1
+
+echo
+echo "All checks passed."

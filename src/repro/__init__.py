@@ -6,7 +6,8 @@ depends on:
 
 * :mod:`repro.urlkit` — URLs, hostnames, public-suffix eTLD+1,
 * :mod:`repro.filterlists` — Adblock Plus engine + EasyList/EasyPrivacy
-  snapshots (the labeling oracle),
+  snapshots (the labeling oracle), with a memoized decision cache for the
+  labeling hot path,
 * :mod:`repro.webmodel` — calibrated synthetic web (the 100K-crawl stand-in),
 * :mod:`repro.browser` — simulated instrumented browser (DevTools events,
   call stacks, blocking policies, breakage grading),
@@ -14,14 +15,43 @@ depends on:
   request database,
 * :mod:`repro.labeling` — oracle labeling with ancestral propagation,
 * :mod:`repro.core` — TrackerSift itself: the ratio classifier, the
-  hierarchical sifter, sensitivity, call-stack analysis, surrogates, guards,
+  hierarchical sifter, the streaming execution engine, sensitivity,
+  call-stack analysis, surrogates, guards,
 * :mod:`repro.analysis` — Tables 1-3 and Figures 3-5 builders + rendering.
 
-Quickstart::
+**The pipeline.**  The crawl → label → sift path runs on one execution
+engine with two front doors.  The classic batch API materializes every
+stage — handy when you want the request database and labeled crawl in
+hand afterwards::
 
     from repro import run_study
     result = run_study(sites=500, seed=7)
     print(result.report.final_separation)       # ~0.98 in the paper
+    result.database.to_jsonl("crawl.jsonl")     # every captured event
+
+The streaming API runs the same study without materializing anything
+request-shaped: sites are sharded into batches, each page's events flow
+straight through the memoized labeling oracle into grouped sift
+accumulators, and completed shards checkpoint to disk so a partial run
+resumes where it stopped::
+
+    from repro import PipelineConfig, StreamingPipeline
+    engine = StreamingPipeline(
+        PipelineConfig(sites=2_000, seed=7),
+        shards=13,                      # execution knob — never changes results
+        checkpoint_dir="checkpoints/",  # optional: resume after interruption
+    )
+    result = engine.run()
+    print(result.report.final_separation)
+    print(result.notes["label_cache_hit_rate"])   # >50% at study scale
+
+Both doors produce identical reports for identical configs — the
+equivalence is pinned, shard count by shard count, in
+``tests/test_streaming_engine.py`` — because
+:class:`~repro.core.pipeline.TrackerSiftPipeline` *is* the engine in
+retain mode, one shard per cluster node.  ``trackersift sift --streaming
+--shards N`` (or ``python -m repro sift --streaming --shards N``) exposes
+the streaming door on the command line.
 """
 
 from .core import (
@@ -31,6 +61,7 @@ from .core import (
     RatioClassifier,
     ResourceClass,
     SiftReport,
+    StreamingPipeline,
     TrackerSiftPipeline,
     log_ratio,
     run_study,
@@ -40,7 +71,7 @@ from .filterlists import FilterListOracle, Label
 from .labeling import AnalyzedRequest, LabeledCrawl, RequestLabeler
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -53,6 +84,7 @@ __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "TrackerSiftPipeline",
+    "StreamingPipeline",
     "run_study",
     "FilterListOracle",
     "Label",

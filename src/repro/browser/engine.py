@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..stablehash import stable_hash
 from ..webmodel.resources import Invocation, MethodSpec, ScriptSpec
 from ..webmodel.website import Website
 from .callstack import CallStack
@@ -101,7 +102,12 @@ class BrowserEngine:
         self._clock = 0.0
 
     def _coverage_rng(self, site_url: str, script_url: str, method: str) -> random.Random:
-        return random.Random(hash((self._seed, site_url, script_url, method)) & 0x7FFFFFFF)
+        # stable_hash, not hash(): coverage observations must be identical
+        # across processes or a checkpointed crawl resumed after a restart
+        # would see different page behaviour than the shards already done.
+        return random.Random(
+            stable_hash(self._seed, site_url, script_url, method)
+        )
 
     def load(
         self, website: Website, policy: BlockingPolicy | None = None

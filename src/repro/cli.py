@@ -3,6 +3,10 @@
 Subcommands mirror the paper's workflow plus the library's extensions:
 
 * ``study``     — run the full pipeline and print Tables 1-2,
+* ``sift``      — run the study through the execution engine; with
+  ``--streaming`` it shards the crawl, labels through the memoized
+  decision cache without materializing the database, checkpoints per
+  shard (``--checkpoint-dir``) and prints the cache counters,
 * ``figure3``   — print the ratio histograms,
 * ``figure4``   — print the threshold-sensitivity curve (CSV),
 * ``table3``    — run the breakage analysis sample,
@@ -30,6 +34,7 @@ from .analysis.report import (
     render_table3,
 )
 from .analysis.tables import build_table1, build_table2, build_table3
+from .core.engine import StreamingPipeline
 from .core.pipeline import PipelineConfig, TrackerSiftPipeline
 from .core.rulegen import compare_strategies, generate_recommendation
 
@@ -53,9 +58,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default="", help="output path (rules/export)"
     )
     parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="sift: run the sharded streaming engine instead of batch",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="sift --streaming: number of crawl shards (default: 13 nodes)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default="",
+        help="sift --streaming: persist per-shard checkpoints here (resumable)",
+    )
+    parser.add_argument(
         "command",
         choices=[
             "study",
+            "sift",
             "figure3",
             "figure4",
             "table3",
@@ -81,6 +104,28 @@ def _cmd_study(result) -> None:
     print()
     print("Table 2: resources classified at each granularity")
     print(render_table2(build_table2(result.report)))
+    print()
+    print(f"Final separation factor: {result.report.final_separation:.1%}")
+
+
+def _cmd_sift(result, streaming: bool) -> None:
+    notes = result.notes
+    engine = "streaming" if streaming else "batch"
+    print(
+        f"Sifted {int(notes.get('labeled_requests', result.total_script_requests)):,} "
+        f"script-initiated requests over {result.pages_crawled} pages "
+        f"({engine} engine, {int(notes.get('shards', 0))} shards, "
+        f"{int(notes.get('shards_resumed', 0))} resumed from checkpoint)"
+    )
+    if "label_cache_hit_rate" in notes:
+        print(
+            f"Label cache: {int(notes['label_cache_hits']):,} hits / "
+            f"{int(notes['label_cache_misses']):,} misses "
+            f"({notes['label_cache_hit_rate']:.1%} hit rate)"
+        )
+    print()
+    print("Table 1: requests classified at each granularity")
+    print(render_table1(build_table1(result.report)))
     print()
     print(f"Final separation factor: {result.report.final_separation:.1%}")
 
@@ -153,11 +198,34 @@ def main(argv: list[str] | None = None) -> int:
     config = PipelineConfig(
         sites=args.sites, seed=args.seed, threshold=args.threshold
     )
-    result = TrackerSiftPipeline(config).run()
+    engine_flags = (
+        args.streaming or args.shards is not None or args.checkpoint_dir
+    )
+    if engine_flags and args.command != "sift":
+        raise SystemExit(
+            f"{args.command}: --streaming/--shards/--checkpoint-dir apply "
+            "to the sift command only"
+        )
+    if args.command == "sift" and not args.streaming and engine_flags:
+        raise SystemExit("sift: --shards/--checkpoint-dir require --streaming")
+    if args.command == "sift" and args.streaming:
+        try:
+            engine = StreamingPipeline(
+                config,
+                shards=args.shards,
+                checkpoint_dir=args.checkpoint_dir or None,
+            )
+            result = engine.run()
+        except ValueError as error:
+            raise SystemExit(f"sift --streaming: {error}")
+    else:
+        result = TrackerSiftPipeline(config).run()
     report = result.report
 
     if args.command == "study":
         _cmd_study(result)
+    elif args.command == "sift":
+        _cmd_sift(result, streaming=args.streaming)
     elif args.command == "figure3":
         for histogram in build_figure3(report).values():
             print(render_histogram(histogram))

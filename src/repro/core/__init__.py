@@ -3,6 +3,7 @@
 * :mod:`classifier` — Equation 1 and the ±2 threshold classifier,
 * :mod:`hierarchy` — progressive domain → hostname → script → method sift,
 * :mod:`results` — level reports, separation factors,
+* :mod:`engine` — streaming sharded execution with memoized labeling,
 * :mod:`pipeline` — end-to-end study orchestration,
 * :mod:`sensitivity` — Figure 4 threshold sweep,
 * :mod:`callstack_analysis` — Figure 5 point-of-divergence search,
@@ -32,6 +33,7 @@ from .guards import (
     infer_guard,
     mixed_method_guards,
 )
+from .engine import ShardState, SiftAccumulator, StreamingPipeline
 from .hierarchy import HierarchicalSifter, sift_requests
 from .pipeline import PipelineConfig, PipelineResult, TrackerSiftPipeline, run_study
 from .results import LevelReport, ResourceResult, SiftReport
@@ -70,6 +72,9 @@ __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "TrackerSiftPipeline",
+    "StreamingPipeline",
+    "SiftAccumulator",
+    "ShardState",
     "run_study",
     "SensitivityPoint",
     "SensitivityResult",

@@ -1,0 +1,528 @@
+"""Streaming sharded execution engine for the crawl → label → sift path.
+
+The batch pipeline materializes every stage — the whole synthetic web, the
+whole request database, the whole labeled crawl — before sifting, which
+caps the scale a study can run at.  This engine runs the same study as a
+stream: sites are sharded into batches, each page's DevTools events flow
+straight through labeling into incremental sift accumulators, and nothing
+request-shaped outlives the page that produced it.  Three properties make
+that safe:
+
+* **Per-site determinism.**  A page's events are a pure function of the
+  site and the browser seed (coverage RNG is keyed per site/script/method,
+  never an evolving stream), and the per-page failure decision is keyed on
+  ``(failure seed, url)`` — so any re-grouping of sites reproduces the
+  batch crawl's exact observable behaviour.  The engine assigns every site
+  the virtual cluster node a :class:`~repro.crawler.cluster.CrawlCluster`
+  would, so even the injected failures match the paper's 13-node setup for
+  *any* engine shard count.
+* **Grouped sifting.**  The hierarchical sift only needs per-resource
+  tallies, so each request collapses into its attribution key
+  ``(domain, hostname, script, method)`` — memory is bounded by distinct
+  resources, not requests — and the report comes from the same
+  :meth:`~repro.core.hierarchy.HierarchicalSifter.sift_grouped`
+  implementation the batch path uses, so the two cannot drift.
+* **Memoized labeling.**  The oracle's match decision is cached on the
+  normalized request shape (url, party, resource type — see
+  :mod:`repro.filterlists.cache`), so a tracker script shared by thousands
+  of sites is decided once; hit/miss counters surface in
+  ``PipelineResult.notes``.
+
+Shards checkpoint to disk as they complete, so a partial run resumes where
+it stopped::
+
+    engine = StreamingPipeline(config, shards=8, checkpoint_dir="ckpt/")
+    engine.process_shards(limit=3)      # ... interrupted here ...
+    result = StreamingPipeline(config, shards=8, checkpoint_dir="ckpt/").run()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..browser.engine import BrowserEngine
+from ..browser.extension import CrawlExtension
+from ..crawler.cluster import NODE_ENGINE_SEED, node_failure_seed, round_robin_shards
+from ..crawler.crawler import page_load_fails
+from ..crawler.storage import RequestDatabase
+from ..crawler.tranco import RankedSite
+from ..filterlists.oracle import FilterListOracle
+from ..labeling.labeler import AnalyzedRequest, LabeledCrawl, RequestLabeler
+from ..stablehash import stable_hash
+from ..webmodel.generator import SyntheticWeb, SyntheticWebGenerator
+from .classifier import RatioClassifier
+from .hierarchy import AttributionKey, HierarchicalSifter, attribution_key
+from .results import SiftReport
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "SiftAccumulator",
+    "ShardState",
+    "StreamingPipeline",
+    "sifter_for",
+]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Study parameters (defaults mirror the paper, scaled down).
+
+    ``descent_threshold`` optionally decouples which resources *descend*
+    the hierarchy from the report ``threshold`` (see
+    :class:`~repro.core.hierarchy.HierarchicalSifter`).  Leave it ``None``
+    for the paper's single-threshold hierarchy; pin it (usually to 2.0)
+    when comparing runs across report thresholds, so every run classifies
+    the same population at each level and per-level separation factors
+    stay monotone — the policy :func:`~repro.core.hierarchy.sift_requests`
+    applies by default.
+    """
+
+    sites: int = 2_000
+    seed: int = 7
+    cluster_nodes: int = 13
+    threshold: float = 2.0
+    failure_rate: float = 0.0
+    propagate_ancestry: bool = True
+    descent_threshold: float | None = None
+
+
+@dataclass
+class PipelineResult:
+    """Everything the study produced, stage by stage.
+
+    Streaming runs leave ``database`` empty and ``labeled.requests`` empty
+    (their whole point is not materializing those); the aggregate fields —
+    exclusion tallies, participation index, the report itself — are always
+    populated, and ``notes`` carries the engine's counters (cache hits and
+    misses, shard count, labeled-request total).
+    """
+
+    config: PipelineConfig
+    web: SyntheticWeb
+    database: RequestDatabase
+    labeled: LabeledCrawl
+    report: SiftReport
+    pages_crawled: int = 0
+    pages_failed: int = 0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_script_requests(self) -> int:
+        if self.labeled.requests:
+            return len(self.labeled.requests)
+        return int(self.notes.get("labeled_requests", 0))
+
+
+class SiftAccumulator:
+    """Incremental grouped tallies a hierarchical sift runs over.
+
+    Feed it :class:`AnalyzedRequest` objects (or merge whole tally maps
+    from other accumulators / checkpoints); ask for the report at the end.
+    """
+
+    def __init__(
+        self, *, groups: dict[AttributionKey, list[int]] | None = None
+    ) -> None:
+        # ``groups`` may be a shared dict (a ShardState's tallies) so the
+        # accumulation and the checkpoint stay one data structure.
+        self._groups: dict[AttributionKey, list[int]] = (
+            groups if groups is not None else {}
+        )
+        self.total_requests = 0
+
+    def add(self, request: AnalyzedRequest) -> None:
+        entry = self._groups.setdefault(attribution_key(request), [0, 0])
+        entry[0 if request.is_tracking else 1] += 1
+        self.total_requests += 1
+
+    def merge(self, groups: Mapping[AttributionKey, list[int]], total: int) -> None:
+        for key, (tracking, functional) in groups.items():
+            entry = self._groups.setdefault(key, [0, 0])
+            entry[0] += tracking
+            entry[1] += functional
+        self.total_requests += total
+
+    @property
+    def groups(self) -> dict[AttributionKey, list[int]]:
+        return self._groups
+
+    @property
+    def distinct_resources(self) -> int:
+        return len(self._groups)
+
+    def report(self, sifter: HierarchicalSifter) -> SiftReport:
+        return sifter.sift_grouped(self._groups, self.total_requests)
+
+
+@dataclass
+class ShardState:
+    """One shard's complete, mergeable output — the checkpoint unit."""
+
+    shard_id: int
+    pages_crawled: int = 0
+    pages_failed: int = 0
+    excluded_non_script: int = 0
+    excluded_unparseable: int = 0
+    labeled_requests: int = 0
+    tallies: dict[AttributionKey, list[int]] = field(default_factory=dict)
+    participation: dict[str, list[int]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "shard_id": self.shard_id,
+                "pages_crawled": self.pages_crawled,
+                "pages_failed": self.pages_failed,
+                "excluded_non_script": self.excluded_non_script,
+                "excluded_unparseable": self.excluded_unparseable,
+                "labeled_requests": self.labeled_requests,
+                "tallies": [
+                    [*key, tracking, functional]
+                    for key, (tracking, functional) in self.tallies.items()
+                ],
+                "participation": self.participation,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, data: str) -> "ShardState":
+        record = json.loads(data)
+        return cls(
+            shard_id=record["shard_id"],
+            pages_crawled=record["pages_crawled"],
+            pages_failed=record["pages_failed"],
+            excluded_non_script=record["excluded_non_script"],
+            excluded_unparseable=record["excluded_unparseable"],
+            labeled_requests=record["labeled_requests"],
+            tallies={
+                (domain, host, script, method): [tracking, functional]
+                for domain, host, script, method, tracking, functional in record[
+                    "tallies"
+                ]
+            },
+            participation={
+                script: list(entry)
+                for script, entry in record["participation"].items()
+            },
+        )
+
+
+class StreamingPipeline:
+    """Sharded streaming crawl → label → sift with checkpoint/resume.
+
+    ``shards`` is an execution knob, not a semantic one: for a fixed
+    config the report is identical for any shard count, and identical to
+    the batch :class:`~repro.core.pipeline.TrackerSiftPipeline` (the
+    equivalence suite pins this for shards ∈ {1, 2, 13}).
+
+    ``checkpoint_dir`` enables resume: each completed shard is persisted
+    atomically, a manifest guards against resuming under a different
+    config, and a fresh ``StreamingPipeline`` pointed at the same
+    directory picks up where the previous one stopped.
+
+    ``retain_events`` additionally materializes the request database and
+    labeled request list while streaming — that is the compatibility mode
+    :class:`~repro.core.pipeline.TrackerSiftPipeline` wraps, bit-identical
+    to the historical batch path.  It cannot be combined with
+    checkpointing (checkpoints deliberately hold only aggregates).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        shards: int | None = None,
+        oracle: FilterListOracle | None = None,
+        checkpoint_dir: str | Path | None = None,
+        retain_events: bool = False,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self._shards = shards if shards is not None else self.config.cluster_nodes
+        if self._shards < 1:
+            raise ValueError("need at least one shard")
+        if retain_events and checkpoint_dir is not None:
+            raise ValueError(
+                "retain_events materializes per-request state that "
+                "checkpoints do not carry; use one or the other"
+            )
+        self._oracle = (oracle or FilterListOracle()).cached_view()
+        # Stats are cumulative on the (possibly shared) oracle; snapshot
+        # them so this pipeline's notes report only its own lookups.
+        stats = self._oracle.cache_stats
+        self._stats_baseline = (stats.hits, stats.misses) if stats else (0, 0)
+        self._checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._retain = retain_events
+        self._states: dict[int, ShardState] = {}
+        self._resumed_shards = 0
+        self._web: SyntheticWeb | None = None
+        # Only populated in retain mode.
+        self._database = RequestDatabase()
+        self._retained = LabeledCrawl()
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def oracle(self) -> FilterListOracle:
+        return self._oracle
+
+    # -- stages --------------------------------------------------------------
+    def generate(self) -> SyntheticWeb:
+        return SyntheticWebGenerator(
+            sites=self.config.sites, seed=self.config.seed
+        ).build()
+
+    def _site_list(self, web: SyntheticWeb) -> list[RankedSite]:
+        return [RankedSite(rank=w.rank, url=w.url) for w in web.websites]
+
+    def _failed_urls(self, sites: list[RankedSite]) -> set[str]:
+        """The exact failure set a paper-shaped cluster crawl would see.
+
+        Failure seeds follow the *cluster* node assignment
+        (``config.cluster_nodes``-way round-robin), never the engine's
+        shard count, so the observable crawl is shard-invariant.
+        """
+        if self.config.failure_rate <= 0:
+            return set()
+        failed: set[str] = set()
+        node_shards = round_robin_shards(sites, self.config.cluster_nodes)
+        for node_id, assigned in enumerate(node_shards):
+            seed = node_failure_seed(node_id)
+            for site in assigned:
+                if page_load_fails(seed, site.url, self.config.failure_rate):
+                    failed.add(site.url)
+        return failed
+
+    # -- checkpointing -------------------------------------------------------
+    def _manifest(self) -> dict:
+        return {
+            "sites": self.config.sites,
+            "seed": self.config.seed,
+            "cluster_nodes": self.config.cluster_nodes,
+            # No threshold here: checkpoints hold classifier-free tallies,
+            # so the same crawl is reusable across report thresholds.
+            "failure_rate": self.config.failure_rate,
+            "propagate_ancestry": self.config.propagate_ancestry,
+            "shards": self._shards,
+            # Guards resume against a *different web* under the same config
+            # (e.g. a hand-built web passed to run()): stale shards from
+            # another universe must not be merged silently.
+            "web_fingerprint": _web_fingerprint(self._web) if self._web else 0,
+        }
+
+    def _shard_path(self, shard_id: int) -> Path:
+        assert self._checkpoint_dir is not None
+        return self._checkpoint_dir / f"shard-{shard_id:04d}.json"
+
+    def _prepare_checkpoint_dir(self) -> None:
+        if self._checkpoint_dir is None:
+            return
+        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        manifest_path = self._checkpoint_dir / "manifest.json"
+        manifest = self._manifest()
+        if manifest_path.exists():
+            existing = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if existing != manifest:
+                raise ValueError(
+                    f"checkpoint directory {self._checkpoint_dir} was written "
+                    f"by a different study configuration: {existing!r}"
+                )
+        else:
+            _atomic_write(manifest_path, json.dumps(manifest, sort_keys=True))
+
+    def _load_checkpoints(self) -> None:
+        if self._checkpoint_dir is None:
+            return
+        for shard_id in range(self._shards):
+            if shard_id in self._states:
+                continue
+            path = self._shard_path(shard_id)
+            if path.exists():
+                self._states[shard_id] = ShardState.from_json(
+                    path.read_text(encoding="utf-8")
+                )
+                self._resumed_shards += 1
+
+    def _store(self, state: ShardState) -> None:
+        self._states[state.shard_id] = state
+        if self._checkpoint_dir is not None:
+            _atomic_write(self._shard_path(state.shard_id), state.to_json())
+
+    # -- execution -----------------------------------------------------------
+    def process_shards(
+        self, web: SyntheticWeb | None = None, *, limit: int | None = None
+    ) -> int:
+        """Process up to ``limit`` not-yet-done shards; returns how many ran.
+
+        With a ``checkpoint_dir`` this is the resumable unit of work: call
+        it with a limit, lose the process, construct a fresh pipeline and
+        call :meth:`run` — completed shards load from disk and only the
+        remainder is crawled.
+        """
+        if web is None:
+            web = self._web or self.generate()
+        elif self._web is not None and web is not self._web:
+            # In-memory shard states are only mergeable within one web;
+            # the checkpoint manifest guards the on-disk equivalent.
+            if _web_fingerprint(self._web) != _web_fingerprint(web):
+                raise ValueError(
+                    "this pipeline already crawled shards of a different "
+                    "web; build a new StreamingPipeline for a new web"
+                )
+        self._web = web
+        sites = self._site_list(web)
+        self._prepare_checkpoint_dir()
+        self._load_checkpoints()
+        failed_urls = self._failed_urls(sites)
+        shard_sites = round_robin_shards(sites, self._shards)
+        by_url = {w.url: w for w in web.websites}
+        processed = 0
+        for shard_id in range(self._shards):
+            if shard_id in self._states:
+                continue
+            if limit is not None and processed >= limit:
+                break
+            self._store(
+                self._crawl_shard(
+                    shard_id, shard_sites[shard_id], by_url, failed_urls
+                )
+            )
+            processed += 1
+        return processed
+
+    def _crawl_shard(
+        self,
+        shard_id: int,
+        sites: list[RankedSite],
+        by_url: dict,
+        failed_urls: set[str],
+    ) -> ShardState:
+        state = ShardState(shard_id=shard_id)
+        accumulator = SiftAccumulator(groups=state.tallies)
+        # A fresh engine per shard, like each cluster node ran its own
+        # Chrome; page behaviour is site-keyed, so sharding cannot change it.
+        browser = BrowserEngine(seed=NODE_ENGINE_SEED)
+        labeler = RequestLabeler(
+            self._oracle, propagate_ancestry=self.config.propagate_ancestry
+        )
+        counters = LabeledCrawl(participation=state.participation)
+        extension = (
+            CrawlExtension(self._database) if self._retain else None
+        )
+        for site in sites:
+            website = by_url.get(site.url)
+            if website is None or site.url in failed_urls:
+                state.pages_failed += 1
+                continue
+            page = browser.load(website)
+            if extension is not None:
+                extension.capture_page(page)
+            for analyzed in labeler.iter_labeled(
+                page.requests, counters=counters
+            ):
+                accumulator.add(analyzed)
+                if self._retain:
+                    self._retained.requests.append(analyzed)
+            state.pages_crawled += 1
+        state.labeled_requests = accumulator.total_requests
+        state.excluded_non_script = counters.excluded_non_script
+        state.excluded_unparseable = counters.excluded_unparseable
+        return state
+
+    # -- end to end -----------------------------------------------------------
+    def run(self, web: SyntheticWeb | None = None) -> PipelineResult:
+        """Run (or finish) the study and assemble the result."""
+        web = web or self._web or self.generate()
+        self.process_shards(web)
+        accumulator = SiftAccumulator()
+        # Aggregates are rebuilt from the shard states on every call, so a
+        # repeated run() stays idempotent; only the retained request list
+        # (appended at crawl time, and shards never re-crawl) is shared.
+        labeled = LabeledCrawl(requests=self._retained.requests)
+        pages_crawled = pages_failed = 0
+        for shard_id in range(self._shards):
+            state = self._states[shard_id]
+            accumulator.merge(state.tallies, state.labeled_requests)
+            pages_crawled += state.pages_crawled
+            pages_failed += state.pages_failed
+            labeled.excluded_non_script += state.excluded_non_script
+            labeled.excluded_unparseable += state.excluded_unparseable
+            for script, (tracking, functional) in state.participation.items():
+                entry = labeled.participation.setdefault(script, [0, 0])
+                entry[0] += tracking
+                entry[1] += functional
+        report = accumulator.report(sifter_for(self.config))
+        notes: dict[str, float] = {
+            "shards": float(self._shards),
+            "shards_resumed": float(self._resumed_shards),
+            "labeled_requests": float(accumulator.total_requests),
+            "distinct_resources": float(accumulator.distinct_resources),
+        }
+        stats = self._oracle.cache_stats
+        if stats is not None:
+            hits = stats.hits - self._stats_baseline[0]
+            misses = stats.misses - self._stats_baseline[1]
+            lookups = hits + misses
+            notes["label_cache_hits"] = float(hits)
+            notes["label_cache_misses"] = float(misses)
+            notes["label_cache_hit_rate"] = hits / lookups if lookups else 0.0
+        return PipelineResult(
+            config=self.config,
+            web=web,
+            database=self._database,
+            labeled=labeled,
+            report=report,
+            pages_crawled=pages_crawled,
+            pages_failed=pages_failed,
+            notes=notes,
+        )
+
+
+def _web_fingerprint(web: SyntheticWeb) -> int:
+    """Identity of a web's *content*, not just its site list.
+
+    Two webs with the same URLs but different planned behaviour (mutated
+    scripts, methods, invocations) are different simulated universes; the
+    fingerprint covers enough structure to tell them apart so shard states
+    never merge across them.
+    """
+    parts: list[object] = []
+    for website in web.websites:
+        parts.append(website.url)
+        parts.append(website.rank)
+        for script in website.scripts:
+            parts.append(script.url)
+            for method in script.methods:
+                parts.append(method.name)
+                parts.append(len(method.invocations))
+                parts.append(
+                    sum(len(inv.requests) for inv in method.invocations)
+                )
+    return stable_hash(*parts)
+
+
+def sifter_for(config: PipelineConfig) -> HierarchicalSifter:
+    """The sifter a config asks for — shared by both pipeline front doors."""
+    return HierarchicalSifter(
+        RatioClassifier(config.threshold),
+        descent_classifier=(
+            RatioClassifier(config.descent_threshold)
+            if config.descent_threshold is not None
+            else None
+        ),
+    )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)

@@ -4,52 +4,29 @@ This is the orchestration a user runs to reproduce the paper's study at
 some scale.  Every stage is swappable — bring your own web (or a recorded
 event database), your own filter lists, your own threshold — which is also
 how the ablation benchmarks are built.
+
+Since the streaming engine landed, :class:`TrackerSiftPipeline` is a thin
+compatibility wrapper over :class:`~repro.core.engine.StreamingPipeline`
+in retain mode: one engine shard per cluster node reproduces the classic
+batch crawl bit-for-bit (same event order, same request ids, same failure
+set) while the report itself comes from the engine's grouped sift — so
+batch and streaming share one implementation.  The individual stage
+methods (:meth:`~TrackerSiftPipeline.generate` /
+:meth:`~TrackerSiftPipeline.crawl` / :meth:`~TrackerSiftPipeline.label` /
+:meth:`~TrackerSiftPipeline.sift`) still run standalone for ablations.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from ..crawler.cluster import CrawlCluster
 from ..crawler.storage import RequestDatabase
 from ..filterlists.oracle import FilterListOracle
 from ..labeling.labeler import LabeledCrawl, RequestLabeler
 from ..webmodel.generator import SyntheticWeb, SyntheticWebGenerator
-from .classifier import RatioClassifier
-from .hierarchy import HierarchicalSifter
+from .engine import PipelineConfig, PipelineResult, StreamingPipeline, sifter_for
 from .results import SiftReport
 
 __all__ = ["PipelineConfig", "PipelineResult", "TrackerSiftPipeline", "run_study"]
-
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """Study parameters (defaults mirror the paper, scaled down)."""
-
-    sites: int = 2_000
-    seed: int = 7
-    cluster_nodes: int = 13
-    threshold: float = 2.0
-    failure_rate: float = 0.0
-    propagate_ancestry: bool = True
-
-
-@dataclass
-class PipelineResult:
-    """Everything the study produced, stage by stage."""
-
-    config: PipelineConfig
-    web: SyntheticWeb
-    database: RequestDatabase
-    labeled: LabeledCrawl
-    report: SiftReport
-    pages_crawled: int = 0
-    pages_failed: int = 0
-    notes: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_script_requests(self) -> int:
-        return len(self.labeled.requests)
 
 
 class TrackerSiftPipeline:
@@ -63,6 +40,9 @@ class TrackerSiftPipeline:
     ) -> None:
         self.config = config or PipelineConfig()
         self._oracle = oracle or FilterListOracle()
+        # One caching view shared by every run() of this pipeline: repeat
+        # runs reuse warm decisions, the caller's oracle stays unmutated.
+        self._cached_oracle = self._oracle.cached_view()
 
     # -- stages --------------------------------------------------------------
     def generate(self) -> SyntheticWeb:
@@ -86,24 +66,17 @@ class TrackerSiftPipeline:
         return labeler.label_crawl(database)
 
     def sift(self, labeled: LabeledCrawl) -> SiftReport:
-        sifter = HierarchicalSifter(RatioClassifier(self.config.threshold))
-        return sifter.sift(labeled.requests)
+        return sifter_for(self.config).sift(labeled.requests)
 
     # -- end to end -------------------------------------------------------------
     def run(self, web: SyntheticWeb | None = None) -> PipelineResult:
-        web = web or self.generate()
-        database, crawled, failed = self.crawl(web)
-        labeled = self.label(database)
-        report = self.sift(labeled)
-        return PipelineResult(
-            config=self.config,
-            web=web,
-            database=database,
-            labeled=labeled,
-            report=report,
-            pages_crawled=crawled,
-            pages_failed=failed,
+        engine = StreamingPipeline(
+            self.config,
+            shards=self.config.cluster_nodes,
+            oracle=self._cached_oracle,
+            retain_events=True,
         )
+        return engine.run(web)
 
 
 def run_study(

@@ -1,8 +1,14 @@
 """Crawl infrastructure: ranked site lists, stateless crawling, sharding,
 and the request database the offline analysis runs over."""
 
-from .cluster import ClusterCrawlResult, CrawlCluster, NodeReport
-from .crawler import Crawler, CrawlResult
+from .cluster import (
+    ClusterCrawlResult,
+    CrawlCluster,
+    NodeReport,
+    node_failure_seed,
+    round_robin_shards,
+)
+from .crawler import Crawler, CrawlResult, page_load_fails
 from .storage import RequestDatabase
 from .tranco import RankedSite, TrancoList
 
@@ -15,4 +21,7 @@ __all__ = [
     "CrawlCluster",
     "ClusterCrawlResult",
     "NodeReport",
+    "round_robin_shards",
+    "node_failure_seed",
+    "page_load_fails",
 ]

@@ -17,9 +17,42 @@ from .crawler import Crawler, CrawlResult
 from .storage import RequestDatabase
 from .tranco import RankedSite
 
-__all__ = ["NodeReport", "ClusterCrawlResult", "CrawlCluster"]
+__all__ = [
+    "NodeReport",
+    "ClusterCrawlResult",
+    "CrawlCluster",
+    "NODE_ENGINE_SEED",
+    "node_failure_seed",
+    "round_robin_shards",
+]
 
 _PAPER_NODE_COUNT = 13
+
+#: Every node runs its browser with this seed (one Chrome build per
+#: container); page behaviour is then a pure function of the site, so any
+#: re-grouping of sites reproduces the same events.
+NODE_ENGINE_SEED = 1729
+
+_NODE_FAILURE_SEED_BASE = 1000
+
+
+def node_failure_seed(node_id: int) -> int:
+    """The failure-injection seed node ``node_id`` crawls with."""
+    return _NODE_FAILURE_SEED_BASE + node_id
+
+
+def round_robin_shards(sites: list[RankedSite], nodes: int) -> list[list[RankedSite]]:
+    """Round-robin shard assignment — balanced and deterministic.
+
+    Shared with the streaming engine, whose failure accounting must assign
+    each site the same virtual node a :class:`CrawlCluster` would.
+    """
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    shards: list[list[RankedSite]] = [[] for _ in range(nodes)]
+    for index, site in enumerate(sites):
+        shards[index % nodes].append(site)
+    return shards
 
 
 @dataclass(frozen=True)
@@ -68,13 +101,9 @@ class CrawlCluster:
         self._failure_rate = failure_rate
 
     def shards(self) -> list[list[RankedSite]]:
-        """Round-robin shard assignment — balanced and deterministic."""
+        """This cluster's shard assignment (see :func:`round_robin_shards`)."""
         crawler = Crawler(self._web)
-        sites = list(crawler.site_list())
-        shards: list[list[RankedSite]] = [[] for _ in range(self._nodes)]
-        for index, site in enumerate(sites):
-            shards[index % self._nodes].append(site)
-        return shards
+        return round_robin_shards(list(crawler.site_list()), self._nodes)
 
     def crawl(self) -> ClusterCrawlResult:
         """Run every node's shard and merge the databases."""
@@ -85,10 +114,10 @@ class CrawlCluster:
             # own Chrome; the shared clock seed keeps runs reproducible.
             crawler = Crawler(
                 self._web,
-                engine=BrowserEngine(seed=1729),
+                engine=BrowserEngine(seed=NODE_ENGINE_SEED),
                 policy=self._policy,
                 failure_rate=self._failure_rate,
-                failure_seed=1000 + node_id,
+                failure_seed=node_failure_seed(node_id),
             )
             result: CrawlResult = crawler.crawl(shard)
             merged.extend(result.database)

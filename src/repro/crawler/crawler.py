@@ -11,12 +11,32 @@ from dataclasses import dataclass, field
 
 from ..browser.engine import BlockingPolicy, BrowserEngine
 from ..browser.extension import CrawlExtension
+from ..stablehash import stable_hash
 from ..webmodel.generator import SyntheticWeb
 from ..webmodel.website import Website
 from .storage import RequestDatabase
 from .tranco import RankedSite, TrancoList
 
-__all__ = ["CrawlResult", "Crawler"]
+__all__ = ["CrawlResult", "Crawler", "page_load_fails"]
+
+
+def page_load_fails(failure_seed: int, url: str, failure_rate: float) -> bool:
+    """The per-page failure decision, as a pure function of its inputs.
+
+    Keyed on ``(failure_seed, url)`` rather than an evolving RNG stream so
+    the decision is independent of crawl order — which is what lets the
+    streaming engine (:mod:`repro.core.engine`) reproduce a cluster crawl's
+    exact failure set under any shard count.  Hashed with
+    :func:`~repro.stablehash.stable_hash` so the set is also identical
+    across *processes* — a checkpointed run resumed after a restart keeps
+    the same failure universe.
+    """
+    if failure_rate <= 0:
+        return False
+    import random
+
+    rng = random.Random(stable_hash(failure_seed, url))
+    return rng.random() < failure_rate
 
 
 @dataclass
@@ -66,12 +86,7 @@ class Crawler:
         )
 
     def _should_fail(self, url: str) -> bool:
-        if self._failure_rate <= 0:
-            return False
-        import random
-
-        rng = random.Random(hash((self._failure_seed, url)) & 0x7FFFFFFF)
-        return rng.random() < self._failure_rate
+        return page_load_fails(self._failure_seed, url, self._failure_rate)
 
     def crawl(self, sites: list[RankedSite] | None = None) -> CrawlResult:
         """Crawl the given sites (default: all of them, in rank order)."""

@@ -7,6 +7,7 @@ rule model with options, token-indexed matcher, and embedded list
 snapshots — not a lookup table.
 """
 
+from .cache import CachedMatcher, CacheStats
 from .lists import (
     AD_PATH_MARKERS,
     ADVERTISING_DOMAINS,
@@ -41,6 +42,8 @@ __all__ = [
     "parse_rule_line",
     "FilterMatcher",
     "MatchResult",
+    "CachedMatcher",
+    "CacheStats",
     "FilterListOracle",
     "Label",
     "LabeledRequest",

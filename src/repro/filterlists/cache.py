@@ -1,0 +1,159 @@
+"""Memoized filter-match decisions — the labeling hot path, cached.
+
+A study-scale crawl labels every script-initiated request by consulting
+the ABP matcher, and the same third-party resources recur across
+thousands of sites (the paper's premise: trackers are *shared*
+infrastructure).  The raw matcher re-runs its regex candidates for every
+occurrence; this module adds a decision cache in front of
+:meth:`FilterMatcher.match` so each distinct request shape is decided
+once.
+
+Correctness before speed: the cache key covers **every** context field the
+rules can read —
+
+* the request URL (pattern matching),
+* the resource type (``$script`` / ``$image`` … options),
+* the third-party bit (``$third-party`` and its negation),
+* the page host, *only when* some loaded rule carries ``domain=`` options
+  (:attr:`FilterMatcher.domain_sensitive`).  Without such rules the
+  decision provably never reads the page host, and dropping it from the
+  key is what turns "script X on site k" into a cross-site cache hit.
+
+``tests/test_filterlists_cache_properties.py`` holds the Hypothesis proof
+obligation: over randomized rule sets (including ``domain=`` rules) and
+randomized request contexts, the cached matcher is observationally
+equivalent to the uncached one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .matcher import FilterMatcher, MatchResult
+from .rules import RequestContext
+
+__all__ = ["CacheStats", "CachedMatcher", "normalize_url_key"]
+
+_DIGIT_RUN_RE = re.compile(r"[0-9]+")
+
+
+def normalize_url_key(url: str) -> str:
+    """Collapse digit runs in the path/query to a canonical ``0``.
+
+    ``https://cdn.example/pixel/207.gif?uid=93`` and
+    ``https://cdn.example/pixel/501.gif?uid=11`` normalize to the same
+    key, turning per-occurrence URLs (cache-busting counters, session ids)
+    into one decision.  The authority is left untouched — rule host
+    anchors live there — and callers must first establish, via
+    :meth:`FilterMatcher.digit_runs_irrelevant_for`, that no loaded rule
+    can tell the collapsed URLs apart.
+    """
+    scheme_end = url.find("://")
+    if scheme_end < 0:
+        # No scheme — the authority (if any, e.g. scheme-relative ``//h``)
+        # cannot be located reliably, so never rewrite: collapsing host
+        # digits would merge decisions across different hosts.
+        return url
+    path_start = url.find("/", scheme_end + 3)
+    if path_start < 0:
+        return url
+    return url[:path_start] + _DIGIT_RUN_RE.sub("0", url[path_start:])
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, surfaced in ``PipelineResult.notes``."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class CachedMatcher:
+    """A :class:`FilterMatcher` front-end that memoizes match decisions.
+
+    Exposes the matcher's full query interface (``match`` /
+    ``should_block`` / ``should_block_url`` plus introspection), so it can
+    stand in anywhere a matcher is consulted.  Mutating the rule set
+    through the *wrapped* matcher after construction is not supported —
+    use :meth:`add_list` / :meth:`add_rules` here, which invalidate the
+    cache.
+    """
+
+    def __init__(self, matcher: FilterMatcher, *, max_entries: int = 1_000_000) -> None:
+        self._matcher = matcher
+        self._max_entries = max_entries
+        self._decisions: dict[tuple, MatchResult] = {}
+        self.stats = CacheStats()
+
+    # -- construction pass-throughs (cache-invalidating) -------------------
+    def add_list(self, parsed) -> None:
+        self._matcher.add_list(parsed)
+        self.clear()
+
+    def add_rules(self, rules) -> None:
+        self._matcher.add_rules(rules)
+        self.clear()
+
+    def clear(self) -> None:
+        self._decisions.clear()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def wrapped(self) -> FilterMatcher:
+        return self._matcher
+
+    @property
+    def list_names(self) -> tuple[str, ...]:
+        return self._matcher.list_names
+
+    @property
+    def rule_count(self) -> int:
+        return self._matcher.rule_count
+
+    @property
+    def domain_sensitive(self) -> bool:
+        return self._matcher.domain_sensitive
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    # -- matching ------------------------------------------------------------
+    def _key(self, context: RequestContext) -> tuple:
+        url = context.url
+        if self._matcher.digit_runs_irrelevant_for(url):
+            url = normalize_url_key(url)
+        # The page host participates in the decision only through
+        # ``domain=`` options; leaving it out otherwise is what makes the
+        # same resource a hit across every site that loads it.
+        if self._matcher.domain_sensitive:
+            return (url, context.resource_type, context.third_party, context.page_host)
+        return (url, context.resource_type, context.third_party)
+
+    def match(self, context: RequestContext) -> MatchResult:
+        key = self._key(context)
+        cached = self._decisions.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        result = self._matcher.match(context)
+        if len(self._decisions) < self._max_entries:
+            self._decisions[key] = result
+        self.stats.misses += 1
+        return result
+
+    def should_block(self, context: RequestContext) -> bool:
+        return self.match(context).blocked
+
+    def should_block_url(self, url: str) -> bool:
+        return self.match(RequestContext(url=url)).blocked

@@ -80,6 +80,35 @@ def _url_tokens(url: str) -> set[str]:
     return set(_URL_TOKEN_RE.findall(url.lower()))
 
 
+def _digit_segment(pattern: str) -> str | None:
+    """Where this pattern's digits could bite outside a URL's host.
+
+    Returns ``None`` when the pattern has no digits that can match in the
+    path/query (digit-run normalization is safe around this rule), the
+    anchored host segment when digits appear beyond it in a ``||`` rule
+    (normalization is safe except for URLs carrying that host), or ``""``
+    when digits can match anywhere (normalization never safe).
+
+    Rationale: a ``||`` rule's host segment — the pattern up to the first
+    ``/ ? ^ *`` — can only ever match inside the URL authority, which a
+    path-digit normalizer leaves untouched.
+    """
+    if pattern.startswith("||"):
+        body = pattern[2:]
+        cut = len(body)
+        for index, ch in enumerate(body):
+            if ch in "/?^*":
+                cut = index
+                break
+        if any(c.isdigit() for c in body[cut:]):
+            host = body[:cut].lower()
+            return host if host else ""
+        return None
+    if any(c.isdigit() for c in pattern.lstrip("|")):
+        return ""
+    return None
+
+
 class FilterMatcher:
     """Matches requests against one or more parsed filter lists.
 
@@ -92,6 +121,9 @@ class FilterMatcher:
         self._blocking = _RuleIndex()
         self._exceptions = _RuleIndex()
         self._lists: list[str] = []
+        self._domain_sensitive = False
+        self._digit_anywhere = False
+        self._digit_hosts: set[str] = set()
         self.add_rules(rules)
 
     # -- construction -----------------------------------------------------
@@ -117,6 +149,13 @@ class FilterMatcher:
         for rule in rules:
             if not rule.supported:
                 continue
+            if rule.options.include_domains or rule.options.exclude_domains:
+                self._domain_sensitive = True
+            segment = _digit_segment(rule.pattern)
+            if segment == "":
+                self._digit_anywhere = True
+            elif segment is not None:
+                self._digit_hosts.add(segment)
             if rule.is_exception:
                 self._exceptions.add(rule)
             else:
@@ -130,6 +169,37 @@ class FilterMatcher:
     @property
     def rule_count(self) -> int:
         return len(self._blocking) + len(self._exceptions)
+
+    @property
+    def domain_sensitive(self) -> bool:
+        """True when any loaded rule carries ``domain=`` options.
+
+        When False, the match decision provably ignores
+        ``RequestContext.page_host`` (it is only ever read by the
+        ``domain=`` checks in :meth:`RuleOptions.permits`), so a decision
+        cache may drop the page host from its key — the property the
+        memoized labeling path (:mod:`repro.filterlists.cache`) relies on
+        for cross-site hits.
+        """
+        return self._domain_sensitive
+
+    def digit_runs_irrelevant_for(self, url: str) -> bool:
+        """May a cache collapse digit runs in this URL's path and query?
+
+        True when no loaded rule's decision on ``url`` can depend on which
+        digits its path carries: digit runs are never ABP separators, a
+        digit-free literal cannot overlap one, and the only rules with
+        path-reachable digits are host-anchored ones whose host segment
+        does not occur in ``url``.  :mod:`repro.filterlists.cache` uses
+        this to merge e.g. ``/pixel/207.gif`` and ``/pixel/501.gif`` into
+        one memoized decision.
+        """
+        if self._digit_anywhere:
+            return False
+        if not self._digit_hosts:
+            return True
+        lowered = url.lower()
+        return not any(host in lowered for host in self._digit_hosts)
 
     # -- matching ----------------------------------------------------------
     def match(self, context: RequestContext) -> MatchResult:

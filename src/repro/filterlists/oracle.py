@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..urlkit import hostname, is_third_party
+from .cache import CachedMatcher, CacheStats
 from .lists import default_lists
 from .matcher import FilterMatcher, MatchResult
 from .parser import ParsedList
@@ -50,13 +51,49 @@ class FilterListOracle:
     be supplied (e.g. regional lists, or a single list for ablations).
     """
 
-    def __init__(self, *lists: ParsedList) -> None:
+    def __init__(self, *lists: ParsedList, cache: bool = False) -> None:
         if not lists:
             lists = default_lists()
-        self._matcher = FilterMatcher.from_lists(*lists)
+        self._matcher: FilterMatcher | CachedMatcher = FilterMatcher.from_lists(
+            *lists
+        )
+        if cache:
+            self.enable_cache()
+
+    def enable_cache(self) -> "FilterListOracle":
+        """Memoize match decisions (idempotent); returns ``self``.
+
+        See :mod:`repro.filterlists.cache` for the exactness argument.
+        """
+        if not isinstance(self._matcher, CachedMatcher):
+            self._matcher = CachedMatcher(self._matcher)
+        return self
+
+    def cached_view(self) -> "FilterListOracle":
+        """A caching oracle over this oracle's rules, without mutating it.
+
+        The streaming engine labels through a view of whatever oracle it
+        is handed, so repeated resources across sites are decided once
+        while the caller's oracle keeps its uncached matcher (and its
+        mutability) untouched.  An already-cached oracle is shared as-is.
+        """
+        if isinstance(self._matcher, CachedMatcher):
+            return self
+        import copy
+
+        view = copy.copy(self)  # keeps subclass identity and all state
+        view._matcher = CachedMatcher(self._matcher)
+        return view
 
     @property
-    def matcher(self) -> FilterMatcher:
+    def cache_stats(self) -> CacheStats | None:
+        """Hit/miss counters when caching is enabled, else ``None``."""
+        if isinstance(self._matcher, CachedMatcher):
+            return self._matcher.stats
+        return None
+
+    @property
+    def matcher(self) -> FilterMatcher | CachedMatcher:
         return self._matcher
 
     @property

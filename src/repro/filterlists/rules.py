@@ -152,17 +152,46 @@ def _compile_pattern(pattern: str, match_case: bool) -> re.Pattern[str]:
 
 
 def _extract_token(pattern: str) -> str:
-    """The longest literal token of the pattern, used for indexing.
+    """The longest *delimited* literal token of the pattern, for indexing.
 
-    A token is a maximal ``[a-z0-9]+`` run of the lowercased pattern.  Any
-    URL matching the pattern must contain this run verbatim, so the matcher
-    can bucket rules by token and only test candidates.
+    A token is a maximal ``[a-z0-9]+`` run of the lowercased pattern.  The
+    matcher buckets rules by token and consults only the buckets whose
+    token appears among the URL's own maximal alphanumeric runs — so a
+    token is only index-safe when the pattern guarantees it matches a
+    *whole* URL run, i.e. both of its ends are delimited: by a literal
+    non-alphanumeric character, a ``^`` separator placeholder, or an
+    anchor (``||`` / ``|`` / trailing ``|``).  An end adjacent to a ``*``
+    wildcard or to an unanchored pattern edge may continue into more
+    alphanumerics in the URL (``track*`` matches ``tracker.example``,
+    whose only run is ``tracker``), so such runs must not be indexed —
+    rules without any delimited run go to the catch-all bucket.  The
+    candidate-completeness property test pins this.
     """
-    body = pattern.lstrip("|").rstrip("|")
-    tokens = _TOKEN_RE.findall(body.lower())
-    if not tokens:
-        return ""
-    return max(tokens, key=len)
+    body = pattern
+    host_anchor = start_anchor = end_anchor = False
+    if body.startswith("||"):
+        host_anchor = True
+        body = body[2:]
+    elif body.startswith("|"):
+        start_anchor = True
+        body = body[1:]
+    if body.endswith("|") and body:
+        end_anchor = True
+        body = body[:-1]
+    body = body.lower()
+    best = ""
+    for match in _TOKEN_RE.finditer(body):
+        start, end = match.span()
+        # Adjacent characters of a maximal run are non-alphanumeric by
+        # construction; only ``*`` (which can match alphanumerics) breaks
+        # the delimiter guarantee.
+        left_ok = (
+            host_anchor or start_anchor if start == 0 else body[start - 1] != "*"
+        )
+        right_ok = end_anchor if end == len(body) else body[end] != "*"
+        if left_ok and right_ok and end - start > len(best):
+            best = match.group()
+    return best
 
 
 @dataclass(frozen=True)

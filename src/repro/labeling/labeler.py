@@ -15,6 +15,7 @@ functional involvement for the call-stack analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from ..browser.callstack import CallStack
 from ..browser.devtools import RequestWillBeSent
@@ -173,23 +174,44 @@ class RequestLabeler:
             matched_list=labeled.matched_list,
         )
 
-    def label_crawl(self, database: RequestDatabase) -> LabeledCrawl:
-        """Label a whole crawl database."""
-        crawl = LabeledCrawl()
-        for event in database.iter_requests():
+    def iter_labeled(
+        self,
+        events: Iterable[RequestWillBeSent],
+        *,
+        counters: LabeledCrawl,
+    ) -> Iterator[AnalyzedRequest]:
+        """Label an event stream, yielding each analyzed request.
+
+        Exclusion tallies and the participation index accumulate into
+        ``counters`` (its ``requests`` list is *not* appended to — the
+        caller decides whether to retain requests at all).  This is the
+        streaming engine's entry point: one pass, nothing materialized.
+        """
+        for event in events:
             if not event.script_initiated:
-                crawl.excluded_non_script += 1
+                counters.excluded_non_script += 1
                 continue
             analyzed = self.label_event(event)
             if analyzed is None:
-                crawl.excluded_unparseable += 1
+                counters.excluded_unparseable += 1
                 continue
-            crawl.requests.append(analyzed)
             index = 0 if analyzed.is_tracking else 1
             for script in analyzed.ancestry:
-                entry = crawl.participation.setdefault(script, [0, 0])
+                entry = counters.participation.setdefault(script, [0, 0])
                 entry[index] += 1
+            yield analyzed
+
+    def label_events(
+        self, events: Iterable[RequestWillBeSent]
+    ) -> LabeledCrawl:
+        """Label an event stream, retaining every analyzed request."""
+        crawl = LabeledCrawl()
+        crawl.requests.extend(self.iter_labeled(events, counters=crawl))
         return crawl
+
+    def label_crawl(self, database: RequestDatabase) -> LabeledCrawl:
+        """Label a whole crawl database."""
+        return self.label_events(database.iter_requests())
 
 
 def _resource_type(name: str) -> ResourceType:

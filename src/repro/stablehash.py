@@ -1,0 +1,21 @@
+"""Process-stable hashing for simulation seeds.
+
+The builtin ``hash()`` is salted per interpreter process (PEP 456), so
+seeding simulation RNGs with it makes crawls irreproducible across
+processes — fatal for the streaming engine's checkpoint/resume, where
+shards crawled before and after a restart must live in the same simulated
+universe.  Every derived seed (failure injection, coverage observation)
+goes through this helper instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash"]
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 31-bit hash of the given parts, stable across runs."""
+    data = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    return zlib.crc32(data) & 0x7FFFFFFF

@@ -77,3 +77,30 @@ class TestCommands:
     def test_export_requires_out(self):
         with pytest.raises(SystemExit):
             main(ARGS + ["export"])
+
+    def test_sift_batch(self, capsys):
+        assert main(ARGS + ["sift"]) == 0
+        out = capsys.readouterr().out
+        assert "batch" in out and "Table 1" in out
+
+    def test_sift_streaming(self, capsys):
+        assert main(ARGS + ["--streaming", "--shards", "3", "sift"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming engine, 3 shards" in out
+        assert "Label cache:" in out
+
+    def test_sift_streaming_resumes_from_checkpoints(self, tmp_path, capsys):
+        flags = ["--streaming", "--shards", "3", "--checkpoint-dir", str(tmp_path)]
+        assert main(ARGS + flags + ["sift"]) == 0
+        first = capsys.readouterr().out
+        assert "0 resumed from checkpoint" in first
+        assert main(ARGS + flags + ["sift"]) == 0
+        assert "3 resumed from checkpoint" in capsys.readouterr().out
+
+    def test_streaming_flags_rejected_outside_sift(self):
+        with pytest.raises(SystemExit, match="sift command only"):
+            main(ARGS + ["--streaming", "study"])
+
+    def test_sift_shards_require_streaming(self):
+        with pytest.raises(SystemExit, match="require --streaming"):
+            main(ARGS + ["--shards", "3", "sift"])

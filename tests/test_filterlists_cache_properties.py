@@ -1,0 +1,204 @@
+"""Property tests for the memoized match-decision layer.
+
+Two proof obligations back the streaming engine's labeling cache:
+
+1. :class:`CachedMatcher` is observationally equivalent to the uncached
+   :class:`FilterMatcher` over randomized rule sets (host anchors, path
+   fragments, digits, wildcards, options, exceptions) and randomized
+   request contexts — including the digit-run key normalization, which
+   must disable itself whenever a rule could tell collapsed URLs apart.
+2. ``_RuleIndex.candidates`` never drops a rule that matches: the token
+   bucketing is a pure pruning optimization, so every rule that matches a
+   context must appear among the candidates its URL tokens select.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filterlists.cache import CachedMatcher, normalize_url_key
+from repro.filterlists.matcher import FilterMatcher, _url_tokens
+from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import RequestContext, ResourceType
+
+# -- rule / context generators ---------------------------------------------
+
+_HOSTS = (
+    "tracker.example",
+    "i0.wp.example",
+    "cdn7.pixel.net",
+    "ads2.media.org",
+    "static.safe.example",
+)
+_PATH_WORDS = ("track", "pixel", "img", "collect", "banner", "assets", "v2", "id9")
+_OPTIONS = (
+    "",
+    "$script",
+    "$image",
+    "$~image",
+    "$third-party",
+    "$~third-party",
+    "$domain=site.example",
+    "$domain=~site.example",
+    "$script,third-party",
+)
+
+
+@st.composite
+def _rule_lines(draw) -> str:
+    exception = draw(st.booleans())
+    kind = draw(st.integers(0, 2))
+    if kind == 0:  # host-anchored
+        pattern = "||" + draw(st.sampled_from(_HOSTS))
+        pattern += draw(st.sampled_from(("^", "", "/" + draw(st.sampled_from(_PATH_WORDS)))))
+    elif kind == 1:  # path fragment
+        pattern = "/" + draw(st.sampled_from(_PATH_WORDS)) + draw(
+            st.sampled_from(("/", "-", ""))
+        )
+    else:  # wildcard / digit-bearing fragment
+        pattern = draw(st.sampled_from(_PATH_WORDS)) + draw(
+            st.sampled_from(("*", "^", "207", "-1."))
+        )
+    line = pattern + draw(st.sampled_from(_OPTIONS))
+    return ("@@" + line) if exception else line
+
+
+@st.composite
+def _contexts(draw) -> RequestContext:
+    host = draw(st.sampled_from(_HOSTS))
+    segments = draw(
+        st.lists(
+            st.one_of(
+                st.sampled_from(_PATH_WORDS),
+                st.integers(0, 9999).map(str),
+            ),
+            min_size=0,
+            max_size=3,
+        )
+    )
+    url = f"https://{host}/" + "/".join(segments)
+    if draw(st.booleans()):
+        url += f"?uid={draw(st.integers(0, 999))}"
+    return RequestContext(
+        url=url,
+        resource_type=draw(st.sampled_from(list(ResourceType))),
+        page_host=draw(st.sampled_from(("site.example", "other.example", ""))),
+        third_party=draw(st.booleans()),
+    )
+
+
+def _build(rule_lines) -> FilterMatcher:
+    return FilterMatcher.from_lists(
+        parse_filter_list("\n".join(rule_lines), name="prop")
+    )
+
+
+@pytest.mark.tier1
+class TestCacheEquivalence:
+    @given(
+        rules=st.lists(_rule_lines(), min_size=1, max_size=12),
+        contexts=st.lists(_contexts(), min_size=1, max_size=25),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_cached_matches_uncached(self, rules, contexts):
+        """Same blocked decision with and without the cache, hits included."""
+        uncached = _build(rules)
+        cached = CachedMatcher(_build(rules))
+        # Query twice so the second pass is served (partly) from cache.
+        for context in contexts + contexts:
+            expected = uncached.match(context)
+            got = cached.match(context)
+            assert got.blocked == expected.blocked, context
+            assert got.matched == expected.matched, context
+        assert cached.stats.hits >= len(contexts)  # second pass must hit
+
+    @given(
+        rules=st.lists(_rule_lines(), min_size=1, max_size=12),
+        contexts=st.lists(_contexts(), min_size=2, max_size=25),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_normalized_twins_share_decisions(self, rules, contexts):
+        """Contexts whose keys collapse together must agree with uncached.
+
+        This is the sharp edge of the digit-run normalization: when two
+        *different* URLs share a cache key, the first one's decision is
+        served for the second — sound only if the matcher attested digit
+        runs are irrelevant for both.
+        """
+        uncached = _build(rules)
+        cached = CachedMatcher(_build(rules))
+        for context in contexts:
+            assert cached.match(context).blocked == uncached.match(context).blocked
+
+    @given(contexts=st.lists(_contexts(), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_digit_sensitive_rules_disable_normalization(self, contexts):
+        """A digit-bearing path rule must not be blinded by key collapsing."""
+        matcher = _build(["/track/207"])
+        cached = CachedMatcher(_build(["/track/207"]))
+        probes = [
+            RequestContext(url="https://tracker.example/track/207"),
+            RequestContext(url="https://tracker.example/track/206"),
+        ]
+        for context in list(contexts) + probes:
+            assert cached.match(context).blocked == matcher.match(context).blocked
+
+
+class TestNormalizeUrlKey:
+    def test_collapses_path_and_query_digits(self):
+        assert (
+            normalize_url_key("https://cdn7.x.net/pixel/207.gif?uid=93")
+            == "https://cdn7.x.net/pixel/0.gif?uid=0"
+        )
+
+    def test_authority_untouched(self):
+        assert normalize_url_key("https://i0.wp.example").startswith(
+            "https://i0.wp.example"
+        )
+
+    def test_no_path(self):
+        assert normalize_url_key("about:blank") == "about:blank"
+
+    def test_scheme_relative_url_untouched(self):
+        # Without a scheme the authority cannot be located; collapsing
+        # would merge distinct hosts like //ads2.example and //ads0.example.
+        assert normalize_url_key("//ads2.example/pixel/207.gif") == (
+            "//ads2.example/pixel/207.gif"
+        )
+
+
+@pytest.mark.tier1
+class TestCandidateCompleteness:
+    @given(
+        rules=st.lists(_rule_lines(), min_size=1, max_size=15),
+        context=_contexts(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_candidates_never_drop_a_matching_rule(self, rules, context):
+        """Token pruning is complete: matching rules are always candidates."""
+        matcher = _build(rules)
+        tokens = _url_tokens(context.url)
+        for index in (matcher._blocking, matcher._exceptions):
+            candidates = list(index.candidates(tokens))
+            all_rules = list(index._catch_all) + [
+                rule for bucket in index._buckets.values() for rule in bucket
+            ]
+            for rule in all_rules:
+                if rule.matches(context):
+                    assert rule in candidates, rule.text
+
+    @given(
+        rules=st.lists(_rule_lines(), min_size=1, max_size=15),
+        context=_contexts(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_first_match_agrees_with_brute_force_existence(self, rules, context):
+        """``first_match`` finds a rule iff some rule matches at all."""
+        matcher = _build(rules)
+        tokens = _url_tokens(context.url)
+        for index in (matcher._blocking, matcher._exceptions):
+            all_rules = list(index._catch_all) + [
+                rule for bucket in index._buckets.values() for rule in bucket
+            ]
+            brute = any(rule.matches(context) for rule in all_rules)
+            assert (index.first_match(context, tokens) is not None) == brute

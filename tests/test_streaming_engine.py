@@ -1,0 +1,340 @@
+"""Streaming engine: shard-count equivalence and checkpoint/resume.
+
+The engine's contract is that sharding is an execution knob with zero
+semantic surface: for a fixed config, any shard count — and any
+interrupt/resume schedule — produces a report identical to the batch
+pipeline's, resource for resource, at all four granularities.
+"""
+
+import json
+
+import pytest
+
+from repro.core.classifier import RatioClassifier
+from repro.core.engine import (
+    PipelineConfig,
+    ShardState,
+    SiftAccumulator,
+    StreamingPipeline,
+)
+from repro.core.hierarchy import HierarchicalSifter
+from repro.core.pipeline import TrackerSiftPipeline
+
+
+SITES = 130
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def batch_run():
+    config = PipelineConfig(sites=SITES, seed=SEED)
+    pipeline = TrackerSiftPipeline(config)
+    web = pipeline.generate()
+    return config, web, pipeline.run(web)
+
+
+def assert_reports_identical(a, b):
+    """Same classes and counts for every resource at every granularity."""
+    assert a.total_requests == b.total_requests
+    assert len(a.levels) == len(b.levels)
+    for level_a, level_b in zip(a.levels, b.levels):
+        assert level_a.granularity == level_b.granularity
+        assert level_a.resources == level_b.resources
+    assert a.summary() == b.summary()
+
+
+@pytest.mark.tier1
+class TestShardEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 13])
+    def test_streaming_matches_batch(self, batch_run, shards):
+        config, web, batch = batch_run
+        result = StreamingPipeline(config, shards=shards).run(web)
+        assert_reports_identical(result.report, batch.report)
+        assert result.pages_crawled == batch.pages_crawled
+        assert result.pages_failed == batch.pages_failed
+        assert result.labeled.excluded_non_script == batch.labeled.excluded_non_script
+        assert result.labeled.participation == batch.labeled.participation
+
+    @pytest.mark.parametrize("shards", [1, 2, 13])
+    def test_streaming_matches_batch_with_failures(self, shards):
+        config = PipelineConfig(sites=90, seed=3, failure_rate=0.25)
+        pipeline = TrackerSiftPipeline(config)
+        web = pipeline.generate()
+        batch = pipeline.run(web)
+        assert batch.pages_failed > 0  # the knob actually bit
+        result = StreamingPipeline(config, shards=shards).run(web)
+        assert_reports_identical(result.report, batch.report)
+        assert result.pages_failed == batch.pages_failed
+
+    def test_streaming_does_not_materialize(self, batch_run):
+        config, web, _ = batch_run
+        result = StreamingPipeline(config, shards=4).run(web)
+        assert len(result.database) == 0
+        assert result.labeled.requests == []
+        assert result.total_script_requests > 0  # carried via notes
+
+    def test_cache_counters_surface_in_notes(self, batch_run):
+        config, web, _ = batch_run
+        result = StreamingPipeline(config, shards=4).run(web)
+        notes = result.notes
+        assert notes["label_cache_hits"] > 0
+        assert notes["label_cache_misses"] > 0
+        assert 0.0 < notes["label_cache_hit_rate"] < 1.0
+        assert notes["shards"] == 4.0
+        assert notes["labeled_requests"] == result.total_script_requests
+
+
+class TestSiftAccumulator:
+    def test_matches_direct_sift(self, batch_run):
+        _, _, batch = batch_run
+        accumulator = SiftAccumulator()
+        for request in batch.labeled.requests:
+            accumulator.add(request)
+        report = accumulator.report(HierarchicalSifter(RatioClassifier()))
+        assert_reports_identical(report, batch.report)
+
+    def test_merge_is_order_insensitive(self, batch_run):
+        _, _, batch = batch_run
+        left, right = SiftAccumulator(), SiftAccumulator()
+        for index, request in enumerate(batch.labeled.requests):
+            (left if index % 2 else right).add(request)
+        merged = SiftAccumulator()
+        merged.merge(left.groups, left.total_requests)
+        merged.merge(right.groups, right.total_requests)
+        report = merged.report(HierarchicalSifter(RatioClassifier()))
+        assert_reports_identical(report, batch.report)
+
+
+class TestShardStateRoundTrip:
+    def test_json_round_trip(self):
+        state = ShardState(
+            shard_id=3,
+            pages_crawled=7,
+            pages_failed=2,
+            excluded_non_script=40,
+            excluded_unparseable=1,
+            labeled_requests=55,
+            tallies={("d.com", "h.d.com", "s.js", "m"): [3, 2]},
+            participation={"s.js": [3, 2]},
+        )
+        restored = ShardState.from_json(state.to_json())
+        assert restored == state
+
+
+@pytest.mark.tier1
+class TestCheckpointResume:
+    @pytest.mark.parametrize("failure_rate", [0.0, 0.25])
+    @pytest.mark.parametrize("interrupt_after", [1, 3])
+    def test_resume_matches_uninterrupted(
+        self, tmp_path, failure_rate, interrupt_after
+    ):
+        config = PipelineConfig(sites=90, seed=3, failure_rate=failure_rate)
+        web = StreamingPipeline(config).generate()
+        uninterrupted = StreamingPipeline(config, shards=5).run(web)
+
+        ckpt = tmp_path / "ckpt"
+        first = StreamingPipeline(config, shards=5, checkpoint_dir=ckpt)
+        done = first.process_shards(web, limit=interrupt_after)
+        assert done == interrupt_after
+        # "Kill" the engine: drop it, start a fresh one on the same dir.
+        resumed = StreamingPipeline(config, shards=5, checkpoint_dir=ckpt)
+        result = resumed.run(web)
+        assert result.notes["shards_resumed"] == float(interrupt_after)
+        assert_reports_identical(result.report, uninterrupted.report)
+        assert result.pages_crawled == uninterrupted.pages_crawled
+        assert result.pages_failed == uninterrupted.pages_failed
+        assert (
+            result.labeled.excluded_non_script
+            == uninterrupted.labeled.excluded_non_script
+        )
+
+    def test_completed_run_resumes_without_crawling(self, tmp_path):
+        config = PipelineConfig(sites=40, seed=5)
+        ckpt = tmp_path / "ckpt"
+        web = StreamingPipeline(config).generate()
+        first = StreamingPipeline(config, shards=3, checkpoint_dir=ckpt).run(web)
+        again = StreamingPipeline(config, shards=3, checkpoint_dir=ckpt)
+        assert again.process_shards(web) == 0  # nothing left to crawl
+        result = again.run(web)
+        assert result.notes["shards_resumed"] == 3.0
+        assert_reports_identical(result.report, first.report)
+
+    def test_manifest_guards_config_mismatch(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        config = PipelineConfig(sites=40, seed=5)
+        StreamingPipeline(config, shards=3, checkpoint_dir=ckpt).process_shards(
+            limit=1
+        )
+        other = PipelineConfig(sites=40, seed=6)
+        with pytest.raises(ValueError, match="different study configuration"):
+            StreamingPipeline(other, shards=3, checkpoint_dir=ckpt).process_shards(
+                limit=1
+            )
+
+    def test_checkpoints_are_valid_json_files(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        config = PipelineConfig(sites=40, seed=5)
+        StreamingPipeline(config, shards=3, checkpoint_dir=ckpt).process_shards(
+            limit=2
+        )
+        files = sorted(p.name for p in ckpt.glob("shard-*.json"))
+        assert files == ["shard-0000.json", "shard-0001.json"]
+        for path in ckpt.glob("*.json"):
+            json.loads(path.read_text(encoding="utf-8"))  # parses cleanly
+
+    def test_checkpoints_are_reusable_across_thresholds(self, tmp_path):
+        """Shard tallies are classifier-free: the same crawl resumes under
+        a different report threshold instead of forcing a re-crawl."""
+        ckpt = tmp_path / "ckpt"
+        crawl_config = PipelineConfig(sites=40, seed=5, threshold=2.0)
+        web = StreamingPipeline(crawl_config).generate()
+        StreamingPipeline(
+            crawl_config, shards=3, checkpoint_dir=ckpt
+        ).process_shards(web, limit=3)
+        reread = PipelineConfig(sites=40, seed=5, threshold=3.0)
+        resumed = StreamingPipeline(reread, shards=3, checkpoint_dir=ckpt)
+        result = resumed.run(web)
+        assert result.notes["shards_resumed"] == 3.0
+        fresh = StreamingPipeline(reread, shards=3).run(web)
+        assert_reports_identical(result.report, fresh.report)
+
+    def test_in_memory_web_mixing_rejected(self):
+        """Shard states from one web must not merge with another web's."""
+        config = PipelineConfig(sites=40, seed=5)
+        web_a = StreamingPipeline(PipelineConfig(sites=40, seed=5)).generate()
+        web_b = StreamingPipeline(PipelineConfig(sites=40, seed=8)).generate()
+        engine = StreamingPipeline(config, shards=3)
+        engine.process_shards(web_a, limit=1)
+        with pytest.raises(ValueError, match="different web"):
+            engine.run(web_b)
+
+    def test_manifest_guards_web_mismatch(self, tmp_path):
+        """Same config, different explicit web: stale shards must not merge."""
+        ckpt = tmp_path / "ckpt"
+        config = PipelineConfig(sites=40, seed=5)
+        web_a = StreamingPipeline(PipelineConfig(sites=40, seed=5)).generate()
+        web_b = StreamingPipeline(PipelineConfig(sites=40, seed=8)).generate()
+        StreamingPipeline(config, shards=3, checkpoint_dir=ckpt).process_shards(
+            web_a, limit=1
+        )
+        with pytest.raises(ValueError, match="different study configuration"):
+            StreamingPipeline(config, shards=3, checkpoint_dir=ckpt).run(web_b)
+
+    def test_retain_and_checkpoint_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="retain_events"):
+            StreamingPipeline(
+                PipelineConfig(sites=10),
+                checkpoint_dir=tmp_path,
+                retain_events=True,
+            )
+
+
+class TestCrossProcessDeterminism:
+    def test_failure_and_coverage_decisions_stable_across_processes(self):
+        """Resume-after-restart needs hash()-free simulation seeds.
+
+        Spawn two interpreters with different hash salts and compare the
+        derived decisions; the builtin ``hash()`` would flip them.
+        """
+        import pathlib
+        import subprocess
+        import sys
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        program = (
+            "from repro.crawler.crawler import page_load_fails\n"
+            "from repro.stablehash import stable_hash\n"
+            "fails = [page_load_fails(1003, f'https://site{i}.example/', 0.3)"
+            " for i in range(50)]\n"
+            "print(sum(fails), stable_hash(7, 'a', 'b'))\n"
+        )
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": hash_seed, "PYTHONPATH": str(repo_root / "src")},
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, outputs
+
+
+class TestEmptyStudy:
+    def test_all_pages_failed_still_yields_domain_level(self):
+        """A crawl that labels nothing must still report an (empty) domain
+        level — ``report.domain`` is part of the result contract."""
+        config = PipelineConfig(sites=20, seed=5, failure_rate=1.0)
+        result = StreamingPipeline(config, shards=2).run()
+        assert result.pages_failed == 20
+        assert result.report.domain.resources == {}
+        assert result.report.final_separation == 0.0
+
+
+class TestDescentThresholdConfig:
+    def test_pinned_descent_restores_cross_threshold_monotonicity(self):
+        """With descent pinned, per-level separation factors are monotone
+        in the report threshold through the full pipeline entry point —
+        the same guarantee sift_requests gives by default."""
+        web = StreamingPipeline(PipelineConfig(sites=60, seed=5)).generate()
+        reports = []
+        for threshold in (1.0, 1.5, 2.0, 2.5, 3.0):
+            config = PipelineConfig(
+                sites=60, seed=5, threshold=threshold, descent_threshold=2.0
+            )
+            reports.append(StreamingPipeline(config, shards=2).run(web).report)
+        for tight, loose in zip(reports, reports[1:]):
+            assert len(tight.levels) == len(loose.levels)
+            for tight_level, loose_level in zip(tight.levels, loose.levels):
+                assert (
+                    loose_level.separation_factor
+                    <= tight_level.separation_factor + 1e-12
+                )
+
+
+class TestWrapperCompatibility:
+    def test_batch_wrapper_materializes_everything(self, batch_run):
+        _, _, batch = batch_run
+        assert len(batch.database) > 0
+        assert len(batch.labeled.requests) > 0
+        assert batch.total_script_requests == len(batch.labeled.requests)
+        assert batch.notes["label_cache_hit_rate"] > 0.0
+
+    def test_repeated_run_is_idempotent_in_retain_mode(self):
+        """A second run() re-merges shard states; aggregates must not
+        double and the caller's oracle must stay unmutated."""
+        from repro.filterlists.matcher import FilterMatcher
+        from repro.filterlists.oracle import FilterListOracle
+
+        oracle = FilterListOracle()
+        config = PipelineConfig(sites=40, seed=5)
+        engine = StreamingPipeline(config, oracle=oracle, retain_events=True)
+        first = engine.run()
+        second = engine.run()
+        assert isinstance(oracle.matcher, FilterMatcher)  # not wrapped
+        assert len(second.labeled.requests) == len(first.labeled.requests)
+        assert (
+            second.labeled.excluded_non_script == first.labeled.excluded_non_script
+        )
+        assert second.labeled.participation == first.labeled.participation
+        assert_reports_identical(second.report, first.report)
+
+    def test_cache_counters_are_per_run_not_cumulative(self):
+        """Repeated runs on one pipeline (shared oracle) report per-run
+        lookups: hits + misses must equal that run's labeled requests."""
+        config = PipelineConfig(sites=40, seed=5)
+        pipeline = TrackerSiftPipeline(config)
+        web = pipeline.generate()
+        pipeline.run(web)
+        second = pipeline.run(web)
+        lookups = (
+            second.notes["label_cache_hits"] + second.notes["label_cache_misses"]
+        )
+        assert lookups == second.notes["labeled_requests"]
+        # Everything was cached by the first run: the second is all hits.
+        assert second.notes["label_cache_hit_rate"] == 1.0
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            StreamingPipeline(PipelineConfig(sites=10), shards=0)
