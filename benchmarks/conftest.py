@@ -7,13 +7,20 @@ reproduced table/figure (with the paper's published values alongside) to
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
 
-BENCH_SITES = 2_000
+#: ``BENCH_SMOKE=1`` shrinks every bench to a fast CI-sized run and turns
+#: hardware-dependent wall-clock gates into record-only measurements; the
+#: equivalence gates (identical reports, cache soundness) always apply.
+#: ``scripts/check.sh`` uses this for its benchmark smoke stage.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
+BENCH_SITES = 300 if BENCH_SMOKE else 2_000
 BENCH_SEED = 7
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -32,5 +39,24 @@ def output_dir() -> Path:
     return OUTPUT_DIR
 
 
+def _artifact_name(name: str) -> str:
+    # Smoke runs must never clobber the tracked full-scale artifacts.
+    return f"smoke-{name}" if BENCH_SMOKE else name
+
+
 def write_artifact(output_dir: Path, name: str, text: str) -> None:
-    (output_dir / name).write_text(text, encoding="utf-8")
+    (output_dir / _artifact_name(name)).write_text(text, encoding="utf-8")
+
+
+def write_json_artifact(output_dir: Path, name: str, payload: dict) -> None:
+    """Machine-readable bench artifact (``BENCH_*.json``).
+
+    One flat JSON object per bench so the perf trajectory is diffable
+    across PRs; every artifact records the scale it ran at and whether it
+    was a smoke run, so numbers are never compared across scales blindly.
+    """
+    record = {"sites": BENCH_SITES, "seed": BENCH_SEED, "smoke": BENCH_SMOKE}
+    record.update(payload)
+    (output_dir / _artifact_name(name)).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

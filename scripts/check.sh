@@ -16,4 +16,11 @@ echo "== tier1-marked invariants: equivalence + cache + resume =="
 python -m pytest -q -m tier1
 
 echo
+echo "== benchmark smoke (small scale; identity gates, wall-clock recorded) =="
+BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_streaming.py \
+    benchmarks/bench_parallel.py \
+    "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation"
+
+echo
 echo "All checks passed."

@@ -39,6 +39,7 @@ resumes where it stopped::
     engine = StreamingPipeline(
         PipelineConfig(sites=2_000, seed=7),
         shards=13,                      # execution knob — never changes results
+        workers=4,                      # crawl shards on 4 worker processes
         checkpoint_dir="checkpoints/",  # optional: resume after interruption
     )
     result = engine.run()
@@ -46,12 +47,16 @@ resumes where it stopped::
     print(result.notes["label_cache_hit_rate"])   # >50% at study scale
 
 Both doors produce identical reports for identical configs — the
-equivalence is pinned, shard count by shard count, in
-``tests/test_streaming_engine.py`` — because
+equivalence is pinned, shard count by shard count and worker count by
+worker count, in ``tests/test_streaming_engine.py`` and
+``tests/test_parallel_engine.py`` — because
 :class:`~repro.core.pipeline.TrackerSiftPipeline` *is* the engine in
-retain mode, one shard per cluster node.  ``trackersift sift --streaming
---shards N`` (or ``python -m repro sift --streaming --shards N``) exposes
-the streaming door on the command line.
+retain mode, one shard per cluster node, and parallel workers run the
+same per-shard crawl in their own processes (per-site determinism makes
+the shard a pure function of its site list; see
+:mod:`repro.core.parallel`).  ``trackersift sift --streaming --shards N
+--workers W`` (or ``python -m repro sift --streaming ...``) exposes both
+knobs on the command line.
 """
 
 from .core import (
@@ -71,7 +76,7 @@ from .filterlists import FilterListOracle, Label
 from .labeling import AnalyzedRequest, LabeledCrawl, RequestLabeler
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

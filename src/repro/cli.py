@@ -6,7 +6,9 @@ Subcommands mirror the paper's workflow plus the library's extensions:
 * ``sift``      — run the study through the execution engine; with
   ``--streaming`` it shards the crawl, labels through the memoized
   decision cache without materializing the database, checkpoints per
-  shard (``--checkpoint-dir``) and prints the cache counters,
+  shard (``--checkpoint-dir``) and prints the cache counters; with
+  ``--workers N`` the shards crawl on N parallel processes (identical
+  results for every worker count),
 * ``figure3``   — print the ratio histograms,
 * ``figure4``   — print the threshold-sensitivity curve (CSV),
 * ``table3``    — run the breakage analysis sample,
@@ -35,6 +37,7 @@ from .analysis.report import (
 )
 from .analysis.tables import build_table1, build_table2, build_table3
 from .core.engine import StreamingPipeline
+from .core.parallel import ShardExecutionError
 from .core.pipeline import PipelineConfig, TrackerSiftPipeline
 from .core.rulegen import compare_strategies, generate_recommendation
 
@@ -73,6 +76,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default="",
         help="sift --streaming: persist per-shard checkpoints here (resumable)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "crawl shards on N parallel worker processes — results are "
+            "identical for every worker count; not accepted by "
+            "figure4/strategies/bootstrap/export, which analyse the "
+            "materialized crawl that parallel runs do not carry"
+        ),
     )
     parser.add_argument(
         "command",
@@ -208,18 +222,31 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "sift" and not args.streaming and engine_flags:
         raise SystemExit("sift: --shards/--checkpoint-dir require --streaming")
+    workers = args.workers if args.workers is not None else 1
+    if workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if workers > 1 and args.command in ("figure4", "strategies", "bootstrap", "export"):
+        # These commands analyse the materialized per-request crawl, which
+        # parallel runs (aggregates only) deliberately do not carry.
+        raise SystemExit(
+            f"{args.command}: needs the materialized crawl; drop --workers"
+        )
     if args.command == "sift" and args.streaming:
         try:
             engine = StreamingPipeline(
                 config,
                 shards=args.shards,
+                workers=workers,
                 checkpoint_dir=args.checkpoint_dir or None,
             )
             result = engine.run()
-        except ValueError as error:
+        except (ValueError, ShardExecutionError) as error:
             raise SystemExit(f"sift --streaming: {error}")
     else:
-        result = TrackerSiftPipeline(config).run()
+        try:
+            result = TrackerSiftPipeline(config, workers=workers).run()
+        except ShardExecutionError as error:
+            raise SystemExit(f"{args.command}: {error}")
     report = result.report
 
     if args.command == "study":

@@ -226,6 +226,17 @@ class StreamingPipeline:
     config, and a fresh ``StreamingPipeline`` pointed at the same
     directory picks up where the previous one stopped.
 
+    ``workers`` fans not-yet-done shards out to a process pool
+    (:mod:`repro.core.parallel`): each worker crawls+labels+accumulates
+    its shards independently and ships serialized :class:`ShardState`
+    back; the parent merges through the same accumulator path, so the
+    report — and every checkpoint file — is bit-identical to a sequential
+    run for any worker count.  Checkpointing composes with workers (the
+    parent persists each shard as it completes; a crashed pool loses only
+    in-flight shards); ``retain_events`` does not (request ids come from a
+    process-global counter, so materialized event streams cannot be made
+    identical across process boundaries — aggregates can, and are).
+
     ``retain_events`` additionally materializes the request database and
     labeled request list while streaming — that is the compatibility mode
     :class:`~repro.core.pipeline.TrackerSiftPipeline` wraps, bit-identical
@@ -238,6 +249,7 @@ class StreamingPipeline:
         config: PipelineConfig | None = None,
         *,
         shards: int | None = None,
+        workers: int | None = None,
         oracle: FilterListOracle | None = None,
         checkpoint_dir: str | Path | None = None,
         retain_events: bool = False,
@@ -246,6 +258,16 @@ class StreamingPipeline:
         self._shards = shards if shards is not None else self.config.cluster_nodes
         if self._shards < 1:
             raise ValueError("need at least one shard")
+        self._workers = workers if workers is not None else 1
+        if self._workers < 1:
+            raise ValueError("need at least one worker")
+        if retain_events and self._workers > 1:
+            raise ValueError(
+                "retain_events materializes per-request state (with "
+                "process-global request ids) that cannot be reproduced "
+                "bit-identically across worker processes; run workers=1 "
+                "or drop retain_events"
+            )
         if retain_events and checkpoint_dir is not None:
             raise ValueError(
                 "retain_events materializes per-request state that "
@@ -263,6 +285,13 @@ class StreamingPipeline:
         self._states: dict[int, ShardState] = {}
         self._resumed_shards = 0
         self._web: SyntheticWeb | None = None
+        # True when the web came from self.generate(): workers can then
+        # regenerate it from the config instead of receiving it pickled.
+        self._web_generated = False
+        # Label-cache lookups performed inside worker processes (their
+        # caches are worker-local; only the counters travel back).
+        self._worker_hits = 0
+        self._worker_misses = 0
         # Only populated in retain mode.
         self._database = RequestDatabase()
         self._retained = LabeledCrawl()
@@ -272,8 +301,18 @@ class StreamingPipeline:
         return self._shards
 
     @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
     def oracle(self) -> FilterListOracle:
         return self._oracle
+
+    def shard_states(self) -> tuple[ShardState, ...]:
+        """Completed shard states in shard order (the mergeable units)."""
+        return tuple(
+            self._states[shard_id] for shard_id in sorted(self._states)
+        )
 
     # -- stages --------------------------------------------------------------
     def generate(self) -> SyntheticWeb:
@@ -366,10 +405,16 @@ class StreamingPipeline:
         With a ``checkpoint_dir`` this is the resumable unit of work: call
         it with a limit, lose the process, construct a fresh pipeline and
         call :meth:`run` — completed shards load from disk and only the
-        remainder is crawled.
+        remainder is crawled.  With ``workers > 1`` the pending shards run
+        on a process pool; each completed shard is stored (and
+        checkpointed) by the parent as it arrives, so interrupting the
+        pool keeps every finished shard.
         """
         if web is None:
-            web = self._web or self.generate()
+            if self._web is None:
+                self._web = self.generate()
+                self._web_generated = True
+            web = self._web
         elif self._web is not None and web is not self._web:
             # In-memory shard states are only mergeable within one web;
             # the checkpoint manifest guards the on-disk equivalent.
@@ -378,26 +423,55 @@ class StreamingPipeline:
                     "this pipeline already crawled shards of a different "
                     "web; build a new StreamingPipeline for a new web"
                 )
-        self._web = web
+            self._web = web
+            self._web_generated = False
+        else:
+            # First explicit web, or the already-pinned one handed back:
+            # _web_generated stays False / keeps its value respectively.
+            self._web = web
         sites = self._site_list(web)
         self._prepare_checkpoint_dir()
         self._load_checkpoints()
+        pending = [
+            shard_id
+            for shard_id in range(self._shards)
+            if shard_id not in self._states
+        ]
+        if limit is not None:
+            pending = pending[:limit]
+        if not pending:
+            return 0
+        if self._workers > 1 and len(pending) > 1:
+            return self._process_shards_parallel(pending)
         failed_urls = self._failed_urls(sites)
         shard_sites = round_robin_shards(sites, self._shards)
         by_url = {w.url: w for w in web.websites}
-        processed = 0
-        for shard_id in range(self._shards):
-            if shard_id in self._states:
-                continue
-            if limit is not None and processed >= limit:
-                break
+        for shard_id in pending:
             self._store(
                 self._crawl_shard(
                     shard_id, shard_sites[shard_id], by_url, failed_urls
                 )
             )
-            processed += 1
-        return processed
+        return len(pending)
+
+    def _process_shards_parallel(self, pending: list[int]) -> int:
+        """Fan ``pending`` shards out to worker processes (see
+        :mod:`repro.core.parallel` for the design and crash semantics)."""
+        from .parallel import ShardOutcome, WorkerSpec, run_shards_parallel
+
+        spec = WorkerSpec(
+            config=self.config,
+            shards=self._shards,
+            web=None if self._web_generated else self._web,
+            oracle=self._oracle,
+        )
+
+        def store(outcome: ShardOutcome) -> None:
+            self._store(ShardState.from_json(outcome.state_json))
+            self._worker_hits += outcome.cache_hits
+            self._worker_misses += outcome.cache_misses
+
+        return run_shards_parallel(spec, pending, self._workers, store)
 
     def _crawl_shard(
         self,
@@ -441,8 +515,9 @@ class StreamingPipeline:
     # -- end to end -----------------------------------------------------------
     def run(self, web: SyntheticWeb | None = None) -> PipelineResult:
         """Run (or finish) the study and assemble the result."""
-        web = web or self._web or self.generate()
         self.process_shards(web)
+        web = self._web
+        assert web is not None  # process_shards always pins the web
         accumulator = SiftAccumulator()
         # Aggregates are rebuilt from the shard states on every call, so a
         # repeated run() stays idempotent; only the retained request list
@@ -463,14 +538,19 @@ class StreamingPipeline:
         report = accumulator.report(sifter_for(self.config))
         notes: dict[str, float] = {
             "shards": float(self._shards),
+            "workers": float(self._workers),
             "shards_resumed": float(self._resumed_shards),
             "labeled_requests": float(accumulator.total_requests),
             "distinct_resources": float(accumulator.distinct_resources),
         }
         stats = self._oracle.cache_stats
         if stats is not None:
-            hits = stats.hits - self._stats_baseline[0]
-            misses = stats.misses - self._stats_baseline[1]
+            # Parent-side lookups plus the counters worker processes
+            # shipped back with their shard outcomes.
+            hits = stats.hits - self._stats_baseline[0] + self._worker_hits
+            misses = (
+                stats.misses - self._stats_baseline[1] + self._worker_misses
+            )
             lookups = hits + misses
             notes["label_cache_hits"] = float(hits)
             notes["label_cache_misses"] = float(misses)

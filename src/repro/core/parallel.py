@@ -1,0 +1,204 @@
+"""Process-parallel shard execution for the streaming engine.
+
+:class:`~repro.core.engine.StreamingPipeline` already proved that sharding
+has zero semantic surface: per-site determinism (site-keyed coverage RNG,
+``node_failure_seed`` keyed on the *cluster* assignment) means any
+re-grouping of sites reproduces the batch crawl's exact observable
+behaviour.  That is precisely the property that makes shards safe to run
+in *separate processes*: each worker crawls, labels and accumulates its
+shard completely independently, serializes the resulting
+:class:`~repro.core.engine.ShardState` (the same JSON the checkpoint files
+hold), and the parent merges states through the exact same
+:meth:`~repro.core.engine.SiftAccumulator.merge` path a sequential run
+uses — so the output is bit-identical for every worker count.
+
+Design notes:
+
+* **The worker unit is a shard, the worker state is a process.**  Each
+  pool process builds one :class:`_ShardWorker` (config, web, memoized
+  oracle) in its initializer and reuses it for every shard it is handed,
+  so the label cache stays warm across a worker's shards.
+* **The parent stores outcomes as they complete**, which preserves
+  checkpoint semantics: a worker crash (or a kill -9 of the whole pool)
+  loses only the shards still in flight — everything already returned was
+  checkpointed by the parent and resumes from disk.
+* **Workers never checkpoint.**  Only the parent touches
+  ``checkpoint_dir``, so there is exactly one writer per file and the
+  atomic-rename protocol of the sequential engine carries over unchanged.
+* **Cache counters travel with the outcome.**  Each worker's oracle keeps
+  its own decision cache; per-shard hit/miss deltas are shipped back so
+  ``PipelineResult.notes`` still accounts for every lookup the study made
+  (the hit *rate* differs from a shared-cache sequential run — each
+  worker warms its own cache — but hits + misses always equals the number
+  of labeled requests).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..filterlists.oracle import FilterListOracle
+    from ..webmodel.generator import SyntheticWeb
+    from .engine import PipelineConfig
+
+__all__ = ["ShardOutcome", "WorkerSpec", "ShardExecutionError", "run_shards_parallel"]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result as shipped from a worker back to the parent.
+
+    ``state_json`` is exactly what :meth:`ShardState.to_json` produced in
+    the worker — the parent re-hydrates and stores it through the same
+    `_store` path a sequential crawl uses, so checkpoints written by a
+    parallel run are indistinguishable from sequential ones.
+    """
+
+    shard_id: int
+    state_json: str
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to reproduce the parent's study.
+
+    ``web`` is ``None`` when the parent generated its web from the config —
+    workers then regenerate it deterministically instead of paying the
+    pickle transfer; a hand-built web is shipped as-is.  ``oracle`` is the
+    parent's caching oracle view (typically cold; a warm cache transfers
+    its decisions to every worker as a head start).
+    """
+
+    config: "PipelineConfig"
+    shards: int
+    web: "SyntheticWeb | None"
+    oracle: "FilterListOracle"
+
+
+class ShardExecutionError(RuntimeError):
+    """One or more shard workers failed; completed shards were kept.
+
+    ``failed_shards`` lists the shards whose work was lost.  With a
+    ``checkpoint_dir`` every *completed* shard was already persisted by
+    the parent, so re-running the pipeline resumes from those and only
+    re-crawls the failed remainder.
+    """
+
+    def __init__(self, failures: list[tuple[int, BaseException]]) -> None:
+        self.failed_shards = tuple(shard_id for shard_id, _ in failures)
+        first = failures[0][1]
+        super().__init__(
+            f"{len(failures)} shard worker(s) failed "
+            f"(shards {list(self.failed_shards)}): {first!r}; "
+            "completed shards were stored and resume from checkpoint"
+        )
+
+
+# Per-process worker state, built once by the pool initializer.
+_WORKER: "_ShardWorker | None" = None
+
+
+class _ShardWorker:
+    """A worker process's resident crawl context.
+
+    Wraps a private :class:`StreamingPipeline` (no checkpoint dir — the
+    parent owns persistence) and exposes exactly one operation: crawl one
+    shard, return its serialized state plus the label-cache delta.
+    """
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        from ..crawler.cluster import round_robin_shards
+        from .engine import StreamingPipeline
+
+        self._pipeline = StreamingPipeline(
+            spec.config, shards=spec.shards, oracle=spec.oracle
+        )
+        web = spec.web if spec.web is not None else self._pipeline.generate()
+        sites = self._pipeline._site_list(web)
+        self._shard_sites = round_robin_shards(sites, spec.shards)
+        self._by_url = {website.url: website for website in web.websites}
+        self._failed_urls = self._pipeline._failed_urls(sites)
+        self._last_stats = self._stats()
+
+    def _stats(self) -> tuple[int, int]:
+        stats = self._pipeline.oracle.cache_stats
+        return (stats.hits, stats.misses) if stats is not None else (0, 0)
+
+    def run(self, shard_id: int) -> ShardOutcome:
+        state = self._pipeline._crawl_shard(
+            shard_id,
+            self._shard_sites[shard_id],
+            self._by_url,
+            self._failed_urls,
+        )
+        hits, misses = self._stats()
+        outcome = ShardOutcome(
+            shard_id=shard_id,
+            state_json=state.to_json(),
+            cache_hits=hits - self._last_stats[0],
+            cache_misses=misses - self._last_stats[1],
+        )
+        self._last_stats = (hits, misses)
+        return outcome
+
+
+def _init_worker(spec: WorkerSpec) -> None:
+    global _WORKER
+    _WORKER = _ShardWorker(spec)
+
+
+def _run_shard(shard_id: int) -> ShardOutcome:
+    assert _WORKER is not None, "pool initializer did not run"
+    return _WORKER.run(shard_id)
+
+
+def run_shards_parallel(
+    spec: WorkerSpec,
+    shard_ids: list[int],
+    workers: int,
+    store: Callable[[ShardOutcome], None],
+) -> int:
+    """Crawl ``shard_ids`` on a process pool; returns how many completed.
+
+    ``store`` is invoked in the parent, in completion order, as each
+    shard's outcome arrives — the engine checkpoints there, so an
+    interrupted pool run retains every finished shard.  If any worker
+    fails, the remaining outcomes are still stored before a
+    :class:`ShardExecutionError` is raised.
+    """
+    if not shard_ids:
+        return 0
+    max_workers = min(workers, len(shard_ids))
+    completed = 0
+    failures: list[tuple[int, BaseException]] = []
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers, initializer=_init_worker, initargs=(spec,)
+    )
+    try:
+        futures = {
+            pool.submit(_run_shard, shard_id): shard_id for shard_id in shard_ids
+        }
+        for future in as_completed(futures):
+            shard_id = futures[future]
+            try:
+                outcome = future.result()
+            except Exception as error:  # noqa: BLE001 - collected & re-raised
+                failures.append((shard_id, error))
+                continue
+            store(outcome)
+            completed += 1
+    finally:
+        # On early exit (KeyboardInterrupt, a checkpoint write failing in
+        # store()) cancel queued shards instead of silently crawling them
+        # to discarded results; shards already running finish and are the
+        # only work lost.  A normal exit has nothing queued — no-op.
+        pool.shutdown(wait=True, cancel_futures=True)
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        raise ShardExecutionError(failures) from failures[0][1]
+    return completed

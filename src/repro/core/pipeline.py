@@ -30,15 +30,28 @@ __all__ = ["PipelineConfig", "PipelineResult", "TrackerSiftPipeline", "run_study
 
 
 class TrackerSiftPipeline:
-    """Composable pipeline; each stage can also be called on its own."""
+    """Composable pipeline; each stage can also be called on its own.
+
+    ``workers`` selects the engine's process-parallel mode: the crawl
+    fans out to that many shard workers and the report stays bit-identical
+    to a sequential run.  Parallel runs carry aggregates only — like the
+    streaming door, ``result.database`` and ``result.labeled.requests``
+    stay empty, because materialized event streams cannot be reproduced
+    identically across process boundaries (request ids are process-global).
+    Keep ``workers=1`` when a stage needs the materialized crawl.
+    """
 
     def __init__(
         self,
         config: PipelineConfig | None = None,
         *,
         oracle: FilterListOracle | None = None,
+        workers: int = 1,
     ) -> None:
         self.config = config or PipelineConfig()
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._workers = workers
         self._oracle = oracle or FilterListOracle()
         # One caching view shared by every run() of this pipeline: repeat
         # runs reuse warm decisions, the caller's oracle stays unmutated.
@@ -73,8 +86,9 @@ class TrackerSiftPipeline:
         engine = StreamingPipeline(
             self.config,
             shards=self.config.cluster_nodes,
+            workers=self._workers,
             oracle=self._cached_oracle,
-            retain_events=True,
+            retain_events=self._workers == 1,
         )
         return engine.run(web)
 

@@ -84,25 +84,28 @@ class CachedMatcher:
 
     Exposes the matcher's full query interface (``match`` /
     ``should_block`` / ``should_block_url`` plus introspection), so it can
-    stand in anywhere a matcher is consulted.  Mutating the rule set
-    through the *wrapped* matcher after construction is not supported —
-    use :meth:`add_list` / :meth:`add_rules` here, which invalidate the
-    cache.
+    stand in anywhere a matcher is consulted.  Rule additions through the
+    *wrapped* matcher are detected via :attr:`FilterMatcher.revision` and
+    invalidate the cache on the next lookup; :meth:`add_list` /
+    :meth:`add_rules` here invalidate immediately.
     """
 
     def __init__(self, matcher: FilterMatcher, *, max_entries: int = 1_000_000) -> None:
         self._matcher = matcher
         self._max_entries = max_entries
         self._decisions: dict[tuple, MatchResult] = {}
+        self._revision = matcher.revision
         self.stats = CacheStats()
 
     # -- construction pass-throughs (cache-invalidating) -------------------
     def add_list(self, parsed) -> None:
         self._matcher.add_list(parsed)
+        self._revision = self._matcher.revision
         self.clear()
 
     def add_rules(self, rules) -> None:
         self._matcher.add_rules(rules)
+        self._revision = self._matcher.revision
         self.clear()
 
     def clear(self) -> None:
@@ -141,6 +144,11 @@ class CachedMatcher:
         return (url, context.resource_type, context.third_party)
 
     def match(self, context: RequestContext) -> MatchResult:
+        if self._matcher.revision != self._revision:
+            # The wrapped matcher gained rules behind our back; decisions
+            # made under the old rule set must not survive.
+            self.clear()
+            self._revision = self._matcher.revision
         key = self._key(context)
         cached = self._decisions.get(key)
         if cached is not None:

@@ -6,6 +6,22 @@ appears in the request URL are consulted.  We implement the same scheme,
 which keeps labeling ~O(tokens-in-URL) instead of O(rules) and makes the
 100K-site-scale labeling pass tractable.
 
+Two fast paths sit on top of the token index:
+
+* **Host-anchor dict.**  Pure ``||host^`` rules — the bulk of a real list —
+  are matched by hash lookup on the URL's host-anchor keys instead of by
+  regex (see :func:`_host_anchor_keys` for the exact-equivalence argument),
+  so they never compile or run a regex at all.
+* **Per-request shape reuse.**  The URL's tokens and host keys are computed
+  once per request (:class:`RequestShape`) and shared by the blocking and
+  exception indexes, instead of being re-derived per index.
+
+Candidate iteration is deterministic: host keys and tokens are consulted in
+URL order (deduplicated), never in set-hash order, so which rule a
+:class:`MatchResult` attributes a block to is stable across interpreter
+runs regardless of ``PYTHONHASHSEED`` — the same guarantee the simulation
+seeds give (``repro.stablehash``).
+
 Exception (``@@``) rules override blocking rules, exactly as in ABP: a
 request is *blocked* iff at least one blocking rule matches and no exception
 rule matches.
@@ -15,14 +31,107 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .parser import ParsedList, parse_filter_list
 from .rules import NetworkRule, RequestContext
 
-__all__ = ["MatchResult", "FilterMatcher"]
+__all__ = ["MatchResult", "FilterMatcher", "RequestShape"]
 
 _URL_TOKEN_RE = re.compile(r"[a-z0-9]+")
+# The scheme prefix ``||`` anchors under (lowercased form of _HOST_ANCHOR).
+_SCHEME_RE = re.compile(r"^[a-z][a-z0-9.+-]*://")
+# Maximal runs of non-separator characters inside an authority; the
+# complement of the ABP separator class, minus ``/?#`` which end the
+# authority (the lowercased view of the class in ``rules._SEPARATOR``).
+_AUTH_RUN_RE = re.compile(r"[a-z0-9_\-.%]+")
+# Patterns eligible for the host-anchor dict: ``||host^`` with a literal
+# hostname body (no wildcards, anchors or separators beyond the trailing one).
+_PURE_HOST_RULE_RE = re.compile(r"^\|\|([a-z0-9_\-.%]+)\^$")
+
+
+def _url_tokens(lowered_url: str) -> tuple[str, ...]:
+    """Maximal alphanumeric runs of a *pre-lowercased* URL, deduplicated,
+    in URL order — *never* set order, so candidate iteration (and
+    therefore rule attribution) is hash-seed independent.  The caller
+    lowers once (:class:`RequestShape`); this is the labeling hot path,
+    so no second copy is made here."""
+    seen: set[str] = set()
+    ordered: list[str] = []
+    for match in _URL_TOKEN_RE.finditer(lowered_url):
+        token = match.group()
+        if token not in seen:
+            seen.add(token)
+            ordered.append(token)
+    return tuple(ordered)
+
+
+def _host_anchor_keys(lowered_url: str) -> tuple[str, ...]:
+    """Every host literal ``h`` for which ``||h^`` matches this URL.
+
+    Derivation from the compiled form (``rules._HOST_ANCHOR`` + literal +
+    ``rules._SEPARATOR``): the match must start right after
+    ``scheme://(junk-without-/?#-ending-in-dot)?``, so ``h`` begins at the
+    authority's first character or immediately after a ``.``; and the
+    character after ``h`` must be a separator or the end, so ``h`` ends
+    exactly where a maximal non-separator run ends (hostname characters are
+    all non-separators, so ``h`` can never stop mid-run).  The keys are
+    therefore: the authority's leading run, plus every dot-suffix of every
+    run.  Hash-looking authorities (``user@host``, ports) fall out
+    correctly because runs are split on the same separator class the regex
+    uses.
+    """
+    scheme = _SCHEME_RE.match(lowered_url)
+    if scheme is None:
+        return ()
+    start = scheme.end()
+    end = len(lowered_url)
+    for index in range(start, len(lowered_url)):
+        if lowered_url[index] in "/?#":
+            end = index
+            break
+    authority = lowered_url[start:end]
+    seen: set[str] = set()
+    keys: list[str] = []
+    for run_match in _AUTH_RUN_RE.finditer(authority):
+        run = run_match.group()
+        if run_match.start() == 0 and run not in seen:
+            seen.add(run)
+            keys.append(run)
+        dot = run.find(".")
+        while dot != -1:
+            suffix = run[dot + 1 :]
+            if suffix and suffix not in seen:
+                seen.add(suffix)
+                keys.append(suffix)
+            dot = run.find(".", dot + 1)
+    return tuple(keys)
+
+
+class RequestShape:
+    """Per-request view of a URL, computed once and shared by every index.
+
+    Both the blocking and the exception :class:`_RuleIndex` consult the same
+    shape, so the URL is lowercased and tokenized exactly once per request
+    no matter how many indexes (or lists) the matcher holds.
+    """
+
+    __slots__ = ("url", "tokens", "host_keys")
+
+    def __init__(self, url: str) -> None:
+        lowered = url.lower()
+        self.url = url
+        self.tokens = _url_tokens(lowered)
+        self.host_keys = _host_anchor_keys(lowered)
+
+
+def _pure_host_literal(rule: NetworkRule) -> str | None:
+    """The host literal of a ``||host^`` rule, or ``None`` when the rule
+    needs the regex path (wildcards, paths, anchors, ``match-case``)."""
+    if rule.options.match_case:
+        return None
+    match = _PURE_HOST_RULE_RE.match(rule.pattern.lower())
+    return match.group(1) if match is not None else None
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,18 +149,27 @@ class MatchResult:
 
 
 class _RuleIndex:
-    """Token -> rules bucket map with a catch-all bucket."""
+    """Host-literal dict + token buckets + a catch-all bucket.
+
+    Candidate order (and so first-match attribution) is deterministic:
+    host-dict hits in the URL's host-key order, then the catch-all bucket,
+    then token buckets in URL-token order; insertion order within a bucket.
+    """
 
     def __init__(self) -> None:
+        self._hosts: dict[str, list[NetworkRule]] = {}
         self._buckets: dict[str, list[NetworkRule]] = {}
         self._catch_all: list[NetworkRule] = []
         self._count = 0
 
     def add(self, rule: NetworkRule) -> None:
+        host = _pure_host_literal(rule)
         token = rule.token
+        if host is not None:
+            self._hosts.setdefault(host, []).append(rule)
         # Short tokens appear in nearly every URL; treating them as
         # catch-all avoids giant useless buckets.
-        if len(token) >= 3:
+        elif len(token) >= 3:
             self._buckets.setdefault(token, []).append(rule)
         else:
             self._catch_all.append(rule)
@@ -60,24 +178,47 @@ class _RuleIndex:
     def __len__(self) -> int:
         return self._count
 
-    def candidates(self, url_tokens: set[str]) -> Iterable[NetworkRule]:
-        yield from self._catch_all
-        for token in url_tokens:
+    @property
+    def host_rule_count(self) -> int:
+        """Rules served by the host-anchor fast path (introspection)."""
+        return sum(len(bucket) for bucket in self._hosts.values())
+
+    def _tiers(
+        self, shape: RequestShape
+    ) -> Iterator[tuple[list[NetworkRule], bool]]:
+        """The single definition of candidate order: ``(bucket,
+        pattern_prechecked)`` per tier.  Host-dict hits have their pattern
+        match established by the key lookup itself (see
+        :func:`_host_anchor_keys`), so only their options remain to check.
+        Both :meth:`candidates` and :meth:`first_match` consume this, so
+        the deterministic attribution order cannot drift between them.
+        """
+        for key in shape.host_keys:
+            bucket = self._hosts.get(key)
+            if bucket:
+                yield bucket, True
+        if self._catch_all:
+            yield self._catch_all, False
+        for token in shape.tokens:
             bucket = self._buckets.get(token)
             if bucket:
-                yield from bucket
+                yield bucket, False
+
+    def candidates(self, shape: RequestShape) -> Iterator[NetworkRule]:
+        for bucket, _ in self._tiers(shape):
+            yield from bucket
 
     def first_match(
-        self, context: RequestContext, url_tokens: set[str]
+        self, context: RequestContext, shape: RequestShape
     ) -> NetworkRule | None:
-        for rule in self.candidates(url_tokens):
-            if rule.matches(context):
-                return rule
+        for bucket, prechecked in self._tiers(shape):
+            for rule in bucket:
+                if prechecked:
+                    if rule.options.permits(context):
+                        return rule
+                elif rule.matches(context):
+                    return rule
         return None
-
-
-def _url_tokens(url: str) -> set[str]:
-    return set(_URL_TOKEN_RE.findall(url.lower()))
 
 
 def _digit_segment(pattern: str) -> str | None:
@@ -124,6 +265,7 @@ class FilterMatcher:
         self._domain_sensitive = False
         self._digit_anywhere = False
         self._digit_hosts: set[str] = set()
+        self._revision = 0
         self.add_rules(rules)
 
     # -- construction -----------------------------------------------------
@@ -146,6 +288,7 @@ class FilterMatcher:
         self.add_rules(parsed.rules)
 
     def add_rules(self, rules: Iterable[NetworkRule]) -> None:
+        self._revision += 1
         for rule in rules:
             if not rule.supported:
                 continue
@@ -169,6 +312,20 @@ class FilterMatcher:
     @property
     def rule_count(self) -> int:
         return len(self._blocking) + len(self._exceptions)
+
+    @property
+    def revision(self) -> int:
+        """Bumped on every rule addition — lets external decision caches
+        (e.g. the oracle's URL-only convenience cache) detect in-place
+        mutation and invalidate themselves."""
+        return self._revision
+
+    @property
+    def fast_path_rule_count(self) -> int:
+        """Rules matched via the host-anchor dict, never by regex."""
+        return (
+            self._blocking.host_rule_count + self._exceptions.host_rule_count
+        )
 
     @property
     def domain_sensitive(self) -> bool:
@@ -204,11 +361,11 @@ class FilterMatcher:
     # -- matching ----------------------------------------------------------
     def match(self, context: RequestContext) -> MatchResult:
         """Full ABP decision: blocking rule minus exception override."""
-        tokens = _url_tokens(context.url)
-        blocking = self._blocking.first_match(context, tokens)
+        shape = RequestShape(context.url)
+        blocking = self._blocking.first_match(context, shape)
         if blocking is None:
             return MatchResult(blocked=False)
-        exception = self._exceptions.first_match(context, tokens)
+        exception = self._exceptions.first_match(context, shape)
         if exception is not None:
             return MatchResult(blocked=False, rule=blocking, exception=exception)
         return MatchResult(blocked=True, rule=blocking)

@@ -57,6 +57,9 @@ class FilterListOracle:
         self._matcher: FilterMatcher | CachedMatcher = FilterMatcher.from_lists(
             *lists
         )
+        # Lazily-built decision cache backing the URL-only convenience
+        # queries on an otherwise uncached oracle (see _decision_matcher).
+        self._convenience: CachedMatcher | None = None
         if cache:
             self.enable_cache()
 
@@ -67,6 +70,7 @@ class FilterListOracle:
         """
         if not isinstance(self._matcher, CachedMatcher):
             self._matcher = CachedMatcher(self._matcher)
+            self._convenience = None  # superseded by the main cache
         return self
 
     def cached_view(self) -> "FilterListOracle":
@@ -83,7 +87,28 @@ class FilterListOracle:
 
         view = copy.copy(self)  # keeps subclass identity and all state
         view._matcher = CachedMatcher(self._matcher)
+        view._convenience = None  # the view's main matcher now caches
         return view
+
+    def _decision_matcher(self) -> CachedMatcher:
+        """The decision cache every convenience query routes through.
+
+        A cache-enabled oracle's own matcher already memoizes; an uncached
+        oracle gets a lazily-built side cache over its live rule set, so
+        ``should_block_url``-style calls enjoy the same memoization the
+        streaming engine's :meth:`cached_view` provides — and, because the
+        cache key is the same normalized request shape, repeated URL-only
+        lookups collapse exactly like the streaming path's do.  The side
+        cache is rebuilt when the underlying matcher was swapped; in-place
+        rule additions are caught by :class:`CachedMatcher` itself (it
+        watches :attr:`FilterMatcher.revision`), so convenience answers
+        always reflect the live rule set.
+        """
+        if isinstance(self._matcher, CachedMatcher):
+            return self._matcher
+        if self._convenience is None or self._convenience.wrapped is not self._matcher:
+            self._convenience = CachedMatcher(self._matcher)
+        return self._convenience
 
     @property
     def cache_stats(self) -> CacheStats | None:
@@ -129,6 +154,19 @@ class FilterListOracle:
     ) -> MatchResult:
         """Raw ABP match decision for one request."""
         return self._matcher.match(self._context(url, resource_type, page_url))
+
+    def should_block_url(
+        self,
+        url: str,
+        resource_type: ResourceType = ResourceType.OTHER,
+        page_url: str = "",
+    ) -> bool:
+        """URL-only blocking decision, always served through the decision
+        cache — a repeated lookup is a cache hit whether or not the oracle
+        itself was built with ``cache=True``."""
+        return self._decision_matcher().match(
+            self._context(url, resource_type, page_url)
+        ).blocked
 
     def label(
         self,

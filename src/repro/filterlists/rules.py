@@ -4,7 +4,12 @@ EasyList and EasyPrivacy are written in the Adblock Plus filter syntax.
 TrackerSift uses them as its *test oracle*: a network request that matches a
 blocking rule (and no exception rule) is labeled tracking.  This module
 models a single network rule and compiles its pattern to a regular
-expression once, at construction time.
+expression lazily, on the first match attempt.  Laziness matters at list
+scale: the token-indexed matcher only ever consults the handful of rules
+whose bucket a URL selects, and pure host-anchor rules (the bulk of a real
+list) are matched by hash lookup without touching a regex at all — so most
+of a large list's rules never pay compilation, which is what keeps matcher
+construction cheap (gated in ``benchmarks/bench_matcher.py``).
 
 Supported syntax (the subset that covers network rules):
 
@@ -205,14 +210,30 @@ class NetworkRule:
     list_name: str = ""
 
     def __post_init__(self) -> None:
-        compiled = _compile_pattern(self.pattern, self.options.match_case)
-        object.__setattr__(self, "_regex", compiled)
+        # The regex is compiled on first use (see :attr:`regex`): most rules
+        # of a large list never leave their index bucket, so eager
+        # compilation would dominate matcher construction time.
+        object.__setattr__(self, "_regex", None)
         object.__setattr__(self, "_token", _extract_token(self.pattern))
 
     @property
     def token(self) -> str:
         """Indexing token (may be empty for token-free patterns like ``^``)."""
         return self._token  # type: ignore[attr-defined]
+
+    @property
+    def regex(self) -> re.Pattern[str]:
+        """The compiled pattern, built on first access and then cached."""
+        compiled: re.Pattern[str] | None = self._regex  # type: ignore[attr-defined]
+        if compiled is None:
+            compiled = _compile_pattern(self.pattern, self.options.match_case)
+            object.__setattr__(self, "_regex", compiled)
+        return compiled
+
+    @property
+    def regex_compiled(self) -> bool:
+        """Whether the lazy regex has been materialized (introspection)."""
+        return self._regex is not None  # type: ignore[attr-defined]
 
     @property
     def supported(self) -> bool:
@@ -224,13 +245,11 @@ class NetworkRule:
             return False
         if not self.options.permits(context):
             return False
-        regex: re.Pattern[str] = self._regex  # type: ignore[attr-defined]
-        return regex.search(context.url) is not None
+        return self.regex.search(context.url) is not None
 
     def matches_url(self, url: str) -> bool:
         """Pattern-only match, ignoring options (useful in tests/tools)."""
-        regex: re.Pattern[str] = self._regex  # type: ignore[attr-defined]
-        return regex.search(url) is not None
+        return self.regex.search(url) is not None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text

@@ -104,3 +104,33 @@ class TestCommands:
     def test_sift_shards_require_streaming(self):
         with pytest.raises(SystemExit, match="require --streaming"):
             main(ARGS + ["--shards", "3", "sift"])
+
+    def test_sift_streaming_parallel_workers(self, capsys):
+        """The CLI parallel path: no explicit web, so workers regenerate
+        it from the config — the output must match a sequential run."""
+        assert main(ARGS + ["--streaming", "--shards", "3", "sift"]) == 0
+        sequential = capsys.readouterr().out
+        flags = ["--streaming", "--shards", "3", "--workers", "2"]
+        assert main(ARGS + flags + ["sift"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical tables and counts; only the cache counters may differ
+        # (worker-local caches), so compare everything around that line.
+        strip = lambda out: [
+            line for line in out.splitlines() if not line.startswith("Label cache:")
+        ]
+        assert strip(parallel) == strip(sequential)
+
+    def test_study_accepts_workers(self, capsys):
+        assert main(ARGS + ["--workers", "2", "study"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "command", ["figure4", "strategies", "bootstrap", "export"]
+    )
+    def test_event_commands_reject_workers(self, command):
+        with pytest.raises(SystemExit, match="materialized crawl"):
+            main(ARGS + ["--workers", "2", command])
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit, match="at least 1"):
+            main(ARGS + ["--workers", "0", "study"])

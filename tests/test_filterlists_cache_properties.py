@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.filterlists.cache import CachedMatcher, normalize_url_key
-from repro.filterlists.matcher import FilterMatcher, _url_tokens
+from repro.filterlists.matcher import FilterMatcher, RequestShape
 from repro.filterlists.parser import parse_filter_list
 from repro.filterlists.rules import RequestContext, ResourceType
 
@@ -76,7 +76,13 @@ def _contexts(draw) -> RequestContext:
             max_size=3,
         )
     )
-    url = f"https://{host}/" + "/".join(segments)
+    # Authority edge cases exercise the host-anchor fast path's key
+    # derivation: userinfo, ports, scheme variants and dot-edge hosts
+    # all change where the ABP anchor regex may bite.
+    scheme = draw(st.sampled_from(("https", "http", "HTTPS", "wss")))
+    userinfo = draw(st.sampled_from(("", "u@", "u:p@", "tracker.example@")))
+    host_edge = draw(st.sampled_from(("", ".", ":8080")))
+    url = f"{scheme}://{userinfo}{host}{host_edge}/" + "/".join(segments)
     if draw(st.booleans()):
         url += f"?uid={draw(st.integers(0, 999))}"
     return RequestContext(
@@ -90,6 +96,15 @@ def _contexts(draw) -> RequestContext:
 def _build(rule_lines) -> FilterMatcher:
     return FilterMatcher.from_lists(
         parse_filter_list("\n".join(rule_lines), name="prop")
+    )
+
+
+def _index_rules(index):
+    """Every rule a _RuleIndex holds, across all three tiers."""
+    return (
+        [rule for bucket in index._hosts.values() for rule in bucket]
+        + list(index._catch_all)
+        + [rule for bucket in index._buckets.values() for rule in bucket]
     )
 
 
@@ -167,6 +182,19 @@ class TestNormalizeUrlKey:
         )
 
 
+class TestWrappedMutationInvalidation:
+    def test_cache_clears_when_wrapped_matcher_gains_rules(self):
+        """In-place rule additions through the wrapped matcher must not
+        leave stale decisions behind (revision-stamp invalidation)."""
+        matcher = _build(["||old.example^"])
+        cached = CachedMatcher(matcher)
+        context = RequestContext(url="https://new.example/x")
+        assert not cached.match(context).blocked
+        matcher.add_list(parse_filter_list("||new.example^"))
+        assert cached.match(context).blocked
+        assert cached.match(context).blocked  # and re-caches after clearing
+
+
 @pytest.mark.tier1
 class TestCandidateCompleteness:
     @given(
@@ -177,13 +205,10 @@ class TestCandidateCompleteness:
     def test_candidates_never_drop_a_matching_rule(self, rules, context):
         """Token pruning is complete: matching rules are always candidates."""
         matcher = _build(rules)
-        tokens = _url_tokens(context.url)
+        shape = RequestShape(context.url)
         for index in (matcher._blocking, matcher._exceptions):
-            candidates = list(index.candidates(tokens))
-            all_rules = list(index._catch_all) + [
-                rule for bucket in index._buckets.values() for rule in bucket
-            ]
-            for rule in all_rules:
+            candidates = list(index.candidates(shape))
+            for rule in _index_rules(index):
                 if rule.matches(context):
                     assert rule in candidates, rule.text
 
@@ -195,10 +220,7 @@ class TestCandidateCompleteness:
     def test_first_match_agrees_with_brute_force_existence(self, rules, context):
         """``first_match`` finds a rule iff some rule matches at all."""
         matcher = _build(rules)
-        tokens = _url_tokens(context.url)
+        shape = RequestShape(context.url)
         for index in (matcher._blocking, matcher._exceptions):
-            all_rules = list(index._catch_all) + [
-                rule for bucket in index._buckets.values() for rule in bucket
-            ]
-            brute = any(rule.matches(context) for rule in all_rules)
-            assert (index.first_match(context, tokens) is not None) == brute
+            brute = any(rule.matches(context) for rule in _index_rules(index))
+            assert (index.first_match(context, shape) is not None) == brute

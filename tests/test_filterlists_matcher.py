@@ -1,9 +1,18 @@
 """Matcher engine: token indexing correctness and exception semantics."""
 
+import pathlib
+import subprocess
+import sys
+
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.matcher import (
+    FilterMatcher,
+    RequestShape,
+    _host_anchor_keys,
+    _url_tokens,
+)
 from repro.filterlists.parser import parse_filter_list
 from repro.filterlists.rules import RequestContext
 
@@ -52,6 +61,146 @@ class TestBasicMatching:
         assert matcher.should_block_url("https://a.example/")
         assert matcher.should_block_url("https://b.example/")
         assert matcher.list_names == ("a", "b")
+
+
+class TestHostFastPath:
+    """Pure ``||host^`` rules match via the host dict, never via regex."""
+
+    def test_counts_fast_path_rules(self):
+        matcher = FilterMatcher.from_text(
+            "||tracker.example^\n||ads.example^$script\n/pixel*\n@@||ok.example^"
+        )
+        assert matcher.rule_count == 4
+        assert matcher.fast_path_rule_count == 3  # /pixel* needs the regex
+
+    def test_fast_path_never_compiles_a_regex(self):
+        matcher = FilterMatcher.from_text("||tracker.example^")
+        assert matcher.should_block_url("https://x.tracker.example/p.js")
+        assert not matcher.should_block_url("https://tracker.example.evil/p")
+        (rule,) = matcher._blocking._hosts["tracker.example"]
+        assert not rule.regex_compiled
+
+    def test_subdomain_and_boundary_semantics(self):
+        matcher = FilterMatcher.from_text("||tracker.example^")
+        assert matcher.should_block_url("https://tracker.example/x")
+        assert matcher.should_block_url("https://a.b.tracker.example/x")
+        assert matcher.should_block_url("https://tracker.example:8080/x")
+        assert matcher.should_block_url("https://tracker.example")
+        assert not matcher.should_block_url("https://tracker.example.net/x")
+        assert not matcher.should_block_url("https://nottracker.example/x")
+        assert not matcher.should_block_url("tracker.example/x")  # no scheme
+
+    def test_options_still_apply_on_the_fast_path(self):
+        matcher = FilterMatcher.from_text("||ads.example^$third-party")
+        first_party = RequestContext(
+            url="https://ads.example/a.js", third_party=False
+        )
+        third_party = RequestContext(
+            url="https://ads.example/a.js", third_party=True
+        )
+        assert not matcher.should_block(first_party)
+        assert matcher.should_block(third_party)
+
+    def test_host_anchor_keys_shape(self):
+        keys = _host_anchor_keys("https://a.b.tracker.example:443/x?y#z")
+        assert keys == (
+            "a.b.tracker.example",
+            "b.tracker.example",
+            "tracker.example",
+            "example",
+        )
+        assert _host_anchor_keys("about:blank") == ()
+        # Faithful ABP quirk: the anchor group must end in a dot, so a
+        # host behind userinfo is NOT matchable as a whole ("u:p@" ends in
+        # "@") while its dot-suffix is.  The keys reproduce the regex
+        # exactly — see the equivalence argument in _host_anchor_keys.
+        assert _host_anchor_keys("https://u:p@evil.com/") == ("u", "com")
+
+
+class TestDeterministicAttribution:
+    """Candidate iteration follows URL order, not set-hash order, so the
+    rule a MatchResult attributes a block to is stable across interpreter
+    runs — the same class of bug the simulation seeds fixed with
+    ``repro.stablehash`` (PR 1)."""
+
+    RULES = "\n".join(
+        [
+            "-alpha-",
+            "-beta-",
+            "||deep.tracker.example^",
+            "||tracker.example^",
+        ]
+    )
+
+    def test_tokens_follow_url_order(self):
+        assert _url_tokens("https://x.example/beta/alpha/") == (
+            "https",
+            "x",
+            "example",
+            "beta",
+            "alpha",
+        )
+
+    def test_bucket_attribution_follows_url_token_order(self):
+        matcher = FilterMatcher.from_text(self.RULES)
+        result = matcher.match(RequestContext("https://safe.example/x-beta-alpha-x"))
+        assert result.blocked and result.rule.text == "-beta-"
+        result = matcher.match(RequestContext("https://safe.example/x-alpha-beta-x"))
+        assert result.blocked and result.rule.text == "-alpha-"
+
+    def test_host_attribution_prefers_most_specific_key(self):
+        matcher = FilterMatcher.from_text(self.RULES)
+        result = matcher.match(RequestContext("https://deep.tracker.example/x"))
+        assert result.blocked and result.rule.text == "||deep.tracker.example^"
+
+    def test_attribution_stable_across_hash_seeds(self):
+        """Regression: a ``set``-typed token collection made the attributed
+        rule vary with PYTHONHASHSEED.  Pin it across interpreters."""
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        program = (
+            "from repro.filterlists.matcher import FilterMatcher\n"
+            "from repro.filterlists.rules import RequestContext\n"
+            f"matcher = FilterMatcher.from_text({self.RULES!r})\n"
+            "for url in (\n"
+            "    'https://safe.example/x-beta-alpha-x',\n"
+            "    'https://safe.example/x-alpha-beta-x',\n"
+            "    'https://deep.tracker.example/x',\n"
+            "    'https://a.tracker.example/x-alpha-x',\n"
+            "):\n"
+            "    print(matcher.match(RequestContext(url)).rule.text)\n"
+        )
+        outputs = set()
+        for hash_seed in ("1", "2", "27"):
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PYTHONPATH": str(repo_root / "src"),
+                },
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, outputs
+
+
+class TestRequestShapeReuse:
+    def test_shape_computed_once_per_match(self, monkeypatch):
+        """Both indexes (blocking + exceptions) share one RequestShape."""
+        import repro.filterlists.matcher as matcher_module
+
+        calls = []
+        real_init = RequestShape.__init__
+
+        def counting_init(self, url):
+            calls.append(url)
+            real_init(self, url)
+
+        monkeypatch.setattr(matcher_module.RequestShape, "__init__", counting_init)
+        matcher = FilterMatcher.from_text("||t.example^\n@@||t.example/ok^")
+        matcher.match(RequestContext("https://t.example/ok/1"))
+        assert len(calls) == 1
 
 
 class _BruteForceMatcher:

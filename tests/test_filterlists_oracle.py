@@ -83,6 +83,60 @@ class TestOracleLabels:
         assert oracle.label(url, resource_type=ResourceType.IMAGE) is Label.FUNCTIONAL
 
 
+class TestUrlConvenienceCaching:
+    """The URL-only convenience path always routes through a decision
+    cache, so ad-hoc ``should_block_url`` loops get the same memoization
+    the streaming engine's cached view provides."""
+
+    def test_uncached_oracle_still_memoizes_convenience_calls(self):
+        oracle = FilterListOracle()
+        assert oracle.cache_stats is None  # the oracle itself is uncached
+        url = "https://google-analytics.com/collect?v=1"
+        assert oracle.should_block_url(url)
+        assert oracle.should_block_url(url)
+        stats = oracle._decision_matcher().stats
+        assert stats.misses == 1
+        assert stats.hits == 1
+
+    def test_cache_enabled_oracle_shares_one_cache(self):
+        oracle = FilterListOracle(cache=True)
+        url = "https://google-analytics.com/collect?v=1"
+        oracle.label(url)  # warms the decision cache
+        assert oracle.should_block_url(url)
+        assert oracle.cache_stats.hits >= 1
+
+    def test_convenience_agrees_with_label(self, oracle):
+        for url in (
+            "https://google-analytics.com/collect?v=1",
+            "https://cdnjs-mirror.net/static/js/app.1.js",
+            "https://i0.wp.com/pixel/44.gif",
+        ):
+            assert oracle.should_block_url(url) == oracle.label(url).is_tracking
+
+    def test_convenience_cache_invalidated_by_matcher_mutation(self):
+        """Adding rules through the public ``oracle.matcher`` mutates the
+        matcher in place; the hidden convenience cache must notice (via
+        the matcher revision) and not serve stale decisions."""
+        from repro.filterlists.parser import parse_filter_list
+
+        oracle = FilterListOracle()
+        url = "https://brand-new-host.example/app.js"
+        assert not oracle.should_block_url(url)
+        oracle.matcher.add_list(parse_filter_list("||brand-new-host.example^"))
+        assert oracle.should_block_url(url)  # not the cached False
+        assert oracle.should_block_url(url) == oracle.label(url).is_tracking
+
+    def test_convenience_cache_rebuilt_after_enable_cache(self):
+        oracle = FilterListOracle()
+        url = "https://google-analytics.com/collect?v=1"
+        assert oracle.should_block_url(url)
+        oracle.enable_cache()
+        # The side cache must not shadow the now-caching main matcher.
+        assert oracle.should_block_url(url)
+        assert oracle.cache_stats is not None
+        assert oracle.cache_stats.lookups >= 1
+
+
 class TestGeneratorVocabularyConsistency:
     """Every synthesisable URL must get the intended label."""
 

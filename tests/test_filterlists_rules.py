@@ -174,3 +174,33 @@ class TestMatchesUrl:
     def test_pattern_only_ignores_options(self):
         r = rule("||cdn.example^$script")
         assert r.matches_url("https://cdn.example/a.png")
+
+
+class TestLazyCompilation:
+    def test_construction_does_not_compile(self):
+        r = rule("/adserver/bid*")
+        assert not r.regex_compiled
+
+    def test_first_match_compiles_then_caches(self):
+        import re
+
+        r = rule("/adserver/bid*")
+        assert r.matches_url("https://x.example/adserver/bid-1")
+        assert r.regex_compiled
+        first = r.regex
+        assert r.regex is first  # cached, not recompiled
+        assert isinstance(first, re.Pattern)
+
+    def test_lazy_rule_round_trips_through_pickle(self):
+        """Workers receive rules via pickle; laziness must survive both
+        before and after materialization."""
+        import pickle
+
+        cold = pickle.loads(pickle.dumps(rule("/adserver/bid*")))
+        assert not cold.regex_compiled
+        assert cold.matches_url("https://x.example/adserver/bid-9")
+
+        warm_source = rule("/pixel/*")
+        assert warm_source.matches_url("https://x.example/pixel/1")
+        warm = pickle.loads(pickle.dumps(warm_source))
+        assert warm.matches_url("https://x.example/pixel/2")

@@ -1,0 +1,230 @@
+"""Parallel shard workers: equivalence, crash semantics, resume.
+
+The contract under test is the strongest one the engine makes: ``workers``
+is an execution knob with zero semantic surface.  For a fixed config,
+every worker count produces byte-identical ``ShardState.to_json()`` for
+every shard — not just identical reports — because workers run the exact
+same per-shard crawl the sequential engine runs, and per-site determinism
+(site-keyed coverage RNG, cluster-keyed failure seeds) makes that crawl a
+pure function of the shard's site list.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.engine import PipelineConfig, StreamingPipeline
+from repro.core.parallel import (
+    ShardExecutionError,
+    WorkerSpec,
+    run_shards_parallel,
+)
+from repro.core.pipeline import TrackerSiftPipeline
+
+SITES = 130
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def small_web():
+    return StreamingPipeline(PipelineConfig(sites=SITES, seed=SEED)).generate()
+
+
+def _run(config, web, *, shards, workers, checkpoint_dir=None):
+    engine = StreamingPipeline(
+        config, shards=shards, workers=workers, checkpoint_dir=checkpoint_dir
+    )
+    result = engine.run(web)
+    return engine, result
+
+
+@pytest.mark.tier1
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("shards", [1, 13])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_shard_states_byte_identical(self, small_web, shards, workers):
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        sequential, seq_result = _run(config, small_web, shards=shards, workers=1)
+        parallel, par_result = _run(
+            config, small_web, shards=shards, workers=workers
+        )
+        seq_states = [state.to_json() for state in sequential.shard_states()]
+        par_states = [state.to_json() for state in parallel.shard_states()]
+        assert len(seq_states) == shards
+        assert seq_states == par_states  # byte-for-byte, shard by shard
+        assert par_result.report.summary() == seq_result.report.summary()
+        assert par_result.pages_crawled == seq_result.pages_crawled
+        assert par_result.pages_failed == seq_result.pages_failed
+
+    def test_equivalence_with_injected_failures(self, tmp_path):
+        config = PipelineConfig(sites=90, seed=3, failure_rate=0.25)
+        web = StreamingPipeline(config).generate()
+        _, seq_result = _run(config, web, shards=5, workers=1)
+        assert seq_result.pages_failed > 0  # the knob actually bit
+        _, par_result = _run(config, web, shards=5, workers=2)
+        assert par_result.report.summary() == seq_result.report.summary()
+        assert par_result.pages_failed == seq_result.pages_failed
+
+    def test_worker_cache_accounting_is_complete(self, small_web):
+        """Worker-local caches differ from a shared one, but every labeled
+        request is exactly one lookup: hits + misses must add up."""
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        _, result = _run(config, small_web, shards=6, workers=3)
+        assert result.notes["workers"] == 3.0
+        lookups = (
+            result.notes["label_cache_hits"] + result.notes["label_cache_misses"]
+        )
+        assert lookups == result.notes["labeled_requests"]
+
+    def test_wrapper_parallel_matches_batch_report(self, small_web):
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        batch = TrackerSiftPipeline(config).run(small_web)
+        parallel = TrackerSiftPipeline(config, workers=2).run(small_web)
+        assert parallel.report.summary() == batch.report.summary()
+        # Parallel wrapper runs are aggregate-only, like the streaming door.
+        assert parallel.labeled.requests == []
+        assert len(parallel.database) == 0
+        assert parallel.total_script_requests == batch.total_script_requests
+
+
+@pytest.mark.tier1
+class TestParallelCheckpointResume:
+    def test_interrupted_pool_resumes_sequentially(self, tmp_path, small_web):
+        """A pool run that stops mid-way (here: after a shard limit; the
+        same state a killed pool leaves behind, since the parent
+        checkpoints each shard as it completes) must resume sequentially
+        to the uninterrupted result."""
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        _, uninterrupted = _run(config, small_web, shards=5, workers=1)
+
+        ckpt = tmp_path / "ckpt"
+        pool_engine = StreamingPipeline(
+            config, shards=5, workers=2, checkpoint_dir=ckpt
+        )
+        done = pool_engine.process_shards(small_web, limit=3)
+        assert done == 3
+        files = sorted(path.name for path in ckpt.glob("shard-*.json"))
+        assert len(files) == 3  # parent checkpointed each completed shard
+
+        # "Kill" the pool engine; resume with a sequential one.
+        resumed = StreamingPipeline(config, shards=5, workers=1, checkpoint_dir=ckpt)
+        result = resumed.run(small_web)
+        assert result.notes["shards_resumed"] == 3.0
+        assert result.report.summary() == uninterrupted.report.summary()
+        assert result.pages_crawled == uninterrupted.pages_crawled
+
+    def test_sequential_checkpoints_resume_in_parallel(self, tmp_path, small_web):
+        """The converse direction: shards crawled sequentially are valid
+        checkpoints for a parallel finish (one shared on-disk format)."""
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        _, uninterrupted = _run(config, small_web, shards=5, workers=1)
+        ckpt = tmp_path / "ckpt"
+        StreamingPipeline(config, shards=5, checkpoint_dir=ckpt).process_shards(
+            small_web, limit=2
+        )
+        resumed = StreamingPipeline(config, shards=5, workers=2, checkpoint_dir=ckpt)
+        result = resumed.run(small_web)
+        assert result.notes["shards_resumed"] == 2.0
+        assert result.report.summary() == uninterrupted.report.summary()
+
+
+def _exploding_run_shard(shard_id):
+    """Module-level (hence picklable) stand-in for ``parallel._run_shard``
+    that crashes shard 3; forked workers inherit this module as-is."""
+    import repro.core.parallel as parallel_module
+
+    if shard_id == 3:
+        raise RuntimeError("synthetic shard crash")
+    assert parallel_module._WORKER is not None
+    return parallel_module._WORKER.run(shard_id)
+
+
+class TestWorkerCrash:
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="crash injection relies on fork inheriting the patched module",
+    )
+    def test_completed_shards_survive_a_worker_crash(
+        self, tmp_path, small_web, monkeypatch
+    ):
+        """A crashing shard loses only itself: outcomes that completed are
+        stored (and checkpointed) before the error propagates."""
+        import repro.core.parallel as parallel_module
+
+        real_run_shard = parallel_module._run_shard
+        monkeypatch.setattr(parallel_module, "_run_shard", _exploding_run_shard)
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        ckpt = tmp_path / "ckpt"
+        engine = StreamingPipeline(
+            config, shards=5, workers=2, checkpoint_dir=ckpt
+        )
+        with pytest.raises(ShardExecutionError) as excinfo:
+            engine.process_shards(small_web)
+        assert excinfo.value.failed_shards == (3,)
+        stored = {state.shard_id for state in engine.shard_states()}
+        assert stored == {0, 1, 2, 4}
+        on_disk = sorted(path.name for path in ckpt.glob("shard-*.json"))
+        assert on_disk == [
+            "shard-0000.json",
+            "shard-0001.json",
+            "shard-0002.json",
+            "shard-0004.json",
+        ]
+
+        monkeypatch.setattr(parallel_module, "_run_shard", real_run_shard)
+        resumed = StreamingPipeline(
+            config, shards=5, workers=2, checkpoint_dir=ckpt
+        )
+        result = resumed.run(small_web)
+        assert result.notes["shards_resumed"] == 4.0
+        _, uninterrupted = _run(config, small_web, shards=5, workers=1)
+        assert result.report.summary() == uninterrupted.report.summary()
+
+
+class TestValidation:
+    def test_retain_events_rejects_workers(self):
+        with pytest.raises(ValueError, match="retain_events"):
+            StreamingPipeline(
+                PipelineConfig(sites=10), workers=2, retain_events=True
+            )
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="worker"):
+            StreamingPipeline(PipelineConfig(sites=10), workers=0)
+        with pytest.raises(ValueError, match="worker"):
+            TrackerSiftPipeline(PipelineConfig(sites=10), workers=0)
+
+    def test_run_shards_parallel_empty_is_noop(self):
+        spec = WorkerSpec(
+            config=PipelineConfig(sites=10),
+            shards=2,
+            web=None,
+            oracle=None,  # never used: no shards dispatched
+        )
+        assert run_shards_parallel(spec, [], 4, lambda outcome: None) == 0
+
+
+class TestExplicitWebTransfer:
+    @pytest.mark.tier1
+    def test_generated_web_is_regenerated_by_workers(self):
+        """No explicit web (the CLI path): WorkerSpec.web is None and each
+        worker regenerates the web from the config — cross-process
+        generator determinism must keep it byte-identical to sequential."""
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        sequential = StreamingPipeline(config, shards=4, workers=1)
+        seq_result = sequential.run()  # web generated internally
+        parallel = StreamingPipeline(config, shards=4, workers=2)
+        par_result = parallel.run()  # workers regenerate from config
+        seq_states = [state.to_json() for state in sequential.shard_states()]
+        par_states = [state.to_json() for state in parallel.shard_states()]
+        assert seq_states == par_states
+        assert par_result.report.summary() == seq_result.report.summary()
+
+    def test_hand_built_web_is_shipped_to_workers(self, small_web):
+        """A web the pipeline did not generate must be pickled across, not
+        regenerated: mutating provenance may not change the result."""
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        _, seq_result = _run(config, small_web, shards=4, workers=1)
+        engine = StreamingPipeline(config, shards=4, workers=2)
+        result = engine.run(small_web)  # explicit web -> pickle path
+        assert result.report.summary() == seq_result.report.summary()
