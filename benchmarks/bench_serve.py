@@ -1,0 +1,214 @@
+"""Online serving benchmarks: identity, throughput, batch, hot reload.
+
+Four gates over a real :class:`BlockingServer` on a loopback socket:
+
+* **Identity** (always enforced): every decision served over HTTP is
+  bit-identical — label, blocked bit, matched rule, matched list — to
+  offline :class:`FilterListOracle` labeling of the same URL against the
+  same list snapshot.
+* **Batch vs single** (always enforced): one ``/v1/decide`` batch call
+  must beat the equivalent sequence of single calls; the win is protocol
+  arithmetic (one round trip instead of N), so it holds on any host.
+* **Throughput** (enforced at full scale, recorded under
+  ``BENCH_SMOKE=1``): the threaded server must sustain a floor of
+  decisions/second under concurrent client load.
+* **Reload under load** (always enforced): a hot reload landing in the
+  middle of a load test must not drop a single request, and every
+  response must match the offline oracle *of the snapshot revision that
+  answered it* — the old snapshot keeps serving until the swap completes.
+
+Artifacts: ``benchmarks/output/BENCH_serve.json``.
+"""
+
+import threading
+import time
+
+from repro.filterlists.lists import EASYLIST_SNAPSHOT, EASYPRIVACY_SNAPSHOT
+from repro.filterlists.oracle import FilterListOracle
+from repro.filterlists.parser import parse_filter_list
+from repro.serve import (
+    BlockingClient,
+    BlockingServer,
+    BlockingService,
+    LoadGenerator,
+)
+
+from conftest import BENCH_SMOKE, write_json_artifact
+
+import pytest
+
+#: Extra rules a mid-load reload ships (a "hotfix" list update).
+HOTFIX_TEXT = "||hotfix-tracker.example^\n/late-beacon*\n"
+
+IDENTITY_URLS = 400 if BENCH_SMOKE else 2_000
+SINGLE_CALLS = 300 if BENCH_SMOKE else 1_500
+BATCH_SIZE = 250
+LOAD_THREADS = 4
+LOAD_ROUNDS = 2 if BENCH_SMOKE else 6
+THROUGHPUT_FLOOR_RPS = 300.0
+
+
+@pytest.fixture(scope="module")
+def urls(study):
+    """Real study URLs: heavy cross-site repetition, like live traffic."""
+    return [r.url for r in study.labeled.requests[:IDENTITY_URLS]]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BlockingServer(BlockingService(), port=0, threads=8) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def results() -> dict:
+    """Accumulates across tests; the last one writes the artifact."""
+    return {}
+
+
+def test_identity_served_equals_offline(server, urls, results):
+    """Gate: HTTP decisions are bit-identical to offline oracle labels."""
+    offline = FilterListOracle()
+    with BlockingClient(server.host, server.port) as client:
+        checked = 0
+        for url in urls:
+            decision = client.decide(url)
+            labeled = offline.label_request(url)
+            assert decision["blocked"] == offline.should_block_url(url)
+            assert decision["label"] == labeled.label.value
+            assert decision["matched_rule"] == labeled.matched_rule
+            assert decision["matched_list"] == labeled.matched_list
+            checked += 1
+    results["identity_checked"] = checked
+
+
+def test_batch_beats_single(server, urls, results):
+    """Gate: batching amortizes the per-request round trip."""
+    sample = urls[:SINGLE_CALLS]
+    with BlockingClient(server.host, server.port) as client:
+        client.decide(sample[0])  # connection + cache warm-up
+
+        started = time.perf_counter()
+        for url in sample:
+            client.decide(url)
+        single_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        batched = 0
+        for start in range(0, len(sample), BATCH_SIZE):
+            chunk = sample[start : start + BATCH_SIZE]
+            batched += client.decide_batch(chunk)["count"]
+        batch_seconds = time.perf_counter() - started
+
+    assert batched == len(sample)
+    speedup = single_seconds / batch_seconds
+    results.update(
+        {
+            "single_calls": len(sample),
+            "single_seconds": single_seconds,
+            "batch_seconds": batch_seconds,
+            "batch_speedup": speedup,
+        }
+    )
+    # One round trip per BATCH_SIZE URLs instead of one per URL: anything
+    # under 1.5x would mean the batch path itself is broken.
+    assert speedup >= 1.5, f"batch speedup only {speedup:.2f}x"
+
+
+def test_concurrent_throughput(server, urls, results):
+    """Gate (full scale): sustained decisions/second under threaded load."""
+    report = LoadGenerator(
+        server.host, server.port, urls, threads=LOAD_THREADS, rounds=LOAD_ROUNDS
+    ).run()
+    assert report.errors == []
+    assert report.requests == len(urls) * LOAD_ROUNDS
+    results.update(
+        {
+            "load_threads": LOAD_THREADS,
+            "load_requests": report.requests,
+            "throughput_rps": report.throughput_rps,
+            "throughput_enforced": not BENCH_SMOKE,
+        }
+    )
+    if not BENCH_SMOKE:
+        assert report.throughput_rps >= THROUGHPUT_FLOOR_RPS, (
+            f"served only {report.throughput_rps:.0f} rps"
+        )
+
+
+def test_reload_under_load_never_drops_or_mislabels(server, urls, results):
+    """Gate: a mid-load hot reload loses nothing and mislabels nothing."""
+    old_oracle = FilterListOracle()
+    new_lists = [
+        ("easylist", EASYLIST_SNAPSHOT),
+        ("easyprivacy", EASYPRIVACY_SNAPSHOT),
+        ("hotfix", HOTFIX_TEXT),
+    ]
+    new_oracle = FilterListOracle(
+        *(parse_filter_list(text, name=name) for name, text in new_lists)
+    )
+    # make sure the reload actually changes answers for some of the load
+    load_urls = urls + [
+        "https://hotfix-tracker.example/tag.js",
+        "https://cdn.example/late-beacon/7",
+    ] * max(1, len(urls) // 40)
+
+    generator = LoadGenerator(
+        server.host, server.port, load_urls, threads=LOAD_THREADS, rounds=LOAD_ROUNDS
+    )
+    reload_report = {}
+
+    def hot_reload():
+        # land the reload while the generator is mid-flight
+        time.sleep(0.05)
+        with BlockingClient(server.host, server.port) as admin:
+            reload_report.update(admin.reload(lists=new_lists))
+
+    reloader = threading.Thread(target=hot_reload)
+    reloader.start()
+    report = generator.run()
+    reloader.join()
+
+    before_revision = reload_report["previous_revision"]
+    after_revision = reload_report["revision"]
+    assert report.errors == []                      # nothing dropped
+    assert report.requests == len(load_urls) * LOAD_ROUNDS
+    oracles = {before_revision: old_oracle, after_revision: new_oracle}
+    mismatches = [
+        decision
+        for decision in report.decisions
+        if decision["blocked"]
+        != oracles[decision["revision"]].should_block_url(decision["url"])
+    ]
+    assert mismatches == []                         # nothing mislabeled
+    results["reload"] = {
+        "decisions_during_load": report.requests,
+        "revisions_seen": list(report.revisions_seen),
+        "hotfix_rules_added": reload_report["churn"]["added"],
+        "reload_seconds": reload_report["reload_seconds"],
+    }
+
+
+def test_write_artifact(server, results, output_dir):
+    """Record the machine-readable trail (runs last in this module)."""
+    with BlockingClient(server.host, server.port) as client:
+        metrics = client.metrics()
+    payload = {
+        "bench": "serve",
+        "decide_threads": 8,
+        "served_decisions": metrics["decisions"]["served"],
+        "cache_hit_rate": metrics["cache"]["hit_rate"],
+        "latency_p50_ms": metrics["latency"]["p50_ms"],
+        "latency_p99_ms": metrics["latency"]["p99_ms"],
+        "snapshot_revision": metrics["snapshot"]["revision"],
+    }
+    payload.update(results)
+    write_json_artifact(output_dir, "BENCH_serve.json", payload)
+    print(
+        f"\nserve bench: {results['throughput_rps']:.0f} rps over "
+        f"{results['load_threads']} client threads, batch speedup "
+        f"{results['batch_speedup']:.1f}x, identity checked on "
+        f"{results['identity_checked']:,} URLs, reload served "
+        f"{results['reload']['decisions_during_load']:,} decisions across "
+        f"revisions {results['reload']['revisions_seen']}"
+    )

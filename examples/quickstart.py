@@ -29,6 +29,20 @@ processes, with results identical for every worker count::
 --workers 4``).  This script demonstrates both doors and checks they
 agree — including a parallel run.
 
+The study's oracle also deploys as a long-lived **online service**
+(``trackersift serve --port 8377 --threads 8``): blocking decisions over
+a threaded JSON API, answered from an atomically swappable snapshot that
+hot-reloads new list versions without dropping a request::
+
+    curl -s -X POST localhost:8377/v1/decide \
+        -d '{"url": "https://doubleclick.net/pixel.gif"}'
+    curl -s -X POST localhost:8377/v1/reload \
+        -d '{"lists": [{"name": "hotfix", "text": "||evil.example^"}]}'
+    curl -s localhost:8377/metrics
+
+The tail of this script runs the same loop in-process: start a server on
+an ephemeral port, decide, hot-reload a hotfix rule, decide again.
+
 Run:  python examples/quickstart.py
 """
 
@@ -117,6 +131,34 @@ def main() -> None:
                 f"  script   {name}: T={res.counts.tracking} "
                 f"F={res.counts.functional} -> {res.resource_class.value}"
             )
+
+    # The oracle, served online: decide over HTTP, hot-reload a hotfix
+    # list, and watch the snapshot revision advance — in-flight requests
+    # always finish on the snapshot they started with.
+    from repro.serve import BlockingClient, BlockingServer
+
+    with BlockingServer(port=0, threads=4) as server:
+        client = BlockingClient(server.host, server.port)
+        decision = client.decide("https://doubleclick.net/pixel/42.gif")
+        print(
+            f"\nServing on {server.url}: {decision['url']} -> "
+            f"{decision['label']} (rule {decision['matched_rule']}, "
+            f"snapshot revision {decision['revision']})"
+        )
+        assert not client.decide("https://cdn.flaky.example/app.js")["blocked"]
+        report = client.reload(lists=[("hotfix", "||cdn.flaky.example^\n")])
+        print(
+            f"Hot reload -> revision {report['revision']}, rule churn "
+            f"{report['churn']['summary']}"
+        )
+        assert client.decide("https://cdn.flaky.example/app.js")["blocked"]
+        metrics = client.metrics()
+        print(
+            f"Metrics: {metrics['decisions']['served']} decisions served, "
+            f"cache hit rate {metrics['cache']['hit_rate']:.0%}, "
+            f"p99 latency {metrics['latency']['p99_ms']:.3f} ms"
+        )
+        client.close()
 
 
 if __name__ == "__main__":

@@ -23,4 +23,9 @@ BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation"
 
 echo
+echo "== serve smoke (start server, decide, hot reload, shut down) =="
+BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_serve.py
+
+echo
 echo "All checks passed."

@@ -17,7 +17,9 @@ depends on:
 * :mod:`repro.core` — TrackerSift itself: the ratio classifier, the
   hierarchical sifter, the streaming execution engine, sensitivity,
   call-stack analysis, surrogates, guards,
-* :mod:`repro.analysis` — Tables 1-3 and Figures 3-5 builders + rendering.
+* :mod:`repro.analysis` — Tables 1-3 and Figures 3-5 builders + rendering,
+* :mod:`repro.serve` — the online blocking-decision service: the oracle
+  behind a threaded JSON API with hot-reloadable list snapshots.
 
 **The pipeline.**  The crawl → label → sift path runs on one execution
 engine with two front doors.  The classic batch API materializes every
@@ -57,6 +59,18 @@ the shard a pure function of its site list; see
 :mod:`repro.core.parallel`).  ``trackersift sift --streaming --shards N
 --workers W`` (or ``python -m repro sift --streaming ...``) exposes both
 knobs on the command line.
+
+**Serving.**  The same oracle the studies label with also runs as a
+long-lived online service: :class:`~repro.serve.BlockingService` answers
+per-request blocking decisions from an atomically swappable snapshot (a
+cache-enabled oracle + its own thread-safe decision cache), and
+:class:`~repro.serve.BlockingServer` exposes it over a threaded JSON API
+with hot reload — ``trackersift serve --port 8377 --threads 8``.  Served
+decisions are bit-identical to offline
+:meth:`FilterListOracle.should_block_url` labeling for the same lists
+(the identity gate in ``benchmarks/bench_serve.py`` checks this over
+live HTTP), and a reload never drops a request: in-flight decisions
+finish on the old snapshot.
 """
 
 from .core import (
@@ -74,9 +88,15 @@ from .core import (
 )
 from .filterlists import FilterListOracle, Label
 from .labeling import AnalyzedRequest, LabeledCrawl, RequestLabeler
+from .serve import (
+    BlockingClient,
+    BlockingServer,
+    BlockingService,
+    LoadGenerator,
+)
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +113,10 @@ __all__ = [
     "run_study",
     "FilterListOracle",
     "Label",
+    "BlockingService",
+    "BlockingServer",
+    "BlockingClient",
+    "LoadGenerator",
     "RequestLabeler",
     "AnalyzedRequest",
     "LabeledCrawl",

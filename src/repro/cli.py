@@ -16,7 +16,13 @@ Subcommands mirror the paper's workflow plus the library's extensions:
 * ``rules``     — emit a generated filter list (finer-grained blocking),
 * ``strategies``— score conservative / naive / TrackerSift policies,
 * ``bootstrap`` — confidence intervals for the separation factors,
-* ``export``    — dump the crawl database to JSONL or SQLite.
+* ``export``    — dump the crawl database to JSONL or SQLite,
+* ``serve``     — run the online blocking-decision service: the filter
+  oracle behind a threaded JSON API (``--port``, ``--threads``) with
+  hot-reloadable list snapshots; ``--lists`` loads filter-list files in
+  place of the embedded defaults.
+
+``trackersift --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -45,9 +51,14 @@ __all__ = ["main"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="trackersift",
         description="TrackerSift (IMC 2021) reproduction pipeline",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"trackersift {__version__}"
     )
     parser.add_argument("--sites", type=int, default=1_000, help="crawl size")
     parser.add_argument("--seed", type=int, default=7, help="generator seed")
@@ -89,6 +100,34 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve: TCP port for the decision API (default: 8377)",
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default=None,
+        help="serve: bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="serve: max concurrent decide handlers (default: 8)",
+    )
+    parser.add_argument(
+        "--lists",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help=(
+            "serve: filter-list text file to serve instead of the embedded "
+            "EasyList/EasyPrivacy snapshots (repeatable)"
+        ),
+    )
+    parser.add_argument(
         "command",
         choices=[
             "study",
@@ -101,10 +140,33 @@ def _build_parser() -> argparse.ArgumentParser:
             "strategies",
             "bootstrap",
             "export",
+            "serve",
         ],
         help="what to run",
     )
     return parser
+
+
+def _cmd_serve(args) -> int:
+    from .serve.server import DEFAULT_PORT, DEFAULT_THREADS, run_server
+
+    if args.workers is not None:
+        raise SystemExit(
+            "serve: --workers does not apply; --threads bounds concurrent "
+            "decide handlers"
+        )
+    threads = args.threads if args.threads is not None else DEFAULT_THREADS
+    if threads < 1:
+        raise SystemExit("serve: --threads must be at least 1")
+    try:
+        return run_server(
+            host=args.host or "127.0.0.1",
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            threads=threads,
+            list_paths=args.lists or (),
+        )
+    except OSError as error:
+        raise SystemExit(f"serve: {error}")
 
 
 def _cmd_study(result) -> None:
@@ -209,9 +271,17 @@ def _cmd_export(result, out: str) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    config = PipelineConfig(
-        sites=args.sites, seed=args.seed, threshold=args.threshold
+    serve_flags = (
+        args.port is not None
+        or args.host is not None
+        or args.threads is not None
+        or args.lists is not None
     )
+    if serve_flags and args.command != "serve":
+        raise SystemExit(
+            f"{args.command}: --port/--host/--threads/--lists apply to the "
+            "serve command only"
+        )
     engine_flags = (
         args.streaming or args.shards is not None or args.checkpoint_dir
     )
@@ -220,6 +290,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.command}: --streaming/--shards/--checkpoint-dir apply "
             "to the sift command only"
         )
+    if args.command == "serve":
+        return _cmd_serve(args)
+    config = PipelineConfig(
+        sites=args.sites, seed=args.seed, threshold=args.threshold
+    )
     if args.command == "sift" and not args.streaming and engine_flags:
         raise SystemExit("sift: --shards/--checkpoint-dir require --streaming")
     workers = args.workers if args.workers is not None else 1

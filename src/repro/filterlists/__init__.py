@@ -7,7 +7,7 @@ rule model with options, token-indexed matcher, and embedded list
 snapshots — not a lookup table.
 """
 
-from .cache import CachedMatcher, CacheStats
+from .cache import CachedMatcher, CacheStats, DecisionCache
 from .lists import (
     AD_PATH_MARKERS,
     ADVERTISING_DOMAINS,
@@ -44,6 +44,7 @@ __all__ = [
     "MatchResult",
     "CachedMatcher",
     "CacheStats",
+    "DecisionCache",
     "FilterListOracle",
     "Label",
     "LabeledRequest",

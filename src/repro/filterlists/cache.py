@@ -23,17 +23,30 @@ rules can read —
 obligation: over randomized rule sets (including ``domain=`` rules) and
 randomized request contexts, the cached matcher is observationally
 equivalent to the uncached one.
+
+**Thread safety.**  The cache is shared across server threads by the
+online blocking service (:mod:`repro.serve`), so the decision store and
+its counters live in :class:`DecisionCache`, which serializes every
+compound operation on one lock.  The wrapped
+:class:`~repro.filterlists.matcher.FilterMatcher` itself is safe for
+concurrent *reads*: matching only reads the indexes, and the lazy
+per-rule regex compilation is an idempotent publish (two racing threads
+compile the same pattern and one result wins).  Concurrent rule
+*additions* are serialized against the cache — a decision computed under
+an older rule set is never inserted after the rules changed
+(``tests/test_filterlists_cache_concurrency.py`` stresses both claims).
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass
 
 from .matcher import FilterMatcher, MatchResult
 from .rules import RequestContext
 
-__all__ = ["CacheStats", "CachedMatcher", "normalize_url_key"]
+__all__ = ["CacheStats", "DecisionCache", "CachedMatcher", "normalize_url_key"]
 
 _DIGIT_RUN_RE = re.compile(r"[0-9]+")
 
@@ -79,6 +92,73 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+class DecisionCache:
+    """Thread-safe store of memoized match decisions plus counters.
+
+    One re-entrant lock guards the entry dict and the
+    :class:`CacheStats` counters, so concurrent server threads can never
+    lose an increment or observe a half-applied invalidation.  Callers
+    needing a compound read-modify-write (e.g. :class:`CachedMatcher`'s
+    revision-guarded lookup) hold :attr:`lock` around the whole sequence;
+    the re-entrant lock makes the individual operations nest freely.
+    """
+
+    __slots__ = ("lock", "stats", "_entries", "_max_entries")
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        self.lock = threading.RLock()
+        self.stats = CacheStats()
+        self._entries: dict[tuple, MatchResult] = {}
+        self._max_entries = max_entries
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def __getstate__(self) -> dict:
+        # Locks cannot cross process boundaries, but warm caches must: the
+        # parallel shard workers (core/parallel.py) ship a cached oracle to
+        # each worker via pickle.  Snapshot the entries under the lock and
+        # rebuild a fresh lock on the other side.
+        with self.lock:
+            return {
+                "stats": CacheStats(self.stats.hits, self.stats.misses),
+                "entries": dict(self._entries),
+                "max_entries": self._max_entries,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.lock = threading.RLock()
+        self.stats = state["stats"]
+        self._entries = state["entries"]
+        self._max_entries = state["max_entries"]
+
+    def lookup(self, key: tuple) -> MatchResult | None:
+        """The cached decision for ``key`` (counted as a hit), or ``None``."""
+        with self.lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self.stats.hits += 1
+            return result
+
+    def store(self, key: tuple, result: MatchResult, *, insert: bool = True) -> None:
+        """Count a miss; insert the decision unless ``insert`` is False
+        (the caller observed a concurrent rule change) or the cache is
+        full."""
+        with self.lock:
+            self.stats.misses += 1
+            if insert and len(self._entries) < self._max_entries:
+                self._entries[key] = result
+
+    def clear(self) -> None:
+        with self.lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self.lock:
+            return len(self._entries)
+
+
 class CachedMatcher:
     """A :class:`FilterMatcher` front-end that memoizes match decisions.
 
@@ -88,30 +168,43 @@ class CachedMatcher:
     *wrapped* matcher are detected via :attr:`FilterMatcher.revision` and
     invalidate the cache on the next lookup; :meth:`add_list` /
     :meth:`add_rules` here invalidate immediately.
+
+    Safe to share across threads: the decision store is a
+    :class:`DecisionCache`, underlying matches run outside its lock (reads
+    of the wrapped matcher are concurrency-safe), and a decision computed
+    concurrently with a rule change is served but never cached.
     """
 
     def __init__(self, matcher: FilterMatcher, *, max_entries: int = 1_000_000) -> None:
         self._matcher = matcher
-        self._max_entries = max_entries
-        self._decisions: dict[tuple, MatchResult] = {}
+        self._cache = DecisionCache(max_entries=max_entries)
         self._revision = matcher.revision
-        self.stats = CacheStats()
 
     # -- construction pass-throughs (cache-invalidating) -------------------
     def add_list(self, parsed) -> None:
-        self._matcher.add_list(parsed)
-        self._revision = self._matcher.revision
-        self.clear()
+        with self._cache.lock:
+            self._matcher.add_list(parsed)
+            self._revision = self._matcher.revision
+            self._cache.clear()
 
     def add_rules(self, rules) -> None:
-        self._matcher.add_rules(rules)
-        self._revision = self._matcher.revision
-        self.clear()
+        with self._cache.lock:
+            self._matcher.add_rules(rules)
+            self._revision = self._matcher.revision
+            self._cache.clear()
 
     def clear(self) -> None:
-        self._decisions.clear()
+        self._cache.clear()
 
     # -- introspection ------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def decision_cache(self) -> DecisionCache:
+        return self._cache
+
     @property
     def wrapped(self) -> FilterMatcher:
         return self._matcher
@@ -129,7 +222,7 @@ class CachedMatcher:
         return self._matcher.domain_sensitive
 
     def __len__(self) -> int:
-        return len(self._decisions)
+        return len(self._cache)
 
     # -- matching ------------------------------------------------------------
     def _key(self, context: RequestContext) -> tuple:
@@ -144,20 +237,28 @@ class CachedMatcher:
         return (url, context.resource_type, context.third_party)
 
     def match(self, context: RequestContext) -> MatchResult:
-        if self._matcher.revision != self._revision:
-            # The wrapped matcher gained rules behind our back; decisions
-            # made under the old rule set must not survive.
-            self.clear()
-            self._revision = self._matcher.revision
-        key = self._key(context)
-        cached = self._decisions.get(key)
+        cache = self._cache
+        with cache.lock:
+            if self._matcher.revision != self._revision:
+                # The wrapped matcher gained rules behind our back;
+                # decisions made under the old rule set must not survive.
+                cache.clear()
+                self._revision = self._matcher.revision
+            # The key derives from matcher state (digit-run safety, domain
+            # sensitivity), so it is computed under the same lock that
+            # synchronized the revision — a key built against stale rules
+            # could alias decisions across rule sets.
+            revision = self._revision
+            key = self._key(context)
+            cached = cache.lookup(key)
         if cached is not None:
-            self.stats.hits += 1
             return cached
         result = self._matcher.match(context)
-        if len(self._decisions) < self._max_entries:
-            self._decisions[key] = result
-        self.stats.misses += 1
+        # Insert only when no rule change raced the match; every clear and
+        # insert runs under the cache lock, so a stale decision can never
+        # land after the invalidating clear.
+        with cache.lock:
+            cache.store(key, result, insert=self._matcher.revision == revision)
         return result
 
     def should_block(self, context: RequestContext) -> bool:

@@ -1,0 +1,45 @@
+"""Online blocking-decision service: the oracle, deployed.
+
+TrackerSift's output is deployable blocking knowledge — filter rules a
+content blocker consults per request.  This subpackage turns the repo's
+offline oracle into that deployment:
+
+* :mod:`repro.serve.service` — :class:`BlockingService`: atomically
+  swappable oracle snapshots, hot :meth:`~BlockingService.reload` with a
+  ``diff_lists`` churn report, metrics (cache counters, latency
+  p50/p99, revision, uptime);
+* :mod:`repro.serve.server` — :class:`BlockingServer`: the service
+  behind a stdlib threaded JSON API (``POST /v1/decide``,
+  ``POST /v1/reload``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.serve.client` — :class:`BlockingClient` and the
+  :class:`LoadGenerator` driving ``benchmarks/bench_serve.py``.
+
+Quick embedded use::
+
+    from repro.serve import BlockingClient, BlockingServer
+
+    with BlockingServer(port=0) as server:          # ephemeral port
+        client = BlockingClient(server.host, server.port)
+        print(client.decide("https://doubleclick.net/pixel/1.gif"))
+        client.reload()                              # back to defaults
+        client.close()
+
+Or on the command line: ``trackersift serve --port 8377 --threads 8``.
+"""
+
+from .client import BlockingClient, LoadGenerator, LoadReport, ServeError
+from .server import BlockingServer, build_server, load_list_files, run_server
+from .service import BlockingService, Snapshot
+
+__all__ = [
+    "BlockingService",
+    "Snapshot",
+    "BlockingServer",
+    "build_server",
+    "load_list_files",
+    "run_server",
+    "BlockingClient",
+    "LoadGenerator",
+    "LoadReport",
+    "ServeError",
+]

@@ -1,0 +1,226 @@
+"""Client for the blocking-decision API, plus a threaded load generator.
+
+:class:`BlockingClient` speaks the four-endpoint JSON protocol of
+:mod:`repro.serve.server` over a persistent keep-alive connection.  One
+client instance is bound to one connection and is **not** shared across
+threads — :class:`LoadGenerator` gives each worker thread its own, which
+is also how a real multi-threaded consumer should hold them.
+
+:class:`LoadGenerator` is the measurement half: it drives N worker
+threads of single or batched decide calls against a server and collects
+every decision (with the snapshot revision each was answered under), so
+``benchmarks/bench_serve.py`` can check throughput *and* prove that a
+hot reload mid-load never dropped or mislabeled a request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .server import DEFAULT_PORT
+
+__all__ = ["ServeError", "BlockingClient", "LoadGenerator", "LoadReport"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BlockingClient:
+    """Thin JSON client over one keep-alive connection (single-threaded)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "BlockingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _exchange(
+        self, method: str, path: str, body: bytes | None, headers: dict
+    ) -> tuple[int, bytes]:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            return response.status, response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            raise
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        # A reused keep-alive socket may have been closed under us between
+        # calls; one transparent replay on a fresh connection covers that.
+        # Never replay a reload: it is the one non-idempotent endpoint, and
+        # a response lost *after* the server acted would otherwise swap the
+        # snapshot twice (the second churn report diffing the new lists
+        # against themselves).  Fresh-connection failures are real errors.
+        retriable = self._conn is not None and path != "/v1/reload"
+        try:
+            status, raw = self._exchange(method, path, body, headers)
+        except (http.client.HTTPException, ConnectionError, OSError):
+            if not retriable:
+                raise
+            status, raw = self._exchange(method, path, body, headers)
+        parsed = json.loads(raw) if raw else {}
+        if status >= 400:
+            message = parsed.get("error", "") if isinstance(parsed, dict) else ""
+            raise ServeError(status, message)
+        return parsed
+
+    # -- endpoints ---------------------------------------------------------
+    def decide(
+        self, url: str, resource_type: str = "other", page_url: str = ""
+    ) -> dict:
+        payload = {"url": url, "resource_type": resource_type}
+        if page_url:
+            payload["page_url"] = page_url
+        return self._request("POST", "/v1/decide", payload)
+
+    def decide_batch(self, requests: list) -> dict:
+        """Batch decide; items are URL strings or request objects."""
+        return self._request("POST", "/v1/decide", {"requests": list(requests)})
+
+    def reload(self, lists: list | None = None) -> dict:
+        """Hot-reload; ``lists`` is ``[(name, text), ...]`` or None for the
+        embedded defaults."""
+        if lists is None:
+            return self._request("POST", "/v1/reload", {})
+        specs = [{"name": name, "text": text} for name, text in lists]
+        return self._request("POST", "/v1/reload", {"lists": specs})
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+
+@dataclass
+class LoadReport:
+    """What a :class:`LoadGenerator` run observed."""
+
+    decisions: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return len(self.decisions) / self.seconds
+
+    @property
+    def revisions_seen(self) -> tuple:
+        return tuple(sorted({d["revision"] for d in self.decisions}))
+
+
+class LoadGenerator:
+    """Threaded decide() load against one server, decisions collected.
+
+    Workers stripe over ``urls`` (worker *i* takes every ``threads``-th
+    URL) for ``rounds`` passes; with ``batch_size > 1`` each worker sends
+    chunked ``/v1/decide`` batches instead of single calls.  Every
+    decision's reported snapshot revision is kept, which is what lets the
+    reload-under-load gate verify each answer against the offline oracle
+    of the exact rule set that served it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        urls: list,
+        threads: int = 4,
+        batch_size: int = 1,
+        rounds: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        if threads < 1 or batch_size < 1 or rounds < 1:
+            raise ValueError("threads, batch_size and rounds must be >= 1")
+        self.host = host
+        self.port = port
+        self.urls = list(urls)
+        self.threads = threads
+        self.batch_size = batch_size
+        self.rounds = rounds
+        self.timeout = timeout
+
+    #: Any of these on a call is a *recorded* failure, never a dead worker
+    #: whose collected decisions silently vanish from the report.
+    _CALL_ERRORS = (ServeError, http.client.HTTPException, OSError)
+
+    def _worker(self, index: int, report: LoadReport, lock: threading.Lock) -> None:
+        client = BlockingClient(self.host, self.port, timeout=self.timeout)
+        mine = self.urls[index :: self.threads]
+        decisions: list = []
+        errors: list = []
+        try:
+            for _ in range(self.rounds):
+                if self.batch_size > 1:
+                    for start in range(0, len(mine), self.batch_size):
+                        chunk = mine[start : start + self.batch_size]
+                        try:
+                            decisions.extend(client.decide_batch(chunk)["decisions"])
+                        except self._CALL_ERRORS as error:
+                            errors.append(f"batch@{start}: {error}")
+                else:
+                    for url in mine:
+                        try:
+                            decisions.append(client.decide(url))
+                        except self._CALL_ERRORS as error:
+                            errors.append(f"{url}: {error}")
+        finally:
+            # merge in the finally so even an unexpected worker death
+            # surrenders what it measured instead of undercounting
+            client.close()
+            with lock:
+                report.decisions.extend(decisions)
+                report.errors.extend(errors)
+
+    def run(self) -> LoadReport:
+        report = LoadReport()
+        lock = threading.Lock()
+        workers = [
+            threading.Thread(
+                target=self._worker, args=(index, report, lock), daemon=True
+            )
+            for index in range(self.threads)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        report.seconds = time.perf_counter() - started
+        return report

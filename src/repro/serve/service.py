@@ -1,0 +1,367 @@
+"""The online blocking-decision service: hot-reloadable oracle snapshots.
+
+The paper frames TrackerSift's output as deployable blocking knowledge —
+filter rules a content blocker consults per request.  Everything else in
+this repo runs as an offline batch study; :class:`BlockingService` is the
+long-lived deployment of the same oracle: it answers per-request blocking
+decisions from a :class:`Snapshot` (a cache-enabled
+:class:`~repro.filterlists.oracle.FilterListOracle` plus the parsed lists
+it was built from) and swaps in new list versions without dropping a
+request.
+
+**Snapshot semantics.**  A snapshot is immutable once published.
+:meth:`BlockingService.reload` parses the new lists, builds the new
+oracle and its fresh decision cache entirely off to the side, computes
+rule churn against the old snapshot via
+:func:`repro.filterlists.maintenance.diff_lists`, and then publishes the
+result with a *single reference assignment* — the one mutation in the
+whole scheme.  Every decision starts by reading that reference exactly
+once, so an in-flight request (or an in-flight *batch*) finishes on the
+snapshot it started with; concurrent requests during a reload are each
+answered consistently by either the old or the new rules, never a blend.
+Reloads themselves serialize on a lock; decisions never take it.
+
+Decisions are bit-identical to the offline oracle's by construction: the
+service calls the same :meth:`FilterListOracle.label_request` /
+:meth:`~FilterListOracle.should_block_url` code path the batch studies
+use (the identity gate in ``benchmarks/bench_serve.py`` checks this over
+live HTTP).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..filterlists.lists import default_lists
+from ..filterlists.maintenance import ListDiff, diff_lists
+from ..filterlists.oracle import FilterListOracle
+from ..filterlists.parser import ParsedList, parse_filter_list
+from ..filterlists.rules import ResourceType
+
+__all__ = ["Snapshot", "BlockingService"]
+
+
+def _coerce_resource_type(value: object) -> ResourceType:
+    """Accept enum members, canonical values, and option aliases."""
+    if isinstance(value, ResourceType):
+        return value
+    resource = ResourceType.from_option(str(value).strip().lower())
+    if resource is None:
+        raise ValueError(f"unknown resource_type: {value!r}")
+    return resource
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable, atomically-swappable serving state.
+
+    Holds the cache-enabled oracle *and* the parsed lists it was built
+    from: the lists are what the next reload diffs against, and the
+    oracle's decision cache belongs to the snapshot (a reload starts with
+    a cold cache for the new rules — stale decisions can never leak
+    across rule sets because they live and die with their snapshot).
+    """
+
+    oracle: FilterListOracle
+    lists: tuple[ParsedList, ...]
+    revision: int
+
+    @classmethod
+    def build(cls, lists: tuple[ParsedList, ...], revision: int) -> "Snapshot":
+        return cls(
+            oracle=FilterListOracle(*lists, cache=True),
+            lists=lists,
+            revision=revision,
+        )
+
+    @property
+    def rule_count(self) -> int:
+        return self.oracle.rule_count
+
+    @property
+    def list_names(self) -> tuple[str, ...]:
+        return tuple(parsed.name for parsed in self.lists)
+
+
+class _LatencyWindow:
+    """Sliding window of recent decision latencies, for p50/p99 metrics."""
+
+    def __init__(self, size: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            data = sorted(self._samples)
+            count, total = self.count, self.total
+
+        def nearest(q: float) -> float:
+            # Nearest-rank percentile: ceil(q/100 * n), 1-based.
+            if not data:
+                return 0.0
+            rank = -(-q * len(data) // 100)
+            return data[min(len(data) - 1, max(0, int(rank) - 1))]
+
+        return {
+            "observed": count,
+            "window": len(data),
+            "mean_ms": (total / count * 1e3) if count else 0.0,
+            "p50_ms": nearest(50) * 1e3,
+            "p99_ms": nearest(99) * 1e3,
+        }
+
+
+@dataclass
+class _Counters:
+    """Decision counters, guarded by one lock (shared across threads)."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    decisions: int = 0
+    batches: int = 0
+    blocked: int = 0
+    reloads: int = 0
+
+
+class BlockingService:
+    """Long-lived blocking-decision engine with hot-reloadable snapshots.
+
+    >>> service = BlockingService()                # embedded default lists
+    >>> service.decide("https://doubleclick.net/pixel")["label"]
+    'tracking'
+
+    Thread-safe by design: decisions read the current :class:`Snapshot`
+    reference once and run entirely on it (its oracle's decision cache is
+    a thread-safe :class:`~repro.filterlists.cache.DecisionCache`), while
+    :meth:`reload` builds a replacement off to the side and publishes it
+    atomically.  This is what :class:`repro.serve.server.BlockingServer`
+    exposes over HTTP.
+    """
+
+    def __init__(self, *lists: ParsedList) -> None:
+        if not lists:
+            lists = default_lists()
+        self._snapshot = Snapshot.build(tuple(lists), revision=1)
+        self._reload_lock = threading.Lock()
+        self._counters = _Counters()
+        self._latency = _LatencyWindow()
+        self._started = time.monotonic()
+
+    # -- read side ---------------------------------------------------------
+    @property
+    def snapshot(self) -> Snapshot:
+        """The current serving snapshot (a single atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def decide(
+        self,
+        url: str,
+        resource_type: object = ResourceType.OTHER,
+        page_url: str = "",
+    ) -> dict:
+        """One blocking decision, as a JSON-ready dict.
+
+        Raises :class:`ValueError` for a missing URL or unknown resource
+        type (the server maps that to HTTP 400).
+        """
+        snapshot = self._snapshot
+        return self._decide_on(snapshot, url, resource_type, page_url)
+
+    def decide_batch(self, requests: list) -> dict:
+        """Decide a batch of requests — all against *one* snapshot.
+
+        Each item is a URL string or a ``{"url", "resource_type",
+        "page_url"}`` dict.  The snapshot reference is read once for the
+        whole batch, so a concurrent reload never splits a batch across
+        rule sets.
+        """
+        snapshot = self._snapshot
+        decisions = []
+        for item in requests:
+            if isinstance(item, str):
+                item = {"url": item}
+            if not isinstance(item, dict):
+                raise ValueError(f"batch item must be a URL or object: {item!r}")
+            decisions.append(
+                self._decide_on(
+                    snapshot,
+                    item.get("url", ""),
+                    item.get("resource_type", ResourceType.OTHER),
+                    item.get("page_url", ""),
+                )
+            )
+        with self._counters.lock:
+            self._counters.batches += 1
+        return {
+            "decisions": decisions,
+            "count": len(decisions),
+            "revision": snapshot.revision,
+        }
+
+    def should_block_url(self, url: str) -> bool:
+        """The offline oracle's convenience query, served online."""
+        return self._snapshot.oracle.should_block_url(url)
+
+    def _decide_on(
+        self,
+        snapshot: Snapshot,
+        url: str,
+        resource_type: object,
+        page_url: str,
+    ) -> dict:
+        if not url or not isinstance(url, str):
+            raise ValueError("decide requires a non-empty url")
+        resource = _coerce_resource_type(resource_type)
+        started = time.perf_counter()
+        labeled = snapshot.oracle.label_request(url, resource, page_url)
+        self._latency.observe(time.perf_counter() - started)
+        blocked = labeled.label.is_tracking
+        with self._counters.lock:
+            self._counters.decisions += 1
+            if blocked:
+                self._counters.blocked += 1
+        return {
+            "url": url,
+            "label": labeled.label.value,
+            "blocked": blocked,
+            "matched_rule": labeled.matched_rule,
+            "matched_list": labeled.matched_list,
+            "revision": snapshot.revision,
+        }
+
+    # -- reload side -------------------------------------------------------
+    def reload(self, *lists: ParsedList) -> dict:
+        """Swap in a new list snapshot; returns the churn report.
+
+        With no arguments the embedded default lists are re-parsed (a
+        rollback to factory state).  The new oracle and its cold decision
+        cache are built entirely before the swap; the swap itself is one
+        reference assignment, so in-flight decisions finish on the old
+        snapshot and the service is never without an answer.
+        """
+        if not lists:
+            lists = default_lists()
+        started = time.perf_counter()
+        with self._reload_lock:
+            old = self._snapshot
+            new = Snapshot.build(tuple(lists), revision=old.revision + 1)
+            per_list, total = self._churn(old.lists, new.lists)
+            self._snapshot = new  # the atomic publish
+        with self._counters.lock:
+            self._counters.reloads += 1
+        return {
+            "revision": new.revision,
+            "previous_revision": old.revision,
+            "rule_count": new.rule_count,
+            "lists": per_list,
+            "churn": {
+                "added": len(total.added),
+                "removed": len(total.removed),
+                "unchanged": total.unchanged,
+                "summary": total.summary(),
+            },
+            "reload_seconds": time.perf_counter() - started,
+        }
+
+    def reload_text(self, *named_texts: tuple[str, str]) -> dict:
+        """Parse ``(name, text)`` pairs and reload with the result."""
+        parsed = tuple(
+            parse_filter_list(text, name=name) for name, text in named_texts
+        )
+        return self.reload(*parsed)
+
+    @staticmethod
+    def _churn(
+        old_lists: tuple[ParsedList, ...], new_lists: tuple[ParsedList, ...]
+    ) -> tuple[list[dict], ListDiff]:
+        """Per-list and total rule churn, via ``diff_lists``.
+
+        Lists are paired by name; an old list with no namesake counts as
+        fully removed, a new one as fully added.
+        """
+        remaining = {parsed.name: parsed for parsed in old_lists}
+        per_list: list[dict] = []
+        total = ListDiff()
+        for new in new_lists:
+            old = remaining.pop(new.name, None)
+            diff = diff_lists(old if old is not None else ParsedList(name=new.name), new)
+            per_list.append(
+                {
+                    "name": new.name,
+                    "added": len(diff.added),
+                    "removed": len(diff.removed),
+                    "unchanged": diff.unchanged,
+                    "summary": diff.summary(),
+                }
+            )
+            total.added.extend(diff.added)
+            total.removed.extend(diff.removed)
+            total.unchanged += diff.unchanged
+        for name, old in remaining.items():
+            diff = diff_lists(old, ParsedList(name=name))
+            per_list.append(
+                {
+                    "name": name,
+                    "added": 0,
+                    "removed": len(diff.removed),
+                    "unchanged": 0,
+                    "summary": diff.summary(),
+                }
+            )
+            total.removed.extend(diff.removed)
+        return per_list, total
+
+    # -- observability -----------------------------------------------------
+    def healthz(self) -> dict:
+        snapshot = self._snapshot
+        return {
+            "status": "ok",
+            "revision": snapshot.revision,
+            "rule_count": snapshot.rule_count,
+            "uptime_seconds": self.uptime_seconds,
+        }
+
+    def metrics(self) -> dict:
+        """Cache counters, latency percentiles, snapshot and uptime."""
+        snapshot = self._snapshot
+        stats = snapshot.oracle.cache_stats
+        with self._counters.lock:
+            decisions = self._counters.decisions
+            batches = self._counters.batches
+            blocked = self._counters.blocked
+            reloads = self._counters.reloads
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "snapshot": {
+                "revision": snapshot.revision,
+                "rule_count": snapshot.rule_count,
+                "lists": list(snapshot.list_names),
+            },
+            "decisions": {
+                "served": decisions,
+                "batches": batches,
+                "blocked": blocked,
+                "reloads": reloads,
+            },
+            "cache": {
+                "hits": stats.hits if stats else 0,
+                "misses": stats.misses if stats else 0,
+                "hit_rate": stats.hit_rate if stats else 0.0,
+                "entries": len(snapshot.oracle.matcher),
+            },
+            "latency": self._latency.snapshot(),
+        }

@@ -134,3 +134,53 @@ class TestCommands:
     def test_workers_must_be_positive(self):
         with pytest.raises(SystemExit, match="at least 1"):
             main(ARGS + ["--workers", "0", "study"])
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"trackersift {__version__}"
+
+
+class TestServeCommand:
+    def test_serve_flags_rejected_outside_serve(self):
+        with pytest.raises(SystemExit, match="serve command only"):
+            main(ARGS + ["--port", "8377", "study"])
+        with pytest.raises(SystemExit, match="serve command only"):
+            main(ARGS + ["--threads", "4", "sift"])
+
+    def test_serve_rejects_workers(self):
+        with pytest.raises(SystemExit, match="--threads bounds"):
+            main(["--workers", "2", "serve"])
+
+    def test_serve_rejects_streaming_flags(self):
+        with pytest.raises(SystemExit, match="sift command only"):
+            main(["--streaming", "serve"])
+
+    def test_serve_threads_must_be_positive(self):
+        with pytest.raises(SystemExit, match="at least 1"):
+            main(["--threads", "0", "serve"])
+
+    def test_serve_missing_list_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="serve"):
+            main(["--lists", str(tmp_path / "nope.txt"), "serve"])
+
+    def test_build_server_loads_custom_lists(self, tmp_path):
+        """The CLI construction path: custom list files become the
+        serving snapshot (stopped before serving traffic)."""
+        from repro.serve.server import build_server
+
+        list_path = tmp_path / "corp-blocklist.txt"
+        list_path.write_text("||banned.example^\n/beacon*\n", encoding="utf-8")
+        server = build_server(port=0, threads=2, list_paths=[str(list_path)])
+        try:
+            snapshot = server.service.snapshot
+            assert snapshot.list_names == ("corp-blocklist",)
+            assert snapshot.rule_count == 2
+            assert server.service.decide("https://banned.example/x.js")["blocked"]
+        finally:
+            server.stop()  # never started: must still release the socket

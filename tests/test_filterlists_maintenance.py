@@ -29,6 +29,60 @@ class TestDiff:
         assert diff.unchanged == 0
 
 
+class TestDiffReloadPath:
+    """The cases the serve reload path leans on: a fresh service diffs a
+    brand-new list against an empty one, a dropped list against nothing,
+    and surfaces exception-rule and duplicate-line churn faithfully."""
+
+    def test_empty_old_list_counts_everything_added(self):
+        new = parse_filter_list("||a.example^\n/pixel*\n@@||a.example/ok\n")
+        diff = diff_lists(parse_filter_list(""), new)
+        assert len(diff.added) == 3
+        assert diff.removed == [] and diff.unchanged == 0
+        assert diff.summary() == "+3 -0 (unchanged 0)"
+
+    def test_empty_new_list_counts_everything_removed(self):
+        old = parse_filter_list("||a.example^\n||b.example^\n")
+        diff = diff_lists(old, parse_filter_list(""))
+        assert len(diff.removed) == 2
+        assert diff.added == [] and diff.churn == 2
+
+    def test_exception_rules_participate_in_the_diff(self):
+        old = parse_filter_list("||a.example^\n@@||a.example/legit.js\n")
+        new = parse_filter_list("||a.example^\n@@||a.example/other.js\n")
+        diff = diff_lists(old, new)
+        assert [r.text for r in diff.added] == ["@@||a.example/other.js"]
+        assert [r.text for r in diff.removed] == ["@@||a.example/legit.js"]
+        assert diff.unchanged == 1
+
+    def test_duplicate_lines_collapse_to_canonical_text(self):
+        old = parse_filter_list("||a.example^\n||a.example^\n")
+        new = parse_filter_list("||a.example^\n")
+        diff = diff_lists(old, new)
+        assert diff.churn == 0 and diff.unchanged == 1
+
+    def test_comment_and_cosmetic_lines_never_count(self):
+        old = parse_filter_list("! v1\n||a.example^\nexample.com###ad\n")
+        new = parse_filter_list("! v2 comment changed\n||a.example^\n")
+        diff = diff_lists(old, new)
+        assert diff.churn == 0 and diff.unchanged == 1
+
+    def test_reload_response_surfaces_diff_lists_numbers(self):
+        """End to end: BlockingService.reload reports exactly what
+        diff_lists computes for the swapped snapshot."""
+        from repro.serve import BlockingService
+
+        old = parse_filter_list("||a.example^\n||b.example^\n", name="mini")
+        new = parse_filter_list("||b.example^\n||c.example^\n/p*\n", name="mini")
+        expected = diff_lists(old, new)
+        report = BlockingService(old).reload(new)
+        assert report["churn"]["added"] == len(expected.added)
+        assert report["churn"]["removed"] == len(expected.removed)
+        assert report["churn"]["unchanged"] == expected.unchanged
+        assert report["churn"]["summary"] == expected.summary()
+        assert report["lists"][0]["summary"] == expected.summary()
+
+
 class TestRedundancy:
     def test_subdomain_rule_shadowed_by_domain_rule(self):
         parsed = parse_filter_list("||tracker.example^\n||cdn.tracker.example^\n")

@@ -9,7 +9,7 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -26,6 +26,7 @@ class TestTopLevel:
             "repro.labeling",
             "repro.core",
             "repro.analysis",
+            "repro.serve",
             "repro.cli",
         ],
     )
@@ -75,6 +76,9 @@ class TestDocstrings:
             "repro.core.callstack_analysis",
             "repro.analysis.tables",
             "repro.analysis.figures",
+            "repro.serve.service",
+            "repro.serve.server",
+            "repro.serve.client",
         ],
     )
     def test_module_documented(self, module):

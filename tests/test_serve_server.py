@@ -1,0 +1,326 @@
+"""End-to-end HTTP tests for the blocking-decision server.
+
+Every test runs a real :class:`BlockingServer` on an ephemeral loopback
+port and talks to it with :class:`BlockingClient` (or raw connections for
+the protocol-error cases) — the same path production traffic takes.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.filterlists.lists import EASYLIST_SNAPSHOT, EASYPRIVACY_SNAPSHOT
+from repro.filterlists.oracle import FilterListOracle
+from repro.filterlists.parser import parse_filter_list
+from repro.serve import (
+    BlockingClient,
+    BlockingServer,
+    BlockingService,
+    LoadGenerator,
+    ServeError,
+)
+
+MINI_LIST = "||tracker.example^\n/pixel*\n@@||tracker.example/ok.js\n"
+
+
+@pytest.fixture()
+def server():
+    service = BlockingService(parse_filter_list(MINI_LIST, name="mini"))
+    with BlockingServer(service, port=0, threads=4) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with BlockingClient(server.host, server.port) as running:
+        yield running
+
+
+def _raw(server, method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestDecideEndpoint:
+    def test_single_decision(self, client):
+        decision = client.decide("https://tracker.example/spy.js")
+        assert decision["blocked"] is True
+        assert decision["label"] == "tracking"
+        assert decision["matched_rule"] == "||tracker.example^"
+        assert decision["matched_list"] == "mini"
+        assert decision["revision"] == 1
+
+    def test_exception_rule_respected(self, client):
+        decision = client.decide("https://tracker.example/ok.js")
+        assert decision["blocked"] is False
+
+    def test_batch_decision(self, client):
+        result = client.decide_batch(
+            [
+                "https://tracker.example/spy.js",
+                {"url": "https://clean.example/app.js"},
+            ]
+        )
+        assert result["count"] == 2
+        assert [d["blocked"] for d in result["decisions"]] == [True, False]
+        assert result["revision"] == 1
+
+    def test_served_identical_to_offline_oracle(self, server, client):
+        oracle = FilterListOracle(parse_filter_list(MINI_LIST, name="mini"))
+        urls = [
+            "https://tracker.example/spy.js",
+            "https://tracker.example/ok.js",
+            "https://cdn.example/pixel/77.gif",
+            "https://clean.example/app.js",
+        ]
+        for url in urls:
+            decision = client.decide(url)
+            labeled = oracle.label_request(url)
+            assert decision["blocked"] == oracle.should_block_url(url)
+            assert decision["label"] == labeled.label.value
+            assert decision["matched_rule"] == labeled.matched_rule
+
+    def test_missing_url_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.decide("")
+        assert excinfo.value.status == 400
+
+    def test_unknown_resource_type_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.decide("https://x.example/a", resource_type="teapot")
+        assert excinfo.value.status == 400
+        assert "resource_type" in excinfo.value.message
+
+    def test_malformed_json_is_400(self, server):
+        status, payload = _raw(
+            server,
+            "POST",
+            "/v1/decide",
+            body=b"{not json",
+            headers={"Content-Length": "9"},
+        )
+        assert status == 400 and "error" in payload
+
+    def test_chunked_body_is_400_not_silently_empty(self, server):
+        """A chunked reload must not be misread as 'reset to defaults'."""
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+        try:
+            conn.putrequest("POST", "/v1/reload")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            conn.send(b"5\r\n{\"a\":\r\n0\r\n\r\n")
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"chunked" in response.read()
+        finally:
+            conn.close()
+        # and the snapshot was left untouched
+        with BlockingClient(server.host, server.port) as check:
+            assert check.healthz()["revision"] == 1
+
+    def test_non_object_body_is_400(self, server):
+        body = b'["https://x.example"]'
+        status, payload = _raw(
+            server,
+            "POST",
+            "/v1/decide",
+            body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 400
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = _raw(server, "GET", "/v2/decide")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        assert _raw(server, "GET", "/v1/decide")[0] == 405
+        body = b"{}"
+        status, _ = _raw(
+            server,
+            "POST",
+            "/metrics",
+            body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 405
+
+
+class TestReloadEndpoint:
+    def test_reload_swaps_and_reports_churn(self, client):
+        report = client.reload(
+            lists=[("mini", "||tracker.example^\n||fresh.example^\n")]
+        )
+        assert report["revision"] == 2
+        assert report["churn"]["added"] == 1  # ||fresh.example^
+        assert report["churn"]["removed"] == 2  # /pixel* and the @@ rule
+        assert report["churn"]["unchanged"] == 1
+        assert client.decide("https://fresh.example/x.js")["blocked"]
+        # the pixel rule is gone in the new snapshot
+        assert not client.decide("https://cdn.example/pixel/7.gif")["blocked"]
+
+    def test_reload_empty_body_restores_defaults(self, client):
+        report = client.reload()
+        assert report["revision"] == 2
+        assert client.decide("https://doubleclick.net/ad.js")["blocked"]
+
+    def test_reload_with_embedded_snapshots(self, client):
+        report = client.reload(
+            lists=[
+                ("easylist", EASYLIST_SNAPSHOT),
+                ("easyprivacy", EASYPRIVACY_SNAPSHOT),
+            ]
+        )
+        assert {entry["name"] for entry in report["lists"]} == {
+            "easylist",
+            "easyprivacy",
+            "mini",
+        }
+        assert client.healthz()["revision"] == 2
+
+    def test_reload_bad_spec_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("POST", "/v1/reload", {"lists": [{"name": "x"}]})
+        assert excinfo.value.status == 400
+        assert "text" in excinfo.value.message
+
+
+class TestObservabilityEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok" and health["revision"] == 1
+
+    def test_metrics_reflect_served_traffic(self, client):
+        for _ in range(3):
+            client.decide("https://tracker.example/spy.js")
+        metrics = client.metrics()
+        assert metrics["decisions"]["served"] == 3
+        assert metrics["cache"]["hits"] == 2
+        assert metrics["latency"]["observed"] == 3
+        assert metrics["snapshot"]["lists"] == ["mini"]
+
+
+class TestConcurrentServing:
+    def test_load_with_hot_reload_never_drops_or_mislabels(self, server):
+        """The acceptance property, on a small scale: decide traffic from
+        several connections while a reload lands mid-flight; every response
+        arrives and matches the offline oracle for the revision that
+        answered it."""
+        old = FilterListOracle(parse_filter_list(MINI_LIST, name="mini"))
+        new_text = MINI_LIST + "||late.example^\n"
+        new = FilterListOracle(parse_filter_list(new_text, name="mini"))
+        urls = [
+            "https://tracker.example/spy.js",
+            "https://late.example/tag.js",
+            "https://clean.example/app.js",
+            "https://cdn.example/pixel/9.gif",
+        ] * 25
+        generator = LoadGenerator(
+            server.host, server.port, urls, threads=4, rounds=3
+        )
+        reloaded = {}
+
+        def hot_reload():
+            with BlockingClient(server.host, server.port) as admin:
+                reloaded.update(admin.reload(lists=[("mini", new_text)]))
+
+        reloader = threading.Timer(0.05, hot_reload)
+        reloader.start()
+        report = generator.run()
+        reloader.join()
+
+        assert reloaded["revision"] == 2
+        assert report.errors == []
+        assert report.requests == len(urls) * 3  # nothing dropped
+        oracles = {1: old, 2: new}
+        for decision in report.decisions:
+            expected = oracles[decision["revision"]].should_block_url(
+                decision["url"]
+            )
+            assert decision["blocked"] == expected, decision
+
+    def test_batched_load(self, server):
+        urls = ["https://tracker.example/spy.js", "https://c.example/a.js"] * 30
+        report = LoadGenerator(
+            server.host, server.port, urls, threads=3, batch_size=8
+        ).run()
+        assert report.errors == []
+        assert report.requests == len(urls)
+        assert report.revisions_seen == (1,)
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_and_url(self, server):
+        assert server.port > 0
+        assert server.url == f"http://{server.host}:{server.port}"
+
+    def test_idle_keepalive_clients_do_not_starve_new_traffic(self):
+        """The --threads slot is per request: connected-but-quiet clients
+        must not hold it across their keep-alive idle time."""
+        service = BlockingService(parse_filter_list(MINI_LIST, name="mini"))
+        with BlockingServer(service, port=0, threads=1) as running:
+            idlers = [
+                BlockingClient(running.host, running.port) for _ in range(2)
+            ]
+            try:
+                for idler in idlers:
+                    idler.decide("https://tracker.example/spy.js")  # now idle
+                with BlockingClient(running.host, running.port) as fresh:
+                    fresh.timeout = 5.0
+                    assert fresh.decide("https://clean.example/a.js")[
+                        "blocked"
+                    ] is False
+            finally:
+                for idler in idlers:
+                    idler.close()
+
+    def test_stop_without_start_does_not_hang(self):
+        server = BlockingServer(
+            BlockingService(parse_filter_list(MINI_LIST, name="mini")), port=0
+        )
+        server.stop()  # BaseServer.shutdown() would deadlock here
+
+    def test_client_retries_decide_but_never_replays_a_reload(self, server):
+        """A dead keep-alive socket: decide self-heals on a fresh
+        connection, reload surfaces the failure (non-idempotent — a
+        transparent replay could execute the swap twice)."""
+        client = BlockingClient(server.host, server.port)
+        try:
+            client.decide("https://tracker.example/spy.js")  # keep-alive up
+            client._conn.sock.close()  # fault injection: socket dies
+            with pytest.raises((ServeError, OSError, http.client.HTTPException)):
+                client.reload(lists=[("mini", MINI_LIST)])
+            assert server.service.snapshot.revision == 1  # reload never ran
+
+            client.decide("https://tracker.example/spy.js")  # fresh socket
+            client._conn.sock.close()  # dies again ...
+            decision = client.decide("https://clean.example/a.js")
+            assert decision["revision"] == 1  # ... and decide retried through
+        finally:
+            client.close()
+
+    def test_rejects_silly_thread_counts(self):
+        with pytest.raises(ValueError, match="threads"):
+            BlockingServer(port=0, threads=0)
+
+    def test_stop_releases_the_port(self):
+        first = BlockingServer(
+            BlockingService(parse_filter_list(MINI_LIST, name="mini")), port=0
+        ).start()
+        port = first.port
+        first.stop()
+        second = BlockingServer(
+            BlockingService(parse_filter_list(MINI_LIST, name="mini")),
+            port=port,
+        ).start()
+        try:
+            assert second.port == port
+        finally:
+            second.stop()

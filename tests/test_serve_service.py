@@ -1,0 +1,240 @@
+"""BlockingService: snapshot decisions, hot reload, churn, metrics."""
+
+import threading
+
+import pytest
+
+from repro.filterlists.lists import default_lists
+from repro.filterlists.oracle import FilterListOracle
+from repro.filterlists.parser import parse_filter_list
+from repro.serve.service import BlockingService, Snapshot
+
+BLOCKED = "https://doubleclick.net/pixel/42.gif"
+CLEAN = "https://functional.example/app.js"
+
+
+def _mini_service(text: str = "||tracker.example^\n", name: str = "mini"):
+    return BlockingService(parse_filter_list(text, name=name))
+
+
+class TestDecide:
+    def test_decision_matches_offline_oracle(self):
+        service = BlockingService()
+        oracle = FilterListOracle()
+        for url in (BLOCKED, CLEAN, "https://google-analytics.com/collect?v=1"):
+            decision = service.decide(url)
+            labeled = oracle.label_request(url)
+            assert decision["label"] == labeled.label.value
+            assert decision["blocked"] == labeled.label.is_tracking
+            assert decision["matched_rule"] == labeled.matched_rule
+            assert decision["matched_list"] == labeled.matched_list
+            assert decision["revision"] == 1
+            assert service.should_block_url(url) == oracle.should_block_url(url)
+
+    def test_resource_type_and_page_url_reach_the_oracle(self):
+        service = _mini_service("||cdn.example^$script,third-party\n")
+        assert service.decide(
+            "https://cdn.example/lib.js", "script", "https://site.example/"
+        )["blocked"]
+        # first-party: the $third-party option must see the page URL
+        assert not service.decide(
+            "https://cdn.example/lib.js", "script", "https://cdn.example/"
+        )["blocked"]
+        # $script does not cover images
+        assert not service.decide(
+            "https://cdn.example/pix.gif", "image", "https://site.example/"
+        )["blocked"]
+
+    def test_resource_type_aliases_accepted(self):
+        service = _mini_service("||t.example^$xmlhttprequest\n")
+        assert service.decide("https://t.example/api", "xhr")["blocked"]
+
+    def test_rejects_empty_url_and_unknown_type(self):
+        service = _mini_service()
+        with pytest.raises(ValueError, match="non-empty url"):
+            service.decide("")
+        with pytest.raises(ValueError, match="unknown resource_type"):
+            service.decide(CLEAN, "teapot")
+
+    def test_batch_decides_against_one_snapshot(self):
+        service = _mini_service()
+        result = service.decide_batch(
+            ["https://tracker.example/a.js", {"url": CLEAN}]
+        )
+        assert result["count"] == 2
+        assert result["revision"] == 1
+        assert [d["blocked"] for d in result["decisions"]] == [True, False]
+
+    def test_batch_rejects_non_request_items(self):
+        with pytest.raises(ValueError, match="batch item"):
+            _mini_service().decide_batch([42])
+
+
+class TestReload:
+    def test_reload_swaps_rules_and_bumps_revision(self):
+        service = _mini_service("||old.example^\n")
+        assert service.decide("https://old.example/x")["blocked"]
+        report = service.reload(parse_filter_list("||new.example^\n", name="mini"))
+        assert report["revision"] == 2
+        assert report["previous_revision"] == 1
+        assert not service.decide("https://old.example/x")["blocked"]
+        decision = service.decide("https://new.example/x")
+        assert decision["blocked"] and decision["revision"] == 2
+
+    def test_churn_report_uses_diff_lists(self):
+        service = _mini_service("||a.example^\n||b.example^\n")
+        report = service.reload(
+            parse_filter_list("||b.example^\n||c.example^\n", name="mini")
+        )
+        assert report["churn"] == {
+            "added": 1,
+            "removed": 1,
+            "unchanged": 1,
+            "summary": "+1 -1 (unchanged 1)",
+        }
+        (entry,) = report["lists"]
+        assert entry["name"] == "mini"
+        assert entry["summary"] == "+1 -1 (unchanged 1)"
+
+    def test_churn_pairs_lists_by_name(self):
+        service = BlockingService(
+            parse_filter_list("||a.example^\n", name="keep"),
+            parse_filter_list("||b.example^\n", name="drop"),
+        )
+        report = service.reload(
+            parse_filter_list("||a.example^\n||a2.example^\n", name="keep"),
+            parse_filter_list("||c.example^\n", name="fresh"),
+        )
+        by_name = {entry["name"]: entry for entry in report["lists"]}
+        assert by_name["keep"]["added"] == 1 and by_name["keep"]["unchanged"] == 1
+        assert by_name["fresh"]["added"] == 1 and by_name["fresh"]["removed"] == 0
+        assert by_name["drop"]["removed"] == 1  # no namesake: fully removed
+        assert report["churn"]["added"] == 2
+        assert report["churn"]["removed"] == 1
+
+    def test_reload_without_args_restores_defaults(self):
+        service = _mini_service()
+        assert not service.decide(BLOCKED)["blocked"]
+        report = service.reload()
+        assert service.decide(BLOCKED)["blocked"]
+        assert report["rule_count"] == BlockingService().snapshot.rule_count
+
+    def test_reload_text_parses_named_pairs(self):
+        service = _mini_service()
+        report = service.reload_text(("hotfix", "||evil.example^\n"))
+        assert report["lists"][0]["name"] == "hotfix"
+        assert service.decide("https://evil.example/x")["blocked"]
+
+    def test_old_snapshot_keeps_answering_during_swap(self):
+        """A snapshot reference captured before a reload still serves."""
+        service = _mini_service("||old.example^\n")
+        before = service.snapshot
+        service.reload(parse_filter_list("||new.example^\n", name="mini"))
+        # the old snapshot object is untouched and still decides correctly
+        assert before.oracle.should_block_url("https://old.example/x")
+        assert not before.oracle.should_block_url("https://new.example/x")
+        assert service.snapshot is not before
+
+    def test_snapshot_is_immutable(self):
+        with pytest.raises(AttributeError):
+            BlockingService().snapshot.revision = 99
+
+    def test_snapshot_build_matches_offline_oracle(self):
+        lists = default_lists()
+        snapshot = Snapshot.build(lists, revision=7)
+        assert snapshot.revision == 7
+        assert snapshot.rule_count == FilterListOracle(*lists).rule_count
+        assert snapshot.list_names == ("easylist", "easyprivacy")
+
+
+class TestObservability:
+    def test_metrics_counters_and_latency(self):
+        service = _mini_service()
+        for _ in range(3):
+            service.decide("https://tracker.example/a.js")
+        service.decide(CLEAN)
+        service.decide_batch([CLEAN, CLEAN])
+        metrics = service.metrics()
+        assert metrics["decisions"]["served"] == 6
+        assert metrics["decisions"]["blocked"] == 3
+        assert metrics["decisions"]["batches"] == 1
+        assert metrics["snapshot"]["revision"] == 1
+        assert metrics["snapshot"]["lists"] == ["mini"]
+        # repeated URLs hit the snapshot's decision cache
+        assert metrics["cache"]["hits"] >= 3
+        assert metrics["cache"]["hits"] + metrics["cache"]["misses"] == 6
+        latency = metrics["latency"]
+        assert latency["observed"] == 6
+        assert latency["p50_ms"] >= 0.0
+        assert latency["p99_ms"] >= latency["p50_ms"]
+        assert metrics["uptime_seconds"] > 0.0
+
+    def test_reload_resets_cache_metrics_with_the_snapshot(self):
+        service = _mini_service()
+        service.decide(CLEAN)
+        service.decide(CLEAN)
+        assert service.metrics()["cache"]["hits"] == 1
+        service.reload(parse_filter_list("||x.example^\n", name="mini"))
+        metrics = service.metrics()
+        # the new snapshot starts with a cold cache of its own
+        assert metrics["cache"]["hits"] == 0 and metrics["cache"]["misses"] == 0
+        assert metrics["decisions"]["reloads"] == 1
+
+    def test_healthz(self):
+        service = _mini_service()
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["revision"] == 1
+        assert health["rule_count"] == 1
+        assert health["uptime_seconds"] >= 0.0
+
+
+class TestConcurrency:
+    def test_decisions_consistent_across_threads_and_reloads(self):
+        """Hammer decide() from many threads while reloading; every answer
+        must match the offline oracle of the revision that served it."""
+        old_text = "||blocked-old.example^\n"
+        new_text = "||blocked-old.example^\n||blocked-new.example^\n"
+        oracles = {
+            1: FilterListOracle(parse_filter_list(old_text, name="mini")),
+            2: FilterListOracle(parse_filter_list(new_text, name="mini")),
+        }
+        service = _mini_service(old_text)
+        urls = [
+            "https://blocked-old.example/a.js",
+            "https://blocked-new.example/b.js",
+            CLEAN,
+        ] * 40
+        results: list = []
+        errors: list = []
+        barrier = threading.Barrier(5)
+
+        def worker():
+            barrier.wait()
+            local = []
+            try:
+                for url in urls:
+                    local.append(service.decide(url))
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+            results.extend(local)
+
+        def reloader():
+            barrier.wait()
+            service.reload(parse_filter_list(new_text, name="mini"))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads.append(threading.Thread(target=reloader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(results) == 4 * len(urls)
+        for decision in results:
+            expected = oracles[decision["revision"]].should_block_url(
+                decision["url"]
+            )
+            assert decision["blocked"] == expected
+        assert service.snapshot.revision == 2
