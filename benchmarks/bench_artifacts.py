@@ -1,0 +1,220 @@
+"""Compiled oracle artifacts: load speedup and fan-out identity.
+
+Two gates anchor the compiled-artifact layer (PR 4):
+
+* **Readiness.**  Getting an oracle ready from a compiled ``.tsoracle``
+  (validate + unpickle; no parsing, no index construction) must be >= 5x
+  faster than getting it ready from list text at EasyList scale (12K
+  rules).  Measured as best-of-N on both sides so a scheduler hiccup on a
+  busy CI box cannot decide the gate; under ``BENCH_SMOKE=1`` the ratio
+  is recorded, not enforced, like every wall-clock gate in this suite —
+  with the skip reason printed in the JSON and on stdout.
+* **Identity.**  The shard-sliced fan-out store must change *nothing*:
+  for workers in {1, 2, 4} x shards in {1, 13}, every shard's
+  ``ShardState.to_json()`` is byte-identical to the sequential run's.
+  This gate is mandatory at every scale — speed that buys divergence is
+  a bug, not a feature.
+
+The identity runs also surface the per-worker overhead breakdown
+(transfer/startup/compute) the engine now measures, so the fan-out cost
+the old ship-everything pickle hid is a number in the artifact, not a
+guess.
+"""
+
+import time
+
+from repro.core.engine import PipelineConfig, StreamingPipeline
+from repro.filterlists.compile import dumps_artifact, loads_artifact
+from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import RequestContext
+
+from bench_matcher import _large_list_text
+from conftest import (
+    BENCH_SEED,
+    BENCH_SITES,
+    BENCH_SMOKE,
+    write_artifact,
+    write_json_artifact,
+)
+
+READINESS_GATE = 5.0
+PARSE_REPS = 3
+LOAD_REPS = 9
+IDENTITY_WORKERS = (1, 2, 4)
+IDENTITY_SHARDS = (1, 13)
+
+
+def _probe_urls():
+    return [
+        "https://tracker17.example17.com/a.js",
+        "https://cdn23.example23.com/lib.js",
+        "https://clean.example/app.js",
+        "https://host.example/pixel33/1.gif",
+        "https://x.example/-banner10-/ad.png",
+    ]
+
+
+def test_compiled_artifact_readiness_speedup(output_dir):
+    import gc
+
+    from repro.filterlists.parser import _OPTIONS_CACHE
+
+    text = _large_list_text()
+
+    parse_seconds = []
+    for _ in range(PARSE_REPS):
+        # Every rep is an honest cold parse: readiness-from-text in a
+        # fresh process never starts with a warm options-interning cache.
+        _OPTIONS_CACHE.clear()
+        started = time.perf_counter()
+        parsed = parse_filter_list(text, name="large")
+        matcher = FilterMatcher.from_lists(parsed)
+        parse_seconds.append(time.perf_counter() - started)
+    data = dumps_artifact(matcher, (parsed,))
+
+    load_seconds = []
+    artifact = None
+    for _ in range(LOAD_REPS):
+        # Collect (and free the previous load) *outside* the timed window
+        # so the gate measures construction, not our own loop's garbage.
+        del artifact
+        gc.collect()
+        started = time.perf_counter()
+        artifact = loads_artifact(data)
+        load_seconds.append(time.perf_counter() - started)
+
+    # Identity probe: the loaded matcher is the same oracle.
+    for url in _probe_urls():
+        context = RequestContext(url=url)
+        ours = matcher.match(context)
+        theirs = artifact.matcher.match(context)
+        assert ours.blocked == theirs.blocked, url
+        assert (ours.rule.text if ours.rule else None) == (
+            theirs.rule.text if theirs.rule else None
+        ), url
+
+    best_parse = min(parse_seconds)
+    best_load = min(load_seconds)
+    speedup = best_parse / best_load
+    enforced = not BENCH_SMOKE
+    skip_reason = (
+        None
+        if enforced
+        else "BENCH_SMOKE=1: wall-clock gates are record-only in smoke runs"
+    )
+
+    lines = [
+        f"Compiled oracle artifact — {matcher.rule_count:,} rules, "
+        f"{len(data):,} artifact bytes",
+        f"readiness from text:     {best_parse * 1e3:8.1f} ms "
+        f"(parse + index construction, best of {PARSE_REPS})",
+        f"readiness from artifact: {best_load * 1e3:8.1f} ms "
+        f"(validate + load, best of {LOAD_REPS})",
+        f"load speedup: {speedup:.1f}x (gate: >= {READINESS_GATE}x, "
+        + ("enforced" if enforced else f"SKIPPED — {skip_reason}")
+        + ")",
+    ]
+    artifact_text = "\n".join(lines) + "\n"
+    write_artifact(output_dir, "artifacts.txt", artifact_text)
+    print("\n" + artifact_text)
+
+    write_json_artifact(
+        output_dir,
+        "BENCH_artifacts.json",
+        {
+            "bench": "artifacts",
+            "rules": matcher.rule_count,
+            "artifact_bytes": len(data),
+            "readiness_from_text_seconds": best_parse,
+            "readiness_from_artifact_seconds": best_load,
+            "gates": {
+                "readiness_speedup": {
+                    "required_speedup": READINESS_GATE,
+                    "enforced": enforced,
+                    "achieved": speedup,
+                    "skip_reason": skip_reason,
+                },
+            },
+        },
+    )
+
+    if enforced:
+        assert speedup >= READINESS_GATE, (
+            f"artifact readiness speedup {speedup:.2f}x below the "
+            f"{READINESS_GATE}x gate"
+        )
+
+
+def test_fanout_identity_matrix(output_dir):
+    """Mandatory: the shard-sliced store is invisible in the output."""
+    config = PipelineConfig(sites=BENCH_SITES, seed=BENCH_SEED)
+    web = StreamingPipeline(config).generate()
+
+    matrix = {}
+    overheads = {}
+    for shards in IDENTITY_SHARDS:
+        states_by_workers = {}
+        for workers in IDENTITY_WORKERS:
+            engine = StreamingPipeline(config, shards=shards, workers=workers)
+            result = engine.run(web)
+            states_by_workers[workers] = [
+                state.to_json() for state in engine.shard_states()
+            ]
+            if workers > 1:
+                overheads[f"workers={workers},shards={shards}"] = {
+                    key: result.notes.get(key, 0.0)
+                    for key in (
+                        "fanout_materialize_seconds",
+                        "fanout_bytes",
+                        "worker_startup_seconds",
+                        "worker_transfer_seconds",
+                        "worker_compute_seconds",
+                    )
+                }
+        baseline = states_by_workers[1]
+        assert len(baseline) == shards
+        for workers in IDENTITY_WORKERS[1:]:
+            assert states_by_workers[workers] == baseline, (
+                f"shard states diverged at workers={workers}, shards={shards}"
+            )
+        matrix[str(shards)] = {
+            "shards": shards,
+            "identical_across_workers": True,
+        }
+
+    lines = [
+        f"Fan-out identity — {BENCH_SITES} sites, seed {BENCH_SEED}: "
+        f"workers {list(IDENTITY_WORKERS)} x shards {list(IDENTITY_SHARDS)} "
+        "all byte-identical",
+    ]
+    for label, overhead in sorted(overheads.items()):
+        lines.append(
+            f"{label}: materialize {overhead['fanout_materialize_seconds']:.3f}s "
+            f"({overhead['fanout_bytes'] / 1e6:.2f} MB), startup "
+            f"{overhead['worker_startup_seconds']:.3f}s, transfer "
+            f"{overhead['worker_transfer_seconds']:.3f}s, compute "
+            f"{overhead['worker_compute_seconds']:.3f}s"
+        )
+    artifact_text = "\n".join(lines) + "\n"
+    write_artifact(output_dir, "fanout_identity.txt", artifact_text)
+    print("\n" + artifact_text)
+
+    write_json_artifact(
+        output_dir,
+        "BENCH_fanout.json",
+        {
+            "bench": "fanout_identity",
+            "workers": list(IDENTITY_WORKERS),
+            "shard_counts": list(IDENTITY_SHARDS),
+            "identity": matrix,
+            "overhead": overheads,
+            "gates": {
+                "identity": {
+                    "enforced": True,
+                    "achieved": 1.0,
+                    "skip_reason": None,
+                },
+            },
+        },
+    )

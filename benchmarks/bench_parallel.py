@@ -18,7 +18,12 @@ Gate: on hardware with >= 4 usable cores, ``workers=4`` must be >= 1.8x
 faster than ``workers=1``; with >= 2 cores, ``workers=2`` must be >=
 1.3x faster.  On fewer cores (or under ``BENCH_SMOKE=1``) the wall-clock
 gate is recorded, not enforced — a process pool cannot beat a sequential
-loop without cores to run on — but the identity gate always applies.
+loop without cores to run on — but every skipped gate states its
+``skip_reason`` in the JSON *and* on stdout (a silent ``enforced:
+false`` reads as a pass), and the identity gate always applies.  Each
+parallel run also records the engine's fan-out overhead breakdown
+(parent-side materialization, per-worker startup, per-shard transfer,
+compute), so the single-core overhead bound is accountable line by line.
 Results land in ``output/BENCH_parallel.json`` so the perf trajectory is
 trackable across PRs.
 """
@@ -40,6 +45,15 @@ from conftest import (
 SHARDS = 8
 WORKER_COUNTS = (1, 2, 4)
 SPEEDUP_GATES = {2: 1.3, 4: 1.8}
+# Single-core collapse bound, tightened from the original 3.0: the
+# fan-out store bounds non-compute overhead to one slice-store write
+# (parent) plus one spread-out read (workers) — the breakdown fields in
+# the JSON attribute whatever remains.  Note the trade the store makes
+# explicit: on fork platforms the old ship-everything spec rode
+# copy-on-write for near-free, while the store pays a real
+# serialize-once cost that buys spawn platforms, remote workers and
+# bounded per-worker memory; 2.5x keeps the bound honest for both.
+OVERHEAD_MAX_RATIO = 2.5
 
 
 def _usable_cores() -> int:
@@ -79,6 +93,20 @@ def test_parallel_workers_speedup(output_dir):
             "cache_hit_rate": result.notes["label_cache_hit_rate"],
             "summary": result.report.summary(),
             "labeled_requests": int(result.notes["labeled_requests"]),
+            # Fan-out overhead breakdown (parallel runs only): how the
+            # wall-clock splits into parent-side materialization,
+            # per-worker startup (compiled-oracle load), per-shard slice
+            # transfer, and actual compute.
+            "overhead": {
+                key: result.notes.get(key)
+                for key in (
+                    "fanout_materialize_seconds",
+                    "fanout_bytes",
+                    "worker_startup_seconds",
+                    "worker_transfer_seconds",
+                    "worker_compute_seconds",
+                )
+            },
         }
     for workers in (1, 4):
         runs[workers]["parent_peak_traced_mb"] = _parent_peak_mb(
@@ -95,15 +123,39 @@ def test_parallel_workers_speedup(output_dir):
         workers: runs[1]["wall_seconds"] / runs[workers]["wall_seconds"]
         for workers in WORKER_COUNTS
     }
+    # A gate that cannot arm must say *why* — silence reads as a pass.
+    gate_skip_reasons = {}
+    for workers in SPEEDUP_GATES:
+        if BENCH_SMOKE:
+            gate_skip_reasons[workers] = (
+                "BENCH_SMOKE=1: wall-clock gates are record-only in smoke runs"
+            )
+        elif cores < workers:
+            gate_skip_reasons[workers] = (
+                f"host has {cores} usable core(s); a {workers}-worker "
+                f"speedup gate needs >= {workers} to be meaningful"
+            )
+        else:
+            gate_skip_reasons[workers] = None
     gates_enforced = {
-        workers: (not BENCH_SMOKE) and cores >= workers
-        for workers in SPEEDUP_GATES
+        workers: gate_skip_reasons[workers] is None for workers in SPEEDUP_GATES
     }
     # Without parallel hardware the only meaningful wall-clock bound is
     # that the pool does not collapse: bounded overhead over sequential.
+    # The shard-sliced fan-out store is what holds this down — the
+    # breakdown below shows where the remaining overhead lives.
     overhead_ratio = runs[4]["wall_seconds"] / runs[1]["wall_seconds"]
     overhead_gate_enforced = not BENCH_SMOKE and not any(
         gates_enforced.values()
+    )
+    overhead_skip_reason = (
+        None
+        if overhead_gate_enforced
+        else (
+            "BENCH_SMOKE=1: pool startup dominates at smoke scale"
+            if BENCH_SMOKE
+            else f"{cores} cores armed a real speedup gate instead"
+        )
     )
 
     lines = [
@@ -120,7 +172,22 @@ def test_parallel_workers_speedup(output_dir):
             + (f"parent peak {peak:6.1f} MB  " if peak is not None else "")
             + f"cache hit rate {run['cache_hit_rate']:.1%}"
         )
+        overhead = run["overhead"]
+        if overhead["worker_compute_seconds"] is not None:
+            lines.append(
+                f"  overhead: materialize "
+                f"{overhead['fanout_materialize_seconds']:.3f}s "
+                f"({(overhead['fanout_bytes'] or 0) / 1e6:.2f} MB), "
+                f"worker startup {overhead['worker_startup_seconds']:.3f}s, "
+                f"transfer {overhead['worker_transfer_seconds']:.3f}s, "
+                f"compute {overhead['worker_compute_seconds']:.3f}s"
+            )
     lines.append("reports identical across all worker counts: yes")
+    for workers, reason in sorted(gate_skip_reasons.items()):
+        if reason is not None:
+            lines.append(f"GATE SKIPPED (workers={workers} speedup): {reason}")
+    if overhead_skip_reason is not None:
+        lines.append(f"GATE SKIPPED (single_core_overhead): {overhead_skip_reason}")
     artifact = "\n".join(lines) + "\n"
     write_artifact(output_dir, "parallel.txt", artifact)
     print("\n" + artifact)
@@ -141,6 +208,7 @@ def test_parallel_workers_speedup(output_dir):
                     ),
                     "cache_hit_rate": runs[workers]["cache_hit_rate"],
                     "speedup_vs_sequential": speedups[workers],
+                    "overhead": runs[workers]["overhead"],
                 }
                 for workers in WORKER_COUNTS
             },
@@ -150,13 +218,23 @@ def test_parallel_workers_speedup(output_dir):
                         "required_speedup": SPEEDUP_GATES[workers],
                         "enforced": gates_enforced[workers],
                         "achieved": speedups[workers],
+                        "skip_reason": gate_skip_reasons[workers],
                     }
                     for workers in SPEEDUP_GATES
                 },
                 "single_core_overhead": {
-                    "max_ratio": 3.0,
+                    "max_ratio": OVERHEAD_MAX_RATIO,
                     "enforced": overhead_gate_enforced,
                     "achieved": overhead_ratio,
+                    "skip_reason": overhead_skip_reason,
+                    # Accountability: the breakdown the ratio must answer
+                    # to — parent materialize + worker startup + slice
+                    # transfer at workers=4, in seconds.
+                    "non_compute_overhead_seconds": (
+                        (runs[4]["overhead"]["fanout_materialize_seconds"] or 0)
+                        + (runs[4]["overhead"]["worker_startup_seconds"] or 0)
+                        + (runs[4]["overhead"]["worker_transfer_seconds"] or 0)
+                    ),
                 },
             },
             "reports_identical": True,
@@ -172,7 +250,7 @@ def test_parallel_workers_speedup(output_dir):
     if overhead_gate_enforced:
         # Smoke runs record this ratio (JSON above) but never enforce it;
         # at smoke scale pool startup dominates and the bound would flake.
-        assert overhead_ratio <= 3.0, (
+        assert overhead_ratio <= OVERHEAD_MAX_RATIO, (
             f"workers=4 overhead {overhead_ratio:.2f}x over sequential "
             f"exceeds the single-core collapse bound"
         )

@@ -16,16 +16,26 @@ echo "== tier1-marked invariants: equivalence + cache + resume =="
 python -m pytest -q -m tier1
 
 echo
+echo "== compile smoke (compile → load → serve identity) =="
+python scripts/compile_smoke.py
+
+echo
 echo "== benchmark smoke (small scale; identity gates, wall-clock recorded) =="
 BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_streaming.py \
     benchmarks/bench_parallel.py \
+    benchmarks/bench_artifacts.py \
     "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation"
 
 echo
 echo "== serve smoke (start server, decide, hot reload, shut down) =="
 BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_serve.py
+
+echo
+echo "== bench artifact schema (tracked + smoke outputs) =="
+python scripts/validate_bench.py benchmarks/output/BENCH_*.json \
+    benchmarks/output/smoke-BENCH_*.json
 
 echo
 echo "All checks passed."

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compile → serve identity smoke, run by ``scripts/check.sh``.
+
+End-to-end over the real artifact code path: compile a small list to a
+``.tsoracle``, boot a :class:`BlockingService` from the artifact, compare
+every decision against a text-built service, hot-reload a *running*
+text-built service from the artifact, and confirm corrupt artifacts are
+rejected without touching the serving snapshot.  Pure stdlib + repro,
+seconds to run — the cheap guarantee that the artifact a user compiles is
+the oracle they serve.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.filterlists.compile import ArtifactError, compile_lists  # noqa: E402
+from repro.filterlists.parser import parse_filter_list  # noqa: E402
+from repro.serve.service import BlockingService  # noqa: E402
+
+LIST_TEXT = """\
+! smoke blocklist
+||tracker.example^
+||ads.example^$third-party
+/pixel/*
+-beacon-$image
+@@||cdn.example^$script
+"""
+
+PROBE_URLS = [
+    "https://tracker.example/lib.js",
+    "https://sub.tracker.example/a.gif",
+    "https://ads.example/banner.js",
+    "https://site.example/pixel/1.gif",
+    "https://site.example/x-beacon-y.png",
+    "https://cdn.example/framework.js",
+    "https://functional.example/app.js",
+]
+
+
+def main() -> int:
+    parsed = parse_filter_list(LIST_TEXT, name="smoke")
+    with tempfile.TemporaryDirectory(prefix="trackersift-smoke-") as tmp:
+        artifact = Path(tmp) / "smoke.tsoracle"
+        meta = compile_lists(artifact, parsed)
+        assert meta["rule_count"] == 5, meta
+
+        from_text = BlockingService(parsed)
+        from_artifact = BlockingService(artifact=artifact)
+        for url in PROBE_URLS:
+            text_decision = from_text.decide(url)
+            artifact_decision = from_artifact.decide(url)
+            for field in ("blocked", "label", "matched_rule", "matched_list"):
+                assert artifact_decision[field] == text_decision[field], (
+                    url,
+                    field,
+                    text_decision,
+                    artifact_decision,
+                )
+
+        # Hot path: reload a *running* service from the artifact.
+        running = BlockingService()  # embedded defaults
+        report = running.reload_artifact(artifact)
+        assert report["revision"] == 2, report
+        assert report["rule_count"] == 5, report
+        for url in PROBE_URLS:
+            assert (
+                running.decide(url)["blocked"]
+                == from_text.decide(url)["blocked"]
+            ), url
+
+        # Corruption must be rejected and must not unseat the snapshot.
+        corrupt = Path(tmp) / "corrupt.tsoracle"
+        data = bytearray(artifact.read_bytes())
+        data[-5] ^= 0xFF
+        corrupt.write_bytes(bytes(data))
+        try:
+            running.reload_artifact(corrupt)
+        except ArtifactError:
+            pass
+        else:
+            raise AssertionError("corrupt artifact was accepted")
+        assert running.snapshot.revision == 2
+        assert running.decide(PROBE_URLS[0])["blocked"]
+
+    print(
+        "compile smoke: compile → boot → hot-reload identical on "
+        f"{len(PROBE_URLS)} probes; corrupt artifact rejected cleanly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate ``BENCH_*.json`` artifacts against the shared bench schema.
+
+Every machine-readable bench artifact (tracked full-scale runs and the
+``smoke-`` outputs ``scripts/check.sh`` produces) must be diffable across
+PRs without per-bench knowledge, so they share a minimal contract:
+
+* top level: ``bench`` (non-empty str), ``sites`` (positive int),
+  ``seed`` (int), ``smoke`` (bool) — the scale stamp that stops numbers
+  being compared across scales blindly;
+* optional ``gates``: a mapping of gate name to an object with
+  ``enforced`` (bool); a gate that is *not* enforced must say why in a
+  non-empty ``skip_reason`` — silent ``enforced: false`` reads as a pass
+  and has already hidden a 0.96x "speedup" for a whole PR cycle;
+* any present ``achieved`` / ``required_*`` / ``max_*`` gate fields must
+  be numbers.
+
+Usage: ``python scripts/validate_bench.py benchmarks/output/BENCH_*.json``
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+NUMERIC_GATE_FIELDS = ("achieved",)
+NUMERIC_GATE_PREFIXES = ("required_", "max_", "min_")
+
+
+def validate_bench(payload: dict, name: str) -> list[str]:
+    """All schema violations in one bench payload (empty when valid)."""
+    problems: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(f"{name}: {message}")
+
+    check(isinstance(payload, dict), "top level must be a JSON object")
+    if not isinstance(payload, dict):
+        return problems
+    bench = payload.get("bench")
+    check(
+        isinstance(bench, str) and bench != "",
+        "'bench' must be a non-empty string",
+    )
+    check(
+        isinstance(payload.get("sites"), int) and payload.get("sites", 0) > 0,
+        "'sites' must be a positive integer",
+    )
+    check(isinstance(payload.get("seed"), int), "'seed' must be an integer")
+    check(isinstance(payload.get("smoke"), bool), "'smoke' must be a boolean")
+
+    gates = payload.get("gates")
+    if gates is None:
+        return problems
+    check(isinstance(gates, dict), "'gates' must be an object")
+    if not isinstance(gates, dict):
+        return problems
+    for gate_name, gate in gates.items():
+        where = f"gates[{gate_name!r}]"
+        if not isinstance(gate, dict):
+            problems.append(f"{name}: {where} must be an object")
+            continue
+        enforced = gate.get("enforced")
+        check(isinstance(enforced, bool), f"{where}.enforced must be a boolean")
+        if enforced is False:
+            reason = gate.get("skip_reason")
+            check(
+                isinstance(reason, str) and reason.strip() != "",
+                f"{where} is not enforced but carries no skip_reason — "
+                "skipped gates must fail loudly",
+            )
+        for field, value in gate.items():
+            if field in NUMERIC_GATE_FIELDS or field.startswith(
+                NUMERIC_GATE_PREFIXES
+            ):
+                check(
+                    isinstance(value, (int, float)) and not isinstance(value, bool),
+                    f"{where}.{field} must be a number, got {value!r}",
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: validate_bench.py BENCH_*.json [...]",
+            file=sys.stderr,
+        )
+        return 2
+    problems: list[str] = []
+    checked = 0
+    for raw in argv:
+        path = Path(raw)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(f"{path.name}: unreadable ({error})")
+            continue
+        problems.extend(validate_bench(payload, path.name))
+        checked += 1
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        print(
+            f"validate_bench: {len(problems)} violation(s) across "
+            f"{len(argv)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"validate_bench: {checked} bench artifact(s) conform to the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

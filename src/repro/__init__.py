@@ -71,6 +71,19 @@ decisions are bit-identical to offline
 (the identity gate in ``benchmarks/bench_serve.py`` checks this over
 live HTTP), and a reload never drops a request: in-flight decisions
 finish on the old snapshot.
+
+**Compiled artifacts.**  Parsing list text and building the token/host
+indexes is paid *once*, at compile time: ``trackersift compile --out
+lists.tsoracle`` (or :func:`repro.filterlists.compile.compile_lists`)
+serializes a fully built matcher into a versioned, checksummed artifact,
+and :meth:`FilterListOracle.from_artifact` /
+``trackersift serve --artifact`` / ``POST /v1/reload {"artifact": ...}``
+load it back with no parsing or index construction (>= 5x faster oracle
+readiness, gated in ``benchmarks/bench_artifacts.py``).  The parallel
+engine uses the same machinery internally: shard workers receive a
+compiled oracle plus per-shard site slices from an on-disk fan-out store
+instead of a pickled copy of the whole study, and ship a
+transfer/startup/compute overhead breakdown back with every shard.
 """
 
 from .core import (
@@ -96,7 +109,7 @@ from .serve import (
 )
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

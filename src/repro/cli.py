@@ -20,9 +20,16 @@ Subcommands mirror the paper's workflow plus the library's extensions:
 * ``serve``     — run the online blocking-decision service: the filter
   oracle behind a threaded JSON API (``--port``, ``--threads``) with
   hot-reloadable list snapshots; ``--lists`` loads filter-list files in
-  place of the embedded defaults.
+  place of the embedded defaults, ``--artifact`` boots from a compiled
+  ``.tsoracle`` without parsing anything,
+* ``compile``   — compile filter lists (``--lists``, or the embedded
+  defaults) into a versioned, checksummed ``.tsoracle`` artifact
+  (``--out``) that loads with no parsing or index construction — the
+  fast path ``serve --artifact`` and the parallel shard workers use.
 
-``trackersift --version`` prints the package version.
+``--profile`` (study/sift) wraps the run in :mod:`cProfile` and writes a
+top-25 cumulative-time table next to the checkpoint dir, so perf work
+starts from data.  ``trackersift --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -123,8 +130,27 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help=(
-            "serve: filter-list text file to serve instead of the embedded "
-            "EasyList/EasyPrivacy snapshots (repeatable)"
+            "serve/compile: filter-list text file to use instead of the "
+            "embedded EasyList/EasyPrivacy snapshots (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--artifact",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "serve: boot from a compiled .tsoracle artifact instead of "
+            "parsing list text (see the compile command)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "study/sift: profile the run under cProfile and write a "
+            "top-25 cumulative-time table next to the checkpoint dir "
+            "(or ./trackersift-profile.txt without one)"
         ),
     )
     parser.add_argument(
@@ -141,6 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "bootstrap",
             "export",
             "serve",
+            "compile",
         ],
         help="what to run",
     )
@@ -148,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_serve(args) -> int:
+    from .filterlists.compile import ArtifactError
     from .serve.server import DEFAULT_PORT, DEFAULT_THREADS, run_server
 
     if args.workers is not None:
@@ -155,6 +183,8 @@ def _cmd_serve(args) -> int:
             "serve: --workers does not apply; --threads bounds concurrent "
             "decide handlers"
         )
+    if args.artifact and args.lists:
+        raise SystemExit("serve: pass --lists or --artifact, not both")
     threads = args.threads if args.threads is not None else DEFAULT_THREADS
     if threads < 1:
         raise SystemExit("serve: --threads must be at least 1")
@@ -164,9 +194,73 @@ def _cmd_serve(args) -> int:
             port=args.port if args.port is not None else DEFAULT_PORT,
             threads=threads,
             list_paths=args.lists or (),
+            artifact_path=args.artifact,
         )
+    except ArtifactError as error:
+        raise SystemExit(f"serve: {error}")
     except OSError as error:
         raise SystemExit(f"serve: {error}")
+
+
+def _cmd_compile(args) -> int:
+    from .filterlists.compile import ArtifactError, compile_lists, read_artifact_meta
+    from .filterlists.lists import default_lists
+    from .serve.server import load_list_files
+
+    if not args.out:
+        raise SystemExit("compile requires --out <path.tsoracle>")
+    try:
+        lists = load_list_files(args.lists) if args.lists else default_lists()
+        compile_lists(args.out, *lists)
+        # Round-trip the header: what we print is what a loader accepts.
+        meta = read_artifact_meta(args.out)
+    except (OSError, ArtifactError) as error:
+        raise SystemExit(f"compile: {error}")
+    print(
+        f"compiled {meta['rule_count']:,} rules from "
+        f"{', '.join(meta['lists']) or 'embedded defaults'} to {args.out} "
+        f"({meta['bytes']:,} bytes, format v{meta['version']})"
+    )
+    print(
+        "load it with: trackersift serve --artifact "
+        f"{args.out}  (or FilterListOracle.from_artifact)"
+    )
+    return 0
+
+
+def _write_profile(profiler, checkpoint_dir: str, command: str) -> str:
+    """Render the top-25 cumulative-time table next to the checkpoint dir
+    (its sibling, so resume never mistakes it for a shard) — or into the
+    working directory when the run had no checkpoint dir."""
+    import io
+    import pstats
+    from pathlib import Path
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(25)
+    # resolve() so name-less checkpoint dirs ('.', trailing slash) still
+    # yield a sibling path; a nameless root falls back to the cwd file,
+    # as does an unwritable sibling location — the table must never be
+    # lost after a fully profiled run.
+    base = Path(checkpoint_dir).resolve() if checkpoint_dir else None
+    text = (
+        f"trackersift {command} — cProfile, top 25 by cumulative time\n"
+        + stream.getvalue()
+    )
+    fallback = Path("trackersift-profile.txt")
+    if base is not None and base.name:
+        path = base.with_name(base.name + "-profile.txt")
+    else:
+        path = fallback
+    try:
+        path.write_text(text, encoding="utf-8")
+    except OSError:
+        if path == fallback:
+            raise
+        path = fallback
+        path.write_text(text, encoding="utf-8")
+    return str(path)
 
 
 def _cmd_study(result) -> None:
@@ -275,12 +369,22 @@ def main(argv: list[str] | None = None) -> int:
         args.port is not None
         or args.host is not None
         or args.threads is not None
-        or args.lists is not None
+        or args.artifact is not None
     )
     if serve_flags and args.command != "serve":
         raise SystemExit(
-            f"{args.command}: --port/--host/--threads/--lists apply to the "
-            "serve command only"
+            f"{args.command}: --port/--host/--threads/--artifact apply to "
+            "the serve command only"
+        )
+    if args.lists is not None and args.command not in ("serve", "compile"):
+        raise SystemExit(
+            f"{args.command}: --lists applies to the serve and compile "
+            "commands only"
+        )
+    if args.profile and args.command not in ("study", "sift"):
+        raise SystemExit(
+            f"{args.command}: --profile applies to the study and sift "
+            "commands only"
         )
     engine_flags = (
         args.streaming or args.shards is not None or args.checkpoint_dir
@@ -292,6 +396,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
     config = PipelineConfig(
         sites=args.sites, seed=args.seed, threshold=args.threshold
     )
@@ -306,6 +412,12 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(
             f"{args.command}: needs the materialized crawl; drop --workers"
         )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.command == "sift" and args.streaming:
         try:
             engine = StreamingPipeline(
@@ -322,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
             result = TrackerSiftPipeline(config, workers=workers).run()
         except ShardExecutionError as error:
             raise SystemExit(f"{args.command}: {error}")
+    if profiler is not None:
+        profiler.disable()
+        path = _write_profile(profiler, args.checkpoint_dir, args.command)
+        print(f"profile: wrote top-25 cumulative-time table to {path}")
     report = result.report
 
     if args.command == "study":

@@ -285,13 +285,22 @@ class StreamingPipeline:
         self._states: dict[int, ShardState] = {}
         self._resumed_shards = 0
         self._web: SyntheticWeb | None = None
-        # True when the web came from self.generate(): workers can then
-        # regenerate it from the config instead of receiving it pickled.
+        # True when the web came from self.generate() (kept for the web
+        # re-pinning logic in process_shards).
         self._web_generated = False
         # Label-cache lookups performed inside worker processes (their
         # caches are worker-local; only the counters travel back).
         self._worker_hits = 0
         self._worker_misses = 0
+        # Fan-out overhead accounting (parallel runs only): parent-side
+        # artifact materialization plus the per-worker breakdown shipped
+        # back with each ShardOutcome — surfaced in PipelineResult.notes
+        # so benches can attribute wall-clock instead of guessing.
+        self._fanout_materialize_seconds = 0.0
+        self._fanout_bytes = 0
+        self._worker_startup_seconds = 0.0
+        self._worker_transfer_seconds = 0.0
+        self._worker_compute_seconds = 0.0
         # Only populated in retain mode.
         self._database = RequestDatabase()
         self._retained = LabeledCrawl()
@@ -441,11 +450,13 @@ class StreamingPipeline:
             pending = pending[:limit]
         if not pending:
             return 0
-        if self._workers > 1 and len(pending) > 1:
-            return self._process_shards_parallel(pending)
         failed_urls = self._failed_urls(sites)
         shard_sites = round_robin_shards(sites, self._shards)
         by_url = {w.url: w for w in web.websites}
+        if self._workers > 1 and len(pending) > 1:
+            return self._process_shards_parallel(
+                pending, shard_sites, by_url, failed_urls
+            )
         for shard_id in pending:
             self._store(
                 self._crawl_shard(
@@ -454,24 +465,72 @@ class StreamingPipeline:
             )
         return len(pending)
 
-    def _process_shards_parallel(self, pending: list[int]) -> int:
-        """Fan ``pending`` shards out to worker processes (see
-        :mod:`repro.core.parallel` for the design and crash semantics)."""
-        from .parallel import ShardOutcome, WorkerSpec, run_shards_parallel
+    def _process_shards_parallel(
+        self,
+        pending: list[int],
+        shard_sites: list,
+        by_url: dict,
+        failed_urls: set[str],
+    ) -> int:
+        """Fan ``pending`` shards out to worker processes.
 
-        spec = WorkerSpec(
-            config=self.config,
-            shards=self._shards,
-            web=None if self._web_generated else self._web,
-            oracle=self._oracle,
+        The expensive state is materialized exactly once into a temporary
+        fan-out store — per-shard site slices plus one compiled oracle
+        artifact — and workers receive only paths, so per-worker transfer
+        and startup no longer scale with the study (see
+        :mod:`repro.core.parallel` for the design and crash semantics).
+        The store lives for exactly this pool run.
+        """
+        import shutil
+        import tempfile
+        import time
+
+        from ..filterlists.compile import compile_matcher
+        from .parallel import (
+            ShardOutcome,
+            ShardSliceStore,
+            WorkerSpec,
+            run_shards_parallel,
         )
 
-        def store(outcome: ShardOutcome) -> None:
-            self._store(ShardState.from_json(outcome.state_json))
-            self._worker_hits += outcome.cache_hits
-            self._worker_misses += outcome.cache_misses
+        started = time.perf_counter()
+        fanout_dir = tempfile.mkdtemp(prefix="trackersift-fanout-")
+        try:
+            oracle_artifact = str(Path(fanout_dir) / "oracle.tsoracle")
+            meta = compile_matcher(self._oracle.matcher, oracle_artifact)
+            slice_store = ShardSliceStore(fanout_dir)
+            # Accumulated (not assigned): a resumed run may fan out more
+            # than once, and the notes must account for every store built.
+            self._fanout_bytes += meta["bytes"] + slice_store.materialize(
+                pending, shard_sites, by_url, failed_urls
+            )
+            self._fanout_materialize_seconds += time.perf_counter() - started
+            spec = WorkerSpec(
+                config=self.config,
+                shards=self._shards,
+                store_dir=fanout_dir,
+                oracle_artifact=oracle_artifact,
+                # An artifact rebuilds the *base* oracle class; a subclass
+                # (overridden labeling) must travel as an object so worker
+                # output stays identical to sequential (see WorkerSpec).
+                oracle=(
+                    None
+                    if type(self._oracle) is FilterListOracle
+                    else self._oracle
+                ),
+            )
 
-        return run_shards_parallel(spec, pending, self._workers, store)
+            def store(outcome: ShardOutcome) -> None:
+                self._store(ShardState.from_json(outcome.state_json))
+                self._worker_hits += outcome.cache_hits
+                self._worker_misses += outcome.cache_misses
+                self._worker_startup_seconds += outcome.startup_seconds
+                self._worker_transfer_seconds += outcome.transfer_seconds
+                self._worker_compute_seconds += outcome.compute_seconds
+
+            return run_shards_parallel(spec, pending, self._workers, store)
+        finally:
+            shutil.rmtree(fanout_dir, ignore_errors=True)
 
     def _crawl_shard(
         self,
@@ -543,6 +602,18 @@ class StreamingPipeline:
             "labeled_requests": float(accumulator.total_requests),
             "distinct_resources": float(accumulator.distinct_resources),
         }
+        if self._workers > 1:
+            # Fan-out overhead breakdown: parent-side materialization of
+            # the slice store + compiled oracle, and the summed per-worker
+            # startup (artifact load), transfer (slice loads) and compute
+            # seconds shipped back with the shard outcomes.
+            notes["fanout_materialize_seconds"] = (
+                self._fanout_materialize_seconds
+            )
+            notes["fanout_bytes"] = float(self._fanout_bytes)
+            notes["worker_startup_seconds"] = self._worker_startup_seconds
+            notes["worker_transfer_seconds"] = self._worker_transfer_seconds
+            notes["worker_compute_seconds"] = self._worker_compute_seconds
         stats = self._oracle.cache_stats
         if stats is not None:
             # Parent-side lookups plus the counters worker processes

@@ -1,4 +1,4 @@
-"""Process-parallel shard execution for the streaming engine.
+"""Process-parallel shard execution over on-disk fan-out artifacts.
 
 :class:`~repro.core.engine.StreamingPipeline` already proved that sharding
 has zero semantic surface: per-site determinism (site-keyed coverage RNG,
@@ -12,12 +12,31 @@ hold), and the parent merges states through the exact same
 :meth:`~repro.core.engine.SiftAccumulator.merge` path a sequential run
 uses — so the output is bit-identical for every worker count.
 
+**What moves between processes is paths, not objects.**  The first
+parallel engine shipped the whole study to every worker — the entire
+``SyntheticWeb`` and a full oracle, pickled once per pool process — and
+``BENCH_parallel.json`` showed the fan-out cost swallowing the fan-out
+win (2 workers ran at 0.96x sequential).  Now the parent materializes the
+expensive state exactly once into a :class:`ShardSliceStore`:
+
+* one compiled oracle artifact (:mod:`repro.filterlists.compile`) that
+  every worker loads without parsing or index construction, and
+* one *slice* file per pending shard, holding only that shard's sites,
+  websites and failure set,
+
+and a :class:`WorkerSpec` carries nothing but the store directory, the
+artifact path and the study config.  A worker's startup cost is one
+artifact load; a shard's transfer cost is one slice load — both measured
+and shipped back in the :class:`ShardOutcome` overhead fields, so the
+parallel bench can attribute wall-clock to transfer/startup/compute
+instead of guessing.
+
 Design notes:
 
 * **The worker unit is a shard, the worker state is a process.**  Each
-  pool process builds one :class:`_ShardWorker` (config, web, memoized
-  oracle) in its initializer and reuses it for every shard it is handed,
-  so the label cache stays warm across a worker's shards.
+  pool process builds one :class:`_ShardWorker` (config, compiled oracle)
+  in its initializer and reuses it for every shard it is handed, so the
+  label cache stays warm across a worker's shards.
 * **The parent stores outcomes as they complete**, which preserves
   checkpoint semantics: a worker crash (or a kill -9 of the whole pool)
   loses only the shards still in flight — everything already returned was
@@ -35,16 +54,27 @@ Design notes:
 
 from __future__ import annotations
 
+import json
+import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
-    from ..filterlists.oracle import FilterListOracle
-    from ..webmodel.generator import SyntheticWeb
+    from ..crawler.tranco import RankedSite
+    from ..webmodel.website import Website
     from .engine import PipelineConfig
 
-__all__ = ["ShardOutcome", "WorkerSpec", "ShardExecutionError", "run_shards_parallel"]
+__all__ = [
+    "ShardOutcome",
+    "ShardSlice",
+    "ShardSliceStore",
+    "WorkerSpec",
+    "ShardExecutionError",
+    "run_shards_parallel",
+]
 
 
 @dataclass(frozen=True)
@@ -55,29 +85,147 @@ class ShardOutcome:
     the worker — the parent re-hydrates and stores it through the same
     `_store` path a sequential crawl uses, so checkpoints written by a
     parallel run are indistinguishable from sequential ones.
+
+    The overhead fields attribute the worker's wall-clock:
+    ``startup_seconds`` is the one-time worker initialization (compiled
+    oracle load + pipeline construction), reported with the worker's
+    *first* outcome only so the parent can sum without double counting;
+    ``transfer_seconds`` is this shard's slice load; ``compute_seconds``
+    is the crawl+label+sift itself.
     """
 
     shard_id: int
     state_json: str
     cache_hits: int
     cache_misses: int
+    startup_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    compute_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """Everything one shard's crawl needs, loaded from its slice file."""
+
+    shard_id: int
+    sites: "list[RankedSite]"
+    websites: "list[Website]"
+    failed_urls: set[str]
+
+    @property
+    def by_url(self) -> dict:
+        return {website.url: website for website in self.websites}
+
+
+class ShardSliceStore:
+    """Per-shard site slices on disk — the parent's fan-out unit.
+
+    The parent calls :meth:`materialize` once; each worker then loads only
+    the slices of the shards it is actually handed.  Slice files are plain
+    pickles (same trust model as the process pool itself: the store lives
+    in a parent-owned temporary directory for exactly one pool run).
+    """
+
+    MANIFEST = "slices.json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _slice_path(self, shard_id: int) -> Path:
+        return self._directory / f"slice-{shard_id:04d}.pkl"
+
+    def materialize(
+        self,
+        shard_ids: list[int],
+        shard_sites: "list[list[RankedSite]]",
+        by_url: dict,
+        failed_urls: set[str],
+    ) -> int:
+        """Write one slice file per pending shard; returns bytes written.
+
+        Each slice carries only its shard's sites, websites and failure
+        subset, so per-worker transfer no longer scales with the whole
+        web — a worker handed 2 of 13 shards reads ~2/13ths of it.
+        """
+        self._directory.mkdir(parents=True, exist_ok=True)
+        total = 0
+        for shard_id in shard_ids:
+            sites = shard_sites[shard_id]
+            websites = [
+                by_url[site.url] for site in sites if site.url in by_url
+            ]
+            record = ShardSlice(
+                shard_id=shard_id,
+                sites=sites,
+                websites=websites,
+                failed_urls={
+                    site.url for site in sites if site.url in failed_urls
+                },
+            )
+            data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            self._slice_path(shard_id).write_bytes(data)
+            total += len(data)
+        manifest = {
+            "format": 1,
+            "shard_ids": sorted(shard_ids),
+            "bytes": total,
+        }
+        (self._directory / self.MANIFEST).write_text(
+            json.dumps(manifest, sort_keys=True), encoding="utf-8"
+        )
+        return total
+
+    def load(self, shard_id: int) -> ShardSlice:
+        """Load one shard's slice (worker side)."""
+        path = self._slice_path(shard_id)
+        try:
+            data = path.read_bytes()
+        except OSError as error:
+            raise FileNotFoundError(
+                f"shard slice {path} is missing or unreadable: {error}"
+            ) from error
+        # A slice unpickles thousands of long-lived objects; same
+        # rationale (and same helper) as artifact loading.
+        from ..filterlists.compile import gc_paused
+
+        with gc_paused():
+            record = pickle.loads(data)
+        if record.shard_id != shard_id:
+            raise ValueError(
+                f"slice file {path} holds shard {record.shard_id}, "
+                f"expected {shard_id}"
+            )
+        return record
 
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a worker process needs to reproduce the parent's study.
+    """Everything a worker process needs — as *paths*, not objects.
 
-    ``web`` is ``None`` when the parent generated its web from the config —
-    workers then regenerate it deterministically instead of paying the
-    pickle transfer; a hand-built web is shipped as-is.  ``oracle`` is the
-    parent's caching oracle view (typically cold; a warm cache transfers
-    its decisions to every worker as a head start).
+    ``store_dir`` names the parent's :class:`ShardSliceStore`;
+    ``oracle_artifact`` the compiled ``.tsoracle`` the parent wrote from
+    its own matcher (so worker decisions are the sequential run's
+    decisions by construction).  The spec itself pickles in microseconds,
+    which is the whole point: pool startup no longer re-ships the study.
+
+    ``oracle`` is the compatibility escape hatch for :class:`oracle
+    subclasses <repro.filterlists.oracle.FilterListOracle>`: an artifact
+    reconstructs the *base* class, which would silently drop overridden
+    labeling behavior — so when the engine sees a subclass it ships the
+    object itself (the pre-artifact transfer path) and workers use it
+    verbatim, keeping worker output identical to sequential for any
+    oracle type.
     """
 
     config: "PipelineConfig"
     shards: int
-    web: "SyntheticWeb | None"
-    oracle: "FilterListOracle"
+    store_dir: str
+    oracle_artifact: str
+    oracle: "object | None" = None
 
 
 class ShardExecutionError(RuntimeError):
@@ -107,22 +255,28 @@ class _ShardWorker:
     """A worker process's resident crawl context.
 
     Wraps a private :class:`StreamingPipeline` (no checkpoint dir — the
-    parent owns persistence) and exposes exactly one operation: crawl one
-    shard, return its serialized state plus the label-cache delta.
+    parent owns persistence) whose oracle comes straight from the compiled
+    artifact, and exposes exactly one operation: load one shard's slice,
+    crawl it, return its serialized state plus the label-cache delta and
+    the overhead breakdown.
     """
 
     def __init__(self, spec: WorkerSpec) -> None:
-        from ..crawler.cluster import round_robin_shards
+        from ..filterlists.oracle import FilterListOracle
         from .engine import StreamingPipeline
 
-        self._pipeline = StreamingPipeline(
-            spec.config, shards=spec.shards, oracle=spec.oracle
+        started = time.perf_counter()
+        oracle = (
+            spec.oracle
+            if spec.oracle is not None
+            else FilterListOracle.from_artifact(spec.oracle_artifact)
         )
-        web = spec.web if spec.web is not None else self._pipeline.generate()
-        sites = self._pipeline._site_list(web)
-        self._shard_sites = round_robin_shards(sites, spec.shards)
-        self._by_url = {website.url: website for website in web.websites}
-        self._failed_urls = self._pipeline._failed_urls(sites)
+        self._pipeline = StreamingPipeline(
+            spec.config, shards=spec.shards, oracle=oracle
+        )
+        self._store = ShardSliceStore(spec.store_dir)
+        self._startup_seconds = time.perf_counter() - started
+        self._startup_reported = False
         self._last_stats = self._stats()
 
     def _stats(self) -> tuple[int, int]:
@@ -130,19 +284,30 @@ class _ShardWorker:
         return (stats.hits, stats.misses) if stats is not None else (0, 0)
 
     def run(self, shard_id: int) -> ShardOutcome:
+        loaded = time.perf_counter()
+        shard_slice = self._store.load(shard_id)
+        transfer_seconds = time.perf_counter() - loaded
+        computed = time.perf_counter()
         state = self._pipeline._crawl_shard(
             shard_id,
-            self._shard_sites[shard_id],
-            self._by_url,
-            self._failed_urls,
+            shard_slice.sites,
+            shard_slice.by_url,
+            shard_slice.failed_urls,
         )
+        compute_seconds = time.perf_counter() - computed
         hits, misses = self._stats()
         outcome = ShardOutcome(
             shard_id=shard_id,
             state_json=state.to_json(),
             cache_hits=hits - self._last_stats[0],
             cache_misses=misses - self._last_stats[1],
+            startup_seconds=(
+                0.0 if self._startup_reported else self._startup_seconds
+            ),
+            transfer_seconds=transfer_seconds,
+            compute_seconds=compute_seconds,
         )
+        self._startup_reported = True
         self._last_stats = (hits, misses)
         return outcome
 

@@ -3,11 +3,22 @@
 This subpackage is TrackerSift's *test oracle* (paper §3, "Labeling"): a
 network request matching EasyList or EasyPrivacy is tracking, everything
 else is functional.  It is a complete ABP network-rule engine — parser,
-rule model with options, token-indexed matcher, and embedded list
-snapshots — not a lookup table.
+rule model with options, token-indexed matcher, embedded list snapshots,
+and a compiled-artifact layer (:mod:`repro.filterlists.compile`) that
+materializes a built matcher to disk so consumers load it without
+re-parsing or re-indexing — not a lookup table.
 """
 
 from .cache import CachedMatcher, CacheStats, DecisionCache
+from .compile import (
+    ArtifactError,
+    OracleArtifact,
+    compile_lists,
+    compile_matcher,
+    load_artifact,
+    load_matcher,
+    read_artifact_meta,
+)
 from .lists import (
     AD_PATH_MARKERS,
     ADVERTISING_DOMAINS,
@@ -45,6 +56,13 @@ __all__ = [
     "CachedMatcher",
     "CacheStats",
     "DecisionCache",
+    "ArtifactError",
+    "OracleArtifact",
+    "compile_lists",
+    "compile_matcher",
+    "load_artifact",
+    "load_matcher",
+    "read_artifact_meta",
     "FilterListOracle",
     "Label",
     "LabeledRequest",

@@ -1,0 +1,259 @@
+"""Compiled oracle artifacts: build the matcher once, load it anywhere.
+
+Parsing EasyList-scale text and constructing the token/host indexes is the
+dominant cost of getting an oracle ready — and before this module, every
+consumer paid it: each parallel shard worker, every service cold-start,
+every hot reload.  A *compiled artifact* (``.tsoracle``) materializes a
+fully built :class:`~repro.filterlists.matcher.FilterMatcher` — token
+buckets, host-suffix dict, lazily-compiled rules — so loading skips both
+parsing and index construction entirely.  The lazy-regex invariant is
+preserved across serialization: :class:`NetworkRule` drops its compiled
+pattern when pickled, so a loaded artifact is exactly as lazy as a freshly
+built matcher (``benchmarks/bench_artifacts.py`` gates the load speedup).
+
+On-disk layout (all integers big-endian)::
+
+    MAGIC (8)  "TSORACLE"
+    version    u16     ARTIFACT_VERSION
+    meta_len   u32     length of the JSON metadata block
+    data_len   u64     length of the pickled payload
+    sha256     32      digest over metadata + payload
+    meta       JSON    {"rule_count", "lists", "revision", "format"}
+    payload    pickle  {"matcher": FilterMatcher, "lists": (ParsedList, ...)}
+
+Every load verifies magic, version, lengths and checksum before touching
+the pickle, so a truncated or corrupted artifact (or one written by a
+different format version) is rejected with :class:`ArtifactError` instead
+of being half-loaded.  ``lists`` carries the parsed provenance when the
+artifact was compiled from lists — that is what lets the serving layer
+(:meth:`repro.serve.service.Snapshot.from_artifact`) diff rule churn on a
+reload without re-parsing anything; pickle's shared-object dedup makes
+storing both the matcher and its lists nearly free.
+
+The artifact is an internal transport format (pickle inside): treat it
+like a cache you rebuild from list text, not like an interchange format,
+and only load artifacts you compiled.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import pickle
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from .cache import CachedMatcher
+from .matcher import FilterMatcher
+from .parser import ParsedList
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "OracleArtifact",
+    "dumps_artifact",
+    "loads_artifact",
+    "compile_matcher",
+    "compile_lists",
+    "load_artifact",
+    "load_matcher",
+    "read_artifact_meta",
+    "gc_paused",
+]
+
+
+@contextmanager
+def gc_paused():
+    """Pause the generational GC for a mass-unpickle, restore on exit.
+
+    Unpickling an artifact (or a shard slice — :mod:`repro.core.parallel`
+    shares this helper) allocates tens of thousands of long-lived
+    objects; letting the GC run mid-load costs ~25% of load time for
+    zero reclaim, since nothing built during a load is garbage.  Only
+    re-enables collection if it was enabled on entry, so nested or
+    caller-disabled GC states are preserved.
+    """
+    was_collecting = gc.isenabled()
+    if was_collecting:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_collecting:
+            gc.enable()
+
+MAGIC = b"TSORACLE"
+ARTIFACT_VERSION = 1
+_HEADER = struct.Struct(">8sHIQ32s")
+
+
+class ArtifactError(ValueError):
+    """A ``.tsoracle`` artifact failed validation (magic, version,
+    truncation, checksum) or carries the wrong content for the caller."""
+
+
+@dataclass(frozen=True)
+class OracleArtifact:
+    """A decoded artifact: the ready matcher plus its provenance."""
+
+    matcher: FilterMatcher
+    lists: tuple[ParsedList, ...]
+    meta: dict
+
+    @property
+    def rule_count(self) -> int:
+        return self.matcher.rule_count
+
+
+def _unwrap(matcher: FilterMatcher | CachedMatcher) -> FilterMatcher:
+    return matcher.wrapped if isinstance(matcher, CachedMatcher) else matcher
+
+
+def _encode(
+    matcher: FilterMatcher | CachedMatcher,
+    lists: tuple[ParsedList, ...],
+) -> tuple[bytes, dict]:
+    """Encode a built matcher; returns ``(artifact bytes, metadata)``."""
+    plain = _unwrap(matcher)
+    payload = pickle.dumps(
+        {"matcher": plain, "lists": tuple(lists)},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    meta = {
+        "format": "tsoracle",
+        "version": ARTIFACT_VERSION,
+        "rule_count": plain.rule_count,
+        "lists": list(plain.list_names),
+        "revision": plain.revision,
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(meta_bytes + payload).digest()
+    header = _HEADER.pack(
+        MAGIC, ARTIFACT_VERSION, len(meta_bytes), len(payload), digest
+    )
+    return header + meta_bytes + payload, meta
+
+
+def dumps_artifact(
+    matcher: FilterMatcher | CachedMatcher,
+    lists: tuple[ParsedList, ...] = (),
+) -> bytes:
+    """Encode a built matcher (and optional list provenance) to bytes."""
+    return _encode(matcher, lists)[0]
+
+
+def _read_header(data: bytes) -> tuple[int, int, bytes]:
+    """Validate magic/version/lengths; returns (meta_len, data_len, digest)."""
+    if len(data) < _HEADER.size:
+        raise ArtifactError(
+            f"artifact truncated: {len(data)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header"
+        )
+    magic, version, meta_len, data_len, digest = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ArtifactError(
+            f"not a .tsoracle artifact (bad magic {magic!r})"
+        )
+    if version != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"artifact format version {version} is not the supported "
+            f"version {ARTIFACT_VERSION}; recompile from list text"
+        )
+    expected = _HEADER.size + meta_len + data_len
+    if len(data) != expected:
+        raise ArtifactError(
+            f"artifact truncated or padded: header promises {expected} "
+            f"bytes, file holds {len(data)}"
+        )
+    return meta_len, data_len, digest
+
+
+def _verified_sections(data: bytes) -> tuple[bytes, "memoryview"]:
+    meta_len, _, digest = _read_header(data)
+    # Views, not copies: hashing and unpickling both accept buffers, and a
+    # list-scale artifact is megabytes — two slice copies would cost more
+    # than the checksum itself.
+    body = memoryview(data)[_HEADER.size :]
+    if hashlib.sha256(body).digest() != digest:
+        raise ArtifactError(
+            "artifact checksum mismatch: content was corrupted after compile"
+        )
+    return bytes(body[:meta_len]), body[meta_len:]
+
+
+def loads_artifact(data: bytes) -> OracleArtifact:
+    """Decode and validate artifact bytes (see module docstring)."""
+    meta_bytes, payload = _verified_sections(data)
+    meta = json.loads(meta_bytes.decode("utf-8"))
+    with gc_paused():
+        record = pickle.loads(payload)
+    matcher = record["matcher"]
+    if not isinstance(matcher, FilterMatcher):
+        raise ArtifactError(
+            f"artifact payload holds {type(matcher).__name__}, "
+            "expected FilterMatcher"
+        )
+    return OracleArtifact(
+        matcher=matcher, lists=tuple(record.get("lists", ())), meta=meta
+    )
+
+
+def compile_matcher(
+    matcher: FilterMatcher | CachedMatcher,
+    path: str | Path,
+    lists: tuple[ParsedList, ...] = (),
+) -> dict:
+    """Write a built matcher to ``path`` atomically; returns the metadata."""
+    data, meta = _encode(matcher, lists)
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+    meta["bytes"] = len(data)
+    return meta
+
+
+def compile_lists(path: str | Path, *lists: ParsedList) -> dict:
+    """Build a matcher from parsed lists and compile it with provenance.
+
+    This is the ``trackersift compile`` entry point: the stored lists are
+    what a serving-layer reload diffs churn against.
+    """
+    matcher = FilterMatcher.from_lists(*lists)
+    return compile_matcher(matcher, path, lists=tuple(lists))
+
+
+def _read_bytes(path: str | Path) -> bytes:
+    try:
+        return Path(path).read_bytes()
+    except OSError as error:
+        raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+
+
+def load_artifact(path: str | Path) -> OracleArtifact:
+    """Load and validate a compiled artifact from disk."""
+    return loads_artifact(_read_bytes(path))
+
+
+def load_matcher(path: str | Path) -> FilterMatcher:
+    """The fast path consumers want: a ready matcher, no parsing, no
+    index construction — just validation plus unpickling."""
+    return load_artifact(path).matcher
+
+
+def read_artifact_meta(path: str | Path) -> dict:
+    """Header introspection without unpickling the payload.
+
+    Cheap enough for tooling (``trackersift compile`` prints it); the
+    checksum is still verified so a corrupt file never reports healthy
+    metadata.
+    """
+    data = _read_bytes(path)
+    meta_bytes, _ = _verified_sections(data)
+    meta = json.loads(meta_bytes.decode("utf-8"))
+    meta["bytes"] = len(data)
+    return meta

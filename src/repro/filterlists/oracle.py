@@ -63,6 +63,36 @@ class FilterListOracle:
         if cache:
             self.enable_cache()
 
+    @classmethod
+    def from_matcher(
+        cls, matcher: FilterMatcher, *, cache: bool = False
+    ) -> "FilterListOracle":
+        """An oracle over an already-built matcher (no parsing, no index
+        construction) — the adoption path for compiled artifacts."""
+        oracle = cls.__new__(cls)
+        oracle._matcher = matcher
+        oracle._convenience = None
+        if cache:
+            oracle.enable_cache()
+        return oracle
+
+    @classmethod
+    def from_artifact(
+        cls, path: "str | Path", *, cache: bool = False
+    ) -> "FilterListOracle":
+        """Load a compiled ``.tsoracle`` artifact into a ready oracle.
+
+        This is the fast path the parallel shard workers and the serving
+        layer use: validation plus unpickling, with list parsing and
+        token/host index construction skipped entirely
+        (:mod:`repro.filterlists.compile` defines the format and gates).
+        Raises :class:`~repro.filterlists.compile.ArtifactError` for a
+        missing, truncated, corrupt or version-mismatched artifact.
+        """
+        from .compile import load_matcher
+
+        return cls.from_matcher(load_matcher(path), cache=cache)
+
     def enable_cache(self) -> "FilterListOracle":
         """Memoize match decisions (idempotent); returns ``self``.
 

@@ -68,7 +68,26 @@ def _split_options(line: str) -> tuple[str, str | None]:
     return line[:idx], options
 
 
+# Interned options: rules overwhelmingly repeat a handful of option blobs
+# (or carry none at all), so sharing one frozen RuleOptions per distinct
+# blob makes pickled matchers (worker transfer, compiled artifacts) store
+# each options object once instead of once per rule.  Value-equal and
+# immutable, so sharing is unobservable.
+_DEFAULT_OPTIONS = RuleOptions()
+_OPTIONS_CACHE: dict[str, RuleOptions] = {}
+_OPTIONS_CACHE_MAX = 4096
+
+
 def _parse_options(options_text: str) -> RuleOptions:
+    cached = _OPTIONS_CACHE.get(options_text)
+    if cached is None:
+        cached = _build_options(options_text)
+        if len(_OPTIONS_CACHE) < _OPTIONS_CACHE_MAX:
+            _OPTIONS_CACHE[options_text] = cached
+    return cached
+
+
+def _build_options(options_text: str) -> RuleOptions:
     include_types: set[ResourceType] = set()
     exclude_types: set[ResourceType] = set()
     third_party: bool | None = None
@@ -135,7 +154,7 @@ def parse_rule_line(line: str, list_name: str = "") -> NetworkRule | None:
         line = line[2:]
 
     pattern, options_text = _split_options(line)
-    options = _parse_options(options_text) if options_text else RuleOptions()
+    options = _parse_options(options_text) if options_text else _DEFAULT_OPTIONS
 
     if pattern.startswith("/") and pattern.endswith("/") and len(pattern) > 2:
         # Raw-regex rules exist in EasyList; we record them as unsupported so

@@ -102,6 +102,16 @@ class RuleOptions:
     match_case: bool = False
     unsupported: tuple[str, ...] = ()
 
+    def __getstate__(self) -> tuple:
+        # The generic slots-dataclass pickle path rebuilds the fields()
+        # list per object — measurably slow at 10K-rule artifact scale.
+        # A positional tuple (slot order) keeps load time flat.
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
+
     def permits(self, context: RequestContext) -> bool:
         """Check the non-pattern constraints against a request."""
         if self.include_types and context.resource_type not in self.include_types:
@@ -209,17 +219,43 @@ class NetworkRule:
     options: RuleOptions = field(default_factory=RuleOptions)
     list_name: str = ""
 
-    def __post_init__(self) -> None:
-        # The regex is compiled on first use (see :attr:`regex`): most rules
-        # of a large list never leave their index bucket, so eager
-        # compilation would dominate matcher construction time.
-        object.__setattr__(self, "_regex", None)
-        object.__setattr__(self, "_token", _extract_token(self.pattern))
+    # Class-level defaults for the two lazily derived attributes: instances
+    # only gain ``_regex`` / ``_token`` entries in their __dict__ on first
+    # use, so a rule unpickled without them simply falls back to "not
+    # derived yet".  (``_token`` uses ``None`` as its sentinel because
+    # ``""`` is a legitimate extracted token for token-free patterns.)
+    _regex = None
+    _token = None
+
+    def __getstate__(self) -> dict:
+        # Derived state never travels: a pickled rule (worker transfer,
+        # compiled ``.tsoracle`` artifacts) carries only its defining
+        # fields, so artifacts stay small and loading pays neither regex
+        # compilation nor token extraction — both re-derive lazily, and a
+        # loaded matcher's indexes are already built so tokens are only
+        # ever needed again if more rules are added.  No ``__setstate__``
+        # on purpose: a plain dict state keeps unpickling on the C fast
+        # path (``inst.__dict__.update``), which is what holds artifact
+        # load time at 10K-rule scale.  Always a *copy*, taken with the
+        # atomic C-level ``dict()`` (string keys, no Python callbacks):
+        # a concurrent reader's lazy ``object.__setattr__`` (regex/token
+        # materialization) must not blow up a pickle iterating this dict.
+        state = dict(self.__dict__)
+        state.pop("_regex", None)
+        state.pop("_token", None)
+        return state
 
     @property
     def token(self) -> str:
-        """Indexing token (may be empty for token-free patterns like ``^``)."""
-        return self._token  # type: ignore[attr-defined]
+        """Indexing token (may be empty for token-free patterns like ``^``),
+        extracted on first access and then cached — the matcher reads it
+        while bucketing, so fresh rules pay it at index construction and
+        artifact-loaded rules (whose buckets already exist) never do."""
+        token: str | None = self._token
+        if token is None:
+            token = _extract_token(self.pattern)
+            object.__setattr__(self, "_token", token)
+        return token
 
     @property
     def regex(self) -> re.Pattern[str]:

@@ -8,7 +8,11 @@ rule.  The surface is four endpoints:
   string or a request object); batches are decided against one snapshot.
 * ``POST /v1/reload``   — ``{"lists": [{"name", "text"}, ...]}`` parses
   and swaps in a new snapshot and returns the rule-churn report; an empty
-  body reloads the embedded default lists.
+  body reloads the embedded default lists; ``{"artifact": "<name>"}``
+  adopts a compiled ``.tsoracle`` without parsing — opt-in only: the
+  server must have been started with ``--artifact``, and the name is
+  resolved inside that artifact's directory (artifacts embed pickle, so
+  clients never choose arbitrary server paths to deserialize).
 * ``GET /healthz``      — liveness plus the serving snapshot revision.
 * ``GET /metrics``      — cache hit/miss counters, decision latency
   p50/p99, snapshot revision, uptime.
@@ -147,6 +151,33 @@ class _ServeHandler(BaseHTTPRequestHandler):
         )
 
     def _reload(self, payload: dict) -> dict:
+        artifact = payload.get("artifact")
+        if artifact is not None:
+            if payload.get("lists") is not None:
+                raise ValueError("send 'lists' or 'artifact', not both")
+            if not isinstance(artifact, str) or not artifact:
+                raise ValueError("'artifact' must be a filesystem path")
+            # Artifacts are pickle inside (compile.py's trust model:
+            # "only load artifacts you compiled"), so an HTTP client must
+            # never choose an arbitrary server path to unpickle.  Reload
+            # is allowed only when the operator booted from an artifact,
+            # and only for artifacts in that same directory.
+            allowed = self.server.artifact_dir  # type: ignore[attr-defined]
+            if allowed is None:
+                raise ValueError(
+                    "artifact reload is disabled: start the server with "
+                    "--artifact to opt in (reloads are then confined to "
+                    "that artifact's directory)"
+                )
+            requested = Path(artifact)
+            if requested.name != artifact:
+                raise ValueError(
+                    "'artifact' must be a bare file name; it is resolved "
+                    "inside the server's --artifact directory"
+                )
+            # ArtifactError is a ValueError: a bad artifact maps to 400
+            # and the serving snapshot stays untouched.
+            return self._service.reload_artifact(allowed / requested.name)
         specs = payload.get("lists")
         if specs is None:
             return self._service.reload()
@@ -168,10 +199,19 @@ class _ThreadingServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: BlockingService, threads: int) -> None:
+    def __init__(
+        self,
+        address,
+        service: BlockingService,
+        threads: int,
+        artifact_dir: Path | None = None,
+    ) -> None:
         super().__init__(address, _ServeHandler)
         self.service = service
         self.slots = threading.BoundedSemaphore(threads)
+        # Non-None iff the operator booted from a compiled artifact; the
+        # only directory HTTP artifact reloads may read from.
+        self.artifact_dir = artifact_dir
 
 
 class BlockingServer:
@@ -189,12 +229,20 @@ class BlockingServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         threads: int = DEFAULT_THREADS,
+        artifact_dir: str | Path | None = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be at least 1")
         self.service = service if service is not None else BlockingService()
         self.threads = threads
-        self._httpd = _ThreadingServer((host, port), self.service, threads)
+        self._httpd = _ThreadingServer(
+            (host, port),
+            self.service,
+            threads,
+            artifact_dir=(
+                Path(artifact_dir).resolve() if artifact_dir is not None else None
+            ),
+        )
         self._thread: threading.Thread | None = None
         self._serving = False
 
@@ -268,11 +316,29 @@ def build_server(
     port: int = DEFAULT_PORT,
     threads: int = DEFAULT_THREADS,
     list_paths=(),
+    artifact_path: str | None = None,
 ) -> BlockingServer:
-    """Construct (but do not start) the server the CLI runs."""
-    lists = load_list_files(list_paths) if list_paths else ()
+    """Construct (but do not start) the server the CLI runs.
+
+    ``artifact_path`` boots the service from a compiled ``.tsoracle``
+    (one validated load, no parsing) instead of list text; it is mutually
+    exclusive with ``list_paths``.
+    """
+    if artifact_path is not None and list_paths:
+        raise ValueError("pass --lists or --artifact, not both")
+    if artifact_path is not None:
+        service = BlockingService(artifact=artifact_path)
+        artifact_dir = Path(artifact_path).resolve().parent
+    else:
+        lists = load_list_files(list_paths) if list_paths else ()
+        service = BlockingService(*lists)
+        artifact_dir = None
     return BlockingServer(
-        BlockingService(*lists), host=host, port=port, threads=threads
+        service,
+        host=host,
+        port=port,
+        threads=threads,
+        artifact_dir=artifact_dir,
     )
 
 
@@ -281,9 +347,16 @@ def run_server(
     port: int = DEFAULT_PORT,
     threads: int = DEFAULT_THREADS,
     list_paths=(),
+    artifact_path: str | None = None,
 ) -> int:
     """The ``trackersift serve`` entry point: serve until interrupted."""
-    server = build_server(host=host, port=port, threads=threads, list_paths=list_paths)
+    server = build_server(
+        host=host,
+        port=port,
+        threads=threads,
+        list_paths=list_paths,
+        artifact_path=artifact_path,
+    )
     snapshot = server.service.snapshot
     print(
         f"trackersift serve: listening on {server.url} "

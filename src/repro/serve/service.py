@@ -77,6 +77,32 @@ class Snapshot:
             revision=revision,
         )
 
+    @classmethod
+    def from_artifact(cls, path, revision: int) -> "Snapshot":
+        """Build a serving snapshot from a compiled ``.tsoracle`` artifact.
+
+        The artifact's matcher is adopted as-is — no parsing, no index
+        construction — so cold start and hot reload become a single
+        validated load.  The artifact must carry list provenance
+        (``trackersift compile`` always stores it): that is what the next
+        reload diffs churn against.  Raises
+        :class:`~repro.filterlists.compile.ArtifactError` otherwise.
+        """
+        from ..filterlists.compile import ArtifactError, load_artifact
+
+        artifact = load_artifact(path)
+        if not artifact.lists:
+            raise ArtifactError(
+                f"artifact {path} carries no list provenance; serving "
+                "snapshots need it for reload churn reports — recompile "
+                "with compile_lists / `trackersift compile`"
+            )
+        return cls(
+            oracle=FilterListOracle.from_matcher(artifact.matcher, cache=True),
+            lists=artifact.lists,
+            revision=revision,
+        )
+
     @property
     def rule_count(self) -> int:
         return self.oracle.rule_count
@@ -148,10 +174,17 @@ class BlockingService:
     exposes over HTTP.
     """
 
-    def __init__(self, *lists: ParsedList) -> None:
-        if not lists:
-            lists = default_lists()
-        self._snapshot = Snapshot.build(tuple(lists), revision=1)
+    def __init__(self, *lists: ParsedList, artifact=None) -> None:
+        if artifact is not None:
+            if lists:
+                raise ValueError(
+                    "pass parsed lists or a compiled artifact, not both"
+                )
+            self._snapshot = Snapshot.from_artifact(artifact, revision=1)
+        else:
+            if not lists:
+                lists = default_lists()
+            self._snapshot = Snapshot.build(tuple(lists), revision=1)
         self._reload_lock = threading.Lock()
         self._counters = _Counters()
         self._latency = _LatencyWindow()
@@ -255,10 +288,38 @@ class BlockingService:
         """
         if not lists:
             lists = default_lists()
+        frozen = tuple(lists)
+        return self._publish(
+            lambda revision: Snapshot.build(frozen, revision)
+        )
+
+    def reload_artifact(self, path) -> dict:
+        """Swap in a snapshot loaded from a compiled ``.tsoracle``.
+
+        The hot-reload equivalent of :meth:`Snapshot.from_artifact`: the
+        new oracle is adopted from the artifact (one validated load, no
+        parsing or index construction) and published with the same single
+        reference assignment — churn is still diffed against the outgoing
+        snapshot's lists, from the provenance the artifact carries.
+        Raises :class:`~repro.filterlists.compile.ArtifactError` for a
+        missing/corrupt/mismatched artifact; the serving snapshot is
+        untouched in that case.
+        """
+        report = self._publish(
+            lambda revision: Snapshot.from_artifact(path, revision)
+        )
+        report["artifact"] = str(path)
+        return report
+
+    def _publish(self, build) -> dict:
+        """Build the replacement snapshot off to the side, diff churn,
+        publish atomically, and assemble the reload report.  ``build``
+        receives the next revision number; if it raises, the current
+        snapshot keeps serving."""
         started = time.perf_counter()
         with self._reload_lock:
             old = self._snapshot
-            new = Snapshot.build(tuple(lists), revision=old.revision + 1)
+            new = build(old.revision + 1)
             per_list, total = self._churn(old.lists, new.lists)
             self._snapshot = new  # the atomic publish
         with self._counters.lock:

@@ -184,3 +184,116 @@ class TestServeCommand:
             assert server.service.decide("https://banned.example/x.js")["blocked"]
         finally:
             server.stop()  # never started: must still release the socket
+
+
+class TestCompileCommand:
+    def test_compile_embedded_defaults(self, tmp_path, capsys):
+        from repro.filterlists.oracle import FilterListOracle
+
+        out = tmp_path / "defaults.tsoracle"
+        assert main(["compile", "--out", str(out)]) == 0
+        assert "compiled" in capsys.readouterr().out
+        oracle = FilterListOracle.from_artifact(out)
+        reference = FilterListOracle()
+        assert oracle.rule_count == reference.rule_count
+        assert oracle.label("https://doubleclick.net/pixel") == reference.label(
+            "https://doubleclick.net/pixel"
+        )
+
+    def test_compile_custom_lists(self, tmp_path, capsys):
+        from repro.serve.service import BlockingService
+
+        list_path = tmp_path / "corp.txt"
+        list_path.write_text("||banned.example^\n", encoding="utf-8")
+        out = tmp_path / "corp.tsoracle"
+        assert main(["--lists", str(list_path), "compile", "--out", str(out)]) == 0
+        assert "corp" in capsys.readouterr().out
+        service = BlockingService(artifact=out)
+        assert service.decide("https://banned.example/x.js")["blocked"]
+
+    def test_compile_requires_out(self):
+        with pytest.raises(SystemExit, match="--out"):
+            main(["compile"])
+
+    def test_compile_missing_list_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="compile"):
+            main(["--lists", str(tmp_path / "nope.txt"), "compile", "--out", str(tmp_path / "x")])
+
+    def test_compile_unwritable_out_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="compile"):
+            main(["compile", "--out", str(tmp_path / "no" / "dir" / "x.tsoracle")])
+
+    def test_lists_rejected_outside_serve_and_compile(self):
+        with pytest.raises(SystemExit, match="serve and compile"):
+            main(ARGS + ["--lists", "x.txt", "study"])
+
+    def test_artifact_rejected_outside_serve(self):
+        with pytest.raises(SystemExit, match="serve command only"):
+            main(ARGS + ["--artifact", "x.tsoracle", "study"])
+
+    def test_serve_rejects_lists_plus_artifact(self, tmp_path):
+        list_path = tmp_path / "l.txt"
+        list_path.write_text("||a.example^\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="not both"):
+            main(["--lists", str(list_path), "--artifact", "x.tsoracle", "serve"])
+
+
+class TestProfileFlag:
+    def test_profile_writes_table_next_to_checkpoint_dir(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        assert (
+            main(
+                ARGS
+                + [
+                    "--streaming",
+                    "--shards",
+                    "2",
+                    "--checkpoint-dir",
+                    str(ckpt),
+                    "--profile",
+                    "sift",
+                ]
+            )
+            == 0
+        )
+        profile = ckpt.with_name(ckpt.name + "-profile.txt")
+        assert profile.exists()
+        text = profile.read_text(encoding="utf-8")
+        assert "cumulative" in text
+        assert "trackersift sift" in text
+        assert str(profile) in capsys.readouterr().out
+        # Never inside the checkpoint dir: resume must not trip over it.
+        assert not (ckpt / profile.name).exists()
+
+    def test_profile_without_checkpoint_dir_uses_cwd(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(ARGS + ["--profile", "study"]) == 0
+        assert (tmp_path / "trackersift-profile.txt").exists()
+
+    def test_profile_handles_nameless_checkpoint_dir(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """'.' has no path name; the profile must still land somewhere
+        instead of crashing after a fully profiled run."""
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                ARGS
+                + ["--streaming", "--shards", "2", "--checkpoint-dir", ".",
+                   "--profile", "sift"]
+            )
+            == 0
+        )
+        sibling = tmp_path.parent / f"{tmp_path.name}-profile.txt"
+        assert sibling.exists() or (tmp_path / "trackersift-profile.txt").exists()
+        if sibling.exists():
+            sibling.unlink()
+
+    def test_profile_rejected_outside_study_sift(self):
+        with pytest.raises(SystemExit, match="--profile"):
+            main(ARGS + ["--profile", "figure3"])

@@ -1,0 +1,270 @@
+"""Compiled oracle artifacts: round-trip fidelity and tamper rejection.
+
+The proof obligations for ``repro.filterlists.compile``:
+
+* a compiled-then-loaded matcher is observationally equivalent to the
+  original on ``match()`` (property-tested over generated rule sets and
+  fuzzed URLs, including rules whose regexes were already compiled —
+  derived state must not leak into the artifact);
+* every way an artifact can be wrong on disk — bad magic, future format
+  version, truncation, bit corruption, payload of the wrong type — is
+  rejected with :class:`ArtifactError` before any rule is trusted;
+* a loaded matcher is *live*: ``add_list`` keeps bumping the revision
+  monotonically (the invariant external decision caches key on) and new
+  rules actually match.
+"""
+
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filterlists.compile import (
+    ARTIFACT_VERSION,
+    MAGIC,
+    ArtifactError,
+    _HEADER,
+    compile_lists,
+    compile_matcher,
+    dumps_artifact,
+    load_artifact,
+    load_matcher,
+    loads_artifact,
+    read_artifact_meta,
+)
+from repro.filterlists.matcher import FilterMatcher
+from repro.filterlists.oracle import FilterListOracle
+from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import RequestContext
+
+LIST_TEXT = """\
+||tracker.example^
+||ads.example^$third-party
+/pixel/*
+-banner-$image
+@@||cdn.example^$script
+|https://exact.example/path|
+"""
+
+
+def _matcher() -> FilterMatcher:
+    return FilterMatcher.from_text(LIST_TEXT, name="unit")
+
+
+# -- round trip ---------------------------------------------------------------
+
+_HOSTS = st.sampled_from(
+    ["tracker.example", "ads.example", "cdn.example", "other.example", "x.y"]
+)
+_PATHS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789/-._~%", max_size=24
+)
+_URLS = st.builds(
+    lambda host, path: f"https://{host}/{path}", _HOSTS, _PATHS
+)
+
+_RULE_LINES = st.lists(
+    st.one_of(
+        st.builds(lambda h: f"||{h}^", _HOSTS),
+        st.builds(lambda t: f"/{t}/*", st.text(alphabet="abcxyz09", min_size=1, max_size=8)),
+        st.builds(lambda h: f"@@||{h}^$script", _HOSTS),
+        st.builds(lambda t: f"-{t}-$image,third-party", st.text(alphabet="abc12", min_size=1, max_size=6)),
+        st.builds(lambda h, t: f"||{h}/{t}^$domain=site.example|~other.example", _HOSTS, st.text(alphabet="xyz", min_size=1, max_size=5)),
+    ),
+    max_size=12,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(lines=_RULE_LINES, urls=st.lists(_URLS, min_size=1, max_size=8))
+    def test_loaded_matcher_matches_identically(self, lines, urls):
+        """compile → load is observationally equivalent on match()."""
+        parsed = parse_filter_list("\n".join(lines), name="fuzz")
+        original = FilterMatcher.from_lists(parsed)
+        # Warm some regexes so the round trip must strip derived state.
+        for url in urls[::2]:
+            original.match(RequestContext(url=url))
+        loaded = loads_artifact(dumps_artifact(original, (parsed,))).matcher
+        assert loaded.rule_count == original.rule_count
+        assert loaded.revision == original.revision
+        for url in urls:
+            for context in (
+                RequestContext(url=url),
+                RequestContext(url=url, third_party=False, page_host="site.example"),
+            ):
+                a = original.match(context)
+                b = loaded.match(context)
+                assert a.blocked == b.blocked, (url, context)
+                assert (a.rule.text if a.rule else None) == (
+                    b.rule.text if b.rule else None
+                ), (url, context)
+
+    def test_artifact_rules_arrive_lazy(self):
+        """Neither compiled regexes nor extracted tokens travel: loaded
+        rules re-derive both on demand."""
+        parsed = parse_filter_list(LIST_TEXT, name="unit")
+        matcher = FilterMatcher.from_lists(parsed)
+        # Force every rule's regex and token to materialize pre-compile.
+        for rule in parsed.rules:
+            rule.regex
+            rule.token
+        probe = RequestContext(url="https://tracker.example/pixel/1.gif")
+        matcher.match(probe)
+        data = dumps_artifact(matcher)
+        loaded = loads_artifact(data).matcher
+        buckets = [
+            *loaded._blocking._hosts.values(),
+            *loaded._blocking._buckets.values(),
+            [*loaded._blocking._catch_all],
+            *loaded._exceptions._hosts.values(),
+            *loaded._exceptions._buckets.values(),
+        ]
+        rules = [rule for bucket in buckets for rule in bucket]
+        assert rules
+        assert all(not rule.regex_compiled for rule in rules)
+        assert all("_token" not in rule.__dict__ for rule in rules)
+        # ...and still matches (lazy re-derivation works).
+        assert loaded.match(probe).blocked
+
+    def test_file_round_trip_and_meta(self, tmp_path):
+        path = tmp_path / "unit.tsoracle"
+        parsed = parse_filter_list(LIST_TEXT, name="unit")
+        meta = compile_lists(path, parsed)
+        assert meta["rule_count"] == 6
+        assert meta["lists"] == ["unit"]
+        info = read_artifact_meta(path)
+        assert info["rule_count"] == 6
+        assert info["version"] == ARTIFACT_VERSION
+        assert info["bytes"] == path.stat().st_size
+        artifact = load_artifact(path)
+        assert [p.name for p in artifact.lists] == ["unit"]
+        assert artifact.matcher.rule_count == 6
+
+    def test_cached_matcher_is_unwrapped(self, tmp_path):
+        from repro.filterlists.cache import CachedMatcher
+
+        cached = CachedMatcher(_matcher())
+        path = tmp_path / "cached.tsoracle"
+        compile_matcher(cached, path)
+        loaded = load_matcher(path)
+        assert isinstance(loaded, FilterMatcher)
+        assert loaded.rule_count == cached.rule_count
+
+
+# -- rejection ----------------------------------------------------------------
+
+
+class TestRejection:
+    def _data(self) -> bytes:
+        return dumps_artifact(_matcher())
+
+    def test_bad_magic_rejected(self):
+        data = self._data()
+        with pytest.raises(ArtifactError, match="magic"):
+            loads_artifact(b"NOTANART" + data[8:])
+
+    def test_version_mismatch_rejected(self):
+        data = self._data()
+        bumped = (
+            MAGIC
+            + struct.pack(">H", ARTIFACT_VERSION + 1)
+            + data[10:]
+        )
+        with pytest.raises(ArtifactError, match="version"):
+            loads_artifact(bumped)
+
+    @pytest.mark.parametrize("keep", [0, 4, _HEADER.size - 1])
+    def test_shorter_than_header_rejected(self, keep):
+        with pytest.raises(ArtifactError, match="truncated"):
+            loads_artifact(self._data()[:keep])
+
+    def test_truncated_payload_rejected(self):
+        data = self._data()
+        with pytest.raises(ArtifactError, match="truncated"):
+            loads_artifact(data[:-7])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ArtifactError, match="truncated or padded"):
+            loads_artifact(self._data() + b"xx")
+
+    def test_corrupt_byte_rejected(self):
+        data = bytearray(self._data())
+        data[-10] ^= 0xFF  # flip bits deep in the pickle payload
+        with pytest.raises(ArtifactError, match="checksum"):
+            loads_artifact(bytes(data))
+
+    def test_corrupt_meta_rejected(self):
+        data = bytearray(self._data())
+        data[_HEADER.size] ^= 0xFF  # first metadata byte
+        with pytest.raises(ArtifactError, match="checksum"):
+            loads_artifact(bytes(data))
+
+    def test_wrong_payload_type_rejected(self):
+        """A well-formed container whose pickle is not a matcher must be
+        refused — checksums don't vouch for content."""
+        import hashlib
+        import json
+
+        payload = pickle.dumps({"matcher": ["not", "a", "matcher"], "lists": ()})
+        meta = json.dumps({"rule_count": 0}).encode()
+        digest = hashlib.sha256(meta + payload).digest()
+        data = (
+            _HEADER.pack(MAGIC, ARTIFACT_VERSION, len(meta), len(payload), digest)
+            + meta
+            + payload
+        )
+        with pytest.raises(ArtifactError, match="FilterMatcher"):
+            loads_artifact(data)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_matcher(tmp_path / "absent.tsoracle")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "cut.tsoracle"
+        compile_matcher(_matcher(), path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(ArtifactError, match="truncated"):
+            load_matcher(path)
+
+
+# -- liveness after load ------------------------------------------------------
+
+
+class TestLoadedMatcherLiveness:
+    def test_revision_monotone_after_add_list(self, tmp_path):
+        path = tmp_path / "live.tsoracle"
+        compile_matcher(_matcher(), path)
+        loaded = load_matcher(path)
+        seen = [loaded.revision]
+        for index in range(3):
+            loaded.add_list(
+                parse_filter_list(f"||fresh{index}.example^", name=f"extra{index}")
+            )
+            seen.append(loaded.revision)
+        assert seen == sorted(set(seen)), "revision must strictly increase"
+        assert loaded.should_block_url("https://fresh2.example/x")
+
+    def test_oracle_from_artifact_serves_and_caches(self, tmp_path):
+        path = tmp_path / "oracle.tsoracle"
+        parsed = parse_filter_list(LIST_TEXT, name="unit")
+        compile_lists(path, parsed)
+        oracle = FilterListOracle.from_artifact(path, cache=True)
+        reference = FilterListOracle(parsed)
+        urls = [
+            "https://tracker.example/a.js",
+            "https://cdn.example/lib.js",
+            "https://other.example/pixel/9.gif",
+            "https://exact.example/path",
+        ]
+        for url in urls:
+            assert oracle.label(url) == reference.label(url), url
+        stats = oracle.cache_stats
+        assert stats is not None
+        for url in urls:  # second pass hits the decision cache
+            oracle.label(url)
+        assert stats.hits >= len(urls)

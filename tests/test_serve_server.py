@@ -324,3 +324,72 @@ class TestServerLifecycle:
             assert second.port == port
         finally:
             second.stop()
+
+
+class TestArtifactReloadEndpoint:
+    """HTTP artifact reload: opt-in, confined to the boot artifact's dir."""
+
+    def _post_reload(self, server, payload):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+        try:
+            body = json.dumps(payload)
+            conn.request(
+                "POST",
+                "/v1/reload",
+                body=body,
+                headers={"Content-Length": str(len(body))},
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def _compiled(self, tmp_path, name, text):
+        from repro.filterlists.compile import compile_lists
+
+        path = tmp_path / name
+        compile_lists(path, parse_filter_list(text, name=path.stem))
+        return path
+
+    def test_disabled_without_artifact_boot(self, server):
+        status, payload = self._post_reload(server, {"artifact": "x.tsoracle"})
+        assert status == 400
+        assert "disabled" in payload["error"]
+
+    def test_confined_reload_by_bare_name(self, tmp_path):
+        boot = self._compiled(tmp_path, "boot.tsoracle", MINI_LIST)
+        update = self._compiled(
+            tmp_path, "update.tsoracle", "||fresh.example^\n"
+        )
+        service = BlockingService(artifact=boot)
+        with BlockingServer(
+            service, port=0, threads=2, artifact_dir=tmp_path
+        ) as running:
+            status, payload = self._post_reload(
+                running, {"artifact": update.name}
+            )
+            assert status == 200
+            assert payload["revision"] == 2
+            with BlockingClient(running.host, running.port) as client:
+                assert client.decide("https://fresh.example/a.js")["blocked"]
+
+            # Paths (absolute or traversing) are refused outright: clients
+            # name artifacts, the operator chooses the directory.
+            for evil in ("/etc/passwd", "../boot.tsoracle", "a/b.tsoracle"):
+                status, payload = self._post_reload(running, {"artifact": evil})
+                assert status == 400, evil
+                assert "bare file name" in payload["error"], evil
+
+    def test_build_server_boots_from_artifact(self, tmp_path):
+        from repro.serve.server import build_server
+
+        boot = self._compiled(tmp_path, "boot.tsoracle", MINI_LIST)
+        running = build_server(port=0, threads=2, artifact_path=str(boot))
+        try:
+            assert running.service.decide("https://tracker.example/x.js")["blocked"]
+            status, payload = self._post_reload(
+                running.start(), {"artifact": "boot.tsoracle"}
+            )
+            assert status == 200  # same-dir reload allowed after --artifact boot
+        finally:
+            running.stop()

@@ -238,3 +238,89 @@ class TestConcurrency:
             )
             assert decision["blocked"] == expected
         assert service.snapshot.revision == 2
+
+
+class TestArtifactSnapshots:
+    """Compiled-artifact cold start and hot reload (PR 4 tentpole)."""
+
+    LIST_TEXT = "||tracker.example^\n/beacon/*\n@@||cdn.example^$script\n"
+
+    def _compiled(self, tmp_path, text=None, name="mini"):
+        from repro.filterlists.compile import compile_lists
+
+        path = tmp_path / f"{name}.tsoracle"
+        compile_lists(path, parse_filter_list(text or self.LIST_TEXT, name=name))
+        return path
+
+    def test_service_boots_from_artifact(self, tmp_path):
+        path = self._compiled(tmp_path)
+        from_artifact = BlockingService(artifact=path)
+        from_text = _mini_service(self.LIST_TEXT)
+        assert from_artifact.snapshot.revision == 1
+        assert from_artifact.snapshot.list_names == ("mini",)
+        for url in (
+            "https://tracker.example/a.js",
+            "https://site.example/beacon/1",
+            "https://cdn.example/lib.js",
+            CLEAN,
+        ):
+            assert (
+                from_artifact.decide(url)["blocked"]
+                == from_text.decide(url)["blocked"]
+            ), url
+
+    def test_artifact_and_lists_are_mutually_exclusive(self, tmp_path):
+        path = self._compiled(tmp_path)
+        with pytest.raises(ValueError, match="not both"):
+            BlockingService(
+                parse_filter_list(self.LIST_TEXT, name="mini"), artifact=path
+            )
+
+    def test_reload_artifact_swaps_and_reports_churn(self, tmp_path):
+        service = _mini_service("||tracker.example^\n||legacy.example^\n")
+        path = self._compiled(
+            tmp_path, text="||tracker.example^\n||fresh.example^\n"
+        )
+        report = service.reload_artifact(path)
+        assert report["revision"] == 2
+        assert report["artifact"] == str(path)
+        assert report["churn"]["added"] == 1
+        assert report["churn"]["removed"] == 1
+        assert service.decide("https://fresh.example/x.js")["blocked"]
+        assert not service.decide("https://legacy.example/x.js")["blocked"]
+        # The next reload diffs against the artifact's stored lists.
+        second = service.reload(parse_filter_list("||tracker.example^\n", name="mini"))
+        assert second["churn"]["removed"] == 1
+
+    def test_bad_artifact_leaves_snapshot_serving(self, tmp_path):
+        from repro.filterlists.compile import ArtifactError
+
+        service = _mini_service()
+        path = tmp_path / "corrupt.tsoracle"
+        good = self._compiled(tmp_path)
+        data = bytearray(good.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        before = service.snapshot
+        with pytest.raises(ArtifactError, match="checksum"):
+            service.reload_artifact(path)
+        assert service.snapshot is before  # untouched, still serving
+        assert service.decide("https://tracker.example/a.js")["blocked"]
+
+    def test_artifact_without_provenance_rejected(self, tmp_path):
+        from repro.filterlists.compile import ArtifactError, compile_matcher
+        from repro.filterlists.matcher import FilterMatcher
+
+        path = tmp_path / "bare.tsoracle"
+        compile_matcher(FilterMatcher.from_text(self.LIST_TEXT, name="mini"), path)
+        with pytest.raises(ArtifactError, match="provenance"):
+            BlockingService(artifact=path)
+
+    def test_snapshot_from_artifact_matches_build(self, tmp_path):
+        parsed = parse_filter_list(self.LIST_TEXT, name="mini")
+        path = self._compiled(tmp_path)
+        built = Snapshot.build((parsed,), revision=7)
+        loaded = Snapshot.from_artifact(path, revision=7)
+        assert loaded.revision == 7
+        assert loaded.rule_count == built.rule_count
+        assert loaded.list_names == built.list_names
