@@ -1,0 +1,136 @@
+"""Scenario-pack conformance matrix: per-scenario, per-path throughput.
+
+Drives every scenario pack through every execution path via
+:class:`repro.scenarios.ScenarioRunner` and records wall-clock and
+requests/second per (scenario, path) cell, so the cost of each fast path
+is trackable across PRs *per workload* — a path that only regresses under
+churn or token drift shows up in exactly that row.
+
+Scenario packs run at their **committed scale** (each spec carries its
+own site count), never at ``BENCH_SITES``: the committed golden manifests
+pin byte-identical decisions at that scale, and rescaled packs would
+bypass the pinning.  Smoke mode instead shrinks the *matrix* — only the
+fast packs run; every skipped pack is recorded with ``skipped: true`` and
+a ``skip_reason`` (``scripts/validate_bench.py`` rejects silent skips).
+
+Gates (always enforced — identity is not hardware-dependent):
+
+* ``cross_path_identity`` — every pack's paths agree on decisions,
+  reports, and ``ShardState`` JSON;
+* ``golden_manifests`` — every run pack matches its committed golden.
+
+Results land in ``output/BENCH_scenarios.json``.
+"""
+
+from repro.scenarios import EXECUTION_PATHS, ScenarioRunner, all_packs
+
+from conftest import BENCH_SEED, BENCH_SMOKE, write_artifact, write_json_artifact
+
+SMOKE_SKIP_REASON = (
+    "BENCH_SMOKE=1: only fast packs run in smoke mode; the full matrix "
+    "runs via `trackersift scenario run --matrix` and the full bench"
+)
+
+
+def test_scenario_matrix_throughput(output_dir):
+    runner = ScenarioRunner()
+    packs = all_packs()
+    run_specs = [
+        spec for spec in packs if spec.fast or not BENCH_SMOKE
+    ]
+
+    scenarios = {}
+    outcomes = []
+    for spec in packs:
+        if spec not in run_specs:
+            scenarios[spec.name] = {
+                "skipped": True,
+                "skip_reason": SMOKE_SKIP_REASON,
+            }
+            continue
+        outcome = runner.run(spec)
+        outcomes.append(outcome)
+        scenarios[spec.name] = {
+            "skipped": False,
+            "skip_reason": None,
+            "web_sites": outcome.web_sites,
+            "labeled_requests": outcome.labeled_requests,
+            "trace_requests": outcome.trace_requests,
+            "revisions": outcome.revisions,
+            "identical": outcome.ok,
+            "paths": {
+                path: {
+                    "wall_seconds": record.wall_seconds,
+                    "requests": record.requests,
+                    "requests_per_second": record.requests_per_second,
+                }
+                for path, record in outcome.paths.items()
+            },
+        }
+
+    cross_path_ok = all(not outcome.mismatches for outcome in outcomes)
+    golden_ok = all(not outcome.golden_mismatches for outcome in outcomes)
+
+    lines = [
+        f"Scenario conformance matrix — {len(outcomes)} pack(s) x "
+        f"{len(runner.paths)} path(s), committed per-pack scales",
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.spec.name}: {outcome.labeled_requests:,} labeled, "
+            f"{outcome.trace_requests:,} trace requests, "
+            f"{outcome.revisions} revision(s) — "
+            + ("identical" if outcome.ok else "DIVERGED")
+        )
+        for path, record in outcome.paths.items():
+            lines.append(
+                f"  {path:16s} {record.wall_seconds:6.2f}s  "
+                f"{record.requests_per_second:10,.0f} req/s"
+            )
+        for problem in outcome.problems():
+            lines.append(f"  MISMATCH: {problem}")
+    skipped = [name for name, cell in scenarios.items() if cell["skipped"]]
+    for name in skipped:
+        lines.append(f"PACK SKIPPED ({name}): {SMOKE_SKIP_REASON}")
+    artifact = "\n".join(lines) + "\n"
+    write_artifact(output_dir, "scenarios.txt", artifact)
+    print("\n" + artifact)
+
+    write_json_artifact(
+        output_dir,
+        "BENCH_scenarios.json",
+        {
+            "bench": "scenarios",
+            # Packs run at committed per-pack scale; the conftest-level
+            # "sites" stamp does not apply to this bench (see docstring) —
+            # the largest pack's crawl size is recorded for orientation.
+            "sites": max(outcome.web_sites for outcome in outcomes),
+            "seed": BENCH_SEED,
+            "paths": list(runner.paths),
+            "scenarios": scenarios,
+            "gates": {
+                "cross_path_identity": {
+                    "enforced": True,
+                    "achieved": float(cross_path_ok),
+                    "required_identical": 1.0,
+                    "skip_reason": None,
+                },
+                "golden_manifests": {
+                    "enforced": True,
+                    "achieved": float(golden_ok),
+                    "required_identical": 1.0,
+                    "skip_reason": None,
+                },
+            },
+        },
+    )
+
+    for outcome in outcomes:
+        assert not outcome.mismatches, (
+            f"{outcome.spec.name}: cross-path divergence: {outcome.mismatches}"
+        )
+        assert not outcome.golden_mismatches, (
+            f"{outcome.spec.name}: golden divergence: "
+            f"{outcome.golden_mismatches}"
+        )
+    assert EXECUTION_PATHS, "path registry must not be empty"

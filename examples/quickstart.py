@@ -160,6 +160,22 @@ def main() -> None:
         )
         client.close()
 
+    # Every execution path above (batch, streaming, fan-out, compiled
+    # artifacts, the service) must produce the same decisions on *any*
+    # workload — the scenario conformance matrix proves it per named
+    # pack (cloaking, churn storms, token drift, ...), pinned by the
+    # committed golden manifests.  `trackersift scenario run --matrix`
+    # runs everything; one pack here keeps the demo quick.
+    from repro.scenarios import ScenarioRunner
+
+    outcome = ScenarioRunner().run("tiny-and-huge-mix")
+    assert outcome.ok, outcome.problems()
+    print(
+        f"\nScenario 'tiny-and-huge-mix': {len(outcome.paths)} execution "
+        f"paths, {outcome.labeled_requests:,} labeled requests — "
+        "byte-identical across every path (golden-pinned)"
+    )
+
 
 if __name__ == "__main__":
     main()

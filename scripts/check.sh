@@ -33,6 +33,11 @@ BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_serve.py
 
 echo
+echo "== scenario matrix smoke (fast packs x every execution path, golden-pinned) =="
+BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_scenarios.py
+
+echo
 echo "== bench artifact schema (tracked + smoke outputs) =="
 python scripts/validate_bench.py benchmarks/output/BENCH_*.json \
     benchmarks/output/smoke-BENCH_*.json

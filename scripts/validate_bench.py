@@ -13,7 +13,11 @@ PRs without per-bench knowledge, so they share a minimal contract:
   non-empty ``skip_reason`` — silent ``enforced: false`` reads as a pass
   and has already hidden a 0.96x "speedup" for a whole PR cycle;
 * any present ``achieved`` / ``required_*`` / ``max_*`` gate fields must
-  be numbers.
+  be numbers;
+* optional ``scenarios``: a non-empty mapping of pack name to an object
+  with ``skipped`` (bool); a pack that *is* skipped must say why in a
+  non-empty ``skip_reason`` — a scenario silently missing from the
+  matrix reads as covered when it was not.
 
 Usage: ``python scripts/validate_bench.py benchmarks/output/BENCH_*.json``
 Exits non-zero listing every violation.
@@ -51,6 +55,31 @@ def validate_bench(payload: dict, name: str) -> list[str]:
     )
     check(isinstance(payload.get("seed"), int), "'seed' must be an integer")
     check(isinstance(payload.get("smoke"), bool), "'smoke' must be a boolean")
+
+    scenarios = payload.get("scenarios")
+    if scenarios is not None:
+        check(
+            isinstance(scenarios, dict) and scenarios,
+            "'scenarios' must be a non-empty object",
+        )
+        if isinstance(scenarios, dict):
+            for pack_name, cell in scenarios.items():
+                where = f"scenarios[{pack_name!r}]"
+                if not isinstance(cell, dict):
+                    problems.append(f"{name}: {where} must be an object")
+                    continue
+                skipped = cell.get("skipped")
+                check(
+                    isinstance(skipped, bool),
+                    f"{where}.skipped must be a boolean",
+                )
+                if skipped is True:
+                    reason = cell.get("skip_reason")
+                    check(
+                        isinstance(reason, str) and reason.strip() != "",
+                        f"{where} is skipped but carries no skip_reason — "
+                        "skipped packs must fail loudly",
+                    )
 
     gates = payload.get("gates")
     if gates is None:

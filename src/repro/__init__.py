@@ -84,6 +84,20 @@ engine uses the same machinery internally: shard workers receive a
 compiled oracle plus per-shard site slices from an on-disk fan-out store
 instead of a pickled copy of the whole study, and ship a
 transfer/startup/compute overhead breakdown back with every shard.
+
+**Scenario conformance.**  Every fast path above promises the same
+observable behaviour; :mod:`repro.scenarios` makes that a standing,
+workload-diverse obligation.  Named scenario packs (CNAME cloaking,
+filter-list churn storms, anonymized long tails, internal pages, hot
+reload under load, cache-buster token drift, extreme site-size skew,
+flaky crawls) are declarative :class:`~repro.scenarios.ScenarioSpec`
+data; :class:`~repro.scenarios.ScenarioRunner` drives each pack through
+every execution path — batch, streaming, process fan-out,
+compiled-artifact fan-out, and the online service — and checks
+byte-identical reports, ``ShardState`` JSON and blocking decisions
+against committed golden manifests (``trackersift scenario run
+--matrix``; gated per PR by the tier-1 matrix test and
+``benchmarks/bench_scenarios.py``).
 """
 
 from .core import (
@@ -101,6 +115,7 @@ from .core import (
 )
 from .filterlists import FilterListOracle, Label
 from .labeling import AnalyzedRequest, LabeledCrawl, RequestLabeler
+from .scenarios import SCENARIO_PACKS, ScenarioRunner, ScenarioSpec
 from .serve import (
     BlockingClient,
     BlockingServer,
@@ -109,7 +124,7 @@ from .serve import (
 )
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -130,6 +145,9 @@ __all__ = [
     "BlockingServer",
     "BlockingClient",
     "LoadGenerator",
+    "SCENARIO_PACKS",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "RequestLabeler",
     "AnalyzedRequest",
     "LabeledCrawl",

@@ -25,7 +25,15 @@ Subcommands mirror the paper's workflow plus the library's extensions:
 * ``compile``   — compile filter lists (``--lists``, or the embedded
   defaults) into a versioned, checksummed ``.tsoracle`` artifact
   (``--out``) that loads with no parsing or index construction — the
-  fast path ``serve --artifact`` and the parallel shard workers use.
+  fast path ``serve --artifact`` and the parallel shard workers use,
+* ``scenario``  — the cross-path conformance matrix
+  (:mod:`repro.scenarios`): ``scenario list`` names the packs,
+  ``scenario run`` drives them through every execution path (batch,
+  streaming, fan-out, compiled-artifact fan-out, online service) and
+  checks byte-identical decisions against the committed golden
+  manifests; ``--matrix`` runs every pack (default: the fast ones),
+  ``--packs``/``--paths`` select subsets, ``--update-golden``
+  regenerates the manifests after an intended behaviour change.
 
 ``--profile`` (study/sift) wraps the run in :mod:`cProfile` and writes a
 top-25 cumulative-time table next to the checkpoint dir, so perf work
@@ -154,6 +162,36 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--packs",
+        type=str,
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="scenario run: comma-separated pack names (default: fast packs)",
+    )
+    parser.add_argument(
+        "--paths",
+        type=str,
+        default=None,
+        metavar="PATH[,PATH...]",
+        help=(
+            "scenario run: comma-separated execution paths "
+            "(default: all of them)"
+        ),
+    )
+    parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="scenario run: every pack through every selected path",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help=(
+            "scenario run: regenerate the committed golden manifests from "
+            "this run instead of checking against them"
+        ),
+    )
+    parser.add_argument(
         "command",
         choices=[
             "study",
@@ -168,8 +206,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "export",
             "serve",
             "compile",
+            "scenario",
         ],
         help="what to run",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="scenario subcommand: list | run",
     )
     return parser
 
@@ -226,6 +271,89 @@ def _cmd_compile(args) -> int:
         f"{args.out}  (or FilterListOracle.from_artifact)"
     )
     return 0
+
+
+def _cmd_scenario(args) -> int:
+    from .scenarios import (
+        EXECUTION_PATHS,
+        SCENARIO_PACKS,
+        ScenarioRunner,
+        all_packs,
+        fast_packs,
+    )
+
+    if args.action == "list":
+        print("Scenario packs (fast packs run in the tier-1 matrix test):")
+        for spec in all_packs():
+            tag = "fast" if spec.fast else "full"
+            print(
+                f"  {spec.name:24s} [{tag}] {spec.sites:4d} sites, "
+                f"{len(spec.churn) + 1} list revision(s) — {spec.description}"
+            )
+        print("\nExecution paths:")
+        for name, description in EXECUTION_PATHS.items():
+            print(f"  {name:16s} {description}")
+        return 0
+    if args.action != "run":
+        raise SystemExit(
+            "scenario: expected an action — `trackersift scenario list` or "
+            "`trackersift scenario run [--matrix] [--packs a,b] [--paths p,q]`"
+        )
+
+    if args.packs:
+        names = [name.strip() for name in args.packs.split(",") if name.strip()]
+        unknown = [name for name in names if name not in SCENARIO_PACKS]
+        if unknown:
+            raise SystemExit(
+                f"scenario: unknown pack(s) {', '.join(unknown)}; "
+                f"known: {', '.join(SCENARIO_PACKS)}"
+            )
+        specs = tuple(SCENARIO_PACKS[name] for name in names)
+    else:
+        specs = all_packs() if args.matrix else fast_packs()
+    paths = None
+    if args.paths:
+        paths = tuple(p.strip() for p in args.paths.split(",") if p.strip())
+    if args.update_golden and paths is not None:
+        # A golden written from a path subset would carry null report /
+        # shard digests and break every full run against it.
+        raise SystemExit(
+            "scenario: --update-golden requires the full path set; "
+            "drop --paths"
+        )
+    try:
+        runner = ScenarioRunner(paths=paths)
+    except ValueError as error:
+        raise SystemExit(f"scenario: {error}")
+
+    failed = 0
+    for spec in specs:
+        outcome = runner.run(spec, update_golden=args.update_golden)
+        verdict = "ok" if outcome.ok else "FAIL"
+        if args.update_golden:
+            verdict = "golden updated" if not outcome.mismatches else "FAIL"
+        print(
+            f"{spec.name:24s} {verdict:14s} "
+            f"{outcome.labeled_requests:6,d} labeled / "
+            f"{outcome.trace_requests:4,d} trace requests, "
+            f"{outcome.revisions} revision(s)"
+        )
+        for path in runner.paths:
+            record = outcome.paths[path]
+            print(
+                f"    {path:16s} {record.wall_seconds:6.2f}s  "
+                f"{record.requests_per_second:10,.0f} req/s"
+            )
+        for problem in outcome.problems():
+            print(f"    MISMATCH: {problem}")
+        if not outcome.ok and not (args.update_golden and not outcome.mismatches):
+            failed += 1
+    print(
+        f"\nscenario matrix: {len(specs)} scenario(s) x "
+        f"{len(runner.paths)} execution path(s) — "
+        + ("all identical" if failed == 0 else f"{failed} FAILED")
+    )
+    return 1 if failed else 0
 
 
 def _write_profile(profiler, checkpoint_dir: str, command: str) -> str:
@@ -365,6 +493,22 @@ def _cmd_export(result, out: str) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    scenario_flags = (
+        args.packs is not None
+        or args.paths is not None
+        or args.matrix
+        or args.update_golden
+    )
+    if args.command != "scenario":
+        if scenario_flags:
+            raise SystemExit(
+                f"{args.command}: --packs/--paths/--matrix/--update-golden "
+                "apply to the scenario command only"
+            )
+        if args.action is not None:
+            raise SystemExit(
+                f"{args.command}: takes no subcommand (got {args.action!r})"
+            )
     serve_flags = (
         args.port is not None
         or args.host is not None
@@ -398,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     config = PipelineConfig(
         sites=args.sites, seed=args.seed, threshold=args.threshold
     )

@@ -106,14 +106,23 @@ def find_redundant_rules(parsed: ParsedList) -> list[tuple[NetworkRule, NetworkR
         host = host_part.lower()
         if not host:
             continue
-        for domain, anchor in anchors.items():
-            if anchor is rule:
-                continue
-            if host == domain or host.endswith("." + domain):
-                # ||sub.domain^... is fully covered by ||domain^ only when
-                # the shadowed rule has no *weaker* condition than the
-                # anchor; the anchor is unconditional, so any rule is.
-                if rule.pattern != anchor.pattern:
-                    redundant.append((rule, anchor))
-                break
+        # Attribute to the *broadest* covering anchor (shortest domain),
+        # not the first one list order happens to offer — redundancy
+        # reports must be invariant under rule re-ordering (a churn
+        # reorder is not an edit).
+        covering = [
+            anchor
+            for domain, anchor in anchors.items()
+            if anchor is not rule
+            and (host == domain or host.endswith("." + domain))
+        ]
+        if covering:
+            anchor = min(
+                covering, key=lambda a: (len(a.pattern), a.pattern)
+            )
+            # ||sub.domain^... is fully covered by ||domain^ only when
+            # the shadowed rule has no *weaker* condition than the
+            # anchor; the anchor is unconditional, so any rule is.
+            if rule.pattern != anchor.pattern:
+                redundant.append((rule, anchor))
     return redundant

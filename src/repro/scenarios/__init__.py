@@ -1,0 +1,41 @@
+"""Scenario packs and the cross-path conformance matrix.
+
+The repo grows by adding faster ways to produce the *same* blocking
+decisions; this package is the harness that keeps "same" honest.  A
+:class:`ScenarioSpec` declares one workload (webmodel knobs, a
+filter-list churn schedule, a request trace, seeds); ``SCENARIO_PACKS``
+names the realistic conditions the paper cares about (cloaking, churn
+storms, long-tail anonymity, internal pages, hot reload under load,
+token drift, extreme size skew, flaky crawls); and
+:class:`ScenarioRunner` drives each pack through every execution path —
+batch, streaming, process fan-out, compiled-artifact fan-out, and the
+online service — asserting byte-identical decisions, reports, and
+``ShardState`` JSON, pinned by committed golden manifests.
+
+CLI: ``trackersift scenario list`` / ``trackersift scenario run
+--matrix``.  Bench: ``benchmarks/bench_scenarios.py``.
+"""
+
+from .packs import SCENARIO_PACKS, all_packs, fast_packs, get_pack
+from .runner import (
+    EXECUTION_PATHS,
+    PathResult,
+    ScenarioOutcome,
+    ScenarioRunner,
+)
+from .spec import ChurnStep, ScenarioSpec, TraceSpec, WebKnobs
+
+__all__ = [
+    "SCENARIO_PACKS",
+    "all_packs",
+    "fast_packs",
+    "get_pack",
+    "EXECUTION_PATHS",
+    "PathResult",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ChurnStep",
+    "ScenarioSpec",
+    "TraceSpec",
+    "WebKnobs",
+]

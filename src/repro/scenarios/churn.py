@@ -1,0 +1,72 @@
+"""Filter-list churn schedules: deterministic list-revision sequences.
+
+The paper's framing leans on filter lists being community-maintained and
+slow-moving; operationally that means the serving layer sees a *sequence*
+of list revisions — reorders from upstream merges, renames when providers
+rebrand, rule drops and additions on every sync.  This module turns a
+:class:`~repro.scenarios.spec.ChurnStep` schedule into concrete
+:class:`~repro.filterlists.parser.ParsedList` revisions, by round-tripping
+through canonical rule *text* (``rule.text``) so every revision is exactly
+what a reload from disk would parse.
+
+Revision 0 is always the scenario's base lists; step *i* produces revision
+*i + 1* from revision *i*.  All operations are seeded — the same schedule
+always yields byte-identical revisions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..filterlists.parser import ParsedList, parse_filter_list
+from .spec import ChurnStep
+
+__all__ = ["apply_churn_step", "churn_revisions"]
+
+
+def _reparse(name: str, lines: list[str]) -> ParsedList:
+    return parse_filter_list("\n".join(lines), name=name)
+
+
+def apply_churn_step(
+    lists: tuple[ParsedList, ...], step: ChurnStep
+) -> tuple[ParsedList, ...]:
+    """One revision transition; never mutates the input lists."""
+    out: list[ParsedList] = []
+    for index, parsed in enumerate(lists):
+        lines = [rule.text for rule in parsed.rules]
+        name = parsed.name
+        if step.op == "reorder":
+            random.Random(step.seed * 1_000_003 + index).shuffle(lines)
+        elif step.op == "rename":
+            name = parsed.name + step.suffix
+        elif step.op == "drop":
+            rng = random.Random(step.seed * 1_000_003 + index)
+            keep = max(1, round(len(lines) * (1.0 - step.fraction)))
+            kept_indices = sorted(rng.sample(range(len(lines)), keep))
+            lines = [lines[i] for i in kept_indices]
+        elif step.op == "add":
+            lines = lines + [
+                f"||churn{step.seed}-{index}-{i}.example^"
+                for i in range(step.count)
+            ]
+        # "noop" falls through: same lines, same name, fresh objects —
+        # exactly what re-reading an unchanged file from disk produces.
+        out.append(_reparse(name, lines))
+    return tuple(out)
+
+
+def churn_revisions(
+    base: tuple[ParsedList, ...], schedule: tuple[ChurnStep, ...]
+) -> list[tuple[ParsedList, ...]]:
+    """All list revisions of a schedule; ``[0]`` is ``base`` itself.
+
+    The *final* revision is the rule set every offline execution path
+    labels with; the service path starts at revision 0 and reloads its way
+    through the rest, so by the end of a scenario every path answered from
+    the same rules.
+    """
+    revisions = [base]
+    for step in schedule:
+        revisions.append(apply_churn_step(revisions[-1], step))
+    return revisions

@@ -1,0 +1,139 @@
+"""The named scenario packs: the workloads every fast path must survive.
+
+Each pack is a frozen :class:`~repro.scenarios.spec.ScenarioSpec` pointing
+at a realistic web condition the paper cares about — cloaking, churn,
+long-tail anonymity, internal pages, hot reload under load, adversarial
+cache-buster drift, extreme site-size skew, flaky crawls.  Packs are data:
+adding one is writing a spec (and committing its golden manifest — see
+``README.md``), not writing code.
+
+``fast`` packs are small enough for the tier-1 conformance test; the rest
+join via the ``slow`` marker, the CLI matrix, and the bench.
+"""
+
+from __future__ import annotations
+
+from .spec import ChurnStep, ScenarioSpec, TraceSpec, WebKnobs
+
+__all__ = ["SCENARIO_PACKS", "all_packs", "fast_packs", "get_pack"]
+
+
+def _packs() -> tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="baseline",
+            description="the calibrated population, untouched — the control",
+            sites=80,
+            trace=TraceSpec(requests=400, seed=101),
+        ),
+        ScenarioSpec(
+            name="cname-cloaking-heavy",
+            description=(
+                "65% of domain-rule tracking traffic hides behind "
+                "first-party CNAME aliases"
+            ),
+            sites=80,
+            web=WebKnobs(cloaking_fraction=0.65),
+            trace=TraceSpec(requests=400, seed=113),
+        ),
+        ScenarioSpec(
+            name="list-churn-storm",
+            description=(
+                "five reloads in one serving window: reorder, 20% rule "
+                "drop, 40 additions, a provider rename, another reorder"
+            ),
+            sites=60,
+            churn=(
+                ChurnStep(op="reorder", seed=3),
+                ChurnStep(op="drop", seed=5, fraction=0.2),
+                ChurnStep(op="add", seed=8, count=40),
+                ChurnStep(op="rename", suffix=" (2026 edition)"),
+                ChurnStep(op="reorder", seed=13),
+            ),
+            trace=TraceSpec(requests=600, seed=127, chunks=6),
+            fast=False,
+        ),
+        ScenarioSpec(
+            name="anonymized-long-tail",
+            description=(
+                "a long-tail crawl (220 sites) where 85% of mixed-script "
+                "methods report as `anonymous`"
+            ),
+            sites=220,
+            web=WebKnobs(anonymize_fraction=0.85),
+            trace=TraceSpec(requests=500, seed=131),
+            fast=False,
+        ),
+        ScenarioSpec(
+            name="internal-pages",
+            description=(
+                "half the sites gain internal article pages that replay "
+                "tracking more often than functional traffic"
+            ),
+            sites=60,
+            web=WebKnobs(internal_site_fraction=0.5, internal_pages_per_site=2),
+            trace=TraceSpec(requests=500, seed=137),
+            fast=False,
+        ),
+        ScenarioSpec(
+            name="hot-reload-under-load",
+            description=(
+                "decision-preserving reloads (noop, reorder, noop) land "
+                "between trace chunks while the service answers"
+            ),
+            sites=60,
+            churn=(
+                ChurnStep(op="noop"),
+                ChurnStep(op="reorder", seed=29),
+                ChurnStep(op="noop"),
+            ),
+            trace=TraceSpec(requests=600, seed=139, chunks=4),
+        ),
+        ScenarioSpec(
+            name="adversarial-token-drift",
+            description=(
+                "60% of the workload carries seeded cache-buster tokens — "
+                "the decision cache's adversarial input"
+            ),
+            sites=60,
+            trace=TraceSpec(requests=500, seed=149, drift=0.6, drift_seed=151),
+        ),
+        ScenarioSpec(
+            name="tiny-and-huge-mix",
+            description=(
+                "a 40-site crawl where a slice of sites balloons to 7 "
+                "pages each — extreme per-shard size skew"
+            ),
+            sites=40,
+            web=WebKnobs(internal_site_fraction=0.2, internal_pages_per_site=6),
+            trace=TraceSpec(requests=400, seed=157),
+        ),
+        ScenarioSpec(
+            name="flaky-crawl",
+            description="12% of page loads fail, keyed to the 13-node cluster",
+            sites=80,
+            failure_rate=0.12,
+            trace=TraceSpec(requests=400, seed=163),
+            fast=False,
+        ),
+    )
+
+
+#: name → spec, in registry order.
+SCENARIO_PACKS: dict[str, ScenarioSpec] = {spec.name: spec for spec in _packs()}
+
+
+def all_packs() -> tuple[ScenarioSpec, ...]:
+    return tuple(SCENARIO_PACKS.values())
+
+
+def fast_packs() -> tuple[ScenarioSpec, ...]:
+    return tuple(spec for spec in SCENARIO_PACKS.values() if spec.fast)
+
+
+def get_pack(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIO_PACKS[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_PACKS)
+        raise KeyError(f"unknown scenario pack {name!r}; known packs: {known}")

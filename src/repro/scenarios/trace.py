@@ -1,0 +1,120 @@
+"""Workload traces: the request stream a scenario replays online.
+
+A trace is a seeded sample of the synthetic web's *planned* requests, in
+canonical order (websites by rank, scripts/methods/invocations in plan
+order), each carrying the URL, resource type and initiating page — the
+exact triple :meth:`BlockingService.decide` consumes and the offline
+:class:`~repro.filterlists.oracle.FilterListOracle` labels.  Because the
+sample is keyed on the spec's trace seed, the same spec always yields a
+byte-identical trace, which is what lets the golden manifests pin the
+decision stream's digest.
+
+*Token drift* mutates a fraction of the sampled URLs with cache-buster
+query tokens (seeded random digit runs).  Drifted URLs stress the
+digit-run-normalized decision cache — many distinct URLs, one decision —
+without changing what any single URL should decide to, so cross-path
+identity must survive it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+
+from ..filterlists.oracle import FilterListOracle
+from ..filterlists.rules import ResourceType
+from ..webmodel.generator import SyntheticWeb
+from .spec import TraceSpec
+
+__all__ = ["TraceRequest", "build_trace", "decisions_digest", "offline_decisions"]
+
+_DRIFT_KEYS = ("cb", "session", "uid", "ts")
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of the replayable workload."""
+
+    url: str
+    resource_type: str
+    page_url: str
+
+
+def _planned_requests(web: SyntheticWeb) -> list[TraceRequest]:
+    """Every planned request, in canonical plan order."""
+    out: list[TraceRequest] = []
+    for script in sorted(web.scripts, key=lambda s: s.url):
+        for method in script.methods:
+            for invocation in method.invocations:
+                for request in invocation.requests:
+                    out.append(
+                        TraceRequest(
+                            url=request.url,
+                            resource_type=request.resource_type,
+                            page_url=invocation.site,
+                        )
+                    )
+    return out
+
+
+def _drift_url(url: str, rng: random.Random) -> str:
+    """Append a seeded cache-buster token (the classic tracker idiom)."""
+    key = rng.choice(_DRIFT_KEYS)
+    token = "".join(rng.choice("0123456789") for _ in range(rng.randint(6, 14)))
+    joiner = "&" if "?" in url else "?"
+    return f"{url}{joiner}{key}={token}"
+
+
+def build_trace(web: SyntheticWeb, spec: TraceSpec) -> list[TraceRequest]:
+    """The scenario's workload: seeded sample + optional token drift."""
+    population = _planned_requests(web)
+    rng = random.Random(spec.seed)
+    if len(population) > spec.requests:
+        indices = sorted(rng.sample(range(len(population)), spec.requests))
+        sampled = [population[i] for i in indices]
+    else:
+        sampled = population
+    if spec.drift <= 0.0:
+        return sampled
+    drift_rng = random.Random(spec.drift_seed)
+    drifted: list[TraceRequest] = []
+    for request in sampled:
+        if drift_rng.random() < spec.drift:
+            request = TraceRequest(
+                url=_drift_url(request.url, drift_rng),
+                resource_type=request.resource_type,
+                page_url=request.page_url,
+            )
+        drifted.append(request)
+    return drifted
+
+
+def offline_decisions(
+    oracle: FilterListOracle, trace: list[TraceRequest]
+) -> list[dict]:
+    """The offline oracle's verdict on every trace request, in order.
+
+    This is the reference stream the online service must reproduce
+    byte-for-byte (same URLs, same order, same labels)."""
+    decisions = []
+    for request in trace:
+        resource = ResourceType.from_option(request.resource_type) or ResourceType.OTHER
+        labeled = oracle.label_request(request.url, resource, request.page_url)
+        decisions.append(
+            {
+                "url": request.url,
+                "label": labeled.label.value,
+                "blocked": labeled.label.is_tracking,
+            }
+        )
+    return decisions
+
+
+def decisions_digest(decisions: list[dict]) -> str:
+    """sha256 over the canonical JSON decision stream."""
+    payload = "\n".join(
+        json.dumps(decision, sort_keys=True) for decision in decisions
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

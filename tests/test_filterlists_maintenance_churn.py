@@ -1,0 +1,197 @@
+"""Maintenance-primitive edge cases under scenario churn schedules.
+
+The scenario churn schedules exercise ``diff_lists`` (via the serving
+layer's reload churn report) with exactly the operational cases the
+paper's "slow-moving community lists" framing implies: no-op reloads,
+upstream re-orderings, provider renames, rule drops and additions.  These
+tests pin the maintenance primitives' behaviour on each of them, so a
+churn-storm scenario's churn accounting is trustworthy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filterlists.lists import default_lists
+from repro.filterlists.maintenance import diff_lists, find_redundant_rules
+from repro.filterlists.parser import ParsedList, parse_filter_list
+from repro.scenarios.churn import apply_churn_step, churn_revisions
+from repro.scenarios.spec import ChurnStep
+from repro.serve.service import BlockingService
+
+
+def _churn_counts(old, new):
+    diff = diff_lists(old, new)
+    return len(diff.added), len(diff.removed), diff.unchanged
+
+
+# -- diff_lists under churn ops ----------------------------------------------
+
+
+def test_noop_reload_reports_zero_churn():
+    base = default_lists()
+    reloaded = apply_churn_step(base, ChurnStep(op="noop"))
+    for old, new in zip(base, reloaded):
+        added, removed, unchanged = _churn_counts(old, new)
+        assert (added, removed) == (0, 0)
+        assert unchanged == len({r.text for r in old.rules})
+
+
+def test_reordering_is_invisible_to_diff():
+    """diff_lists keys on canonical rule text, not position."""
+    base = default_lists()
+    shuffled = apply_churn_step(base, ChurnStep(op="reorder", seed=99))
+    for old, new in zip(base, shuffled):
+        assert [r.text for r in old.rules] != [r.text for r in new.rules]
+        added, removed, _ = _churn_counts(old, new)
+        assert (added, removed) == (0, 0)
+
+
+def test_drop_step_counts_exactly_the_dropped_rules():
+    base = default_lists()
+    dropped = apply_churn_step(base, ChurnStep(op="drop", seed=4, fraction=0.25))
+    for old, new in zip(base, dropped):
+        old_texts = {r.text for r in old.rules}
+        new_texts = {r.text for r in new.rules}
+        assert new_texts < old_texts
+        added, removed, unchanged = _churn_counts(old, new)
+        assert added == 0
+        assert removed == len(old_texts - new_texts)
+        assert unchanged == len(new_texts)
+
+
+def test_add_step_counts_exactly_the_added_rules():
+    base = default_lists()
+    extended = apply_churn_step(base, ChurnStep(op="add", seed=6, count=17))
+    for old, new in zip(base, extended):
+        added, removed, _ = _churn_counts(old, new)
+        assert (added, removed) == (17, 0)
+
+
+def test_rename_keeps_rules_but_not_the_name():
+    base = default_lists()
+    renamed = apply_churn_step(base, ChurnStep(op="rename", suffix=" v2"))
+    for old, new in zip(base, renamed):
+        assert new.name == old.name + " v2"
+        # Rule-wise the lists are identical…
+        added, removed, _ = _churn_counts(old, new)
+        assert (added, removed) == (0, 0)
+
+
+def test_renamed_list_reads_as_full_replacement_in_reload_churn():
+    """Name-paired churn reporting: a rename is remove-all + add-all.
+
+    ``BlockingService`` pairs lists by name, so a provider rename shows up
+    as the old list fully removed and the new one fully added — the honest
+    operational reading (subscribers must re-subscribe), pinned here so
+    scenario churn storms account for it deliberately.
+    """
+    base = default_lists()
+    service = BlockingService(*base)
+    renamed = apply_churn_step(base, ChurnStep(op="rename", suffix=" v2"))
+    report = service.reload(*renamed)
+    per_list = {entry["name"]: entry for entry in report["lists"]}
+    for old, new in zip(base, renamed):
+        rule_count = len({r.text for r in old.rules})
+        assert per_list[new.name]["added"] == rule_count
+        assert per_list[new.name]["unchanged"] == 0
+        assert per_list[old.name]["removed"] == rule_count
+    # …and the service still serves: decisions unchanged by a rename.
+    assert service.decide("https://doubleclick.net/pixel")["blocked"]
+
+
+def test_noop_and_reorder_reloads_report_zero_churn_via_service():
+    service = BlockingService(*default_lists())
+    for step in (ChurnStep(op="noop"), ChurnStep(op="reorder", seed=11)):
+        report = service.reload(*apply_churn_step(default_lists(), step))
+        assert report["churn"]["added"] == 0
+        assert report["churn"]["removed"] == 0
+        assert report["churn"]["unchanged"] > 0
+
+
+def test_empty_list_diff_edges():
+    base = default_lists()[0]
+    empty = ParsedList(name=base.name)
+    full_add = diff_lists(empty, base)
+    full_remove = diff_lists(base, empty)
+    assert len(full_add.added) == len({r.text for r in base.rules})
+    assert not full_add.removed and full_add.unchanged == 0
+    assert len(full_remove.removed) == len({r.text for r in base.rules})
+    assert not full_remove.added and full_remove.unchanged == 0
+
+
+# -- find_redundant_rules under churn ----------------------------------------
+
+
+@pytest.fixture
+def shadowed_list() -> ParsedList:
+    return parse_filter_list(
+        "\n".join(
+            [
+                "||shadow.example^",
+                "||sub.shadow.example^",
+                "||deep.sub.shadow.example/pixel",
+                "||independent.example^$script",
+                "||other.example/banner",
+            ]
+        ),
+        name="shadow-test",
+    )
+
+
+def test_redundancy_detection_is_reorder_invariant(shadowed_list):
+    baseline = {
+        (shadowed.pattern, anchor.pattern)
+        for shadowed, anchor in find_redundant_rules(shadowed_list)
+    }
+    assert baseline, "fixture must contain shadowed rules"
+    (reordered,) = apply_churn_step(
+        (shadowed_list,), ChurnStep(op="reorder", seed=21)
+    )
+    shuffled = {
+        (shadowed.pattern, anchor.pattern)
+        for shadowed, anchor in find_redundant_rules(reordered)
+    }
+    assert shuffled == baseline
+
+
+def test_churn_added_rules_introduce_no_false_redundancy():
+    """`add` steps generate disjoint ||churn…^ domains — never shadowed."""
+    base = default_lists()
+    extended = apply_churn_step(base, ChurnStep(op="add", seed=9, count=25))
+    for parsed in extended:
+        for shadowed, anchor in find_redundant_rules(parsed):
+            assert "churn" not in shadowed.pattern
+            assert "churn" not in anchor.pattern
+
+
+def test_drop_can_clear_redundancy(shadowed_list):
+    """Dropping the broad anchor un-shadows its subdomain rules."""
+    without_anchor = parse_filter_list(
+        "\n".join(
+            r.text for r in shadowed_list.rules if r.pattern != "||shadow.example^"
+        ),
+        name="shadow-test",
+    )
+    remaining = find_redundant_rules(without_anchor)
+    assert all(
+        anchor.pattern != "||shadow.example^" for _, anchor in remaining
+    )
+
+
+def test_churn_revisions_compose_diffs():
+    """Accumulated per-step diffs agree with the end-to-end diff."""
+    schedule = (
+        ChurnStep(op="add", seed=2, count=10),
+        ChurnStep(op="reorder", seed=3),
+        ChurnStep(op="drop", seed=5, fraction=0.1),
+        ChurnStep(op="noop"),
+    )
+    revisions = churn_revisions(default_lists(), schedule)
+    assert len(revisions) == len(schedule) + 1
+    for first, last in zip(revisions[0], revisions[-1]):
+        end_to_end = diff_lists(first, last)
+        first_texts = {r.text for r in first.rules}
+        last_texts = {r.text for r in last.rules}
+        assert {r.text for r in end_to_end.added} == last_texts - first_texts
+        assert {r.text for r in end_to_end.removed} == first_texts - last_texts

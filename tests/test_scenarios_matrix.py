@@ -1,0 +1,127 @@
+"""The scenario × execution-path conformance matrix, golden-pinned.
+
+Tier-1 runs the *fast* packs through every execution path and asserts
+each (scenario, path) cell agrees with the canonical result and with the
+committed golden manifest — this is the gate every future fast-path PR
+answers to.  The full matrix (all packs, including the larger ones) runs
+behind the ``slow`` marker and in ``trackersift scenario run --matrix``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    EXECUTION_PATHS,
+    SCENARIO_PACKS,
+    ScenarioRunner,
+    all_packs,
+    fast_packs,
+)
+from repro.scenarios.runner import _PIPELINE_PATHS, _SHARDED_PATHS
+
+FAST_NAMES = tuple(spec.name for spec in fast_packs())
+SLOW_NAMES = tuple(
+    spec.name for spec in all_packs() if spec.name not in FAST_NAMES
+)
+
+
+@pytest.fixture(scope="session")
+def fast_outcomes():
+    """One full matrix run per fast pack, shared by every cell assertion."""
+    runner = ScenarioRunner()
+    return {name: runner.run(SCENARIO_PACKS[name]) for name in FAST_NAMES}
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_fast_pack_runs_every_path(fast_outcomes, name):
+    outcome = fast_outcomes[name]
+    assert set(outcome.paths) == set(EXECUTION_PATHS)
+    assert outcome.labeled_requests > 0
+    assert outcome.trace_requests > 0
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize(
+    "name,path",
+    [(name, path) for name in FAST_NAMES for path in EXECUTION_PATHS],
+)
+def test_matrix_cell_identity(fast_outcomes, name, path):
+    """Every (scenario, path) cell agrees with the canonical result."""
+    outcome = fast_outcomes[name]
+    record = outcome.paths[path]
+    if path in _PIPELINE_PATHS:
+        assert record.summary == outcome.summary, (
+            f"{name}/{path}: report diverged"
+        )
+        assert record.requests == outcome.labeled_requests
+    if path in _SHARDED_PATHS:
+        assert record.shard_state_sha256 == outcome.shard_state_sha256, (
+            f"{name}/{path}: ShardState JSON diverged"
+        )
+    if path == "service":
+        assert record.decisions_sha256 == outcome.decisions_sha256, (
+            f"{name}/{path}: decision stream diverged from the offline oracle"
+        )
+    assert not outcome.mismatches, outcome.mismatches
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_fast_pack_matches_golden(fast_outcomes, name):
+    outcome = fast_outcomes[name]
+    assert not outcome.golden_mismatches, outcome.golden_mismatches
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_NAMES)
+def test_full_matrix_pack(name):
+    """The larger packs: full path matrix, golden-pinned (``-m slow``)."""
+    outcome = ScenarioRunner().run(SCENARIO_PACKS[name])
+    assert outcome.ok, outcome.problems()
+
+
+# -- harness behaviour -------------------------------------------------------
+
+
+def test_runner_rejects_unknown_path():
+    with pytest.raises(ValueError, match="unknown execution path"):
+        ScenarioRunner(paths=("batch", "teleport"))
+
+
+def test_missing_golden_fails_loudly(tmp_path):
+    runner = ScenarioRunner(
+        paths=("stream-1", "service"), golden_dir=tmp_path
+    )
+    outcome = runner.run(SCENARIO_PACKS["tiny-and-huge-mix"])
+    assert not outcome.mismatches
+    assert any("missing" in m for m in outcome.golden_mismatches)
+
+
+def test_tampered_golden_detected(tmp_path):
+    runner = ScenarioRunner(paths=("stream-1", "service"), golden_dir=tmp_path)
+    spec = SCENARIO_PACKS["tiny-and-huge-mix"]
+    first = runner.run(spec, update_golden=True)
+    assert first.ok
+
+    golden_file = runner.golden_path(spec)
+    golden = json.loads(golden_file.read_text(encoding="utf-8"))
+    golden["decisions_sha256"] = "0" * 64
+    golden_file.write_text(json.dumps(golden), encoding="utf-8")
+    tampered = runner.run(spec)
+    assert any("decisions_sha256" in m for m in tampered.golden_mismatches)
+
+
+def test_edited_spec_invalidates_golden(tmp_path):
+    """A golden generated from a different spec must not compare at all."""
+    from dataclasses import replace
+
+    runner = ScenarioRunner(paths=("stream-1",), golden_dir=tmp_path)
+    spec = SCENARIO_PACKS["tiny-and-huge-mix"]
+    runner.run(spec, update_golden=True)
+    edited = replace(spec, threshold=3.0)
+    outcome = runner.run(edited)
+    assert any("different spec" in m for m in outcome.golden_mismatches)

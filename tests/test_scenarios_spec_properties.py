@@ -1,0 +1,156 @@
+"""Property tests for scenario specs: lossless round-trip, determinism.
+
+Two proof obligations back the golden manifests:
+
+1. ``ScenarioSpec`` round-trips losslessly through JSON — a committed
+   pack (or the spec embedded in a golden) reconstructs the exact spec,
+   so ``spec_sha256`` pinning is meaningful.
+2. Everything a spec induces is a pure function of the spec: two runs of
+   the same spec + seed produce byte-identical churn revisions, traces,
+   and decision streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filterlists.lists import default_lists
+from repro.filterlists.oracle import FilterListOracle
+from repro.scenarios import ChurnStep, ScenarioSpec, TraceSpec, WebKnobs
+from repro.scenarios.churn import churn_revisions
+from repro.scenarios.packs import all_packs
+from repro.scenarios.trace import build_trace, decisions_digest, offline_decisions
+from repro.webmodel.generator import generate_web
+
+# -- strategies --------------------------------------------------------------
+
+churn_steps = st.one_of(
+    st.builds(ChurnStep, op=st.just("noop")),
+    st.builds(ChurnStep, op=st.just("reorder"), seed=st.integers(0, 2**16)),
+    st.builds(
+        ChurnStep, op=st.just("rename"), suffix=st.text(" -v2абц", max_size=8)
+    ),
+    st.builds(
+        ChurnStep,
+        op=st.just("drop"),
+        seed=st.integers(0, 2**16),
+        fraction=st.floats(0.0, 0.9, allow_nan=False),
+    ),
+    st.builds(
+        ChurnStep, op=st.just("add"), seed=st.integers(0, 2**16), count=st.integers(0, 50)
+    ),
+)
+
+trace_specs = st.builds(
+    TraceSpec,
+    requests=st.integers(1, 2_000),
+    seed=st.integers(0, 2**32),
+    drift=st.floats(0.0, 1.0, allow_nan=False),
+    drift_seed=st.integers(0, 2**32),
+    chunks=st.integers(1, 12),
+)
+
+web_knobs = st.builds(
+    WebKnobs,
+    internal_site_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    internal_pages_per_site=st.integers(1, 8),
+    internal_seed=st.integers(0, 2**16),
+    cloaking_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    cloaking_seed=st.integers(0, 2**16),
+    anonymize_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    anonymize_seed=st.integers(0, 2**16),
+)
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    name=st.text(
+        st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="-"),
+        min_size=1,
+        max_size=24,
+    ),
+    description=st.text(max_size=60),
+    sites=st.integers(10, 5_000),
+    seed=st.integers(0, 2**32),
+    cluster_nodes=st.integers(1, 32),
+    threshold=st.floats(0.5, 8.0, allow_nan=False),
+    failure_rate=st.floats(0.0, 0.5, allow_nan=False),
+    web=web_knobs,
+    trace=trace_specs,
+    churn=st.lists(churn_steps, max_size=6).map(tuple),
+    fast=st.booleans(),
+)
+
+
+# -- 1. lossless JSON round-trip ---------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(spec=scenario_specs)
+def test_spec_json_round_trip_is_lossless(spec):
+    restored = ScenarioSpec.from_json(spec.to_json())
+    assert restored == spec
+    # Canonical serialization is stable: same spec, same bytes.
+    assert restored.to_json() == spec.to_json()
+
+
+def test_committed_packs_round_trip():
+    for spec in all_packs():
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_from_dict_rejects_unknown_fields():
+    record = all_packs()[0].to_dict()
+    record["laser"] = True
+    with pytest.raises(ValueError, match="unknown ScenarioSpec fields"):
+        ScenarioSpec.from_dict(record)
+
+
+# -- 2. spec + seed determinism ----------------------------------------------
+
+# One tiny population for trace determinism; building a web per hypothesis
+# example would dominate the suite.
+_TINY_WEB = generate_web(sites=12, seed=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace_spec=trace_specs)
+def test_trace_is_byte_identical_across_runs(trace_spec):
+    first = build_trace(_TINY_WEB, trace_spec)
+    second = build_trace(_TINY_WEB, trace_spec)
+    assert first == second
+    assert 0 < len(first) <= trace_spec.requests or len(first) == len(second)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=st.lists(churn_steps, max_size=4).map(tuple))
+def test_churn_revisions_are_byte_identical_across_runs(schedule):
+    base = default_lists()
+    first = churn_revisions(base, schedule)
+    second = churn_revisions(base, schedule)
+    assert len(first) == len(second) == len(schedule) + 1
+    for lists_a, lists_b in zip(first, second):
+        assert tuple(p.name for p in lists_a) == tuple(p.name for p in lists_b)
+        for parsed_a, parsed_b in zip(lists_a, lists_b):
+            assert [r.text for r in parsed_a.rules] == [
+                r.text for r in parsed_b.rules
+            ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    trace_spec=trace_specs.filter(lambda t: t.requests <= 200),
+    schedule=st.lists(churn_steps, max_size=2).map(tuple),
+)
+def test_decision_stream_digest_is_deterministic(trace_spec, schedule):
+    """Same spec + seed ⇒ the same decision digest, end to end."""
+    final_lists = churn_revisions(default_lists(), schedule)[-1]
+    trace = build_trace(_TINY_WEB, trace_spec)
+    first = decisions_digest(
+        offline_decisions(FilterListOracle(*final_lists), trace)
+    )
+    second = decisions_digest(
+        offline_decisions(FilterListOracle(*final_lists), trace)
+    )
+    assert first == second
