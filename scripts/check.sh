@@ -20,12 +20,18 @@ echo "== compile smoke (compile → load → serve identity) =="
 python scripts/compile_smoke.py
 
 echo
+echo "== matcher smoke (automaton vs reference walk identity) =="
+python scripts/matcher_smoke.py
+BENCH_SMOKE=1 python scripts/matcher_smoke.py
+
+echo
 echo "== benchmark smoke (small scale; identity gates, wall-clock recorded) =="
 BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_streaming.py \
     benchmarks/bench_parallel.py \
     benchmarks/bench_artifacts.py \
-    "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation"
+    "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation" \
+    "benchmarks/bench_matcher.py::test_matcher_core_gates"
 
 echo
 echo "== serve smoke (start server, decide, hot reload, shut down) =="

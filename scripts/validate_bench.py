@@ -14,6 +14,10 @@ PRs without per-bench knowledge, so they share a minimal contract:
   and has already hidden a 0.96x "speedup" for a whole PR cycle;
 * any present ``achieved`` / ``required_*`` / ``max_*`` gate fields must
   be numbers;
+* optional ``latency`` / ``batch``: non-empty mappings of measurement
+  name to a number (per-decision microseconds, speedup ratios) — the
+  matching-core bench records its walk/automaton latencies and
+  batch-vs-looped numbers here so they stay diffable across PRs;
 * optional ``scenarios``: a non-empty mapping of pack name to an object
   with ``skipped`` (bool); a pack that *is* skipped must say why in a
   non-empty ``skip_reason`` — a scenario silently missing from the
@@ -55,6 +59,23 @@ def validate_bench(payload: dict, name: str) -> list[str]:
     )
     check(isinstance(payload.get("seed"), int), "'seed' must be an integer")
     check(isinstance(payload.get("smoke"), bool), "'smoke' must be a boolean")
+
+    for section in ("latency", "batch"):
+        measurements = payload.get(section)
+        if measurements is None:
+            continue
+        check(
+            isinstance(measurements, dict) and measurements,
+            f"'{section}' must be a non-empty object",
+        )
+        if isinstance(measurements, dict):
+            for measure_name, value in measurements.items():
+                check(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool),
+                    f"{section}[{measure_name!r}] must be a number, "
+                    f"got {value!r}",
+                )
 
     scenarios = payload.get("scenarios")
     if scenarios is not None:

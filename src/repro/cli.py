@@ -264,8 +264,18 @@ def _cmd_compile(args) -> int:
     print(
         f"compiled {meta['rule_count']:,} rules from "
         f"{', '.join(meta['lists']) or 'embedded defaults'} to {args.out} "
-        f"({meta['bytes']:,} bytes, format v{meta['version']})"
+        f"({meta['bytes']:,} bytes, format v{meta['version']}, "
+        f"{meta.get('automaton_keys', 0):,} automaton keys)"
     )
+    unsupported = meta.get("unsupported") or {}
+    if unsupported:
+        breakdown = ", ".join(
+            f"{reason}: {count}" for reason, count in sorted(unsupported.items())
+        )
+        print(
+            f"skipped {meta.get('unsupported_rules', 0):,} unsupported "
+            f"rule(s) ({breakdown}) — not matched by the oracle"
+        )
     print(
         "load it with: trackersift serve --artifact "
         f"{args.out}  (or FilterListOracle.from_artifact)"

@@ -559,6 +559,10 @@ class StreamingPipeline:
             page = browser.load(website)
             if extension is not None:
                 extension.capture_page(page)
+            # iter_labeled drains the oracle through its chunked batch
+            # path (label_request_many), amortizing decision-cache lock
+            # rounds per page while keeping stream order and the
+            # label_cache_* note accounting byte-identical.
             for analyzed in labeler.iter_labeled(
                 page.requests, counters=counters
             ):

@@ -18,8 +18,16 @@ On-disk layout (all integers big-endian)::
     meta_len   u32     length of the JSON metadata block
     data_len   u64     length of the pickled payload
     sha256     32      digest over metadata + payload
-    meta       JSON    {"rule_count", "lists", "revision", "format"}
+    meta       JSON    {"rule_count", "lists", "revision", "format",
+                        "automaton_keys", "unsupported", "unsupported_rules"}
     payload    pickle  {"matcher": FilterMatcher, "lists": (ParsedList, ...)}
+
+Since version 2 the pickled matcher carries its candidate-generation
+:class:`~repro.filterlists.matcher.TokenAutomaton` (vocabulary only — the
+compiled scan patterns follow the same lazy invariant as per-rule regexes
+and never serialize), so loaded oracles scan URLs the same way freshly
+built ones do.  Version-1 artifacts predate the automaton and are
+rejected with :class:`ArtifactError`, never half-loaded.
 
 Every load verifies magic, version, lengths and checksum before touching
 the pickle, so a truncated or corrupted artifact (or one written by a
@@ -87,7 +95,13 @@ def gc_paused():
             gc.enable()
 
 MAGIC = b"TSORACLE"
-ARTIFACT_VERSION = 1
+# Version history:
+#   1 — token/host-bucket matcher, lazy per-rule regexes.
+#   2 — matcher carries its TokenAutomaton (candidate generation by one
+#       automaton scan instead of tokenize-then-probe) and per-reason
+#       unsupported-rule accounting; version-1 artifacts predate both and
+#       are rejected loudly — recompile from list text.
+ARTIFACT_VERSION = 2
 _HEADER = struct.Struct(">8sHIQ32s")
 
 
@@ -123,12 +137,16 @@ def _encode(
         {"matcher": plain, "lists": tuple(lists)},
         protocol=pickle.HIGHEST_PROTOCOL,
     )
+    automaton = plain.automaton
     meta = {
         "format": "tsoracle",
         "version": ARTIFACT_VERSION,
         "rule_count": plain.rule_count,
         "lists": list(plain.list_names),
         "revision": plain.revision,
+        "automaton_keys": automaton.vocabulary_size if automaton else 0,
+        "unsupported": plain.unsupported_counts,
+        "unsupported_rules": plain.unsupported_rule_count,
     }
     meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
     digest = hashlib.sha256(meta_bytes + payload).digest()

@@ -1,46 +1,115 @@
-"""Token-indexed filter matching engine.
+"""Token-automaton filter matching engine.
 
-Real content blockers never test every rule against every request: rules are
-bucketed by a distinguishing literal token and only the buckets whose token
-appears in the request URL are consulted.  We implement the same scheme,
-which keeps labeling ~O(tokens-in-URL) instead of O(rules) and makes the
-100K-site-scale labeling pass tractable.
+Real content blockers never test every rule against every request: rules
+are bucketed by a distinguishing literal, and only the buckets whose
+literal occurs in the request URL are consulted.  Earlier revisions of
+this engine found those buckets by *tokenize-then-probe*: split the URL
+into maximal alphanumeric runs, then hash-probe the bucket dict once per
+run (and once per authority dot-suffix for ``||host^`` rules).  That walk
+was the per-decision floor — ~70% of a decision's time was spent
+enumerating and probing keys that select no bucket at all.
 
-Two fast paths sit on top of the token index:
+This revision replaces the walk with a precompiled **Aho-Corasick token
+automaton** (:class:`TokenAutomaton`) over the rule corpus's literals:
 
-* **Host-anchor dict.**  Pure ``||host^`` rules — the bulk of a real list —
-  are matched by hash lookup on the URL's host-anchor keys instead of by
-  regex (see :func:`_host_anchor_keys` for the exact-equivalence argument),
-  so they never compile or run a regex at all.
-* **Per-request shape reuse.**  The URL's tokens and host keys are computed
-  once per request (:class:`RequestShape`) and shared by the blocking and
-  exception indexes, instead of being re-derived per index.
+* **Vocabulary.**  Every token-bucket key (the delimited literal a rule is
+  indexed under) plus every pure ``||host^`` literal, across the blocking
+  *and* exception indexes.
+* **Anchored keys, trivial failure function.**  Every key in the
+  vocabulary is boundary-delimited by construction: a bucket token is only
+  index-safe when it matches a *whole* alphanumeric run of the URL (see
+  :func:`repro.filterlists.rules._extract_token`), and a host literal can
+  only match starting at the authority or immediately after a ``.``,
+  ending where its non-separator run ends (see :func:`_host_anchor_keys`).
+  A mismatch therefore never restarts mid-key — the Aho-Corasick failure
+  function collapses to the root — so the goto function alone decides
+  membership, and each tier executes it in its cheapest form.  The token
+  tier (anchors at every alphanumeric-run boundary) runs the goto trie at
+  C speed as a trie-structured regex (one state per trie node,
+  alternation = branch, ``?`` = accepting interior node) with the
+  boundary conditions expressed as lookaround assertions.  The host tier
+  has only a handful of anchors (authority start + one per dot), so it
+  resolves each anchor with one hash probe of the key table — anchored
+  keys make a probe equivalent to a full trie walk.
+* **One scan, candidate buckets out.**  :meth:`TokenAutomaton.scan` makes
+  a single pass over the lowered URL and returns exactly the host keys and
+  tokens that select a bucket, already deduplicated in URL order.  The
+  per-*token* dict probes of the old walk — the expensive part, one per
+  alphanumeric run against mostly-absent keys — are gone from the
+  per-decision path.
 
-Candidate iteration is deterministic: host keys and tokens are consulted in
-URL order (deduplicated), never in set-hash order, so which rule a
+The automaton is constructed when rules are indexed and travels inside
+compiled ``.tsoracle`` artifacts (``ARTIFACT_VERSION`` 2 — see
+:mod:`repro.filterlists.compile`; older artifacts are rejected loudly).
+Its compiled scan patterns follow the same lazy invariant as per-rule
+regexes: derived state never serializes, and the patterns materialize on
+the first scan in each process.
+
+Candidate iteration is deterministic: host keys and tokens are consulted
+in URL order (deduplicated), never in set-hash order, so which rule a
 :class:`MatchResult` attributes a block to is stable across interpreter
-runs regardless of ``PYTHONHASHSEED`` — the same guarantee the simulation
-seeds give (``repro.stablehash``).
+runs regardless of ``PYTHONHASHSEED``.  The automaton preserves this
+bit-for-bit: its hits are reported in ascending match position, which is
+provably the same order the tokenize-then-probe walk produced (every
+valid key starts at a run boundary, and at most one vocabulary key can be
+valid per start position).  The legacy walk is retained behind
+``FilterMatcher(automaton=False)`` as the reference implementation; the
+equivalence property tests and ``scripts/matcher_smoke.py`` hold the two
+decision-identical.
+
+Batch decisions go through :meth:`FilterMatcher.match_many` /
+:meth:`FilterMatcher.decide_many`, which amortize per-call overhead
+(shape construction stays per-URL, but attribute lookups, result
+assembly, and — one layer up — cache lock acquisitions are paid once per
+batch).  Quickstart::
+
+    >>> from repro.filterlists.matcher import FilterMatcher
+    >>> matcher = FilterMatcher.from_text("||tracker.example^\\n/pixel/*")
+    >>> [r.blocked for r in matcher.decide_many([
+    ...     "https://tracker.example/a.js",
+    ...     "https://safe.example/app.js",
+    ...     "https://safe.example/pixel/1.gif",
+    ... ])]
+    [True, False, True]
+
+Request URLs are matched through a normalized view of their authority
+(:class:`RequestShape` strips trailing dots and IDNA-encodes the host,
+exactly like :func:`repro.urlkit.url.normalize_host`), so the oracle
+agrees with the crawler about which host a request targets —
+``||tracker.com^`` blocks ``http://tracker.com./x`` and
+``||xn--bcher-kva.example^`` blocks ``http://bücher.example/x``.
 
 Exception (``@@``) rules override blocking rules, exactly as in ABP: a
-request is *blocked* iff at least one blocking rule matches and no exception
-rule matches.
+request is *blocked* iff at least one blocking rule matches and no
+exception rule matches.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
 
+from ..urlkit.url import URLError, normalize_host
 from .parser import ParsedList, parse_filter_list
 from .rules import NetworkRule, RequestContext
 
-__all__ = ["MatchResult", "FilterMatcher", "RequestShape"]
+__all__ = [
+    "MatchResult",
+    "FilterMatcher",
+    "RequestShape",
+    "TokenAutomaton",
+]
 
 _URL_TOKEN_RE = re.compile(r"[a-z0-9]+")
 # The scheme prefix ``||`` anchors under (lowercased form of _HOST_ANCHOR).
 _SCHEME_RE = re.compile(r"^[a-z][a-z0-9.+-]*://")
+# First character that ends the authority.
+_AUTH_DELIM_RE = re.compile(r"[/?#]")
+# Scheme prefix and authority span in one anchored pass — group 1 is the
+# authority.  Functionally _SCHEME_RE + _AUTH_DELIM_RE, fused because the
+# hot path locates the authority once per decision.
+_AUTH_SPAN_RE = re.compile(r"[a-z][a-z0-9.+-]*://([^/?#]*)")
 # Maximal runs of non-separator characters inside an authority; the
 # complement of the ABP separator class, minus ``/?#`` which end the
 # authority (the lowercased view of the class in ``rules._SEPARATOR``).
@@ -53,9 +122,9 @@ _PURE_HOST_RULE_RE = re.compile(r"^\|\|([a-z0-9_\-.%]+)\^$")
 def _url_tokens(lowered_url: str) -> tuple[str, ...]:
     """Maximal alphanumeric runs of a *pre-lowercased* URL, deduplicated,
     in URL order — *never* set order, so candidate iteration (and
-    therefore rule attribution) is hash-seed independent.  The caller
-    lowers once (:class:`RequestShape`); this is the labeling hot path,
-    so no second copy is made here."""
+    therefore rule attribution) is hash-seed independent.  This is the
+    reference tokenizer for the ``automaton=False`` walk; the automaton
+    path never materializes tokens that select no bucket."""
     seen: set[str] = set()
     ordered: list[str] = []
     for match in _URL_TOKEN_RE.finditer(lowered_url):
@@ -80,16 +149,18 @@ def _host_anchor_keys(lowered_url: str) -> tuple[str, ...]:
     run.  Hash-looking authorities (``user@host``, ports) fall out
     correctly because runs are split on the same separator class the regex
     uses.
+
+    This is the reference enumeration for the ``automaton=False`` walk;
+    :meth:`TokenAutomaton.scan` applies the same positional argument as
+    lookaround assertions and yields only the keys with a bucket behind
+    them.
     """
     scheme = _SCHEME_RE.match(lowered_url)
     if scheme is None:
         return ()
     start = scheme.end()
-    end = len(lowered_url)
-    for index in range(start, len(lowered_url)):
-        if lowered_url[index] in "/?#":
-            end = index
-            break
+    delim = _AUTH_DELIM_RE.search(lowered_url, start)
+    end = delim.start() if delim is not None else len(lowered_url)
     authority = lowered_url[start:end]
     seen: set[str] = set()
     keys: list[str] = []
@@ -108,21 +179,317 @@ def _host_anchor_keys(lowered_url: str) -> tuple[str, ...]:
     return tuple(keys)
 
 
+def _trie_pattern(words: Sequence[str]) -> str:
+    """A trie-structured regex source matching exactly ``words``.
+
+    The emitted pattern is the automaton's goto function: one nesting
+    level per trie node, an alternation per branch, a ``?`` suffix per
+    accepting interior node.  Children are emitted in sorted order, so the
+    pattern (and everything derived from it) is byte-stable across
+    interpreter runs and hash seeds.  Correctness does not depend on
+    alternation order: the caller anchors every match with boundary
+    lookarounds, and at most one vocabulary word can satisfy them per
+    start position, so the engine's backtracking always converges on that
+    word when it is present.
+    """
+    trie: dict = {}
+    for word in words:
+        node = trie
+        for ch in word:
+            node = node.setdefault(ch, {})
+        node[""] = None  # accepting mark
+
+    def emit(node: dict) -> str:
+        accepting = "" in node
+        branches: list[str] = []
+        leaf_chars: list[str] = []
+        for ch in sorted(key for key in node if key != ""):
+            sub = emit(node[ch])
+            if sub == "":
+                leaf_chars.append(re.escape(ch))
+            else:
+                branches.append(re.escape(ch) + sub)
+        if not branches and not leaf_chars:
+            return ""  # accepting leaf
+        if leaf_chars:
+            branches.append(
+                leaf_chars[0]
+                if len(leaf_chars) == 1
+                else "[" + "".join(leaf_chars) + "]"
+            )
+        body = branches[0] if len(branches) == 1 else "(?:" + "|".join(branches) + ")"
+        if accepting:
+            return "(?:" + body + ")?"
+        return body
+
+    return emit(trie)
+
+
+class TokenAutomaton:
+    """Aho-Corasick automaton over a matcher's rule literals.
+
+    Holds the matcher-wide vocabulary — token-bucket keys and pure-host
+    literals from both indexes — as sorted tuples (deterministic
+    serialization), and scans a lowered URL in one pass for every
+    vocabulary key that is *valid* at its position:
+
+    * a token key must cover a whole maximal alphanumeric run
+      (``(?<![a-z0-9])key(?![a-z0-9])``), because that is the only way a
+      bucket token can correspond to a URL token;
+    * a host key must start at the authority's first character or right
+      after a ``.``, and must run to the end of its non-separator run —
+      the exact positional characterization of ``||key^`` matching the
+      URL, evaluated only over the authority span.  Nested suffix keys
+      (``a.b.c`` and ``b.c`` and ``c``) are all reported.
+
+    Because every key is anchored this way, the automaton's failure
+    function is trivial (a mismatch can only restart at the next boundary,
+    never mid-key), so the goto function alone decides membership — and
+    each tier executes it in the form that is cheapest for its anchor
+    density.  Token anchors are plentiful (every alphanumeric-run
+    boundary), so the token tier runs the goto trie as a trie-structured
+    regex at C speed.  Host anchors are scarce and fully enumerable (the
+    authority's leading run plus one anchor per ``.`` — never more than a
+    handful), so the host tier resolves each anchor with a single hash
+    probe of the key table: the anchored-key property means a probe *is*
+    a complete trie walk.  Both tiers accept exactly the same language as
+    the reference walk.  Hits come back in ascending start position —
+    identical to the order the tokenize-then-probe walk consulted buckets
+    in, so rule attribution is unchanged bit for bit.
+
+    The compiled scan patterns are derived state: they are dropped on
+    pickling (``.tsoracle`` artifacts stay lean and loads stay fast) and
+    rebuilt lazily on the first scan in each process, mirroring the lazy
+    per-rule regex invariant.
+    """
+
+    __slots__ = ("_hosts", "_tokens", "_scanners")
+
+    def __init__(
+        self, hosts: Iterable[str] = (), tokens: Iterable[str] = ()
+    ) -> None:
+        self._hosts: tuple[str, ...] = tuple(sorted(set(hosts)))
+        self._tokens: tuple[str, ...] = tuple(sorted(set(tokens)))
+        self._scanners: tuple | None = None
+
+    def __getstate__(self) -> tuple:
+        # Compiled patterns never travel: like per-rule regexes they are
+        # derived state, rebuilt lazily per process.
+        return (self._hosts, self._tokens)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._hosts, self._tokens = state
+        self._scanners = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def host_key_count(self) -> int:
+        return len(self._hosts)
+
+    @property
+    def token_key_count(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._hosts) + len(self._tokens)
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the lazy scan patterns have materialized."""
+        return self._scanners is not None
+
+    # -- scanning ----------------------------------------------------------
+    def _compile(self) -> tuple:
+        # Host tier: the anchored-key property makes one hash probe per
+        # anchor a complete goto walk, so the "compiled" form is simply
+        # the key table.  Token tier: goto trie as a trie regex.
+        host_table = frozenset(self._hosts) if self._hosts else None
+        token_pattern = (
+            re.compile(
+                r"(?<![a-z0-9])(?:%s)(?![a-z0-9])" % _trie_pattern(self._tokens)
+            )
+            if self._tokens
+            else None
+        )
+        self._scanners = (host_table, token_pattern)
+        return self._scanners
+
+    def scan(
+        self, lowered_url: str, auth_start: int, auth_end: int
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """One pass over a pre-lowercased URL: ``(host keys, tokens)``.
+
+        ``auth_start``/``auth_end`` delimit the authority (``auth_start``
+        < 0 when the URL has no ``scheme://`` and host anchors cannot
+        apply).  Both result tuples contain only keys that select a bucket
+        in at least one index, deduplicated, in ascending match position —
+        the attribution order contract.
+        """
+        scanners = self._scanners
+        if scanners is None:
+            scanners = self._compile()
+        host_table, token_pattern = scanners
+        hosts: tuple[str, ...] = ()
+        if auth_start >= 0 and host_table is not None:
+            authority = lowered_url[auth_start:auth_end]
+            if _AUTH_RUN_RE.fullmatch(authority) is not None:
+                # Single-run authority (the overwhelmingly common shape:
+                # no userinfo/port/IP-literal): anchors are position 0
+                # plus every dot.  Suffixes are distinct by construction.
+                hits = [authority] if authority in host_table else []
+                dot = authority.find(".")
+                while dot != -1:
+                    suffix = authority[dot + 1 :]
+                    if suffix in host_table:
+                        hits.append(suffix)
+                    dot = authority.find(".", dot + 1)
+                if hits:
+                    hosts = tuple(hits)
+            else:
+                hosts = self._scan_host_runs(authority, host_table)
+        tokens: tuple[str, ...] = ()
+        if token_pattern is not None:
+            found = token_pattern.findall(lowered_url)
+            if found:
+                tokens = (
+                    tuple(found)
+                    if len(found) == 1
+                    else tuple(dict.fromkeys(found))
+                )
+        return hosts, tokens
+
+    @staticmethod
+    def _scan_host_runs(
+        authority: str, host_table: frozenset
+    ) -> tuple[str, ...]:
+        """Host-anchor probes for authorities with separator characters
+        (userinfo, ports, IP literals): the general run-by-run walk of
+        :func:`_host_anchor_keys`, filtered through the key table."""
+        seen: set[str] = set()
+        hits: list[str] = []
+        for run_match in _AUTH_RUN_RE.finditer(authority):
+            run = run_match.group()
+            if run_match.start() == 0 and run in host_table and run not in seen:
+                seen.add(run)
+                hits.append(run)
+            dot = run.find(".")
+            while dot != -1:
+                suffix = run[dot + 1 :]
+                if suffix in host_table and suffix not in seen:
+                    seen.add(suffix)
+                    hits.append(suffix)
+                dot = run.find(".", dot + 1)
+        return tuple(hits)
+
+
+def _normalized_match_url(url: str, lowered: str, start: int, end: int) -> str:
+    """The URL as matched: authority host normalized like the crawler's.
+
+    The oracle and the crawler must agree about which host a request
+    targets, or rules skew at the boundary: ``urlkit.normalize_host``
+    strips trailing dots and IDNA-encodes, so ``||tracker.com^`` must
+    block ``http://tracker.com./x`` and ``||xn--bcher-kva.example^`` must
+    block ``http://bücher.example/x``.  ``start``/``end`` are the
+    authority bounds in ``lowered`` (the caller — :class:`RequestShape` —
+    already located them, and has already dismissed the canonical common
+    case).  Returns ``url`` itself (identity, so callers can use an
+    ``is`` check) when the host turns out canonical after all;
+    un-normalizable garbage is matched as-is rather than raising —
+    matching never turns a weird URL into an exception.
+    """
+    if len(lowered) != len(url):
+        # Exotic case-folding changed offsets; matching proceeds on the
+        # raw URL (the crawler rejects such URLs outright).
+        return url
+    authority = url[start:end]
+    at = authority.rfind("@")
+    userinfo, hostport = (
+        (authority[: at + 1], authority[at + 1 :]) if at >= 0 else ("", authority)
+    )
+    host, port = hostport, ""
+    if hostport.startswith("["):
+        close = hostport.find("]")
+        if close >= 0:
+            host, port = hostport[: close + 1], hostport[close + 1 :]
+    else:
+        colon = hostport.rfind(":")
+        if colon >= 0 and hostport[colon + 1 :].isdigit():
+            host, port = hostport[:colon], hostport[colon:]
+    try:
+        normalized = normalize_host(host)
+    except URLError:
+        return url
+    if normalized == host:
+        return url
+    return url[:start] + userinfo + normalized + port + url[end:]
+
+
 class RequestShape:
     """Per-request view of a URL, computed once and shared by every index.
 
-    Both the blocking and the exception :class:`_RuleIndex` consult the same
-    shape, so the URL is lowercased and tokenized exactly once per request
-    no matter how many indexes (or lists) the matcher holds.
+    Both the blocking and the exception :class:`_RuleIndex` consult the
+    same shape, so the URL is normalized, lowercased and scanned exactly
+    once per request no matter how many indexes (or lists) the matcher
+    holds.  ``match_url`` is the normalized-authority view every pattern
+    (host dict, token bucket regex, catch-all) matches against; it *is*
+    ``url`` (same object) when the authority was already canonical, so
+    callers can detect normalization with an identity check.
+
+    With an ``automaton``, ``host_keys``/``tokens`` hold only the keys
+    that select a bucket (one automaton scan); without one they hold the
+    full tokenize-then-probe enumeration.  Either way they are
+    deduplicated and in URL order — the attribution contract.
     """
 
-    __slots__ = ("url", "tokens", "host_keys")
+    __slots__ = ("url", "match_url", "tokens", "host_keys")
 
-    def __init__(self, url: str) -> None:
-        lowered = url.lower()
+    def __init__(self, url: str, automaton: TokenAutomaton | None = None) -> None:
         self.url = url
-        self.tokens = _url_tokens(lowered)
-        self.host_keys = _host_anchor_keys(lowered)
+        lowered = url.lower()
+        span = _AUTH_SPAN_RE.match(lowered)
+        if span is None:
+            # No scheme: host anchors cannot apply, and there is no
+            # authority to normalize.
+            self.match_url = url
+            auth_start = auth_end = -1
+        else:
+            auth_start, auth_end = span.span(1)
+            # Canonical-authority fast path, all C-level checks: ASCII,
+            # no trailing dot anywhere a host could end ("." at authority
+            # end or right before a ":port"), and no upper-case authority
+            # bytes (whole-string equality first — most URLs are already
+            # fully lowercase — slice comparison only as the fallback).
+            if (
+                lowered.isascii()
+                and lowered[auth_end - 1] != "."
+                and lowered.find(".:", auth_start, auth_end) < 0
+                and (
+                    url == lowered
+                    or url[auth_start:auth_end] == lowered[auth_start:auth_end]
+                )
+            ):
+                self.match_url = url
+            else:
+                match_url = _normalized_match_url(
+                    url, lowered, auth_start, auth_end
+                )
+                self.match_url = match_url
+                if match_url is not url:
+                    # Normalization may shrink the authority (trailing
+                    # dots, IDNA): re-derive the lowered view and bounds.
+                    lowered = match_url.lower()
+                    delim = _AUTH_DELIM_RE.search(lowered, auth_start)
+                    auth_end = (
+                        delim.start() if delim is not None else len(lowered)
+                    )
+        if automaton is not None:
+            self.host_keys, self.tokens = automaton.scan(
+                lowered, auth_start, auth_end
+            )
+        else:
+            self.tokens = _url_tokens(lowered)
+            self.host_keys = _host_anchor_keys(lowered)
 
 
 def _pure_host_literal(rule: NetworkRule) -> str | None:
@@ -148,12 +515,21 @@ class MatchResult:
         return self.rule is not None
 
 
+#: The (immutable) "no rule applied" outcome.  Shared by every miss: the
+#: hot path decides far more clean URLs than tracking ones, and a frozen
+#: dataclass with all-default fields never needs a fresh allocation.
+_NO_MATCH = MatchResult(blocked=False)
+
+
 class _RuleIndex:
     """Host-literal dict + token buckets + a catch-all bucket.
 
     Candidate order (and so first-match attribution) is deterministic:
     host-dict hits in the URL's host-key order, then the catch-all bucket,
     then token buckets in URL-token order; insertion order within a bucket.
+    The shape's key tuples honour that order whether they came from the
+    automaton scan (pre-filtered) or the reference tokenizer (every key),
+    so the index itself is agnostic to how candidates were generated.
     """
 
     def __init__(self) -> None:
@@ -211,13 +587,23 @@ class _RuleIndex:
     def first_match(
         self, context: RequestContext, shape: RequestShape
     ) -> NetworkRule | None:
-        for bucket, prechecked in self._tiers(shape):
-            for rule in bucket:
-                if prechecked:
+        hosts = self._hosts
+        for key in shape.host_keys:
+            bucket = hosts.get(key)
+            if bucket:
+                for rule in bucket:
                     if rule.options.permits(context):
                         return rule
-                elif rule.matches(context):
-                    return rule
+        for rule in self._catch_all:
+            if rule.matches(context):
+                return rule
+        buckets = self._buckets
+        for token in shape.tokens:
+            bucket = buckets.get(token)
+            if bucket:
+                for rule in bucket:
+                    if rule.matches(context):
+                        return rule
         return None
 
 
@@ -256,9 +642,16 @@ class FilterMatcher:
     >>> matcher = FilterMatcher.from_text("||tracker.example^", name="mini")
     >>> matcher.match(RequestContext("https://tracker.example/p.js")).blocked
     True
+
+    ``automaton=False`` keeps the tokenize-then-probe walk as the decision
+    path — the reference implementation the automaton is benchmarked and
+    property-tested against.  Both modes are decision- and
+    attribution-identical by construction.
     """
 
-    def __init__(self, rules: Iterable[NetworkRule] = ()) -> None:
+    def __init__(
+        self, rules: Iterable[NetworkRule] = (), *, automaton: bool = True
+    ) -> None:
         self._blocking = _RuleIndex()
         self._exceptions = _RuleIndex()
         self._lists: list[str] = []
@@ -266,18 +659,26 @@ class FilterMatcher:
         self._digit_anywhere = False
         self._digit_hosts: set[str] = set()
         self._revision = 0
+        self._automaton_enabled = automaton
+        self._automaton: TokenAutomaton | None = None
+        self._unsupported_counts: dict[str, int] = {}
+        self._unsupported_rules = 0
         self.add_rules(rules)
 
     # -- construction -----------------------------------------------------
     @classmethod
-    def from_text(cls, data: str, name: str = "") -> "FilterMatcher":
-        matcher = cls()
+    def from_text(
+        cls, data: str, name: str = "", *, automaton: bool = True
+    ) -> "FilterMatcher":
+        matcher = cls(automaton=automaton)
         matcher.add_list(parse_filter_list(data, name=name))
         return matcher
 
     @classmethod
-    def from_lists(cls, *lists: ParsedList) -> "FilterMatcher":
-        matcher = cls()
+    def from_lists(
+        cls, *lists: ParsedList, automaton: bool = True
+    ) -> "FilterMatcher":
+        matcher = cls(automaton=automaton)
         for parsed in lists:
             matcher.add_list(parsed)
         return matcher
@@ -289,8 +690,15 @@ class FilterMatcher:
 
     def add_rules(self, rules: Iterable[NetworkRule]) -> None:
         self._revision += 1
+        unsupported = self._unsupported_counts
         for rule in rules:
             if not rule.supported:
+                # Skipped, exactly like real blockers skip options they do
+                # not implement — but never silently: every skip is
+                # accounted per reason (see ``unsupported_counts``).
+                self._unsupported_rules += 1
+                for reason in rule.options.unsupported:
+                    unsupported[reason] = unsupported.get(reason, 0) + 1
                 continue
             if rule.options.include_domains or rule.options.exclude_domains:
                 self._domain_sensitive = True
@@ -303,6 +711,12 @@ class FilterMatcher:
                 self._exceptions.add(rule)
             else:
                 self._blocking.add(rule)
+        if self._automaton_enabled:
+            self._automaton = TokenAutomaton(
+                hosts=list(self._blocking._hosts) + list(self._exceptions._hosts),
+                tokens=list(self._blocking._buckets)
+                + list(self._exceptions._buckets),
+            )
 
     # -- introspection ----------------------------------------------------
     @property
@@ -326,6 +740,32 @@ class FilterMatcher:
         return (
             self._blocking.host_rule_count + self._exceptions.host_rule_count
         )
+
+    @property
+    def automaton(self) -> TokenAutomaton | None:
+        """The candidate-generation automaton (``None`` in walk mode)."""
+        return self._automaton
+
+    @property
+    def automaton_enabled(self) -> bool:
+        return self._automaton_enabled
+
+    @property
+    def unsupported_counts(self) -> dict[str, int]:
+        """Rules skipped at indexing time, counted per unsupported reason.
+
+        A rule carrying several unsupported markers counts once per
+        reason; ``unsupported_rule_count`` is the per-rule total.  This is
+        the coverage-gap ledger surfaced by ``ParsedList``, ``trackersift
+        compile`` and the serve ``/metrics`` payload — silent rule drops
+        are how oracles quietly under-block.
+        """
+        return dict(self._unsupported_counts)
+
+    @property
+    def unsupported_rule_count(self) -> int:
+        """How many rules were skipped as unsupported (deduplicated)."""
+        return self._unsupported_rules
 
     @property
     def domain_sensitive(self) -> bool:
@@ -361,14 +801,90 @@ class FilterMatcher:
     # -- matching ----------------------------------------------------------
     def match(self, context: RequestContext) -> MatchResult:
         """Full ABP decision: blocking rule minus exception override."""
-        shape = RequestShape(context.url)
+        shape = RequestShape(context.url, self._automaton)
+        if shape.match_url is not context.url:
+            # Authority normalization changed the URL: every pattern
+            # (including per-rule regexes) must see the normalized view.
+            context = replace(context, url=shape.match_url)
         blocking = self._blocking.first_match(context, shape)
         if blocking is None:
-            return MatchResult(blocked=False)
+            return _NO_MATCH
         exception = self._exceptions.first_match(context, shape)
         if exception is not None:
             return MatchResult(blocked=False, rule=blocking, exception=exception)
         return MatchResult(blocked=True, rule=blocking)
+
+    def match_many(
+        self, contexts: Iterable[RequestContext]
+    ) -> list[MatchResult]:
+        """Batch :meth:`match`: one result per context, same order.
+
+        Decision-identical to looping :meth:`match`; per-call overhead
+        (attribute lookups, automaton/index binding) is paid once for the
+        whole batch.  This is the layer :class:`~repro.filterlists.cache.
+        CachedMatcher` and the oracle's ``decide_many`` build on.
+        """
+        automaton = self._automaton
+        blocking_index = self._blocking
+        exception_index = self._exceptions
+        results: list[MatchResult] = []
+        append = results.append
+        for context in contexts:
+            shape = RequestShape(context.url, automaton)
+            if shape.match_url is not context.url:
+                context = replace(context, url=shape.match_url)
+            blocking = blocking_index.first_match(context, shape)
+            if blocking is None:
+                append(_NO_MATCH)
+                continue
+            exception = exception_index.first_match(context, shape)
+            if exception is not None:
+                append(
+                    MatchResult(
+                        blocked=False, rule=blocking, exception=exception
+                    )
+                )
+                continue
+            append(MatchResult(blocked=True, rule=blocking))
+        return results
+
+    def decide_many(self, urls: Iterable[str]) -> list[MatchResult]:
+        """Batch URL-only decisions (default request context per URL).
+
+        Beyond :meth:`match_many`'s amortization this path skips
+        :class:`RequestContext` construction — and the index walks
+        entirely — for URLs whose automaton scan produced no candidate
+        keys at all.  With an empty catch-all tier such a URL cannot
+        match *any* blocking rule (every bucket the walk would visit is
+        absent), so the decision is ``_NO_MATCH`` by construction;
+        exceptions never matter when no blocking rule fires.
+        """
+        automaton = self._automaton
+        blocking_index = self._blocking
+        exception_index = self._exceptions
+        no_catch_all = not blocking_index._catch_all
+        results: list[MatchResult] = []
+        append = results.append
+        for url in urls:
+            shape = RequestShape(url, automaton)
+            if no_catch_all and not shape.host_keys and not shape.tokens:
+                append(_NO_MATCH)
+                continue
+            context = RequestContext(url=shape.match_url)
+            blocking = blocking_index.first_match(context, shape)
+            if blocking is None:
+                append(_NO_MATCH)
+                continue
+            exception = exception_index.first_match(context, shape)
+            if exception is not None:
+                append(
+                    MatchResult(
+                        blocked=False, rule=blocking, exception=exception
+                    )
+                )
+                continue
+            append(MatchResult(blocked=True, rule=blocking))
+        return results
 
     def should_block(self, context: RequestContext) -> bool:
         return self.match(context).blocked

@@ -8,6 +8,7 @@ only consumes *network* rules, because its oracle labels network requests.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from .rules import NetworkRule, ResourceType, RuleOptions, RuleParseError
@@ -43,6 +44,26 @@ class ParsedList:
     @property
     def exception_rules(self) -> list[NetworkRule]:
         return [r for r in self.rules if r.is_exception]
+
+    @property
+    def unsupported_counts(self) -> dict[str, int]:
+        """Rules the matcher will skip, counted per unsupported reason.
+
+        A rule carrying several unsupported markers counts once per
+        reason.  Surfacing this here (and in ``FilterMatcher``,
+        ``trackersift compile`` and the serve ``/metrics`` payload) is
+        what keeps dropped rules from becoming a silent coverage gap.
+        """
+        counts: dict[str, int] = {}
+        for rule in self.rules:
+            for reason in rule.options.unsupported:
+                counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    @property
+    def unsupported_rule_count(self) -> int:
+        """How many parsed rules the matcher will skip (deduplicated)."""
+        return sum(1 for rule in self.rules if not rule.supported)
 
 
 def _split_options(line: str) -> tuple[str, str | None]:
@@ -157,10 +178,14 @@ def parse_rule_line(line: str, list_name: str = "") -> NetworkRule | None:
     options = _parse_options(options_text) if options_text else _DEFAULT_OPTIONS
 
     if pattern.startswith("/") and pattern.endswith("/") and len(pattern) > 2:
-        # Raw-regex rules exist in EasyList; we record them as unsupported so
-        # the matcher never silently mis-handles them.
-        options = RuleOptions(unsupported=("regex-rule",) + options.unsupported)
-        pattern = pattern.strip("/")
+        # Raw-regex rules exist in EasyList; we record them as unsupported
+        # so the matcher never silently mis-handles them.  The pattern text
+        # keeps its ``/…/`` delimiters: stripping them would leave a
+        # misleading substring pattern (``/track/v1/`` is a regex, not the
+        # literal ``track/v1``) in every introspection surface downstream.
+        options = dataclasses.replace(
+            options, unsupported=("regex-rule",) + options.unsupported
+        )
 
     if not pattern:
         raise RuleParseError(f"empty pattern in rule: {text!r}")

@@ -127,6 +127,16 @@ class _LatencyWindow:
             self.count += 1
             self.total += seconds
 
+    def observe_many(self, seconds_each: float, count: int) -> None:
+        """Record ``count`` samples of ``seconds_each`` under one lock —
+        the batch path's per-decision latency, amortized over the batch."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._samples.extend([seconds_each] * count)
+            self.count += count
+            self.total += seconds_each * count
+
     def snapshot(self) -> dict:
         with self._lock:
             data = sorted(self._samples)
@@ -221,23 +231,62 @@ class BlockingService:
         "page_url"}`` dict.  The snapshot reference is read once for the
         whole batch, so a concurrent reload never splits a batch across
         rule sets.
+
+        Batches are all-or-nothing: every item is validated *before* any
+        decision runs, so one malformed item raises :class:`ValueError`
+        naming its index (the server maps it to HTTP 400) while latency
+        windows, counters, and the snapshot's decision cache are left
+        exactly as they were — a bad item can neither discard nor
+        half-apply a batch.  Valid batches drain through the oracle's
+        batch path (:meth:`FilterListOracle.label_request_many`), which
+        amortizes cache lock rounds across the batch.
         """
         snapshot = self._snapshot
-        decisions = []
-        for item in requests:
+        validated: list[tuple[str, ResourceType, str]] = []
+        for index, item in enumerate(requests):
             if isinstance(item, str):
                 item = {"url": item}
             if not isinstance(item, dict):
-                raise ValueError(f"batch item must be a URL or object: {item!r}")
-            decisions.append(
-                self._decide_on(
-                    snapshot,
-                    item.get("url", ""),
-                    item.get("resource_type", ResourceType.OTHER),
-                    item.get("page_url", ""),
+                raise ValueError(
+                    f"batch item {index} must be a URL or object: {item!r}"
                 )
+            url = item.get("url", "")
+            if not url or not isinstance(url, str):
+                raise ValueError(
+                    f"batch item {index}: decide requires a non-empty url"
+                )
+            try:
+                resource = _coerce_resource_type(
+                    item.get("resource_type", ResourceType.OTHER)
+                )
+            except ValueError as error:
+                raise ValueError(f"batch item {index}: {error}") from None
+            validated.append((url, resource, item.get("page_url", "")))
+
+        started = time.perf_counter()
+        labeled = snapshot.oracle.label_request_many(validated)
+        elapsed = time.perf_counter() - started
+        count = len(labeled)
+        self._latency.observe_many(elapsed / count if count else 0.0, count)
+        decisions = []
+        blocked_count = 0
+        for request, result in zip(validated, labeled):
+            blocked = result.label.is_tracking
+            if blocked:
+                blocked_count += 1
+            decisions.append(
+                {
+                    "url": request[0],
+                    "label": result.label.value,
+                    "blocked": blocked,
+                    "matched_rule": result.matched_rule,
+                    "matched_list": result.matched_list,
+                    "revision": snapshot.revision,
+                }
             )
         with self._counters.lock:
+            self._counters.decisions += count
+            self._counters.blocked += blocked_count
             self._counters.batches += 1
         return {
             "decisions": decisions,
@@ -411,6 +460,11 @@ class BlockingService:
                 "revision": snapshot.revision,
                 "rule_count": snapshot.rule_count,
                 "lists": list(snapshot.list_names),
+                # Coverage-gap ledger: rules the oracle skipped at index
+                # time, per unsupported reason — silent drops would make
+                # the service quietly under-block.
+                "unsupported_rules": snapshot.oracle.unsupported_rule_count,
+                "unsupported": snapshot.oracle.unsupported_counts,
             },
             "decisions": {
                 "served": decisions,

@@ -211,6 +211,25 @@ class TestCompileCommand:
         service = BlockingService(artifact=out)
         assert service.decide("https://banned.example/x.js")["blocked"]
 
+    def test_compile_reports_unsupported_rules(self, tmp_path, capsys):
+        list_path = tmp_path / "mixed.txt"
+        list_path.write_text(
+            "||real.example^\n/track/v1/\n/re\\d+/\n", encoding="utf-8"
+        )
+        out = tmp_path / "mixed.tsoracle"
+        assert main(["--lists", str(list_path), "compile", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "automaton keys" in printed
+        assert "skipped 2 unsupported rule(s)" in printed
+        assert "regex-rule: 2" in printed
+
+    def test_compile_clean_list_prints_no_skip_line(self, tmp_path, capsys):
+        list_path = tmp_path / "clean.txt"
+        list_path.write_text("||real.example^\n", encoding="utf-8")
+        out = tmp_path / "clean.tsoracle"
+        assert main(["--lists", str(list_path), "compile", "--out", str(out)]) == 0
+        assert "skipped" not in capsys.readouterr().out
+
     def test_compile_requires_out(self):
         with pytest.raises(SystemExit, match="--out"):
             main(["compile"])

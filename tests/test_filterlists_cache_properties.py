@@ -12,6 +12,8 @@ Two proof obligations back the streaming engine's labeling cache:
    context must appear among the candidates its URL tokens select.
 """
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -206,6 +208,11 @@ class TestCandidateCompleteness:
         """Token pruning is complete: matching rules are always candidates."""
         matcher = _build(rules)
         shape = RequestShape(context.url)
+        if shape.match_url is not context.url:
+            # first_match/candidates contract: the context carries the
+            # shape's normalized-authority view (what FilterMatcher.match
+            # rewrites before consulting the indexes).
+            context = dataclasses.replace(context, url=shape.match_url)
         for index in (matcher._blocking, matcher._exceptions):
             candidates = list(index.candidates(shape))
             for rule in _index_rules(index):
@@ -221,6 +228,8 @@ class TestCandidateCompleteness:
         """``first_match`` finds a rule iff some rule matches at all."""
         matcher = _build(rules)
         shape = RequestShape(context.url)
+        if shape.match_url is not context.url:
+            context = dataclasses.replace(context, url=shape.match_url)
         for index in (matcher._blocking, matcher._exceptions):
             brute = any(rule.matches(context) for rule in _index_rules(index))
             assert (index.first_match(context, shape) is not None) == brute

@@ -268,3 +268,43 @@ class TestLoadedMatcherLiveness:
         for url in urls:  # second pass hits the decision cache
             oracle.label(url)
         assert stats.hits >= len(urls)
+
+
+class TestVersion2Format:
+    """Version 2: the automaton travels with the matcher, old artifacts
+    are rejected loudly, and the meta block accounts unsupported rules."""
+
+    def test_version_1_artifact_rejected(self):
+        data = dumps_artifact(_matcher())
+        downgraded = MAGIC + struct.pack(">H", 1) + data[10:]
+        with pytest.raises(ArtifactError, match="version 1"):
+            loads_artifact(downgraded)
+
+    def test_automaton_travels_and_stays_lazy(self):
+        loaded = loads_artifact(dumps_artifact(_matcher())).matcher
+        automaton = loaded.automaton
+        assert automaton is not None
+        assert automaton.vocabulary_size > 0
+        # Lazy invariant: compiled scan patterns never serialize; they
+        # materialize on the first decision in the loading process.
+        assert not automaton.compiled
+        assert loaded.should_block_url("https://tracker.example/a.js")
+        assert automaton.compiled
+
+    def test_loaded_decisions_match_normalized_hosts(self):
+        loaded = loads_artifact(dumps_artifact(_matcher())).matcher
+        assert loaded.should_block_url("http://tracker.example./x")
+
+    def test_meta_accounts_automaton_and_unsupported(self, tmp_path):
+        parsed = parse_filter_list(
+            LIST_TEXT + "/track/v1/\n/re\\d/\n", name="unit"
+        )
+        path = tmp_path / "v2.tsoracle"
+        meta = compile_lists(path, parsed)
+        assert meta["version"] == ARTIFACT_VERSION == 2
+        assert meta["automaton_keys"] > 0
+        assert meta["unsupported"] == {"regex-rule": 2}
+        assert meta["unsupported_rules"] == 2
+        assert read_artifact_meta(path)["unsupported"] == {"regex-rule": 2}
+        # The counts survive the round trip on the matcher itself, too.
+        assert load_matcher(path).unsupported_counts == {"regex-rule": 2}

@@ -193,14 +193,71 @@ class TestRequestShapeReuse:
         calls = []
         real_init = RequestShape.__init__
 
-        def counting_init(self, url):
+        def counting_init(self, url, *args, **kwargs):
             calls.append(url)
-            real_init(self, url)
+            real_init(self, url, *args, **kwargs)
 
         monkeypatch.setattr(matcher_module.RequestShape, "__init__", counting_init)
         matcher = FilterMatcher.from_text("||t.example^\n@@||t.example/ok^")
         matcher.match(RequestContext("https://t.example/ok/1"))
         assert len(calls) == 1
+
+
+class TestHostNormalization:
+    """The oracle must see the same host the crawler reports: trailing
+    dots stripped and non-ASCII hosts IDNA-encoded, per
+    ``urlkit.url.normalize_host``.  Regression for the skew where
+    ``||tracker.com^`` matched ``http://tracker.com/x`` but not
+    ``http://tracker.com./x``."""
+
+    def test_trailing_dot_host_blocked(self):
+        matcher = FilterMatcher.from_text("||tracker.com^")
+        assert matcher.should_block_url("http://tracker.com./x")
+        assert matcher.should_block_url("http://tracker.com/x")
+
+    def test_trailing_dot_with_port(self):
+        matcher = FilterMatcher.from_text("||tracker.com^")
+        assert matcher.should_block_url("http://tracker.com.:8080/x")
+
+    def test_idn_host_blocked_by_punycode_rule(self):
+        matcher = FilterMatcher.from_text("||xn--bcher-kva.example^")
+        assert matcher.should_block_url("http://bücher.example/x")
+        assert matcher.should_block_url("http://xn--bcher-kva.example/x")
+
+    def test_idn_plus_trailing_dot(self):
+        matcher = FilterMatcher.from_text("||xn--bcher-kva.example^")
+        assert matcher.should_block_url("http://Bücher.example./x")
+
+    def test_userinfo_not_confused_with_host(self):
+        matcher = FilterMatcher.from_text("||evil.com^")
+        # The dot-suffix key still applies behind userinfo; normalization
+        # must not mangle the userinfo while canonicalizing the host.
+        assert matcher.should_block_url("https://u:p@sub.evil.com./x")
+
+    def test_unnormalizable_url_matches_raw_not_raises(self):
+        matcher = FilterMatcher.from_text("||tracker.com^")
+        # Empty-label host: normalize_host raises; matching falls back to
+        # the raw URL instead of propagating the error.
+        assert not matcher.should_block_url("http://..../x")
+
+    def test_normalization_respected_in_both_modes(self):
+        for automaton in (True, False):
+            matcher = FilterMatcher.from_text(
+                "||tracker.com^", automaton=automaton
+            )
+            assert matcher.should_block_url("http://tracker.com./x")
+
+    def test_already_canonical_url_is_same_object(self):
+        url = "https://tracker.com/Path?Q=1"
+        shape = RequestShape(url)
+        # Identity (not just equality) marks the no-normalization fast
+        # path; path/query case is preserved for match_case rules.
+        assert shape.match_url is url
+
+    def test_mixed_case_host_canonicalized(self):
+        # The crawler reports lower-case hosts; the match view agrees.
+        shape = RequestShape("https://Tracker.com/X")
+        assert shape.match_url == "https://tracker.com/X"
 
 
 class _BruteForceMatcher:
@@ -268,3 +325,81 @@ class TestIndexEquivalence:
         brute = _BruteForceMatcher(parsed.rules)
         context = RequestContext(url=f"https://fuzz.example/{path}")
         assert indexed.should_block(context) == brute.should_block(context)
+
+
+# Fuzzed rule corpora for the automaton↔bucket equivalence property:
+# hostnames feed ``||host^`` rules (host-anchor fast path + automaton host
+# vocabulary), literals feed substring/option rules (token buckets), and a
+# few fixed shapes exercise catch-all and exception tiers.
+_labels = st.text(alphabet="abcxyz0123", min_size=1, max_size=6)
+_hostnames = st.builds(
+    lambda a, b: f"{a}.{b}.example", _labels, _labels
+)
+_rule_lines = st.one_of(
+    st.builds(lambda h: f"||{h}^", _hostnames),
+    st.builds(lambda h: f"@@||{h}^", _hostnames),
+    st.builds(lambda t: f"-{t}-", _labels),
+    st.builds(lambda t: f"/{t}/*", _labels),
+    st.builds(lambda t: f"-{t}-$image,third-party", _labels),
+    st.sampled_from(["^", "/pixel*", "@@/pixel-opt-out", "|https://x.example/s"]),
+)
+_fuzz_urls = st.one_of(
+    _urls,
+    st.builds(
+        lambda h, p: f"https://{h}/{p}",
+        _hostnames,
+        st.text(
+            alphabet="abcxyz0123/-_.?=", max_size=24
+        ),
+    ),
+    st.builds(lambda h: f"http://{h}./x", _hostnames),  # trailing dot
+    st.sampled_from(
+        ["about:blank", "tracker.example/x", "http://u:p@a.b.example/q?id=7"]
+    ),
+)
+
+
+class TestAutomatonEquivalence:
+    """The automaton scan and the tokenize-then-probe walk are the same
+    matcher: the automaton's candidate set covers the walk's, and final
+    decisions and rule attribution are identical over fuzzed rule sets ×
+    URLs.  This is the property that makes the matching-core rewrite a
+    refactor rather than a behavior change."""
+
+    @given(lines=st.lists(_rule_lines, max_size=12), url=_fuzz_urls)
+    def test_candidates_superset_and_decision_identity(self, lines, url):
+        parsed = parse_filter_list("\n".join(lines))
+        fast = FilterMatcher(parsed.rules, automaton=True)
+        walk = FilterMatcher(parsed.rules, automaton=False)
+
+        fast_shape = RequestShape(url, fast.automaton)
+        walk_shape = RequestShape(url)
+        for index_name in ("_blocking", "_exceptions"):
+            fast_candidates = list(
+                getattr(fast, index_name).candidates(fast_shape)
+            )
+            walk_candidates = list(
+                getattr(walk, index_name).candidates(walk_shape)
+            )
+            # Superset on candidate *sets* (rule objects are shared), and
+            # exact equality on the ordered walk — the automaton only ever
+            # skips keys that select no bucket, which drop out of the walk
+            # too, so in practice the sequences coincide.
+            assert set(fast_candidates) >= set(walk_candidates)
+            assert [r.text for r in fast_candidates] == [
+                r.text for r in walk_candidates
+            ]
+
+        context = RequestContext(url=url)
+        fast_result = fast.match(context)
+        walk_result = walk.match(context)
+        assert fast_result.blocked == walk_result.blocked
+        assert fast_result.rule is walk_result.rule
+        assert fast_result.exception is walk_result.exception
+
+    @given(lines=st.lists(_rule_lines, max_size=8), urls=st.lists(_fuzz_urls, max_size=6))
+    def test_decide_many_equals_looped_match(self, lines, urls):
+        matcher = FilterMatcher.from_text("\n".join(lines))
+        batch = matcher.decide_many(urls)
+        singles = [matcher.match(RequestContext(url=url)) for url in urls]
+        assert batch == singles

@@ -88,3 +88,40 @@ example.com###sidebar-ad
     def test_empty_document(self):
         parsed = parse_filter_list("")
         assert parsed.rules == []
+
+
+class TestRegexRulePreservation:
+    """Regression: ``/…/`` regex rules used to have their delimiters
+    stripped, storing ``/track/v1/`` as the misleading substring pattern
+    ``track/v1`` — and were then dropped from matching with zero
+    accounting."""
+
+    def test_regex_rule_pattern_keeps_delimiters(self):
+        rule = parse_rule_line("/track/v1/")
+        assert rule is not None
+        assert rule.pattern == "/track/v1/"
+        assert "regex-rule" in rule.options.unsupported
+        assert not rule.supported
+
+    def test_regex_rule_keeps_other_options(self):
+        rule = parse_rule_line(r"/banner\d+/$third-party")
+        assert rule.pattern == r"/banner\d+/"
+        assert "regex-rule" in rule.options.unsupported
+        assert rule.options.third_party is True
+
+    def test_unsupported_counts_surfaced(self):
+        parsed = parse_filter_list(
+            "/track/v1/\n"
+            r"/banner\d+/"
+            "\n||real.example^\n/ads/*$websocket-frame-weirdness\n"
+        )
+        assert parsed.unsupported_counts == {
+            "regex-rule": 2,
+            "websocket-frame-weirdness": 1,
+        }
+        assert parsed.unsupported_rule_count == 3
+
+    def test_clean_list_has_no_unsupported(self):
+        parsed = parse_filter_list("||a.example^\n@@||b.example^")
+        assert parsed.unsupported_counts == {}
+        assert parsed.unsupported_rule_count == 0

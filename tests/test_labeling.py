@@ -135,3 +135,63 @@ class TestCrawlScaleLabeling:
             assert request.script
             assert request.method
             assert request.frames
+
+
+class TestBatchedLabelLoop:
+    """The chunked oracle path in ``iter_labeled`` is an optimization,
+    not a behavior: any chunk size yields the same requests, counters,
+    and cache accounting as per-event labeling."""
+
+    def _events(self, n=12):
+        urls = [
+            "https://i0.wp.com/pixel/2.gif",
+            "https://i0.wp.com/img/logo-2.png",
+            "https://functional.example/app.js",
+            "not a url",
+        ]
+        out = [event(PAGE, frames=None, rid="p.0", resource_type="document")]
+        for i in range(n):
+            out.append(event(urls[i % len(urls)], STACK, rid=f"r.{i}"))
+        return out
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 256])
+    def test_any_chunk_size_is_identical(self, batch_size):
+        from repro.labeling.labeler import LabeledCrawl
+
+        baseline_labeler = RequestLabeler()
+        baseline = LabeledCrawl()
+        baseline_out = [
+            a
+            for a in baseline_labeler.iter_labeled(
+                self._events(), counters=baseline, batch_size=1
+            )
+        ]
+
+        labeler = RequestLabeler()
+        counters = LabeledCrawl()
+        out = list(
+            labeler.iter_labeled(
+                self._events(), counters=counters, batch_size=batch_size
+            )
+        )
+        assert out == baseline_out
+        assert counters.excluded_non_script == baseline.excluded_non_script
+        assert counters.excluded_unparseable == baseline.excluded_unparseable
+        assert counters.participation == baseline.participation
+
+    def test_cache_accounting_identical_across_chunk_sizes(self):
+        from repro.labeling.labeler import LabeledCrawl
+        from repro.filterlists.oracle import FilterListOracle
+
+        stats = []
+        for batch_size in (1, 5, 256):
+            labeler = RequestLabeler(FilterListOracle(cache=True))
+            counters = LabeledCrawl()
+            list(
+                labeler.iter_labeled(
+                    self._events(), counters=counters, batch_size=batch_size
+                )
+            )
+            cache = labeler.oracle.cache_stats
+            stats.append((cache.hits, cache.misses))
+        assert len(set(stats)) == 1, stats

@@ -69,6 +69,51 @@ class TestDecide:
         with pytest.raises(ValueError, match="batch item"):
             _mini_service().decide_batch([42])
 
+    def test_bad_batch_item_named_by_index(self):
+        service = _mini_service()
+        with pytest.raises(ValueError, match="batch item 2"):
+            service.decide_batch([CLEAN, CLEAN, "", CLEAN])
+        with pytest.raises(ValueError, match="batch item 1.*resource_type"):
+            service.decide_batch([CLEAN, {"url": CLEAN, "resource_type": "teapot"}])
+        with pytest.raises(ValueError, match="batch item 0"):
+            service.decide_batch([None])
+
+    def test_bad_batch_item_cannot_half_apply_a_batch(self):
+        """Regression: a malformed URL mid-batch used to raise after
+        latency/counters/cache had already been mutated for the valid
+        prefix.  Batches are all-or-nothing now: validation runs up front
+        and a failed batch leaves every observable counter untouched."""
+        service = _mini_service()
+        service.decide("https://tracker.example/warm.js")  # warm baseline
+        before = service.metrics()
+        cache_before = (before["cache"]["hits"], before["cache"]["misses"])
+        with pytest.raises(ValueError, match="batch item 2"):
+            service.decide_batch(
+                ["https://tracker.example/a.js", CLEAN, {"url": ""}, CLEAN]
+            )
+        after = service.metrics()
+        assert after["decisions"]["served"] == before["decisions"]["served"]
+        assert after["decisions"]["blocked"] == before["decisions"]["blocked"]
+        assert after["decisions"]["batches"] == before["decisions"]["batches"]
+        assert after["latency"]["observed"] == before["latency"]["observed"]
+        assert (after["cache"]["hits"], after["cache"]["misses"]) == cache_before
+        # And the service still serves full batches afterwards.
+        result = service.decide_batch(["https://tracker.example/a.js", CLEAN])
+        assert result["count"] == 2
+
+    def test_batch_decisions_identical_to_singles(self):
+        service = _mini_service("||tracker.example^\n/pixel/*\n")
+        urls = [
+            "https://tracker.example/a.js",
+            CLEAN,
+            "https://safe.example/pixel/1.gif",
+            "https://tracker.example/a.js",
+        ]
+        batch = service.decide_batch(urls)["decisions"]
+        twin = _mini_service("||tracker.example^\n/pixel/*\n")
+        singles = [twin.decide(url) for url in urls]
+        assert batch == singles
+
 
 class TestReload:
     def test_reload_swaps_rules_and_bumps_revision(self):
@@ -324,3 +369,21 @@ class TestArtifactSnapshots:
         assert loaded.revision == 7
         assert loaded.rule_count == built.rule_count
         assert loaded.list_names == built.list_names
+
+
+class TestUnsupportedSurfacing:
+    def test_metrics_surface_unsupported_rule_counts(self):
+        service = _mini_service(
+            "||tracker.example^\n/track/v1/\n/ads/*$websocket-frame-weirdness\n"
+        )
+        snapshot = service.metrics()["snapshot"]
+        assert snapshot["unsupported_rules"] == 2
+        assert snapshot["unsupported"] == {
+            "regex-rule": 1,
+            "websocket-frame-weirdness": 1,
+        }
+
+    def test_clean_snapshot_reports_zero_unsupported(self):
+        snapshot = _mini_service().metrics()["snapshot"]
+        assert snapshot["unsupported_rules"] == 0
+        assert snapshot["unsupported"] == {}
