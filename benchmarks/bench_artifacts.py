@@ -1,6 +1,7 @@
-"""Compiled oracle artifacts: load speedup and fan-out identity.
+"""Compiled oracle artifacts: load speedup, fan-out identity, worker RSS.
 
-Two gates anchor the compiled-artifact layer (PR 4):
+Three gates anchor the compiled-artifact layer (PR 4, extended with the
+mapped oracle image):
 
 * **Readiness.**  Getting an oracle ready from a compiled ``.tsoracle``
   (validate + unpickle; no parsing, no index construction) must be >= 5x
@@ -15,16 +16,39 @@ Two gates anchor the compiled-artifact layer (PR 4):
   This gate is mandatory at every scale — speed that buys divergence is
   a bug, not a feature.
 
+* **Cold RSS per worker.**  A serve worker that ``open_image``\\ s the
+  artifact's memory-mapped oracle image must cost < 25% of the private
+  memory a full unpickled copy costs — the mapped rule bytes are
+  file-backed and shared across workers, so only the per-worker skeleton
+  (token automaton, span tables) is private.  Measured with *two*
+  concurrent image workers (file pages mapped by both count as shared,
+  exactly the multi-process serving deployment) against one unpickle
+  worker and an import-only baseline, all via
+  ``/proc/self/smaps_rollup``.  Not wall-clock dependent, so it is
+  enforced even under ``BENCH_SMOKE=1``; it disarms (loudly) only where
+  ``smaps_rollup`` does not exist.
+
 The identity runs also surface the per-worker overhead breakdown
 (transfer/startup/compute) the engine now measures, so the fan-out cost
 the old ship-everything pickle hid is a number in the artifact, not a
 guess.
 """
 
+import json
+import os
+import subprocess
+import sys
 import time
+from pathlib import Path
+
+import pytest
 
 from repro.core.engine import PipelineConfig, StreamingPipeline
-from repro.filterlists.compile import dumps_artifact, loads_artifact
+from repro.filterlists.compile import (
+    compile_matcher,
+    dumps_artifact,
+    loads_artifact,
+)
 from repro.filterlists.matcher import FilterMatcher
 from repro.filterlists.parser import parse_filter_list
 from repro.filterlists.rules import RequestContext
@@ -34,6 +58,7 @@ from conftest import (
     BENCH_SEED,
     BENCH_SITES,
     BENCH_SMOKE,
+    _artifact_name,
     write_artifact,
     write_json_artifact,
 )
@@ -43,6 +68,8 @@ PARSE_REPS = 3
 LOAD_REPS = 9
 IDENTITY_WORKERS = (1, 2, 4)
 IDENTITY_SHARDS = (1, 13)
+COLD_RSS_MAX_FRACTION = 0.25
+SMAPS_ROLLUP = "/proc/self/smaps_rollup"
 
 
 def _probe_urls():
@@ -217,4 +244,135 @@ def test_fanout_identity_matrix(output_dir):
                 },
             },
         },
+    )
+
+
+# -- cold RSS per image worker ------------------------------------------------
+
+#: Child program for the RSS measurement: opens the artifact in one of
+#: three modes, signals READY, then reports its private (non-shared)
+#: resident bytes once *every* sibling is up — so the image workers'
+#: mapped file pages are held by two processes and count as shared, the
+#: way a real multi-worker deployment holds them.
+_RSS_CHILD = r"""
+import json, sys
+
+mode, path = sys.argv[1], sys.argv[2]
+
+def private_bytes():
+    fields = {}
+    with open("/proc/self/smaps_rollup") as handle:
+        for line in handle:
+            name, _, rest = line.partition(":")
+            parts = rest.split()
+            if parts and parts[-1] == "kB":
+                fields[name.strip()] = int(parts[0]) * 1024
+    return fields["Private_Clean"] + fields["Private_Dirty"]
+
+probes = [
+    "https://tracker17.example17.com/a.js",
+    "https://cdn23.example23.com/lib.js",
+    "https://clean.example/app.js",
+]
+if mode == "baseline":
+    import repro.filterlists.compile  # same import cost as the workers
+else:
+    from repro.filterlists.compile import load_matcher, open_image
+    matcher = open_image(path) if mode == "image" else load_matcher(path)
+    matcher.decide_many(probes)
+
+print("READY", flush=True)
+sys.stdin.readline()  # parent says every sibling is up: measure now
+print(json.dumps({"mode": mode, "private_bytes": private_bytes()}), flush=True)
+sys.stdin.readline()  # hold the mapping until every sibling measured
+"""
+
+
+def test_cold_rss_per_image_worker(tmp_path, output_dir):
+    """Gate (enforced even in smoke): an image worker's private memory is
+    < 25% of an unpickle worker's, over the 12K-rule artifact."""
+    merged_name = _artifact_name("BENCH_artifacts.json")
+    payload = json.loads(
+        (output_dir / merged_name).read_text(encoding="utf-8")
+    )
+
+    supported = os.path.exists(SMAPS_ROLLUP)
+    if not supported:
+        payload.setdefault("gates", {})["cold_rss_per_worker"] = {
+            "max_fraction": COLD_RSS_MAX_FRACTION,
+            "enforced": False,
+            "skip_reason": (
+                f"DISARMED: {SMAPS_ROLLUP} does not exist on this platform; "
+                "private-RSS accounting needs Linux smaps"
+            ),
+        }
+        write_json_artifact(output_dir, "BENCH_artifacts.json", payload)
+        pytest.skip(f"no {SMAPS_ROLLUP} on this platform")
+
+    parsed = parse_filter_list(_large_list_text(), name="large")
+    artifact_path = tmp_path / "large.tsoracle"
+    compile_matcher(FilterMatcher.from_lists(parsed), artifact_path, (parsed,))
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    modes = ["baseline", "unpickle", "image", "image"]
+    children = [
+        subprocess.Popen(
+            [sys.executable, "-c", _RSS_CHILD, mode, str(artifact_path)],
+            env=env,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for mode in modes
+    ]
+    measured = {}
+    try:
+        for child in children:
+            assert child.stdout.readline().strip() == "READY"
+        for child in children:  # every sibling is up: measure
+            child.stdin.write("measure\n")
+            child.stdin.flush()
+        reports = [json.loads(child.stdout.readline()) for child in children]
+        for child in children:  # every sibling measured: release
+            child.stdin.write("done\n")
+            child.stdin.flush()
+        for child in children:
+            assert child.wait(timeout=30) == 0
+    finally:
+        for child in children:
+            if child.poll() is None:
+                child.kill()
+
+    baseline = reports[0]["private_bytes"]
+    unpickle_cold = reports[1]["private_bytes"] - baseline
+    image_colds = [report["private_bytes"] - baseline for report in reports[2:]]
+    image_cold = max(image_colds)  # gate on the worse worker
+    assert unpickle_cold > 0, "unpickle worker measured no private memory"
+    fraction = image_cold / unpickle_cold
+
+    measured = {
+        "baseline_private_bytes": float(baseline),
+        "unpickle_cold_bytes": float(unpickle_cold),
+        "image_cold_bytes_worker0": float(image_colds[0]),
+        "image_cold_bytes_worker1": float(image_colds[1]),
+        "image_cold_fraction": fraction,
+    }
+    payload["rss"] = measured
+    payload.setdefault("gates", {})["cold_rss_per_worker"] = {
+        "max_fraction": COLD_RSS_MAX_FRACTION,
+        "enforced": True,  # byte accounting, not wall clock: smoke too
+        "achieved": fraction,
+        "skip_reason": None,
+    }
+    write_json_artifact(output_dir, "BENCH_artifacts.json", payload)
+    print(
+        f"\ncold RSS per worker: image {image_cold / 1e6:.1f} MB private vs "
+        f"unpickled copy {unpickle_cold / 1e6:.1f} MB "
+        f"({fraction:.1%}, gate < {COLD_RSS_MAX_FRACTION:.0%})"
+    )
+    assert fraction < COLD_RSS_MAX_FRACTION, (
+        f"an image worker costs {fraction:.1%} of an unpickled copy "
+        f"(gate < {COLD_RSS_MAX_FRACTION:.0%})"
     )

@@ -1,6 +1,6 @@
 """Online serving benchmarks: identity, throughput, batch, hot reload.
 
-Four gates over a real :class:`BlockingServer` on a loopback socket:
+Gates over real servers on loopback sockets:
 
 * **Identity** (always enforced): every decision served over HTTP is
   bit-identical — label, blocked bit, matched rule, matched list — to
@@ -17,22 +17,46 @@ Four gates over a real :class:`BlockingServer` on a loopback socket:
   middle of a load test must not drop a single request, and every
   response must match the offline oracle *of the snapshot revision that
   answered it* — the old snapshot keeps serving until the swap completes.
+* **Async vs threaded** (enforced at full scale): a *single*
+  :class:`AsyncBlockingServer` event loop must sustain at least the
+  threaded server's throughput on the identical closed-loop workload —
+  on a GIL-bound host, threads buy only handoff overhead, and the
+  coalescer turns concurrency into oracle batches.
+* **Open-loop tail latency** (enforced at full scale): a fixed
+  arrival-rate load (deadline-scheduled, latency measured from the
+  *scheduled* send time, so queueing delay counts) must hold its p99
+  under a ceiling while absorbing most of the offered rate.
+* **Multi-worker scaling** (auto-armed on multi-core hosts): a 2-worker
+  :class:`ServeSupervisor` over one shared memory-mapped oracle image
+  must reach 2x single-worker aggregate throughput; on a single-core
+  host the gate is recorded disarmed with a loud ``skip_reason``.  The
+  supervisor's **reload-under-load identity** gate (always enforced)
+  re-proves the PR 3/4 contract per worker: during a coordinated
+  cross-process reload, zero dropped requests and zero decisions that
+  disagree with the offline oracle of the revision that answered them —
+  checked separately for every worker pid.
 
 Artifacts: ``benchmarks/output/BENCH_serve.json``.
 """
 
+import os
 import threading
 import time
 
+from repro.filterlists.compile import compile_lists
 from repro.filterlists.lists import EASYLIST_SNAPSHOT, EASYPRIVACY_SNAPSHOT
 from repro.filterlists.oracle import FilterListOracle
 from repro.filterlists.parser import parse_filter_list
 from repro.serve import (
+    AsyncServerThread,
     BlockingClient,
     BlockingServer,
     BlockingService,
     LoadGenerator,
+    OpenLoopLoadGenerator,
+    ServeSupervisor,
 )
+from repro.serve.service import default_lists
 
 from conftest import BENCH_SMOKE, write_json_artifact
 
@@ -47,6 +71,11 @@ BATCH_SIZE = 250
 LOAD_THREADS = 4
 LOAD_ROUNDS = 2 if BENCH_SMOKE else 6
 THROUGHPUT_FLOOR_RPS = 300.0
+OPEN_LOOP_RATE_RPS = 400.0 if BENCH_SMOKE else 800.0
+OPEN_LOOP_SECONDS = 2.0 if BENCH_SMOKE else 5.0
+OPEN_LOOP_MAX_P99_MS = 50.0
+OPEN_LOOP_MIN_ACHIEVED_FRACTION = 0.85
+SCALING_REQUIRED_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -204,6 +233,230 @@ def test_reload_under_load_never_drops_or_mislabels(server, urls, results):
     }
 
 
+def test_async_single_worker_beats_threaded(urls, results):
+    """Gate (full scale): one asyncio event loop >= the threaded server
+    on the identical closed-loop workload."""
+    workload = dict(threads=LOAD_THREADS, rounds=LOAD_ROUNDS)
+    # Fresh servers for a fair race: same default lists, cold caches,
+    # measured back to back under the same client harness.
+    with BlockingServer(BlockingService(), port=0, threads=8) as threaded:
+        threaded_report = LoadGenerator(
+            threaded.host, threaded.port, urls, **workload
+        ).run()
+    with AsyncServerThread() as asynchronous:
+        async_report = LoadGenerator(
+            asynchronous.host, asynchronous.port, urls, **workload
+        ).run()
+    assert threaded_report.errors == [] and async_report.errors == []
+    assert async_report.requests == len(urls) * LOAD_ROUNDS
+    speedup = async_report.throughput_rps / threaded_report.throughput_rps
+    results["async_vs_threaded"] = {
+        "threaded_rps": threaded_report.throughput_rps,
+        "async_rps": async_report.throughput_rps,
+        "speedup": speedup,
+    }
+    results.setdefault("gates", {})["async_vs_threaded"] = {
+        "required_speedup": 1.0,
+        "enforced": not BENCH_SMOKE,
+        "achieved": speedup,
+        "skip_reason": (
+            "BENCH_SMOKE=1: wall-clock gates are record-only in smoke runs"
+            if BENCH_SMOKE
+            else None
+        ),
+    }
+    if not BENCH_SMOKE:
+        assert speedup >= 1.0, (
+            f"async server served only {speedup:.2f}x the threaded baseline "
+            f"({async_report.throughput_rps:.0f} vs "
+            f"{threaded_report.throughput_rps:.0f} rps)"
+        )
+
+
+def test_open_loop_tail_latency(urls, results):
+    """Gate (full scale): fixed-arrival-rate p99 under the ceiling while
+    absorbing the offered load."""
+    total = max(len(urls), int(OPEN_LOOP_RATE_RPS * OPEN_LOOP_SECONDS))
+    load_urls = (urls * (total // len(urls) + 1))[:total]
+    with AsyncServerThread() as server:
+        report = OpenLoopLoadGenerator(
+            server.host,
+            server.port,
+            load_urls,
+            rate_rps=OPEN_LOOP_RATE_RPS,
+            connections=8,
+        ).run()
+    assert report.errors == []
+    assert report.requests == total
+    achieved_fraction = report.achieved_rps / report.offered_rps
+    results["open_loop"] = {
+        "offered_rps": report.offered_rps,
+        "achieved_rps": report.achieved_rps,
+        "requests": float(report.requests),
+        "p50_ms": report.percentile_ms(50),
+        "p99_ms": report.percentile_ms(99),
+    }
+    results.setdefault("gates", {})["open_loop_p99"] = {
+        "max_p99_ms": OPEN_LOOP_MAX_P99_MS,
+        "min_achieved_fraction": OPEN_LOOP_MIN_ACHIEVED_FRACTION,
+        "enforced": not BENCH_SMOKE,
+        "achieved": report.percentile_ms(99),
+        "skip_reason": (
+            "BENCH_SMOKE=1: wall-clock gates are record-only in smoke runs"
+            if BENCH_SMOKE
+            else None
+        ),
+    }
+    if not BENCH_SMOKE:
+        assert report.percentile_ms(99) <= OPEN_LOOP_MAX_P99_MS, (
+            f"open-loop p99 {report.percentile_ms(99):.1f} ms at "
+            f"{report.offered_rps:.0f} rps"
+        )
+        assert achieved_fraction >= OPEN_LOOP_MIN_ACHIEVED_FRACTION, (
+            f"absorbed only {achieved_fraction:.0%} of the offered rate"
+        )
+
+
+@pytest.fixture(scope="module")
+def image_artifacts(tmp_path_factory):
+    """Boot and hotfix ``.tsoracle`` artifacts the supervisor runs on."""
+    tmp = tmp_path_factory.mktemp("serve-artifacts")
+    boot = tmp / "boot.tsoracle"
+    compile_lists(boot, *default_lists())
+    hotfix = tmp / "hotfix.tsoracle"
+    compile_lists(
+        hotfix,
+        *default_lists(),
+        parse_filter_list(HOTFIX_TEXT, name="hotfix"),
+    )
+    return boot, hotfix
+
+
+def test_multiworker_scaling_and_per_worker_reload_identity(
+    urls, results, image_artifacts
+):
+    """Scaling gate (auto-armed on multi-core) + per-worker identity gate
+    (always enforced) over the 2-worker supervisor."""
+    boot, hotfix = image_artifacts
+    workload = dict(threads=LOAD_THREADS, rounds=LOAD_ROUNDS)
+
+    with ServeSupervisor(boot, workers=1) as single:
+        single_report = LoadGenerator(
+            single.host, single.port, urls, **workload
+        ).run()
+    assert single_report.errors == []
+
+    old_oracle = FilterListOracle()
+    new_oracle = FilterListOracle(
+        *default_lists(), parse_filter_list(HOTFIX_TEXT, name="hotfix")
+    )
+    load_urls = urls + [
+        "https://hotfix-tracker.example/tag.js",
+        "https://cdn.example/late-beacon/7",
+    ] * max(1, len(urls) // 40)
+
+    with ServeSupervisor(boot, workers=2) as pair:
+        strategy = pair.strategy
+        pair_report = LoadGenerator(
+            pair.host, pair.port, urls, **workload
+        ).run()
+        assert pair_report.errors == []
+
+        # Reload-under-load, identity-checked per worker pid.
+        reload_outcome = {}
+
+        def hot_reload() -> None:
+            time.sleep(0.05)
+            reload_outcome.update(pair.reload(hotfix))
+
+        reloader = threading.Thread(target=hot_reload)
+        reloader.start()
+        # More client connections than the throughput run: REUSEPORT
+        # balances per connection, and the identity gate wants decisions
+        # from as many workers as the kernel will spread them over.
+        identity_report = LoadGenerator(
+            pair.host,
+            pair.port,
+            load_urls,
+            threads=LOAD_THREADS * 2,
+            rounds=LOAD_ROUNDS,
+        ).run()
+        reloader.join()
+
+    assert identity_report.errors == []                   # nothing dropped
+    assert identity_report.requests == len(load_urls) * LOAD_ROUNDS
+    assert reload_outcome["revision"] == 2
+    oracles = {1: old_oracle, 2: new_oracle}
+    per_worker: dict = {}
+    for decision in identity_report.decisions:
+        row = per_worker.setdefault(
+            decision["worker"],
+            {"decisions": 0, "mismatches": 0, "revisions": set()},
+        )
+        row["decisions"] += 1
+        row["revisions"].add(decision["revision"])
+        oracle = oracles[decision["revision"]]
+        if decision["blocked"] != oracle.should_block_url(decision["url"]):
+            row["mismatches"] += 1
+    # Every answering pid is a supervised worker (the kernel decides how
+    # many of them the client connections actually land on).
+    ack_pids = {w["pid"] for w in reload_outcome["workers"]}
+    assert per_worker and set(per_worker) <= ack_pids
+    for pid, row in per_worker.items():
+        assert row["mismatches"] == 0, f"worker {pid} mislabeled decisions"
+    assert {2} <= set().union(*(r["revisions"] for r in per_worker.values()))
+
+    cores = os.cpu_count() or 1
+    speedup = pair_report.throughput_rps / single_report.throughput_rps
+    scaling_armed = (not BENCH_SMOKE) and cores >= 2
+    if BENCH_SMOKE:
+        scaling_skip = (
+            "BENCH_SMOKE=1: wall-clock gates are record-only in smoke runs"
+        )
+    elif cores < 2:
+        scaling_skip = (
+            f"DISARMED: host has {cores} CPU core(s); the >= "
+            f"{SCALING_REQUIRED_SPEEDUP}x 2-worker scaling gate arms "
+            "automatically on multi-core hosts"
+        )
+    else:
+        scaling_skip = None
+    results["multiworker"] = {
+        "strategy": strategy,
+        "cpu_cores": cores,
+        "single_worker_rps": single_report.throughput_rps,
+        "two_worker_rps": pair_report.throughput_rps,
+        "two_worker_speedup": speedup,
+        "reload_identity": {
+            str(pid): {
+                "decisions": row["decisions"],
+                "mismatches": row["mismatches"],
+                "revisions": sorted(row["revisions"]),
+            }
+            for pid, row in per_worker.items()
+        },
+    }
+    gates = results.setdefault("gates", {})
+    gates["two_worker_scaling"] = {
+        "required_speedup": SCALING_REQUIRED_SPEEDUP,
+        "enforced": scaling_armed,
+        "achieved": speedup,
+        "skip_reason": scaling_skip,
+    }
+    gates["supervisor_reload_identity"] = {
+        "max_mismatches": 0.0,
+        "enforced": True,
+        "achieved": float(
+            sum(row["mismatches"] for row in per_worker.values())
+        ),
+        "skip_reason": None,
+    }
+    if scaling_armed:
+        assert speedup >= SCALING_REQUIRED_SPEEDUP, (
+            f"2 workers reached only {speedup:.2f}x single-worker throughput"
+        )
+
+
 def test_write_artifact(server, results, output_dir):
     """Record the machine-readable trail (runs last in this module)."""
     with BlockingClient(server.host, server.port) as client:
@@ -220,9 +473,16 @@ def test_write_artifact(server, results, output_dir):
     payload.update(results)
     write_json_artifact(output_dir, "BENCH_serve.json", payload)
     print(
-        f"\nserve bench: {results['throughput_rps']:.0f} rps over "
-        f"{results['load_threads']} client threads, batch speedup "
-        f"{results['batch_speedup']:.1f}x, identity checked on "
+        f"\nserve bench: {results['throughput_rps']:.0f} rps threaded over "
+        f"{results['load_threads']} client threads "
+        f"(async 1-worker {results['async_vs_threaded']['async_rps']:.0f} rps, "
+        f"{results['async_vs_threaded']['speedup']:.2f}x), batch speedup "
+        f"{results['batch_speedup']:.1f}x, open-loop p99 "
+        f"{results['open_loop']['p99_ms']:.1f} ms at "
+        f"{results['open_loop']['offered_rps']:.0f} rps, 2-worker scaling "
+        f"{results['multiworker']['two_worker_speedup']:.2f}x "
+        f"({results['multiworker']['strategy']}, "
+        f"{results['multiworker']['cpu_cores']} cores), identity checked on "
         f"{results['identity_checked']:,} URLs, reload served "
         f"{results['reload']['decisions_during_load']:,} decisions across "
         f"revisions {results['reload']['revisions_seen']}"

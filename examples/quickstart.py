@@ -40,8 +40,19 @@ hot-reloads new list versions without dropping a request::
         -d '{"lists": [{"name": "hotfix", "text": "||evil.example^"}]}'
     curl -s localhost:8377/metrics
 
-The tail of this script runs the same loop in-process: start a server on
-an ephemeral port, decide, hot-reload a hotfix rule, decide again.
+At deployment scale the same oracle serves from N processes sharing one
+memory-mapped compiled image (``trackersift compile --out
+rules.tsoracle`` then ``trackersift serve --workers 4 --artifact
+rules.tsoracle``): each forked worker runs an asyncio server on the
+shared port (``SO_REUSEPORT`` where available, an inherited listening
+socket otherwise), reloads are coordinated across the whole fleet by
+the supervisor (``SIGHUP``), and an extra worker costs a thin private
+skeleton rather than another oracle copy.
+
+The tail of this script runs the same loops in-process: start a server
+on an ephemeral port, decide, hot-reload a hotfix rule, decide again —
+then a 2-worker supervisor over a compiled artifact, with a coordinated
+reload and merged cross-worker metrics.
 
 Run:  python examples/quickstart.py
 """
@@ -159,6 +170,51 @@ def main() -> None:
             f"p99 latency {metrics['latency']['p99_ms']:.3f} ms"
         )
         client.close()
+
+    # Deployment scale: compile the oracle once, fork 2 asyncio workers
+    # over the memory-mapped image, reload the whole fleet in one
+    # coordinated swap, and read the merged cross-worker metrics.
+    import tempfile
+    from pathlib import Path
+
+    from repro.filterlists.compile import compile_lists
+    from repro.filterlists.parser import parse_filter_list
+    from repro.serve import ServeSupervisor
+    from repro.serve.service import default_lists
+
+    with tempfile.TemporaryDirectory(prefix="trackersift-quickstart-") as tmp:
+        boot = Path(tmp) / "rules.tsoracle"
+        compile_lists(boot, *default_lists())
+        hotfix = Path(tmp) / "hotfix.tsoracle"
+        compile_lists(
+            hotfix,
+            *default_lists(),
+            parse_filter_list("||cdn.flaky.example^\n", name="hotfix"),
+        )
+        supervisor = ServeSupervisor(boot, workers=2).start()
+        try:
+            client = BlockingClient(supervisor.host, supervisor.port)
+            decision = client.decide("https://doubleclick.net/pixel.gif")
+            print(
+                f"\n2 workers on :{supervisor.port} "
+                f"({supervisor.strategy}): worker {decision['worker']} -> "
+                f"{decision['label']} at revision {decision['revision']}"
+            )
+            report = supervisor.reload(hotfix)
+            print(
+                f"Coordinated reload -> revision {report['revision']} "
+                f"acknowledged by {len(report['workers'])} workers"
+            )
+            assert client.decide("https://cdn.flaky.example/app.js")["blocked"]
+            merged = supervisor.metrics()
+            print(
+                f"Merged metrics: pids {sorted(merged['worker_pids'])}, "
+                f"revision_consistent={merged['revision_consistent']}"
+            )
+            client.close()
+        finally:
+            codes = supervisor.shutdown()
+        assert codes == [0, 0], codes
 
     # Every execution path above (batch, streaming, fan-out, compiled
     # artifacts, the service) must produce the same decisions on *any*

@@ -39,6 +39,10 @@ BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_serve.py
 
 echo
+echo "== multi-process serve smoke (2 workers, reload mid-load, identity-checked) =="
+python scripts/serve_mp_smoke.py
+
+echo
 echo "== scenario matrix smoke (fast packs x every execution path, golden-pinned) =="
 BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_scenarios.py

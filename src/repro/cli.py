@@ -21,7 +21,9 @@ Subcommands mirror the paper's workflow plus the library's extensions:
   oracle behind a threaded JSON API (``--port``, ``--threads``) with
   hot-reloadable list snapshots; ``--lists`` loads filter-list files in
   place of the embedded defaults, ``--artifact`` boots from a compiled
-  ``.tsoracle`` without parsing anything,
+  ``.tsoracle`` without parsing anything, and ``--workers N`` (with
+  ``--artifact``) forks N asyncio serve workers sharing one
+  memory-mapped oracle image (reload all workers with SIGHUP),
 * ``compile``   — compile filter lists (``--lists``, or the embedded
   defaults) into a versioned, checksummed ``.tsoracle`` artifact
   (``--out``) that loads with no parsing or index construction — the
@@ -111,7 +113,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "crawl shards on N parallel worker processes — results are "
             "identical for every worker count; not accepted by "
             "figure4/strategies/bootstrap/export, which analyse the "
-            "materialized crawl that parallel runs do not carry"
+            "materialized crawl that parallel runs do not carry. "
+            "serve: fork N asyncio serve workers sharing one "
+            "memory-mapped oracle image (requires --artifact)"
         ),
     )
     parser.add_argument(
@@ -223,13 +227,37 @@ def _cmd_serve(args) -> int:
     from .filterlists.compile import ArtifactError
     from .serve.server import DEFAULT_PORT, DEFAULT_THREADS, run_server
 
-    if args.workers is not None:
-        raise SystemExit(
-            "serve: --workers does not apply; --threads bounds concurrent "
-            "decide handlers"
-        )
     if args.artifact and args.lists:
         raise SystemExit("serve: pass --lists or --artifact, not both")
+    if args.workers is not None:
+        # Multi-process mode: N forked asyncio workers over one shared
+        # memory-mapped oracle image, coordinated by a supervisor
+        # (reload via SIGHUP, drain via SIGTERM/SIGINT).
+        if args.workers < 1:
+            raise SystemExit("serve: --workers must be at least 1")
+        if not args.artifact:
+            raise SystemExit(
+                "serve: --workers requires --artifact — workers share the "
+                "compiled artifact's memory-mapped oracle image (compile "
+                "one with: trackersift compile --out rules.tsoracle)"
+            )
+        if args.threads is not None:
+            raise SystemExit(
+                "serve: --threads applies to the single-process threaded "
+                "server; with --workers, concurrency comes from the "
+                "worker processes"
+            )
+        from .serve.supervisor import run_supervisor
+
+        try:
+            return run_supervisor(
+                args.artifact,
+                workers=args.workers,
+                host=args.host or "127.0.0.1",
+                port=args.port if args.port is not None else DEFAULT_PORT,
+            )
+        except (ArtifactError, OSError, RuntimeError) as error:
+            raise SystemExit(f"serve: {error}")
     threads = args.threads if args.threads is not None else DEFAULT_THREADS
     if threads < 1:
         raise SystemExit("serve: --threads must be at least 1")

@@ -17,17 +17,25 @@ On-disk layout (all integers big-endian)::
     version    u16     ARTIFACT_VERSION
     meta_len   u32     length of the JSON metadata block
     data_len   u64     length of the pickled payload
-    sha256     32      digest over metadata + payload
+    image_len  u64     length of the mmap-ready oracle image
+    sha256     32      digest over metadata + payload + image
     meta       JSON    {"rule_count", "lists", "revision", "format",
-                        "automaton_keys", "unsupported", "unsupported_rules"}
+                        "automaton_keys", "unsupported", "unsupported_rules",
+                        "image_bytes"}
     payload    pickle  {"matcher": FilterMatcher, "lists": (ParsedList, ...)}
+    image      binary  flat oracle image (see repro.filterlists.image)
 
 Since version 2 the pickled matcher carries its candidate-generation
 :class:`~repro.filterlists.matcher.TokenAutomaton` (vocabulary only — the
 compiled scan patterns follow the same lazy invariant as per-rule regexes
 and never serialize), so loaded oracles scan URLs the same way freshly
-built ones do.  Version-1 artifacts predate the automaton and are
-rejected with :class:`ArtifactError`, never half-loaded.
+built ones do.  Version 3 appends the *oracle image*: a flat,
+pickle-free encoding of the same matcher that serving workers ``mmap``
+read-only via :func:`open_image`, so N worker processes share one
+page-cache-resident copy of the rule data instead of holding N unpickled
+oracles (:mod:`repro.filterlists.image` documents the layout and the
+identity argument).  Older artifacts are rejected with
+:class:`ArtifactError`, never half-loaded — recompile from list text.
 
 Every load verifies magic, version, lengths and checksum before touching
 the pickle, so a truncated or corrupted artifact (or one written by a
@@ -56,6 +64,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .cache import CachedMatcher
+from .image import ImageMatcher, build_image
 from .matcher import FilterMatcher
 from .parser import ParsedList
 
@@ -69,6 +78,7 @@ __all__ = [
     "compile_lists",
     "load_artifact",
     "load_matcher",
+    "open_image",
     "read_artifact_meta",
     "gc_paused",
 ]
@@ -101,8 +111,16 @@ MAGIC = b"TSORACLE"
 #       automaton scan instead of tokenize-then-probe) and per-reason
 #       unsupported-rule accounting; version-1 artifacts predate both and
 #       are rejected loudly — recompile from list text.
-ARTIFACT_VERSION = 2
-_HEADER = struct.Struct(">8sHIQ32s")
+#   3 — appends the mmap-ready oracle image (repro.filterlists.image):
+#       the header grows an image_len field and the checksum covers all
+#       three sections.  Version-2 artifacts carry no image for serving
+#       workers to share and are rejected loudly — recompile.
+ARTIFACT_VERSION = 3
+_HEADER = struct.Struct(">8sHIQQ32s")
+# Magic + version prefix, validated before the full header so an
+# old-format artifact (whose header is a different size) reports a
+# version mismatch instead of a confusing truncation error.
+_PREFIX = struct.Struct(">8sH")
 
 
 class ArtifactError(ValueError):
@@ -137,6 +155,7 @@ def _encode(
         {"matcher": plain, "lists": tuple(lists)},
         protocol=pickle.HIGHEST_PROTOCOL,
     )
+    image = build_image(plain)
     automaton = plain.automaton
     meta = {
         "format": "tsoracle",
@@ -147,13 +166,15 @@ def _encode(
         "automaton_keys": automaton.vocabulary_size if automaton else 0,
         "unsupported": plain.unsupported_counts,
         "unsupported_rules": plain.unsupported_rule_count,
+        "image_bytes": len(image),
     }
     meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
-    digest = hashlib.sha256(meta_bytes + payload).digest()
+    digest = hashlib.sha256(meta_bytes + payload + image).digest()
     header = _HEADER.pack(
-        MAGIC, ARTIFACT_VERSION, len(meta_bytes), len(payload), digest
+        MAGIC, ARTIFACT_VERSION, len(meta_bytes), len(payload), len(image),
+        digest,
     )
-    return header + meta_bytes + payload, meta
+    return header + meta_bytes + payload + image, meta
 
 
 def dumps_artifact(
@@ -164,14 +185,18 @@ def dumps_artifact(
     return _encode(matcher, lists)[0]
 
 
-def _read_header(data: bytes) -> tuple[int, int, bytes]:
-    """Validate magic/version/lengths; returns (meta_len, data_len, digest)."""
-    if len(data) < _HEADER.size:
+def _read_header(data) -> tuple[int, int, int, bytes]:
+    """Validate magic/version/lengths; returns ``(meta_len, data_len,
+    image_len, digest)``.  Magic and version are checked before the full
+    header is unpacked, so an artifact written by an older format version
+    (whose header has a different size) is reported as a version
+    mismatch, never as truncation."""
+    if len(data) < _PREFIX.size:
         raise ArtifactError(
             f"artifact truncated: {len(data)} bytes is shorter than the "
-            f"{_HEADER.size}-byte header"
+            f"{_PREFIX.size}-byte magic/version prefix"
         )
-    magic, version, meta_len, data_len, digest = _HEADER.unpack_from(data)
+    magic, version = _PREFIX.unpack_from(data)
     if magic != MAGIC:
         raise ArtifactError(
             f"not a .tsoracle artifact (bad magic {magic!r})"
@@ -181,31 +206,42 @@ def _read_header(data: bytes) -> tuple[int, int, bytes]:
             f"artifact format version {version} is not the supported "
             f"version {ARTIFACT_VERSION}; recompile from list text"
         )
-    expected = _HEADER.size + meta_len + data_len
+    if len(data) < _HEADER.size:
+        raise ArtifactError(
+            f"artifact truncated: {len(data)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header"
+        )
+    _, _, meta_len, data_len, image_len, digest = _HEADER.unpack_from(data)
+    expected = _HEADER.size + meta_len + data_len + image_len
     if len(data) != expected:
         raise ArtifactError(
             f"artifact truncated or padded: header promises {expected} "
             f"bytes, file holds {len(data)}"
         )
-    return meta_len, data_len, digest
+    return meta_len, data_len, image_len, digest
 
 
-def _verified_sections(data: bytes) -> tuple[bytes, "memoryview"]:
-    meta_len, _, digest = _read_header(data)
-    # Views, not copies: hashing and unpickling both accept buffers, and a
-    # list-scale artifact is megabytes — two slice copies would cost more
-    # than the checksum itself.
+def _verified_sections(data) -> tuple[bytes, "memoryview", "memoryview"]:
+    """Checksum-validated ``(meta bytes, payload view, image view)``."""
+    meta_len, data_len, _, digest = _read_header(data)
+    # Views, not copies: hashing, unpickling and mmap consumption all
+    # accept buffers, and a list-scale artifact is megabytes — slice
+    # copies would cost more than the checksum itself.
     body = memoryview(data)[_HEADER.size :]
     if hashlib.sha256(body).digest() != digest:
         raise ArtifactError(
             "artifact checksum mismatch: content was corrupted after compile"
         )
-    return bytes(body[:meta_len]), body[meta_len:]
+    return (
+        bytes(body[:meta_len]),
+        body[meta_len : meta_len + data_len],
+        body[meta_len + data_len :],
+    )
 
 
 def loads_artifact(data: bytes) -> OracleArtifact:
     """Decode and validate artifact bytes (see module docstring)."""
-    meta_bytes, payload = _verified_sections(data)
+    meta_bytes, payload, _ = _verified_sections(data)
     meta = json.loads(meta_bytes.decode("utf-8"))
     with gc_paused():
         record = pickle.loads(payload)
@@ -263,6 +299,53 @@ def load_matcher(path: str | Path) -> FilterMatcher:
     return load_artifact(path).matcher
 
 
+def open_image(path: str | Path) -> ImageMatcher:
+    """Map an artifact's oracle image read-only and return its matcher.
+
+    The multi-worker serving path: the file is ``mmap``-ed (never read
+    into a private buffer), the whole-artifact checksum is verified over
+    the map — faulting the pages into the kernel page cache, where every
+    worker mapping the same file shares them — and the image section is
+    handed to :class:`~repro.filterlists.image.ImageMatcher`.  Rule data
+    stays in the shared map; each process privately holds only the bucket
+    directory skeleton and whatever rules its traffic materializes.
+    Raises :class:`ArtifactError` for a missing, truncated, corrupt,
+    version-mismatched or image-less artifact.
+    """
+    import mmap
+
+    path = Path(path)
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+    try:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as error:
+        handle.close()
+        raise ArtifactError(f"cannot map artifact {path}: {error}") from error
+    try:
+        data = memoryview(mapped)
+        _, _, image = _verified_sections(data)
+        if len(image) == 0:
+            raise ArtifactError(
+                f"artifact {path} carries no oracle image; recompile"
+            )
+        # Closers run in order on ImageMatcher.close(): parent view first
+        # (exported sub-views are dropped by the matcher itself), then the
+        # map, then the file.
+        return ImageMatcher(
+            image, closers=(data.release, mapped.close, handle.close)
+        )
+    except BaseException:
+        # Error path: close only the file handle eagerly.  The map (and
+        # any buffer views a partially-built matcher exported) is released
+        # by garbage collection — mmap.close() would raise BufferError
+        # while traceback frames keep those views alive.
+        handle.close()
+        raise
+
+
 def read_artifact_meta(path: str | Path) -> dict:
     """Header introspection without unpickling the payload.
 
@@ -271,7 +354,7 @@ def read_artifact_meta(path: str | Path) -> dict:
     metadata.
     """
     data = _read_bytes(path)
-    meta_bytes, _ = _verified_sections(data)
+    meta_bytes, _, _ = _verified_sections(data)
     meta = json.loads(meta_bytes.decode("utf-8"))
     meta["bytes"] = len(data)
     return meta

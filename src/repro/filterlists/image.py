@@ -1,0 +1,819 @@
+"""Memory-mapped oracle images: N serving processes, one oracle in RAM.
+
+A compiled ``.tsoracle`` artifact (format version 3 — see
+:mod:`repro.filterlists.compile`) carries, alongside the pickled matcher,
+a flat *image* section designed to be consumed through a read-only
+``mmap``.  The pickled payload is the single-process fast path: one
+validated load materializes every :class:`NetworkRule` as Python objects.
+That is exactly the wrong shape for a multi-process server — N workers
+would each hold a full private copy of an oracle whose rules are
+identical, so resident memory scales with worker count.
+
+The image section inverts that: rule *data* (source lines, bucket
+membership, list provenance) **and the bucket directories themselves**
+live in the artifact file, the workers map it read-only, and the
+kernel's page cache keeps one physical copy no matter how many processes
+map it.  Per worker, only a thin skeleton is private:
+
+* the :class:`~repro.filterlists.matcher.TokenAutomaton` vocabulary
+  (derived from the directory keys, so it is the same automaton the
+  pickled matcher carries),
+* a per-key cache of materialized buckets — key lookups bisect the
+  sorted key tables *in the mapped file* (no per-worker ``dict`` of
+  12K span entries, no JSON-decoded directory: decoding one in every
+  worker was measured to dirty ~3 MB of private arena pages per
+  process for a 12K-rule oracle, most of the cost this layout exists
+  to avoid),
+* and a lazily-populated cache of :class:`NetworkRule` objects,
+  materialized per bucket on first traffic by re-parsing the stored rule
+  line with :func:`repro.filterlists.parser.parse_rule_line`.
+
+Cold RSS per additional worker is therefore the skeleton, not the oracle
+(``benchmarks/bench_artifacts.py`` gates it below 25% of a full unpickled
+copy), and a worker that only ever sees a slice of the URL space only
+ever materializes the buckets that slice touches.
+
+Image layout (offsets relative to the image section; integers
+big-endian)::
+
+    header_len  u32
+    header      JSON   {"rule_count", "revision", "lists", "list_pool",
+                        "domain_sensitive", "digit_anywhere",
+                        "unsupported", "unsupported_rules",
+                        "blocking", "exceptions", "sections"}
+    sections    binary rule_ids          u32[total bucket entries]
+                       line_offsets      u32[rule_count + 1]
+                       line_blob         utf-8 rule lines, concatenated
+                       rule_lists        u16[rule_count] (→ list_pool)
+                       blocking_hosts    key table (below)
+                       blocking_buckets  key table
+                       exceptions_hosts  key table
+                       exceptions_buckets key table
+                       digit_hosts       utf-8 hosts, newline-joined
+
+Each *key table* is a bisectable directory mapping key → ``[start,
+count]`` span into ``rule_ids``, kept entirely inside the map::
+
+    count        u32
+    key_offsets  u32[count + 1]   (into key_blob)
+    spans        u32[2 * count]   (start, count — key_offsets order)
+    key_blob     utf-8 keys, concatenated, bytewise-sorted
+
+Keys are stored bytewise-sorted; UTF-8 byte order equals code-point
+order, so a binary search over encoded probe keys is exact.
+
+``blocking`` / ``exceptions`` in the JSON header carry only what cannot
+stay in the map: the ``catch_all`` span and the tier's ``rules`` /
+``host_rules`` totals.  :class:`ImageMatcher` walks hosts, catch-all,
+then token buckets in the exact candidate order the in-memory
+:class:`~repro.filterlists.matcher._RuleIndex` uses, so decisions *and
+rule attribution* are bit-identical to the pickled matcher's
+(``tests/test_filterlists_image.py`` holds the two together).  Section
+offsets in ``sections`` are relative to the first byte after the
+header.
+
+Build with :func:`build_image` (called by the compiler), consume with
+:func:`repro.filterlists.compile.open_image`, which validates the
+artifact checksum before handing the mapped section to
+:class:`ImageMatcher`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import replace
+from typing import Iterable
+
+import re
+
+from .matcher import (
+    _NO_MATCH,
+    _trie_pattern,
+    FilterMatcher,
+    MatchResult,
+    RequestShape,
+    TokenAutomaton,
+)
+from .parser import parse_rule_line
+from .rules import NetworkRule, RequestContext
+
+__all__ = ["build_image", "ImageMatcher"]
+
+_U32 = struct.Struct(">I")
+_U32X2 = struct.Struct(">2I")
+_SECTION_ORDER = (
+    "rule_ids",
+    "line_offsets",
+    "line_blob",
+    "rule_lists",
+    "blocking_hosts",
+    "blocking_buckets",
+    "exceptions_hosts",
+    "exceptions_buckets",
+    "digit_hosts",
+)
+_UNPROBED = object()  # cache sentinel: key never looked up in the map yet
+
+
+def _image_error(message: str) -> Exception:
+    # ArtifactError lives in compile.py, which imports this module; the
+    # lazy import keeps the dependency one-directional at import time.
+    from .compile import ArtifactError
+
+    return ArtifactError(message)
+
+
+def build_image(matcher: FilterMatcher) -> bytes:
+    """Encode a built matcher's index skeleton + rule lines as an image.
+
+    Every indexed rule must round-trip through
+    :func:`~repro.filterlists.parser.parse_rule_line` — the image stores
+    source lines, not pickles, so lazy materialization re-parses them.
+    Rules constructed programmatically with a ``text`` that does not
+    re-parse to the same rule are rejected at compile time rather than
+    silently drifting at serve time.
+    """
+    rules: list[NetworkRule] = []
+    interned: dict[int, int] = {}
+    ids: list[int] = []
+
+    def intern(rule: NetworkRule) -> int:
+        index = interned.get(id(rule))
+        if index is None:
+            reparsed = parse_rule_line(rule.text, rule.list_name)
+            if reparsed != rule:
+                raise _image_error(
+                    f"rule {rule.text!r} does not round-trip through the "
+                    "parser; oracle images store source lines and cannot "
+                    "carry it — compile from parsed list text"
+                )
+            index = len(rules)
+            rules.append(rule)
+            interned[id(rule)] = index
+        return index
+
+    def span(bucket: Iterable[NetworkRule]) -> list[int]:
+        start = len(ids)
+        ids.extend(intern(rule) for rule in bucket)
+        return [start, len(ids) - start]
+
+    def key_table(spans: dict[str, list[int]]) -> bytes:
+        # Bytewise-sorted keys: UTF-8 byte order equals code-point order,
+        # so ImageMatcher's encoded-probe bisect is exact.
+        keys = sorted(spans)
+        blob = bytearray()
+        offsets = [0]
+        flat: list[int] = []
+        for key in keys:
+            blob += key.encode("utf-8")
+            offsets.append(len(blob))
+            flat.extend(spans[key])
+        return (
+            _U32.pack(len(keys))
+            + struct.pack(f">{len(offsets)}I", *offsets)
+            + struct.pack(f">{len(flat)}I", *flat)
+            + bytes(blob)
+        )
+
+    def encode_index(index) -> dict:
+        return {
+            "hosts": {key: span(b) for key, b in index._hosts.items()},
+            "buckets": {key: span(b) for key, b in index._buckets.items()},
+            "catch_all": span(index._catch_all),
+        }
+
+    blocking = encode_index(matcher._blocking)
+    exceptions = encode_index(matcher._exceptions)
+
+    def index_header(encoded: dict) -> dict:
+        host_rules = sum(s[1] for s in encoded["hosts"].values())
+        bucket_rules = sum(s[1] for s in encoded["buckets"].values())
+        return {
+            "catch_all": encoded["catch_all"],
+            "rules": host_rules + bucket_rules + encoded["catch_all"][1],
+            "host_rules": host_rules,
+        }
+
+    list_pool: list[str] = []
+    pool_index: dict[str, int] = {}
+    rule_lists: list[int] = []
+    for rule in rules:
+        index = pool_index.get(rule.list_name)
+        if index is None:
+            index = len(list_pool)
+            list_pool.append(rule.list_name)
+            pool_index[rule.list_name] = index
+        rule_lists.append(index)
+    if len(list_pool) > 0xFFFF:
+        raise _image_error("oracle images support at most 65535 list names")
+
+    line_blob = bytearray()
+    line_offsets = [0]
+    for rule in rules:
+        line_blob += rule.text.encode("utf-8")
+        line_offsets.append(len(line_blob))
+
+    sections = {
+        "rule_ids": struct.pack(f">{len(ids)}I", *ids),
+        "line_offsets": struct.pack(f">{len(line_offsets)}I", *line_offsets),
+        "line_blob": bytes(line_blob),
+        "rule_lists": struct.pack(f">{len(rule_lists)}H", *rule_lists),
+        "blocking_hosts": key_table(blocking["hosts"]),
+        "blocking_buckets": key_table(blocking["buckets"]),
+        "exceptions_hosts": key_table(exceptions["hosts"]),
+        "exceptions_buckets": key_table(exceptions["buckets"]),
+        "digit_hosts": "\n".join(sorted(matcher._digit_hosts)).encode("utf-8"),
+    }
+    table: dict[str, list[int]] = {}
+    offset = 0
+    for name in _SECTION_ORDER:
+        table[name] = [offset, len(sections[name])]
+        offset += len(sections[name])
+
+    header = {
+        "rule_count": len(rules),
+        "revision": matcher.revision,
+        "lists": list(matcher.list_names),
+        "list_pool": list_pool,
+        "domain_sensitive": matcher._domain_sensitive,
+        "digit_anywhere": matcher._digit_anywhere,
+        "unsupported": matcher.unsupported_counts,
+        "unsupported_rules": matcher.unsupported_rule_count,
+        "blocking": index_header(blocking),
+        "exceptions": index_header(exceptions),
+        "sections": table,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        _U32.pack(len(header_bytes))
+        + header_bytes
+        + b"".join(sections[name] for name in _SECTION_ORDER)
+    )
+
+
+class _KeyTable:
+    """A sorted key → span directory resolved *inside* the mapped file.
+
+    Holds only three buffer views into the image (offsets, spans, key
+    blob); a lookup encodes the probe key and bisects the blob, so the
+    per-worker footprint of a 12K-entry directory is three memoryviews,
+    not a 12K-entry dict.  UTF-8 byte order equals code-point order,
+    which makes the encoded-probe comparison exact for any key the
+    compiler can emit.
+    """
+
+    __slots__ = ("_count", "_offsets", "_spans", "_blob")
+
+    def __init__(self, section) -> None:
+        if len(section) < _U32.size:
+            raise _image_error("oracle image key-table section truncated")
+        (count,) = _U32.unpack_from(section)
+        offsets_end = _U32.size + 4 * (count + 1)
+        spans_end = offsets_end + 8 * count
+        if len(section) < spans_end:
+            raise _image_error(
+                f"oracle image key-table section too short for {count} keys"
+            )
+        self._count = count
+        self._offsets = section[_U32.size : offsets_end]
+        self._spans = section[offsets_end:spans_end]
+        self._blob = section[spans_end:]
+        (blob_len,) = _U32.unpack_from(self._offsets, 4 * count)
+        if blob_len != len(self._blob):
+            raise _image_error(
+                "oracle image key-table blob does not match its offsets"
+            )
+
+    def __len__(self) -> int:
+        return self._count
+
+    def lookup(self, key: str) -> tuple[int, int] | None:
+        """The span for ``key``, or ``None`` — one bisect over the map."""
+        blob = self._blob
+        if blob is None:
+            raise _image_error(
+                "oracle image is closed; cannot materialize more rules"
+            )
+        probe = key.encode("utf-8")
+        offsets = self._offsets
+        lo, hi = 0, self._count
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            start, end = _U32X2.unpack_from(offsets, 4 * mid)
+            current = bytes(blob[start:end])
+            if current < probe:
+                lo = mid + 1
+            elif current > probe:
+                hi = mid
+            else:
+                return _U32X2.unpack_from(self._spans, 8 * mid)
+        return None
+
+    def keys(self):
+        """Decode every key (automaton vocabulary construction only)."""
+        blob = self._blob
+        if blob is None:
+            raise _image_error(
+                "oracle image is closed; cannot materialize more rules"
+            )
+        offsets = self._offsets
+        for index in range(self._count):
+            start, end = _U32X2.unpack_from(offsets, 4 * index)
+            yield bytes(blob[start:end]).decode("utf-8")
+
+    def close(self) -> None:
+        self._offsets = self._spans = self._blob = None
+
+
+class _TableMembership:
+    """``in``-only view over mapped key tables (the automaton host tier).
+
+    :meth:`TokenAutomaton.scan` consults its host table exclusively via
+    ``__contains__``; satisfying that with bisects over the map keeps the
+    8K-entry host vocabulary out of every worker's private heap."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, tables: tuple[_KeyTable, ...]) -> None:
+        self._tables = tables
+
+    def __contains__(self, key: str) -> bool:
+        for table in self._tables:
+            if table.lookup(key) is not None:
+                return True
+        return False
+
+
+class _MappedVocabulary(TokenAutomaton):
+    """A :class:`TokenAutomaton` whose vocabulary stays in the map.
+
+    Scans the same language as the automaton the pickled matcher
+    carries — the key tables hold exactly the vocabulary ``build_image``
+    serialized from it — but the host tier probes the mapped tables
+    directly and the token tier decodes its keys only transiently, while
+    compiling the scan regex.  A worker's private share of a 12K-key
+    vocabulary is then the compiled pattern (which every process pays,
+    pickled or mapped), not 12K heap strings plus a frozenset.
+    """
+
+    __slots__ = ("_host_tables", "_token_tables")
+
+    def __init__(
+        self,
+        host_tables: tuple[_KeyTable, ...],
+        token_tables: tuple[_KeyTable, ...],
+    ) -> None:
+        TokenAutomaton.__init__(self)
+        self._host_tables = host_tables
+        self._token_tables = token_tables
+
+    def _compile(self) -> tuple:
+        host_table = (
+            _TableMembership(self._host_tables)
+            if any(len(table) for table in self._host_tables)
+            else None
+        )
+        tokens = sorted(
+            {key for table in self._token_tables for key in table.keys()}
+        )
+        token_pattern = (
+            re.compile(
+                r"(?<![a-z0-9])(?:%s)(?![a-z0-9])" % _trie_pattern(tokens)
+            )
+            if tokens
+            else None
+        )
+        self._scanners = (host_table, token_pattern)
+        return self._scanners
+
+    @property
+    def host_key_count(self) -> int:
+        return sum(len(table) for table in self._host_tables)
+
+    @property
+    def token_key_count(self) -> int:
+        return len({key for table in self._token_tables for key in table.keys()})
+
+    def __getstate__(self) -> tuple:
+        raise TypeError(
+            "a mapped vocabulary is not picklable: it reads a process-local "
+            "mmap; open_image() the artifact in the target process instead"
+        )
+
+
+class _ImageIndex:
+    """One tier table of an image: mapped directories in, buckets out.
+
+    Mirrors :class:`~repro.filterlists.matcher._RuleIndex` exactly —
+    candidate order is host-directory hits in URL order (pattern
+    prechecked by the key lookup), then catch-all, then token buckets in
+    URL order, insertion order within a bucket — so attribution cannot
+    drift between the pickled and the mapped form of the same oracle.
+    Key lookups bisect the mapped :class:`_KeyTable`; each probed key is
+    cached (bucket tuple, or ``None`` for a miss) so steady-state
+    traffic costs one dict hit, exactly like the in-memory index.  The
+    key-space is the automaton vocabulary, so the caches are bounded.
+    """
+
+    __slots__ = (
+        "_image",
+        "_hosts",
+        "_buckets",
+        "_host_cache",
+        "_bucket_cache",
+        "_catch_all",
+        "_count",
+        "_host_rules",
+    )
+
+    def __init__(
+        self,
+        image: "ImageMatcher",
+        spec: dict,
+        hosts: _KeyTable,
+        buckets: _KeyTable,
+    ) -> None:
+        self._image = image
+        self._hosts = hosts
+        self._buckets = buckets
+        self._host_cache: dict = {}
+        self._bucket_cache: dict = {}
+        self._catch_all: object = [int(spec["catch_all"][0]), int(spec["catch_all"][1])]
+        self._count = int(spec["rules"])
+        self._host_rules = int(spec["host_rules"])
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def catch_all_empty(self) -> bool:
+        catch_all = self._catch_all
+        return (catch_all[1] if type(catch_all) is list else len(catch_all)) == 0
+
+    @property
+    def host_rule_count(self) -> int:
+        return self._host_rules
+
+    def _catch_all_rules(self) -> tuple:
+        catch_all = self._catch_all
+        if type(catch_all) is list:
+            catch_all = self._image._span_rules(catch_all)
+            self._catch_all = catch_all
+        return catch_all
+
+    def first_match(
+        self, context: RequestContext, shape: RequestShape
+    ) -> NetworkRule | None:
+        cache = self._host_cache
+        table = self._hosts
+        image = self._image
+        for key in shape.host_keys:
+            bucket = cache.get(key, _UNPROBED)
+            if bucket is _UNPROBED:
+                span = table.lookup(key)
+                bucket = None if span is None else image._span_rules(span)
+                cache[key] = bucket
+            if bucket is not None:
+                for rule in bucket:
+                    if rule.options.permits(context):
+                        return rule
+        for rule in self._catch_all_rules():
+            if rule.matches(context):
+                return rule
+        cache = self._bucket_cache
+        table = self._buckets
+        for token in shape.tokens:
+            bucket = cache.get(token, _UNPROBED)
+            if bucket is _UNPROBED:
+                span = table.lookup(token)
+                bucket = None if span is None else image._span_rules(span)
+                cache[token] = bucket
+            if bucket is not None:
+                for rule in bucket:
+                    if rule.matches(context):
+                        return rule
+        return None
+
+    def close(self) -> None:
+        self._hosts.close()
+        self._buckets.close()
+
+
+class ImageMatcher:
+    """A matcher over a memory-mapped oracle image.
+
+    Decision- and attribution-identical to the
+    :class:`~repro.filterlists.matcher.FilterMatcher` the image was built
+    from, but rules stay in the mapped file until traffic touches their
+    bucket.  Duck-types the matcher protocol the serving stack consumes
+    (:class:`~repro.filterlists.cache.CachedMatcher`,
+    :meth:`~repro.filterlists.oracle.FilterListOracle.from_matcher`),
+    with one deliberate exception: images are immutable, so
+    ``add_list``/``add_rules`` raise — mutate list text and recompile.
+
+    Construct via :func:`repro.filterlists.compile.open_image`, which
+    validates the artifact checksum first; the matcher owns the map and
+    releases it on :meth:`close` (or context-manager exit).
+    """
+
+    def __init__(self, view, *, closers: tuple = ()) -> None:
+        self._closers = closers
+        self._closed = False
+        view = memoryview(view)
+        if len(view) < _U32.size:
+            raise _image_error("oracle image truncated before its header")
+        (header_len,) = _U32.unpack_from(view)
+        base = _U32.size + header_len
+        if len(view) < base:
+            raise _image_error("oracle image truncated inside its header")
+        try:
+            header = json.loads(bytes(view[_U32.size : base]).decode("utf-8"))
+            sections = header["sections"]
+            body = view[base:]
+            self._rule_ids = body[slice(*_section_bounds(sections["rule_ids"], len(body)))]
+            self._line_offsets = body[
+                slice(*_section_bounds(sections["line_offsets"], len(body)))
+            ]
+            self._line_blob = body[
+                slice(*_section_bounds(sections["line_blob"], len(body)))
+            ]
+            self._rule_lists = body[
+                slice(*_section_bounds(sections["rule_lists"], len(body)))
+            ]
+            self._rule_count = int(header["rule_count"])
+            self._revision = int(header["revision"])
+            self._lists = tuple(header["lists"])
+            self._list_pool = tuple(header["list_pool"])
+            self._domain_sensitive = bool(header["domain_sensitive"])
+            self._digit_anywhere = bool(header["digit_anywhere"])
+            self._digit_blob = body[
+                slice(*_section_bounds(sections["digit_hosts"], len(body)))
+            ]
+            self._digit_hosts: tuple[str, ...] | None = None  # decoded lazily
+            self._unsupported_counts = dict(header["unsupported"])
+            self._unsupported_rules = int(header["unsupported_rules"])
+            tables = {
+                name: _KeyTable(
+                    body[slice(*_section_bounds(sections[name], len(body)))]
+                )
+                for name in (
+                    "blocking_hosts",
+                    "blocking_buckets",
+                    "exceptions_hosts",
+                    "exceptions_buckets",
+                )
+            }
+            self._blocking = _ImageIndex(
+                self,
+                header["blocking"],
+                tables["blocking_hosts"],
+                tables["blocking_buckets"],
+            )
+            self._exceptions = _ImageIndex(
+                self,
+                header["exceptions"],
+                tables["exceptions_hosts"],
+                tables["exceptions_buckets"],
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+            raise _image_error(f"oracle image header is malformed: {error}") from None
+        if len(self._line_offsets) != 4 * (self._rule_count + 1):
+            raise _image_error(
+                "oracle image line-offset table does not cover its rules"
+            )
+        if len(self._rule_lists) != 2 * self._rule_count:
+            raise _image_error(
+                "oracle image list-provenance table does not cover its rules"
+            )
+        self._rules: dict[int, NetworkRule] = {}
+        self._automaton = _MappedVocabulary(
+            host_tables=(self._blocking._hosts, self._exceptions._hosts),
+            token_tables=(self._blocking._buckets, self._exceptions._buckets),
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the underlying map/file handles (idempotent).  Rules
+        already materialized stay valid; further cold-bucket traffic on a
+        closed image raises."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop buffer views before the mmap closes — an exported
+        # memoryview keeps mmap.close() from releasing the map.
+        self._rule_ids = self._line_offsets = self._line_blob = None
+        self._rule_lists = self._digit_blob = None
+        self._blocking.close()
+        self._exceptions.close()
+        for closer in self._closers:
+            closer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ImageMatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __reduce__(self):
+        raise TypeError(
+            "ImageMatcher is not picklable: it wraps a process-local mmap; "
+            "ship the artifact path and open_image() it in the target process"
+        )
+
+    # -- materialization ---------------------------------------------------
+    def _span_rules(self, span) -> tuple[NetworkRule, ...]:
+        if self._closed:
+            raise _image_error(
+                "oracle image is closed; cannot materialize more rules"
+            )
+        start, count = span
+        ids = struct.unpack_from(f">{count}I", self._rule_ids, 4 * start)
+        rules = self._rules
+        out = []
+        for index in ids:
+            rule = rules.get(index)
+            if rule is None:
+                rule = self._materialize(index)
+                rules[index] = rule
+            out.append(rule)
+        return tuple(out)
+
+    def _materialize(self, index: int) -> NetworkRule:
+        if not 0 <= index < self._rule_count:
+            raise _image_error(
+                f"oracle image references rule {index} outside its "
+                f"{self._rule_count}-rule table"
+            )
+        low, high = struct.unpack_from(">2I", self._line_offsets, 4 * index)
+        line = bytes(self._line_blob[low:high]).decode("utf-8")
+        (pool,) = struct.unpack_from(">H", self._rule_lists, 2 * index)
+        rule = parse_rule_line(line, self._list_pool[pool])
+        if rule is None or not rule.supported:
+            raise _image_error(
+                f"oracle image rule {index} ({line!r}) no longer parses to "
+                "a supported rule; the image is corrupt — recompile"
+            )
+        return rule
+
+    # -- introspection (FilterMatcher protocol) ----------------------------
+    @property
+    def list_names(self) -> tuple[str, ...]:
+        return self._lists
+
+    @property
+    def rule_count(self) -> int:
+        return self._rule_count
+
+    @property
+    def materialized_rule_count(self) -> int:
+        """How many rules traffic has pulled out of the map so far."""
+        return len(self._rules)
+
+    @property
+    def revision(self) -> int:
+        return self._revision
+
+    @property
+    def fast_path_rule_count(self) -> int:
+        return (
+            self._blocking.host_rule_count + self._exceptions.host_rule_count
+        )
+
+    @property
+    def automaton(self) -> TokenAutomaton:
+        return self._automaton
+
+    @property
+    def automaton_enabled(self) -> bool:
+        return True
+
+    @property
+    def unsupported_counts(self) -> dict[str, int]:
+        return dict(self._unsupported_counts)
+
+    @property
+    def unsupported_rule_count(self) -> int:
+        return self._unsupported_rules
+
+    @property
+    def domain_sensitive(self) -> bool:
+        return self._domain_sensitive
+
+    def digit_runs_irrelevant_for(self, url: str) -> bool:
+        if self._digit_anywhere:
+            return False
+        hosts = self._digit_hosts
+        if hosts is None:
+            # First use: decode the host list out of the map.  Keeping it
+            # out of the cold skeleton matters — for host-heavy oracles
+            # it is the same order of magnitude as the key vocabulary.
+            blob = self._digit_blob
+            if blob is None:
+                raise _image_error(
+                    "oracle image is closed; cannot decode its digit hosts"
+                )
+            text = bytes(blob).decode("utf-8")
+            hosts = self._digit_hosts = tuple(text.split("\n")) if text else ()
+        if not hosts:
+            return True
+        lowered = url.lower()
+        return not any(host in lowered for host in hosts)
+
+    # -- mutation is a compile-time activity -------------------------------
+    def add_list(self, parsed) -> None:
+        raise _image_error(
+            "oracle images are immutable: update the list text and "
+            "recompile the artifact instead of mutating a mapped matcher"
+        )
+
+    def add_rules(self, rules) -> None:
+        self.add_list(rules)
+
+    # -- matching (same decision path as FilterMatcher) --------------------
+    def match(self, context: RequestContext) -> MatchResult:
+        shape = RequestShape(context.url, self._automaton)
+        if shape.match_url is not context.url:
+            context = replace(context, url=shape.match_url)
+        blocking = self._blocking.first_match(context, shape)
+        if blocking is None:
+            return _NO_MATCH
+        exception = self._exceptions.first_match(context, shape)
+        if exception is not None:
+            return MatchResult(blocked=False, rule=blocking, exception=exception)
+        return MatchResult(blocked=True, rule=blocking)
+
+    def match_many(
+        self, contexts: Iterable[RequestContext]
+    ) -> list[MatchResult]:
+        automaton = self._automaton
+        blocking_index = self._blocking
+        exception_index = self._exceptions
+        results: list[MatchResult] = []
+        append = results.append
+        for context in contexts:
+            shape = RequestShape(context.url, automaton)
+            if shape.match_url is not context.url:
+                context = replace(context, url=shape.match_url)
+            blocking = blocking_index.first_match(context, shape)
+            if blocking is None:
+                append(_NO_MATCH)
+                continue
+            exception = exception_index.first_match(context, shape)
+            if exception is not None:
+                append(
+                    MatchResult(
+                        blocked=False, rule=blocking, exception=exception
+                    )
+                )
+                continue
+            append(MatchResult(blocked=True, rule=blocking))
+        return results
+
+    def decide_many(self, urls: Iterable[str]) -> list[MatchResult]:
+        automaton = self._automaton
+        blocking_index = self._blocking
+        exception_index = self._exceptions
+        no_catch_all = blocking_index.catch_all_empty
+        results: list[MatchResult] = []
+        append = results.append
+        for url in urls:
+            shape = RequestShape(url, automaton)
+            if no_catch_all and not shape.host_keys and not shape.tokens:
+                append(_NO_MATCH)
+                continue
+            context = RequestContext(url=shape.match_url)
+            blocking = blocking_index.first_match(context, shape)
+            if blocking is None:
+                append(_NO_MATCH)
+                continue
+            exception = exception_index.first_match(context, shape)
+            if exception is not None:
+                append(
+                    MatchResult(
+                        blocked=False, rule=blocking, exception=exception
+                    )
+                )
+                continue
+            append(MatchResult(blocked=True, rule=blocking))
+        return results
+
+    def should_block(self, context: RequestContext) -> bool:
+        return self.match(context).blocked
+
+    def should_block_url(self, url: str) -> bool:
+        return self.match(RequestContext(url=url)).blocked
+
+
+def _section_bounds(span, body_len: int) -> tuple[int, int]:
+    offset, length = int(span[0]), int(span[1])
+    if offset < 0 or length < 0 or offset + length > body_len:
+        raise _image_error(
+            f"oracle image section [{offset}, {length}] escapes the "
+            f"{body_len}-byte section body"
+        )
+    return offset, offset + length

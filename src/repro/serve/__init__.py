@@ -11,8 +11,17 @@ offline oracle into that deployment:
 * :mod:`repro.serve.server` — :class:`BlockingServer`: the service
   behind a stdlib threaded JSON API (``POST /v1/decide``,
   ``POST /v1/reload``, ``GET /healthz``, ``GET /metrics``);
-* :mod:`repro.serve.client` — :class:`BlockingClient` and the
-  :class:`LoadGenerator` driving ``benchmarks/bench_serve.py``.
+* :mod:`repro.serve.protocol` — :class:`AsyncBlockingServer`: the same
+  API on one asyncio event loop, with HTTP/1.1 pipelining and
+  cross-connection decide coalescing (plus :class:`AsyncServerThread`
+  for embedding);
+* :mod:`repro.serve.supervisor` — :class:`ServeSupervisor`: N forked
+  asyncio workers on one port (``SO_REUSEPORT`` where available) over
+  one shared memory-mapped oracle image, with coordinated reloads,
+  merged ``/metrics``, and graceful drain;
+* :mod:`repro.serve.client` — :class:`BlockingClient`, the closed-loop
+  :class:`LoadGenerator`, and the fixed-arrival-rate
+  :class:`OpenLoopLoadGenerator` driving ``benchmarks/bench_serve.py``.
 
 Quick embedded use::
 
@@ -24,22 +33,39 @@ Quick embedded use::
         client.reload()                              # back to defaults
         client.close()
 
-Or on the command line: ``trackersift serve --port 8377 --threads 8``.
+Or on the command line: ``trackersift serve --port 8377 --threads 8``,
+or multi-process over a compiled artifact:
+``trackersift serve --workers 4 --artifact rules.tsoracle``.
 """
 
-from .client import BlockingClient, LoadGenerator, LoadReport, ServeError
+from .client import (
+    BlockingClient,
+    LoadGenerator,
+    LoadReport,
+    OpenLoopLoadGenerator,
+    OpenLoopReport,
+    ServeError,
+)
+from .protocol import AsyncBlockingServer, AsyncServerThread
 from .server import BlockingServer, build_server, load_list_files, run_server
 from .service import BlockingService, Snapshot
+from .supervisor import ServeSupervisor, run_supervisor
 
 __all__ = [
     "BlockingService",
     "Snapshot",
     "BlockingServer",
+    "AsyncBlockingServer",
+    "AsyncServerThread",
+    "ServeSupervisor",
+    "run_supervisor",
     "build_server",
     "load_list_files",
     "run_server",
     "BlockingClient",
     "LoadGenerator",
     "LoadReport",
+    "OpenLoopLoadGenerator",
+    "OpenLoopReport",
     "ServeError",
 ]

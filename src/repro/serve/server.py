@@ -35,7 +35,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from ..filterlists.parser import parse_filter_list
-from .service import BlockingService
+from .service import BlockingService, apply_reload_payload
 
 __all__ = ["BlockingServer", "load_list_files", "build_server", "run_server"]
 
@@ -151,44 +151,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         )
 
     def _reload(self, payload: dict) -> dict:
-        artifact = payload.get("artifact")
-        if artifact is not None:
-            if payload.get("lists") is not None:
-                raise ValueError("send 'lists' or 'artifact', not both")
-            if not isinstance(artifact, str) or not artifact:
-                raise ValueError("'artifact' must be a filesystem path")
-            # Artifacts are pickle inside (compile.py's trust model:
-            # "only load artifacts you compiled"), so an HTTP client must
-            # never choose an arbitrary server path to unpickle.  Reload
-            # is allowed only when the operator booted from an artifact,
-            # and only for artifacts in that same directory.
-            allowed = self.server.artifact_dir  # type: ignore[attr-defined]
-            if allowed is None:
-                raise ValueError(
-                    "artifact reload is disabled: start the server with "
-                    "--artifact to opt in (reloads are then confined to "
-                    "that artifact's directory)"
-                )
-            requested = Path(artifact)
-            if requested.name != artifact:
-                raise ValueError(
-                    "'artifact' must be a bare file name; it is resolved "
-                    "inside the server's --artifact directory"
-                )
-            # ArtifactError is a ValueError: a bad artifact maps to 400
-            # and the serving snapshot stays untouched.
-            return self._service.reload_artifact(allowed / requested.name)
-        specs = payload.get("lists")
-        if specs is None:
-            return self._service.reload()
-        if not isinstance(specs, list) or not specs:
-            raise ValueError("'lists' must be a non-empty list of objects")
-        named_texts = []
-        for index, spec in enumerate(specs):
-            if not isinstance(spec, dict) or "text" not in spec:
-                raise ValueError(f"list #{index} needs a 'text' field")
-            named_texts.append((str(spec.get("name", f"list{index}")), spec["text"]))
-        return self._service.reload_text(*named_texts)
+        # One shared definition of the reload-payload semantics (artifact
+        # confinement included) for both front ends — see
+        # :func:`repro.serve.service.apply_reload_payload`.
+        return apply_reload_payload(
+            self._service,
+            payload,
+            self.server.artifact_dir,  # type: ignore[attr-defined]
+        )
 
 
 class _ThreadingServer(ThreadingHTTPServer):

@@ -41,7 +41,7 @@ from ..filterlists.oracle import FilterListOracle
 from ..filterlists.parser import ParsedList, parse_filter_list
 from ..filterlists.rules import ResourceType
 
-__all__ = ["Snapshot", "BlockingService"]
+__all__ = ["Snapshot", "BlockingService", "apply_reload_payload"]
 
 
 def _coerce_resource_type(value: object) -> ResourceType:
@@ -103,6 +103,25 @@ class Snapshot:
             revision=revision,
         )
 
+    @classmethod
+    def from_image(cls, path, revision: int) -> "Snapshot":
+        """Build a serving snapshot over a memory-mapped oracle image.
+
+        The multi-worker path: the artifact's image section is ``mmap``-ed
+        read-only (:func:`repro.filterlists.compile.open_image`), so every
+        worker process holding such a snapshot shares one page-cache copy
+        of the rule data.  The snapshot carries no parsed lists — churn
+        reporting is the supervisor's job in this mode (it holds the list
+        provenance once, in the parent), not each worker's.
+        """
+        from ..filterlists.compile import open_image
+
+        return cls(
+            oracle=FilterListOracle.from_matcher(open_image(path), cache=True),
+            lists=(),
+            revision=revision,
+        )
+
     @property
     def rule_count(self) -> int:
         return self.oracle.rule_count
@@ -136,6 +155,21 @@ class _LatencyWindow:
             self._samples.extend([seconds_each] * count)
             self.count += count
             self.total += seconds_each * count
+
+    def drain_since(self, cursor: int) -> tuple[int, list[float]]:
+        """Samples recorded after observation number ``cursor`` (bounded
+        by the window), plus the new cursor — the incremental read the
+        supervisor's shared-metrics-board publisher makes, so per-worker
+        latency samples reach the merged ``/metrics`` view without
+        re-copying the whole window every tick."""
+        with self._lock:
+            new = self.count
+            fresh = new - cursor
+            if fresh <= 0:
+                return new, []
+            take = min(fresh, len(self._samples))
+            data = list(self._samples)[-take:] if take else []
+        return new, data
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -184,13 +218,21 @@ class BlockingService:
     exposes over HTTP.
     """
 
-    def __init__(self, *lists: ParsedList, artifact=None) -> None:
-        if artifact is not None:
-            if lists:
+    def __init__(
+        self, *lists: ParsedList, artifact=None, image=None
+    ) -> None:
+        if artifact is not None or image is not None:
+            if lists or (artifact is not None and image is not None):
                 raise ValueError(
-                    "pass parsed lists or a compiled artifact, not both"
+                    "pass parsed lists, a compiled artifact, or an image "
+                    "artifact — exactly one"
                 )
-            self._snapshot = Snapshot.from_artifact(artifact, revision=1)
+            if image is not None:
+                # Worker mode: share the artifact's mapped oracle image
+                # with sibling processes instead of unpickling a copy.
+                self._snapshot = Snapshot.from_image(image, revision=1)
+            else:
+                self._snapshot = Snapshot.from_artifact(artifact, revision=1)
         else:
             if not lists:
                 lists = default_lists()
@@ -241,7 +283,20 @@ class BlockingService:
         batch path (:meth:`FilterListOracle.label_request_many`), which
         amortizes cache lock rounds across the batch.
         """
-        snapshot = self._snapshot
+        return self.decide_validated(self.validate_requests(requests))
+
+    @staticmethod
+    def validate_requests(
+        requests: list,
+    ) -> list[tuple[str, ResourceType, str]]:
+        """Validate batch items into ``(url, resource_type, page_url)``
+        triples, raising :class:`ValueError` naming the offending index.
+
+        Split out of :meth:`decide_batch` so request framing layers (the
+        asyncio coalescer validates each client's items *before* merging
+        them into one cross-connection batch) can reject a malformed
+        request individually without discarding its neighbours.
+        """
         validated: list[tuple[str, ResourceType, str]] = []
         for index, item in enumerate(requests):
             if isinstance(item, str):
@@ -262,7 +317,23 @@ class BlockingService:
             except ValueError as error:
                 raise ValueError(f"batch item {index}: {error}") from None
             validated.append((url, resource, item.get("page_url", "")))
+        return validated
 
+    def decide_validated(
+        self,
+        validated: list[tuple[str, ResourceType, str]],
+        *,
+        batches: int = 1,
+    ) -> dict:
+        """Decide pre-validated triples against one snapshot read.
+
+        ``batches`` is how many client-visible batch calls this drain
+        represents (the coalescer merges several into one oracle call);
+        latency is recorded as one per-decision sample per URL —
+        ``len(validated)`` samples of the amortized per-decision cost —
+        so p50/p99 stay comparable between the single and batched paths.
+        """
+        snapshot = self._snapshot
         started = time.perf_counter()
         labeled = snapshot.oracle.label_request_many(validated)
         elapsed = time.perf_counter() - started
@@ -287,7 +358,7 @@ class BlockingService:
         with self._counters.lock:
             self._counters.decisions += count
             self._counters.blocked += blocked_count
-            self._counters.batches += 1
+            self._counters.batches += batches
         return {
             "decisions": decisions,
             "count": len(decisions),
@@ -359,6 +430,39 @@ class BlockingService:
         )
         report["artifact"] = str(path)
         return report
+
+    def swap_image(self, path, revision: int) -> dict:
+        """Adopt a new mapped-image snapshot at a *caller-chosen* revision.
+
+        The worker half of a coordinated cross-process reload: the
+        supervisor picks one revision number, publishes the artifact path
+        to every worker, and each worker swaps with the same single
+        reference assignment :meth:`reload` uses — so all workers agree on
+        what revision N means, and each in-flight batch finishes on the
+        snapshot it started with.  Churn is not diffed here (image
+        snapshots carry no parsed lists; the supervisor reports churn once
+        from the provenance it holds).  The previous snapshot's mapped
+        image is closed once the swap is published — its already-answered
+        decisions carried materialized rule objects, which stay valid.
+        Raises :class:`~repro.filterlists.compile.ArtifactError` with the
+        serving snapshot untouched when the artifact fails validation.
+        """
+        new = Snapshot.from_image(path, revision)
+        with self._reload_lock:
+            old = self._snapshot
+            self._snapshot = new  # the atomic publish
+        with self._counters.lock:
+            self._counters.reloads += 1
+        old_matcher = getattr(old.oracle.matcher, "wrapped", old.oracle.matcher)
+        close = getattr(old_matcher, "close", None)
+        if close is not None:
+            close()
+        return {
+            "revision": new.revision,
+            "previous_revision": old.revision,
+            "rule_count": new.rule_count,
+            "artifact": str(path),
+        }
 
     def _publish(self, build) -> dict:
         """Build the replacement snapshot off to the side, diff churn,
@@ -480,3 +584,60 @@ class BlockingService:
             },
             "latency": self._latency.snapshot(),
         }
+
+
+def apply_reload_payload(
+    service: BlockingService, payload: dict, artifact_dir
+) -> dict:
+    """Apply a ``POST /v1/reload`` JSON payload to a service.
+
+    The one definition of the reload endpoint's semantics, shared by the
+    threaded (:mod:`repro.serve.server`) and asyncio
+    (:mod:`repro.serve.protocol`) front ends so the two cannot drift:
+
+    * ``{}``                      — re-parse the embedded default lists;
+    * ``{"lists": [{"name","text"}, ...]}`` — parse and swap in new text;
+    * ``{"artifact": "<name>"}``  — adopt a compiled ``.tsoracle``.
+      Artifacts embed pickle (compile.py's trust model: only load what
+      you compiled), so clients never choose arbitrary server paths: the
+      server must have been booted with ``--artifact``, and the name is
+      resolved inside that artifact's directory (``artifact_dir``).
+
+    Raises :class:`ValueError` (which both servers map to HTTP 400) for a
+    malformed payload; :class:`~repro.filterlists.compile.ArtifactError`
+    is a ValueError, so a bad artifact maps to 400 with the snapshot
+    untouched as well.
+    """
+    from pathlib import Path
+
+    artifact = payload.get("artifact")
+    if artifact is not None:
+        if payload.get("lists") is not None:
+            raise ValueError("send 'lists' or 'artifact', not both")
+        if not isinstance(artifact, str) or not artifact:
+            raise ValueError("'artifact' must be a filesystem path")
+        if artifact_dir is None:
+            raise ValueError(
+                "artifact reload is disabled: start the server with "
+                "--artifact to opt in (reloads are then confined to "
+                "that artifact's directory)"
+            )
+        if Path(artifact).name != artifact:
+            raise ValueError(
+                "'artifact' must be a bare file name; it is resolved "
+                "inside the server's --artifact directory"
+            )
+        return service.reload_artifact(Path(artifact_dir) / artifact)
+    specs = payload.get("lists")
+    if specs is None:
+        return service.reload()
+    if not isinstance(specs, list) or not specs:
+        raise ValueError("'lists' must be a non-empty list of objects")
+    named_texts = []
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, dict) or "text" not in spec:
+            raise ValueError(f"list #{index} needs a 'text' field")
+        named_texts.append(
+            (str(spec.get("name", f"list{index}")), spec["text"])
+        )
+    return service.reload_text(*named_texts)

@@ -1,0 +1,583 @@
+"""Multi-process serving: N asyncio workers over one shared oracle image.
+
+One Python process cannot use more than one core for decide work, and N
+independent servers would hold N unpickled copies of the rule index.
+:class:`ServeSupervisor` gets parallelism *and* shared memory:
+
+* **Workers** are forked processes, each running an
+  :class:`~repro.serve.protocol.AsyncBlockingServer` event loop over a
+  :class:`~repro.serve.service.BlockingService` booted with
+  ``image=artifact`` — the worker ``mmap``\\ s the artifact's oracle-image
+  section read-only, so all N workers share one page-cache-resident copy
+  of the rule bytes and pay only a small private skeleton each (the
+  cold-RSS gate in ``BENCH_artifacts.json`` pins this).
+* **One port.** Where the platform has ``SO_REUSEPORT`` (Linux), the
+  parent binds a non-listening reservation socket and each worker joins
+  the group with its own listening socket — the kernel load-balances
+  connections across workers with no accept contention.  Elsewhere, the
+  parent binds+listens a single socket that every forked worker accepts
+  from (correct, just herd-prone); ``strategy`` reports which mode is
+  live.
+* **Control pipes.** The parent holds a duplex pipe per worker, watched
+  by each worker's event loop (``loop.add_reader``).  A coordinated
+  reload is: parent validates the new artifact *once*, picks the next
+  revision number, publishes ``(path, revision)`` to every pipe, and
+  collects per-worker acks — so every worker swaps to the same revision
+  (via :meth:`~repro.serve.service.BlockingService.swap_image`, one
+  atomic reference assignment per worker; in-flight batches finish on the
+  snapshot they started with).  Workers decline HTTP ``/v1/reload`` —
+  a single worker must never diverge from its siblings.
+* **Shared metrics board.** A lock-free ``multiprocessing.Array`` of
+  doubles with one writer per slot region: each worker periodically
+  publishes its counters, revision, pid, and new latency samples into
+  its slot; ``GET /metrics`` on *any* worker (and
+  :meth:`ServeSupervisor.metrics`) merges all slots into one view with
+  summed counters, cross-worker latency percentiles, per-worker pids,
+  and a ``revision_consistent`` flag.
+* **Graceful drain.** SIGTERM/SIGINT to the supervisor (or the process
+  group) stops accepting, lets every in-flight request finish and flush,
+  then exits 0; SIGHUP re-reads the boot artifact path as a coordinated
+  reload.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import time
+from pathlib import Path
+
+from ..filterlists.compile import ArtifactError, read_artifact_meta
+
+__all__ = ["ServeSupervisor", "run_supervisor", "merge_board"]
+
+# Shared metrics board layout: per-worker slot of doubles, single writer
+# (the owning worker), torn reads acceptable (monitoring, not ledger).
+_F_PID = 0
+_F_REVISION = 1
+_F_SERVED = 2
+_F_BATCHES = 3
+_F_BLOCKED = 4
+_F_RELOADS = 5
+_F_HITS = 6
+_F_MISSES = 7
+_F_ENTRIES = 8
+_F_OBSERVED = 9
+_F_TOTAL_S = 10
+_F_CURSOR = 11
+_FIXED = 12
+DEFAULT_RING = 512
+
+_PUBLISH_INTERVAL = 0.05
+
+
+def _slot_size(ring: int) -> int:
+    return _FIXED + ring
+
+
+def merge_board(board, workers: int, ring: int) -> dict:
+    """Fold every worker's board slot into one ``/metrics`` view.
+
+    Pure function of the shared array, so the parent and every worker
+    compute the identical merged view.  Workers that have not published
+    yet (pid still 0) are skipped.
+    """
+    slot = _slot_size(ring)
+    per_worker = []
+    served = batches = blocked = reloads = hits = misses = entries = 0
+    observed = 0
+    total_s = 0.0
+    samples: list[float] = []
+    for index in range(workers):
+        base = index * slot
+        pid = int(board[base + _F_PID])
+        if pid == 0:
+            continue
+        revision = int(board[base + _F_REVISION])
+        row = {
+            "worker": index,
+            "pid": pid,
+            "revision": revision,
+            "served": int(board[base + _F_SERVED]),
+            "batches": int(board[base + _F_BATCHES]),
+            "blocked": int(board[base + _F_BLOCKED]),
+            "reloads": int(board[base + _F_RELOADS]),
+            "cache_hits": int(board[base + _F_HITS]),
+            "cache_misses": int(board[base + _F_MISSES]),
+        }
+        per_worker.append(row)
+        served += row["served"]
+        batches += row["batches"]
+        blocked += row["blocked"]
+        reloads += row["reloads"]
+        hits += row["cache_hits"]
+        misses += row["cache_misses"]
+        entries += int(board[base + _F_ENTRIES])
+        observed += int(board[base + _F_OBSERVED])
+        total_s += board[base + _F_TOTAL_S]
+        valid = min(int(board[base + _F_CURSOR]), ring)
+        if valid:
+            samples.extend(board[base + _FIXED : base + _FIXED + valid])
+    samples.sort()
+
+    def nearest(q: float) -> float:
+        if not samples:
+            return 0.0
+        rank = -(-q * len(samples) // 100)
+        return samples[min(len(samples) - 1, max(0, int(rank) - 1))]
+
+    revisions = sorted({row["revision"] for row in per_worker})
+    lookups = hits + misses
+    return {
+        "workers": per_worker,
+        "worker_pids": [row["pid"] for row in per_worker],
+        "revisions": revisions,
+        "revision_consistent": len(revisions) <= 1,
+        "decisions": {
+            "served": served,
+            "batches": batches,
+            "blocked": blocked,
+            "reloads": reloads,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "entries": entries,
+        },
+        "latency": {
+            "observed": observed,
+            "window": len(samples),
+            "mean_ms": (total_s / observed * 1e3) if observed else 0.0,
+            "p50_ms": nearest(50) * 1e3,
+            "p99_ms": nearest(99) * 1e3,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _publish_slot(service, board, base: int, ring: int, cursor: int) -> int:
+    """Copy this worker's counters + fresh latency samples into its board
+    slot; returns the advanced latency cursor.  Reaches into the
+    service's private counters deliberately — the supervisor is the one
+    sanctioned cross-process reader, and ``service.metrics()`` would sort
+    the whole latency window on every publish tick."""
+    snapshot = service.snapshot
+    stats = snapshot.oracle.cache_stats
+    with service._counters.lock:
+        served = service._counters.decisions
+        batches = service._counters.batches
+        blocked = service._counters.blocked
+        reloads = service._counters.reloads
+    drained, fresh = service._latency.drain_since(cursor)
+    board[base + _F_PID] = float(os.getpid())
+    board[base + _F_REVISION] = float(snapshot.revision)
+    board[base + _F_SERVED] = float(served)
+    board[base + _F_BATCHES] = float(batches)
+    board[base + _F_BLOCKED] = float(blocked)
+    board[base + _F_RELOADS] = float(reloads)
+    board[base + _F_HITS] = float(stats.hits if stats else 0)
+    board[base + _F_MISSES] = float(stats.misses if stats else 0)
+    board[base + _F_ENTRIES] = float(len(snapshot.oracle.matcher))
+    board[base + _F_OBSERVED] = float(service._latency.count)
+    board[base + _F_TOTAL_S] = service._latency.total
+    write_at = int(board[base + _F_CURSOR])
+    for sample in fresh:
+        board[base + _FIXED + (write_at % ring)] = sample
+        write_at += 1
+    board[base + _F_CURSOR] = float(write_at)
+    return drained
+
+
+def _worker_main(
+    index: int,
+    artifact: str,
+    host: str,
+    port: int,
+    inherited_sock,
+    reuse_port: bool,
+    conn,
+    board,
+    workers: int,
+    ring: int,
+) -> None:
+    """Entry point of one forked worker: asyncio server on the shared
+    port, control pipe on the loop, board publisher, own drain signals."""
+    import asyncio
+
+    from .protocol import AsyncBlockingServer
+    from .service import BlockingService
+
+    async def main() -> None:
+        service = BlockingService(image=artifact)
+        server = AsyncBlockingServer(
+            service,
+            host=host,
+            port=port,
+            sock=inherited_sock,
+            reuse_port=reuse_port,
+            supervised=True,
+            metrics_provider=lambda: merge_board(board, workers, ring),
+            worker_tag=os.getpid(),
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        base = index * _slot_size(ring)
+        cursor = _publish_slot(service, board, base, ring, 0)
+
+        def start_drain() -> None:
+            stopping.set()
+
+        # The supervisor normally signals drain over the pipe, but a
+        # process-group SIGTERM/SIGINT (Ctrl-C) reaches workers directly.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, start_drain)
+
+        def on_control() -> None:
+            try:
+                while conn.poll():
+                    message = conn.recv()
+                    op = message.get("op")
+                    if op == "reload":
+                        try:
+                            report = service.swap_image(
+                                message["path"], message["revision"]
+                            )
+                        except (ArtifactError, OSError) as error:
+                            conn.send(
+                                {
+                                    "op": "reload-error",
+                                    "worker": os.getpid(),
+                                    "error": str(error),
+                                }
+                            )
+                        else:
+                            report["op"] = "reload-ack"
+                            report["worker"] = os.getpid()
+                            conn.send(report)
+                    elif op == "drain":
+                        start_drain()
+                    elif op == "ping":
+                        conn.send({"op": "pong", "worker": os.getpid()})
+            except EOFError:
+                # Parent went away: drain and exit rather than serve
+                # unsupervised forever.
+                start_drain()
+
+        loop.add_reader(conn.fileno(), on_control)
+        conn.send(
+            {"op": "ready", "worker": os.getpid(), "port": server.port}
+        )
+
+        async def publisher() -> None:
+            local = cursor
+            while not stopping.is_set():
+                await asyncio.sleep(_PUBLISH_INTERVAL)
+                local = _publish_slot(service, board, base, ring, local)
+
+        publish_task = asyncio.create_task(publisher())
+        await stopping.wait()
+        loop.remove_reader(conn.fileno())
+        await server.drain(timeout=10.0)
+        publish_task.cancel()
+        _publish_slot(service, board, base, ring, 0)
+        conn.send({"op": "drained", "worker": os.getpid()})
+        conn.close()
+
+    asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Parent supervisor
+# ---------------------------------------------------------------------------
+
+class ServeSupervisor:
+    """Parent of N image-backed asyncio serve workers on one port.
+
+    Requires a compiled ``.tsoracle`` artifact (version 3, carrying the
+    oracle image): multi-process serving exists precisely to share that
+    image's pages, and a coordinated reload needs an artifact path it can
+    publish to every worker.  Embeddable (:meth:`start`/:meth:`shutdown`
+    or context manager) for tests and benchmarks, or run blocking with
+    :meth:`serve_forever` (the ``trackersift serve --workers N`` path).
+    """
+
+    def __init__(
+        self,
+        artifact: str | Path,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ring: int = DEFAULT_RING,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.artifact = Path(artifact).resolve()
+        # Validates magic/version/checksum up front: a bad artifact must
+        # fail in the parent, not asynchronously in N children.
+        self.artifact_meta = read_artifact_meta(self.artifact)
+        self.workers = workers
+        self.ring = ring
+        self._host = host
+        self._port = port
+        self._reserve_sock: socket.socket | None = None
+        self._listen_sock: socket.socket | None = None
+        self._processes: list = []
+        self._pipes: list = []
+        self._board = None
+        self._revision = 1
+        self._started = False
+
+    # -- socket strategy ---------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        """``"reuseport"`` (per-worker listening sockets, kernel
+        load-balanced) or ``"inherited"`` (one parent-listened socket all
+        workers accept from)."""
+        return "reuseport" if hasattr(socket, "SO_REUSEPORT") else "inherited"
+
+    def _bind(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.strategy == "reuseport":
+            # Reservation only — never listens.  Holding a bound
+            # SO_REUSEPORT socket keeps the (possibly ephemeral) port
+            # valid for workers joining and re-joining the group.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self._host, self._port))
+            self._reserve_sock = sock
+        else:
+            sock.bind((self._host, self._port))
+            sock.listen(512)
+            self._listen_sock = sock
+        self._host, self._port = sock.getsockname()[:2]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    @property
+    def worker_pids(self) -> list[int]:
+        return [process.pid for process in self._processes]
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, ready_timeout: float = 30.0) -> "ServeSupervisor":
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        self._bind()
+        # Fork, not spawn: workers inherit the board, pipes, and (in
+        # inherited-socket mode) the listening socket without pickling.
+        context = multiprocessing.get_context("fork")
+        self._board = context.Array(
+            "d", self.workers * _slot_size(self.ring), lock=False
+        )
+        reuse_port = self.strategy == "reuseport"
+        for index in range(self.workers):
+            parent_end, worker_end = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    str(self.artifact),
+                    self._host,
+                    self._port,
+                    self._listen_sock,
+                    reuse_port,
+                    worker_end,
+                    self._board,
+                    self.workers,
+                    self.ring,
+                ),
+                name=f"trackersift-serve-worker-{index}",
+            )
+            process.start()
+            worker_end.close()
+            self._processes.append(process)
+            self._pipes.append(parent_end)
+        deadline = time.monotonic() + ready_timeout
+        for index, pipe in enumerate(self._pipes):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not pipe.poll(remaining):
+                self.shutdown(timeout=2.0)
+                raise RuntimeError(
+                    f"worker {index} did not become ready within "
+                    f"{ready_timeout:.0f}s"
+                )
+            message = pipe.recv()
+            if message.get("op") != "ready":
+                self.shutdown(timeout=2.0)
+                raise RuntimeError(
+                    f"worker {index} sent {message!r} instead of ready"
+                )
+        self._started = True
+        return self
+
+    def reload(
+        self, artifact: str | Path | None = None, timeout: float = 30.0
+    ) -> dict:
+        """Coordinated cross-process artifact swap.
+
+        Validates the artifact once in the parent, assigns the next
+        revision number, publishes to every worker's control pipe, and
+        waits for every ack.  Returns the merged report; raises
+        :class:`~repro.filterlists.compile.ArtifactError` if the artifact
+        fails validation (no worker is contacted) or ``RuntimeError`` if
+        a worker fails or times out (workers that already swapped keep
+        the new revision — the next reload re-converges them).
+        """
+        path = Path(artifact).resolve() if artifact is not None else self.artifact
+        meta = read_artifact_meta(path)  # parent-side validation gate
+        revision = self._revision + 1
+        for pipe in self._pipes:
+            pipe.send({"op": "reload", "path": str(path), "revision": revision})
+        acks = []
+        deadline = time.monotonic() + timeout
+        for index, pipe in enumerate(self._pipes):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not pipe.poll(remaining):
+                raise RuntimeError(f"worker {index} reload ack timed out")
+            message = pipe.recv()
+            if message.get("op") != "reload-ack":
+                raise RuntimeError(
+                    f"worker {index} reload failed: "
+                    f"{message.get('error', message)!r}"
+                )
+            acks.append(message)
+        self._revision = revision
+        self.artifact = path
+        self.artifact_meta = meta
+        return {
+            "revision": revision,
+            "artifact": str(path),
+            "rule_count": meta.get("rule_count"),
+            "workers": [
+                {
+                    "pid": ack["worker"],
+                    "revision": ack["revision"],
+                    "previous_revision": ack["previous_revision"],
+                }
+                for ack in acks
+            ],
+        }
+
+    def metrics(self) -> dict:
+        """The merged cross-worker metrics view (same function any
+        worker's ``GET /metrics`` serves)."""
+        return merge_board(self._board, self.workers, self.ring)
+
+    def shutdown(self, timeout: float = 15.0) -> list[int]:
+        """Graceful drain: publish drain to every pipe, join, escalate to
+        terminate/kill only past the deadline.  Returns exit codes."""
+        for pipe in self._pipes:
+            try:
+                pipe.send({"op": "drain"})
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=2.0)
+        codes = [process.exitcode for process in self._processes]
+        for pipe in self._pipes:
+            pipe.close()
+        for sock in (self._reserve_sock, self._listen_sock):
+            if sock is not None:
+                sock.close()
+        self._reserve_sock = None
+        self._listen_sock = None
+        self._processes = []
+        self._pipes = []
+        self._started = False
+        return codes
+
+    def __enter__(self) -> "ServeSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started:
+            self.shutdown()
+
+    # -- CLI blocking mode -------------------------------------------------
+    def serve_forever(self) -> int:
+        """Block until SIGTERM/SIGINT, draining gracefully (exit 0).
+        SIGHUP re-reads the boot artifact as a coordinated reload."""
+        stop = {"flag": False}
+
+        def on_stop(signum, frame) -> None:
+            stop["flag"] = True
+
+        def on_hup(signum, frame) -> None:
+            try:
+                report = self.reload(self.artifact)
+                print(
+                    f"trackersift serve: reloaded revision "
+                    f"{report['revision']} on {len(report['workers'])} workers"
+                )
+            except (ArtifactError, RuntimeError, OSError) as error:
+                print(f"trackersift serve: reload failed: {error}")
+
+        previous = {
+            signal.SIGTERM: signal.signal(signal.SIGTERM, on_stop),
+            signal.SIGINT: signal.signal(signal.SIGINT, on_stop),
+            signal.SIGHUP: signal.signal(signal.SIGHUP, on_hup),
+        }
+        try:
+            while not stop["flag"]:
+                time.sleep(0.2)
+                for index, process in enumerate(self._processes):
+                    if not process.is_alive():
+                        print(
+                            f"trackersift serve: worker {index} "
+                            f"(pid {process.pid}) exited "
+                            f"{process.exitcode}; shutting down"
+                        )
+                        stop["flag"] = True
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        codes = self.shutdown()
+        return 0 if all(code == 0 for code in codes) else 1
+
+
+def run_supervisor(
+    artifact: str,
+    workers: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> int:
+    """``trackersift serve --workers N --artifact ...`` entry point."""
+    supervisor = ServeSupervisor(
+        artifact, workers=workers, host=host, port=port
+    )
+    supervisor.start()
+    meta = supervisor.artifact_meta
+    print(
+        f"trackersift serve: {workers} workers on {supervisor.url} "
+        f"({supervisor.strategy} sockets, {meta.get('rule_count')} rules, "
+        f"shared image {meta.get('image_bytes')} bytes)"
+    )
+    print(
+        "endpoints: POST /v1/decide  GET /healthz  GET /metrics  "
+        "(reload: SIGHUP to the supervisor)"
+    )
+    return supervisor.serve_forever()

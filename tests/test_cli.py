@@ -153,9 +153,29 @@ class TestServeCommand:
         with pytest.raises(SystemExit, match="serve command only"):
             main(ARGS + ["--threads", "4", "sift"])
 
-    def test_serve_rejects_workers(self):
-        with pytest.raises(SystemExit, match="--threads bounds"):
+    def test_serve_workers_require_artifact(self):
+        # --workers is the multi-process path: N forked processes share
+        # one memory-mapped artifact, so a compiled artifact is the one
+        # legal oracle source and --threads belongs to the other server.
+        with pytest.raises(SystemExit, match="requires --artifact"):
             main(["--workers", "2", "serve"])
+        with pytest.raises(SystemExit, match="at least 1"):
+            main(["--workers", "0", "serve", "--artifact", "x.tsoracle"])
+
+    def test_serve_workers_reject_threads(self, tmp_path):
+        artifact = tmp_path / "rules.tsoracle"
+        with pytest.raises(SystemExit, match="threaded server"):
+            main(
+                [
+                    "--workers",
+                    "2",
+                    "--threads",
+                    "4",
+                    "serve",
+                    "--artifact",
+                    str(artifact),
+                ]
+            )
 
     def test_serve_rejects_streaming_flags(self):
         with pytest.raises(SystemExit, match="sift command only"):

@@ -212,7 +212,9 @@ class TestRejection:
         meta = json.dumps({"rule_count": 0}).encode()
         digest = hashlib.sha256(meta + payload).digest()
         data = (
-            _HEADER.pack(MAGIC, ARTIFACT_VERSION, len(meta), len(payload), digest)
+            _HEADER.pack(
+                MAGIC, ARTIFACT_VERSION, len(meta), len(payload), 0, digest
+            )
             + meta
             + payload
         )
@@ -270,9 +272,10 @@ class TestLoadedMatcherLiveness:
         assert stats.hits >= len(urls)
 
 
-class TestVersion2Format:
-    """Version 2: the automaton travels with the matcher, old artifacts
-    are rejected loudly, and the meta block accounts unsupported rules."""
+class TestVersionedFormat:
+    """Version 3: the automaton travels with the matcher, the mmap-ready
+    oracle image rides behind the payload, old artifacts are rejected
+    loudly, and the meta block accounts unsupported rules."""
 
     def test_version_1_artifact_rejected(self):
         data = dumps_artifact(_matcher())
@@ -299,9 +302,10 @@ class TestVersion2Format:
         parsed = parse_filter_list(
             LIST_TEXT + "/track/v1/\n/re\\d/\n", name="unit"
         )
-        path = tmp_path / "v2.tsoracle"
+        path = tmp_path / "v3.tsoracle"
         meta = compile_lists(path, parsed)
-        assert meta["version"] == ARTIFACT_VERSION == 2
+        assert meta["version"] == ARTIFACT_VERSION == 3
+        assert meta["image_bytes"] > 0
         assert meta["automaton_keys"] > 0
         assert meta["unsupported"] == {"regex-rule": 2}
         assert meta["unsupported_rules"] == 2

