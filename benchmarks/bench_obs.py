@@ -1,0 +1,155 @@
+"""Observability overhead: tracing + ledger must stay under 5%.
+
+Runs the study-scale streaming engine over one synthetic web — bare,
+then with a tracer activated *and* a determinism ledger attached — and
+gates the instrumented wall-clock at a 5% regression.  The two arms are
+measured as *interleaved adjacent pairs* and the gate takes the best
+paired ratio: on a shared machine the run-to-run drift (±10% and more)
+dwarfs the 5% budget being measured, so comparing a best-of-N baseline
+from one minute against a best-of-N instrumented run from the next
+minute gates the weather, not the code.  Adjacent runs share conditions,
+so their ratio cancels the drift; the minimum over pairs is the same
+"best-of" logic applied where the noise actually lives.  (Disarmed in
+smoke runs, where the crawl is too short even for paired ratios.)
+
+Also proves the ledger's cross-path promise at bench scale: the batch
+pipeline and the 13-shard streaming engine must fingerprint the
+identical stage chain.
+
+Artifacts: ``BENCH_obs.json`` with ``trace_overhead`` and ``ledger``
+sections (schema-checked by ``scripts/validate_bench.py``).
+"""
+
+import time
+
+from repro.core.engine import StreamingPipeline
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.obs.ledger import Ledger, diff_ledgers
+from repro.obs.trace import Tracer
+
+from conftest import (
+    BENCH_SEED,
+    BENCH_SITES,
+    BENCH_SMOKE,
+    write_artifact,
+    write_json_artifact,
+)
+
+_CONFIG = PipelineConfig(sites=BENCH_SITES, seed=BENCH_SEED)
+PAIRS = 1 if BENCH_SMOKE else 4
+MAX_OVERHEAD_RATIO = 1.05
+
+
+def _timed(run):
+    started = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - started
+
+
+def test_observability_overhead_and_ledger_identity(output_dir):
+    web = TrackerSiftPipeline(_CONFIG).generate()
+
+    def bare():
+        return StreamingPipeline(_CONFIG, shards=13).run(web)
+
+    def instrumented():
+        tracer = Tracer()
+        ledger = Ledger("stream-13")
+        with tracer.activate():
+            result = StreamingPipeline(_CONFIG, shards=13, ledger=ledger).run(
+                web
+            )
+        return result, tracer, ledger
+
+    pairs = []
+    for _ in range(PAIRS):
+        baseline_result, base_seconds = _timed(bare)
+        (instr_result, tracer, stream_ledger), instr_seconds = _timed(
+            instrumented
+        )
+        pairs.append((base_seconds, instr_seconds))
+
+    # Instrumentation must never change the result.
+    assert instr_result.report.summary() == baseline_result.report.summary()
+
+    # Cross-path ledger identity at bench scale: batch vs 13-shard stream.
+    batch_ledger = Ledger("batch")
+    TrackerSiftPipeline(_CONFIG, ledger=batch_ledger).run(web)
+    diff = diff_ledgers(batch_ledger, stream_ledger)
+    assert diff["identical"], (
+        f"ledger diverged at stage {diff['stage']!r} (index {diff['index']})"
+    )
+
+    baseline_seconds, instrumented_seconds = min(
+        pairs, key=lambda pair: pair[1] / pair[0]
+    )
+    overhead_ratio = instrumented_seconds / baseline_seconds
+    requests = int(baseline_result.notes["labeled_requests"])
+    per_request_us = (
+        (instrumented_seconds - baseline_seconds) / requests * 1e6
+        if requests
+        else 0.0
+    )
+
+    paired = ", ".join(f"{i / b:.3f}" for b, i in pairs)
+    artifact = (
+        f"Observability overhead — {BENCH_SITES} sites, seed {BENCH_SEED}, "
+        f"best of {PAIRS} interleaved pair(s)\n"
+        f"paired ratios (instrumented/baseline): {paired}\n"
+        f"best pair: baseline {baseline_seconds:6.2f}s, instrumented "
+        f"{instrumented_seconds:6.2f}s "
+        f"({overhead_ratio:.3f}x, {per_request_us:+.2f}us/request)\n"
+        f"spans recorded: {len(tracer.records)}\n"
+        f"ledger chain ({len(stream_ledger.stages())} stages): "
+        f"{', '.join(stream_ledger.stages())}\n"
+        f"batch vs stream-13 chains identical: {diff['identical']}\n"
+    )
+    write_artifact(output_dir, "obs_overhead.txt", artifact)
+    print("\n" + artifact)
+
+    overhead_gate = {
+        "enforced": not BENCH_SMOKE,
+        "achieved": overhead_ratio,
+        "max_ratio": MAX_OVERHEAD_RATIO,
+    }
+    if BENCH_SMOKE:
+        overhead_gate["skip_reason"] = (
+            "smoke scale: the crawl is too short for wall-clock ratios — "
+            "scheduler noise exceeds the 5% budget being measured"
+        )
+    write_json_artifact(
+        output_dir,
+        "BENCH_obs.json",
+        {
+            "bench": "obs",
+            "shards": 13,
+            "labeled_requests": requests,
+            "trace_overhead": {
+                "baseline_seconds": baseline_seconds,
+                "instrumented_seconds": instrumented_seconds,
+                "overhead_ratio": overhead_ratio,
+                "paired_ratios": [i / b for b, i in pairs],
+                "per_request_overhead_us": per_request_us,
+                "spans": len(tracer.records),
+            },
+            "ledger": {
+                "stages": list(stream_ledger.stages()),
+                "chains_identical": diff["identical"],
+                "paths_compared": 2,
+            },
+            "gates": {
+                "trace_overhead": overhead_gate,
+                "ledger_identity": {
+                    "enforced": True,
+                    "achieved": 1.0 if diff["identical"] else 0.0,
+                    "required_min": 1.0,
+                },
+            },
+        },
+    )
+
+    if not BENCH_SMOKE:
+        assert overhead_ratio <= MAX_OVERHEAD_RATIO, (
+            f"tracing+ledger best paired ratio {overhead_ratio:.3f}x "
+            f"(budget {MAX_OVERHEAD_RATIO}x; all pairs: {paired})"
+        )

@@ -25,11 +25,20 @@ python scripts/matcher_smoke.py
 BENCH_SMOKE=1 python scripts/matcher_smoke.py
 
 echo
+echo "== no naked prints (library output goes through the CLI or obs console) =="
+python scripts/lint_prints.py
+
+echo
+echo "== ledger smoke (batch vs streaming fingerprint chains via the CLI) =="
+python scripts/ledger_smoke.py
+
+echo
 echo "== benchmark smoke (small scale; identity gates, wall-clock recorded) =="
 BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_streaming.py \
     benchmarks/bench_parallel.py \
     benchmarks/bench_artifacts.py \
+    benchmarks/bench_obs.py \
     "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation" \
     "benchmarks/bench_matcher.py::test_matcher_core_gates"
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lint: no naked ``print`` calls in library code under ``src/repro/``.
+
+Runtime output belongs to exactly two modules — the CLI front end
+(``repro/cli.py``, whose whole job is printing) and the observability
+console (``repro/obs/console.py``, whose :func:`say` is the sanctioned,
+suppressible channel the serve layer logs through).  A ``print`` anywhere
+else in the library is a layering leak: it cannot be silenced by an
+embedder, it bypasses the obs layer, and it has historically hidden
+real logging needs.  Scripts, benchmarks, and tests are exempt — they
+are leaf programs, not library surface.
+
+AST-based, so prints inside docstrings/comments don't false-positive and
+aliasing tricks (``p = print``) at least get the direct-call case.
+
+Usage: ``python scripts/lint_prints.py [root]`` (default: ``src/repro``).
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules whose job is producing terminal output.
+SANCTIONED = {
+    Path("src/repro/cli.py"),
+    Path("src/repro/obs/console.py"),
+}
+
+
+def naked_prints(source: str, filename: str) -> list[tuple[int, str]]:
+    """(line, snippet) for every direct ``print(...)`` call."""
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            snippet = (
+                lines[node.lineno - 1].strip()
+                if 0 < node.lineno <= len(lines)
+                else ""
+            )
+            found.append((node.lineno, snippet))
+    return found
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path("src/repro")
+    repo = Path(__file__).resolve().parent.parent
+    violations: list[str] = []
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        relative = path.resolve().relative_to(repo)
+        if relative in SANCTIONED:
+            continue
+        checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+            hits = naked_prints(source, str(path))
+        except (OSError, SyntaxError) as error:
+            violations.append(f"{relative}: unparseable ({error})")
+            continue
+        for line, snippet in hits:
+            violations.append(
+                f"{relative}:{line}: naked print — route runtime output "
+                f"through repro.obs.console.say or the CLI ({snippet})"
+            )
+    if violations:
+        for violation in violations:
+            print(f"PRINT: {violation}", file=sys.stderr)
+        print(
+            f"lint_prints: {len(violations)} violation(s) in {checked} "
+            f"file(s) under {root}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"lint_prints: {checked} file(s) under {root} clean "
+        f"({len(SANCTIONED)} sanctioned output modules skipped)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -24,7 +24,15 @@ PRs without per-bench knowledge, so they share a minimal contract:
 * optional ``scenarios``: a non-empty mapping of pack name to an object
   with ``skipped`` (bool); a pack that *is* skipped must say why in a
   non-empty ``skip_reason`` — a scenario silently missing from the
-  matrix reads as covered when it was not.
+  matrix reads as covered when it was not;
+* optional ``trace_overhead``: the observability cost record — must
+  carry numeric ``baseline_seconds``, ``instrumented_seconds``, and
+  ``overhead_ratio`` (instrumented/baseline), so the <5% tracing+ledger
+  budget stays diffable across PRs;
+* optional ``ledger``: the determinism-fingerprint record — ``stages``
+  (non-empty list of strings) and ``chains_identical`` (bool); a
+  non-identical chain must name its ``first_divergence`` in a non-empty
+  string, mirroring the skip_reason rule: divergence must fail loudly.
 
 Usage: ``python scripts/validate_bench.py benchmarks/output/BENCH_*.json``
 Exits non-zero listing every violation.
@@ -78,6 +86,49 @@ def validate_bench(payload: dict, name: str) -> list[str]:
                     and not isinstance(value, bool),
                     f"{section}[{measure_name!r}] must be a number, "
                     f"got {value!r}",
+                )
+
+    trace_overhead = payload.get("trace_overhead")
+    if trace_overhead is not None:
+        check(
+            isinstance(trace_overhead, dict),
+            "'trace_overhead' must be an object",
+        )
+        if isinstance(trace_overhead, dict):
+            for field in (
+                "baseline_seconds",
+                "instrumented_seconds",
+                "overhead_ratio",
+            ):
+                value = trace_overhead.get(field)
+                check(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool),
+                    f"trace_overhead.{field} must be a number, got {value!r}",
+                )
+
+    ledger = payload.get("ledger")
+    if ledger is not None:
+        check(isinstance(ledger, dict), "'ledger' must be an object")
+        if isinstance(ledger, dict):
+            stages = ledger.get("stages")
+            check(
+                isinstance(stages, list)
+                and stages
+                and all(isinstance(s, str) and s for s in stages),
+                "ledger.stages must be a non-empty list of stage names",
+            )
+            identical = ledger.get("chains_identical")
+            check(
+                isinstance(identical, bool),
+                "ledger.chains_identical must be a boolean",
+            )
+            if identical is False:
+                divergence = ledger.get("first_divergence")
+                check(
+                    isinstance(divergence, str) and divergence.strip() != "",
+                    "ledger chains diverged but carry no first_divergence — "
+                    "divergence must fail loudly",
                 )
 
     scenarios = payload.get("scenarios")

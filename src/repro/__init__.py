@@ -124,7 +124,7 @@ from .serve import (
 )
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

@@ -35,11 +35,24 @@ Subcommands mirror the paper's workflow plus the library's extensions:
   checks byte-identical decisions against the committed golden
   manifests; ``--matrix`` runs every pack (default: the fast ones),
   ``--packs``/``--paths`` select subsets, ``--update-golden``
-  regenerates the manifests after an intended behaviour change.
+  regenerates the manifests after an intended behaviour change,
+* ``trace``     — ``trace summarize <spans.jsonl>`` renders the
+  per-stage time breakdown and critical path of a ``--trace-out``
+  export (:mod:`repro.obs.trace`),
+* ``ledger``    — ``ledger diff <a.jsonl> <b.jsonl>`` compares two
+  determinism fingerprint chains and names the first divergent stage
+  (:mod:`repro.obs.ledger`); exits 1 on divergence.
 
 ``--profile`` (study/sift) wraps the run in :mod:`cProfile` and writes a
 top-25 cumulative-time table next to the checkpoint dir, so perf work
-starts from data.  ``trackersift --version`` prints the package version.
+starts from data.  ``--trace-out``/``--ledger-out`` (study/sift) attach
+a tracer / determinism ledger to the run and export them as JSONL.
+Auto-named profile tables carry a run id (timestamp + pid) so
+concurrent runs never clobber each other; explicit ``--trace-out`` /
+``--ledger-out`` paths are honored verbatim (the run id is echoed in
+the confirmation line), and all artifact paths land in
+``PipelineResult.notes``.  ``trackersift --version`` prints the package
+version.
 """
 
 from __future__ import annotations
@@ -162,7 +175,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "study/sift: profile the run under cProfile and write a "
             "top-25 cumulative-time table next to the checkpoint dir "
-            "(or ./trackersift-profile.txt without one)"
+            "(or into the working directory without one); filenames are "
+            "run-id stamped so concurrent runs never collide"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "study/sift: record structured spans for every stage and "
+            "write them as JSONL here (inspect with: trackersift trace "
+            "summarize PATH)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "study/sift: record the determinism fingerprint ledger and "
+            "write it as JSONL here (compare runs with: trackersift "
+            "ledger diff A B)"
         ),
     )
     parser.add_argument(
@@ -211,6 +247,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "serve",
             "compile",
             "scenario",
+            "trace",
+            "ledger",
         ],
         help="what to run",
     )
@@ -218,7 +256,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "action",
         nargs="?",
         default=None,
-        help="scenario subcommand: list | run",
+        help="subcommand: scenario list|run, trace summarize, ledger diff",
+    )
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        default=[],
+        help="file arguments for the trace/ledger subcommands",
     )
     return parser
 
@@ -394,7 +438,18 @@ def _cmd_scenario(args) -> int:
     return 1 if failed else 0
 
 
-def _write_profile(profiler, checkpoint_dir: str, command: str) -> str:
+def _runid() -> str:
+    """Stamp for profile/trace filenames: wall-clock second plus pid.
+
+    Deterministic given the run (no randomness) yet non-colliding across
+    concurrent runs — two processes share a pid never, a second often."""
+    import os
+    import time
+
+    return time.strftime("%Y%m%dT%H%M%S") + f"-p{os.getpid()}"
+
+
+def _write_profile(profiler, checkpoint_dir: str, command: str, runid: str) -> str:
     """Render the top-25 cumulative-time table next to the checkpoint dir
     (its sibling, so resume never mistakes it for a shard) — or into the
     working directory when the run had no checkpoint dir."""
@@ -414,9 +469,9 @@ def _write_profile(profiler, checkpoint_dir: str, command: str) -> str:
         f"trackersift {command} — cProfile, top 25 by cumulative time\n"
         + stream.getvalue()
     )
-    fallback = Path("trackersift-profile.txt")
+    fallback = Path(f"trackersift-{command}-{runid}-profile.txt")
     if base is not None and base.name:
-        path = base.with_name(base.name + "-profile.txt")
+        path = base.with_name(f"{base.name}-{runid}-profile.txt")
     else:
         path = fallback
     try:
@@ -427,6 +482,38 @@ def _write_profile(profiler, checkpoint_dir: str, command: str) -> str:
         path = fallback
         path.write_text(text, encoding="utf-8")
     return str(path)
+
+
+def _cmd_trace(args) -> int:
+    from .obs.trace import read_spans, render_summary, summarize_spans
+
+    if args.action != "summarize" or len(args.extra) != 1:
+        raise SystemExit(
+            "trace: expected `trackersift trace summarize <spans.jsonl>`"
+        )
+    try:
+        records = read_spans(args.extra[0])
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"trace: {error}")
+    print(render_summary(summarize_spans(records)))
+    return 0
+
+
+def _cmd_ledger(args) -> int:
+    from .obs.ledger import Ledger, diff_ledgers, render_diff
+
+    if args.action != "diff" or len(args.extra) != 2:
+        raise SystemExit(
+            "ledger: expected `trackersift ledger diff <a.jsonl> <b.jsonl>`"
+        )
+    try:
+        left = Ledger.from_jsonl(args.extra[0])
+        right = Ledger.from_jsonl(args.extra[1])
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"ledger: {error}")
+    diff = diff_ledgers(left, right)
+    print(render_diff(diff))
+    return 0 if diff["identical"] else 1
 
 
 def _cmd_study(result) -> None:
@@ -537,16 +624,19 @@ def main(argv: list[str] | None = None) -> int:
         or args.matrix
         or args.update_golden
     )
-    if args.command != "scenario":
-        if scenario_flags:
-            raise SystemExit(
-                f"{args.command}: --packs/--paths/--matrix/--update-golden "
-                "apply to the scenario command only"
-            )
-        if args.action is not None:
-            raise SystemExit(
-                f"{args.command}: takes no subcommand (got {args.action!r})"
-            )
+    if args.command != "scenario" and scenario_flags:
+        raise SystemExit(
+            f"{args.command}: --packs/--paths/--matrix/--update-golden "
+            "apply to the scenario command only"
+        )
+    if args.command not in ("scenario", "trace", "ledger") and args.action is not None:
+        raise SystemExit(
+            f"{args.command}: takes no subcommand (got {args.action!r})"
+        )
+    if args.extra and args.command not in ("trace", "ledger"):
+        raise SystemExit(
+            f"{args.command}: unexpected argument(s): {' '.join(args.extra)}"
+        )
     serve_flags = (
         args.port is not None
         or args.host is not None
@@ -568,6 +658,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.command}: --profile applies to the study and sift "
             "commands only"
         )
+    if (args.trace_out or args.ledger_out) and args.command not in ("study", "sift"):
+        raise SystemExit(
+            f"{args.command}: --trace-out/--ledger-out apply to the study "
+            "and sift commands only"
+        )
     engine_flags = (
         args.streaming or args.shards is not None or args.checkpoint_dir
     )
@@ -582,6 +677,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compile(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
     config = PipelineConfig(
         sites=args.sites, seed=args.seed, threshold=args.threshold
     )
@@ -596,32 +695,65 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(
             f"{args.command}: needs the materialized crawl; drop --workers"
         )
+    runid = _runid()
+    tracer = None
+    ledger = None
+    if args.trace_out or args.ledger_out:
+        from .obs.ledger import Ledger
+        from .obs.trace import Tracer
+
+        if args.trace_out:
+            tracer = Tracer()
+        if args.ledger_out:
+            ledger = Ledger(args.command)
     profiler = None
     if args.profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
-    if args.command == "sift" and args.streaming:
-        try:
-            engine = StreamingPipeline(
-                config,
-                shards=args.shards,
-                workers=workers,
-                checkpoint_dir=args.checkpoint_dir or None,
-            )
-            result = engine.run()
-        except (ValueError, ShardExecutionError) as error:
-            raise SystemExit(f"sift --streaming: {error}")
-    else:
-        try:
-            result = TrackerSiftPipeline(config, workers=workers).run()
-        except ShardExecutionError as error:
-            raise SystemExit(f"{args.command}: {error}")
+    import contextlib
+
+    with tracer.activate() if tracer is not None else contextlib.nullcontext():
+        if args.command == "sift" and args.streaming:
+            try:
+                engine = StreamingPipeline(
+                    config,
+                    shards=args.shards,
+                    workers=workers,
+                    checkpoint_dir=args.checkpoint_dir or None,
+                    ledger=ledger,
+                )
+                result = engine.run()
+            except (ValueError, ShardExecutionError) as error:
+                raise SystemExit(f"sift --streaming: {error}")
+        else:
+            try:
+                result = TrackerSiftPipeline(
+                    config, workers=workers, ledger=ledger
+                ).run()
+            except ShardExecutionError as error:
+                raise SystemExit(f"{args.command}: {error}")
     if profiler is not None:
         profiler.disable()
-        path = _write_profile(profiler, args.checkpoint_dir, args.command)
+        path = _write_profile(profiler, args.checkpoint_dir, args.command, runid)
+        result.notes["profile_path"] = path
         print(f"profile: wrote top-25 cumulative-time table to {path}")
+    if tracer is not None:
+        trace_path = tracer.write_jsonl(args.trace_out)
+        result.notes["trace_path"] = str(trace_path)
+        print(
+            f"trace: wrote {len(tracer.export())} span(s) to {trace_path} "
+            f"(run id {runid}) — summarize with: "
+            f"trackersift trace summarize {trace_path}"
+        )
+    if ledger is not None:
+        ledger_path = ledger.write_jsonl(args.ledger_out)
+        result.notes["ledger_path"] = str(ledger_path)
+        print(
+            f"ledger: wrote {len(ledger.chain())} stage fingerprint(s) to "
+            f"{ledger_path} — compare with: trackersift ledger diff"
+        )
     report = result.report
 
     if args.command == "study":

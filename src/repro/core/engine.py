@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
@@ -50,8 +51,11 @@ from ..crawler.cluster import NODE_ENGINE_SEED, node_failure_seed, round_robin_s
 from ..crawler.crawler import page_load_fails
 from ..crawler.storage import RequestDatabase
 from ..crawler.tranco import RankedSite
+from ..filterlists.cache import CachedMatcher
 from ..filterlists.oracle import FilterListOracle
 from ..labeling.labeler import AnalyzedRequest, LabeledCrawl, RequestLabeler
+from ..obs.ledger import Ledger, stream_digest
+from ..obs.trace import current_tracer, span
 from ..stablehash import stable_hash
 from ..webmodel.generator import SyntheticWeb, SyntheticWebGenerator
 from .classifier import RatioClassifier
@@ -99,7 +103,9 @@ class PipelineResult:
     (their whole point is not materializing those); the aggregate fields —
     exclusion tallies, participation index, the report itself — are always
     populated, and ``notes`` carries the engine's counters (cache hits and
-    misses, shard count, labeled-request total).
+    misses, shard count, labeled-request total) plus, after a CLI run with
+    ``--profile``/``--trace-out``/``--ledger-out``, the string paths of the
+    exported observability artifacts.
     """
 
     config: PipelineConfig
@@ -109,7 +115,7 @@ class PipelineResult:
     report: SiftReport
     pages_crawled: int = 0
     pages_failed: int = 0
-    notes: dict[str, float] = field(default_factory=dict)
+    notes: dict[str, float | str] = field(default_factory=dict)
 
     @property
     def total_script_requests(self) -> int:
@@ -253,6 +259,7 @@ class StreamingPipeline:
         oracle: FilterListOracle | None = None,
         checkpoint_dir: str | Path | None = None,
         retain_events: bool = False,
+        ledger: Ledger | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self._shards = shards if shards is not None else self.config.cluster_nodes
@@ -301,6 +308,16 @@ class StreamingPipeline:
         self._worker_startup_seconds = 0.0
         self._worker_transfer_seconds = 0.0
         self._worker_compute_seconds = 0.0
+        # Determinism ledger (optional): per-site crawl/label stream
+        # fingerprints accumulate here — shard-count-invariant because
+        # they are keyed by site, not shard — and run() records the
+        # stage chain exactly once.  Resumed shards carry no digests
+        # (checkpoints deliberately hold only aggregates), so the
+        # ledger gate always compares *fresh* runs.
+        self._ledger = ledger
+        self._ledger_recorded = False
+        self._crawl_digests: dict[str, str] = {}
+        self._label_digests: dict[str, str] = {}
         # Only populated in retain mode.
         self._database = RequestDatabase()
         self._retained = LabeledCrawl()
@@ -317,17 +334,32 @@ class StreamingPipeline:
     def oracle(self) -> FilterListOracle:
         return self._oracle
 
+    @property
+    def ledger(self) -> Ledger | None:
+        return self._ledger
+
     def shard_states(self) -> tuple[ShardState, ...]:
         """Completed shard states in shard order (the mergeable units)."""
         return tuple(
             self._states[shard_id] for shard_id in sorted(self._states)
         )
 
+    def take_site_digests(self) -> tuple[tuple, tuple]:
+        """Drain the collected per-site ledger digests as sorted
+        ``(url, digest)`` pairs — the worker side of the parallel path
+        ships these back with each :class:`ShardOutcome`."""
+        crawl = tuple(sorted(self._crawl_digests.items()))
+        labels = tuple(sorted(self._label_digests.items()))
+        self._crawl_digests.clear()
+        self._label_digests.clear()
+        return crawl, labels
+
     # -- stages --------------------------------------------------------------
     def generate(self) -> SyntheticWeb:
-        return SyntheticWebGenerator(
-            sites=self.config.sites, seed=self.config.seed
-        ).build()
+        with span("web.generate", sites=self.config.sites, seed=self.config.seed):
+            return SyntheticWebGenerator(
+                sites=self.config.sites, seed=self.config.seed
+            ).build()
 
     def _site_list(self, web: SyntheticWeb) -> list[RankedSite]:
         return [RankedSite(rank=w.rank, url=w.url) for w in web.websites]
@@ -483,7 +515,6 @@ class StreamingPipeline:
         """
         import shutil
         import tempfile
-        import time
 
         from ..filterlists.compile import compile_matcher
         from .parallel import (
@@ -493,17 +524,20 @@ class StreamingPipeline:
             run_shards_parallel,
         )
 
+        tracer = current_tracer()
         started = time.perf_counter()
         fanout_dir = tempfile.mkdtemp(prefix="trackersift-fanout-")
         try:
-            oracle_artifact = str(Path(fanout_dir) / "oracle.tsoracle")
-            meta = compile_matcher(self._oracle.matcher, oracle_artifact)
-            slice_store = ShardSliceStore(fanout_dir)
-            # Accumulated (not assigned): a resumed run may fan out more
-            # than once, and the notes must account for every store built.
-            self._fanout_bytes += meta["bytes"] + slice_store.materialize(
-                pending, shard_sites, by_url, failed_urls
-            )
+            with span("fanout.materialize", shards=len(pending)):
+                oracle_artifact = str(Path(fanout_dir) / "oracle.tsoracle")
+                meta = compile_matcher(self._oracle.matcher, oracle_artifact)
+                slice_store = ShardSliceStore(fanout_dir)
+                # Accumulated (not assigned): a resumed run may fan out
+                # more than once, and the notes must account for every
+                # store built.
+                self._fanout_bytes += meta["bytes"] + slice_store.materialize(
+                    pending, shard_sites, by_url, failed_urls
+                )
             self._fanout_materialize_seconds += time.perf_counter() - started
             spec = WorkerSpec(
                 config=self.config,
@@ -518,17 +552,33 @@ class StreamingPipeline:
                     if type(self._oracle) is FilterListOracle
                     else self._oracle
                 ),
+                trace=tracer is not None,
+                ledger=self._ledger is not None,
             )
 
             def store(outcome: ShardOutcome) -> None:
                 self._store(ShardState.from_json(outcome.state_json))
                 self._worker_hits += outcome.cache_hits
                 self._worker_misses += outcome.cache_misses
-                self._worker_startup_seconds += outcome.startup_seconds
-                self._worker_transfer_seconds += outcome.transfer_seconds
-                self._worker_compute_seconds += outcome.compute_seconds
+                # Overhead notes are derived from the worker.* spans each
+                # outcome ships (not hand-counted scalars), so the notes
+                # and an exported trace can never disagree.
+                for record in outcome.spans:
+                    name = record.get("name")
+                    duration = float(record.get("duration", 0.0))
+                    if name == "worker.startup":
+                        self._worker_startup_seconds += duration
+                    elif name == "worker.transfer":
+                        self._worker_transfer_seconds += duration
+                    elif name == "worker.compute":
+                        self._worker_compute_seconds += duration
+                self._crawl_digests.update(outcome.crawl_digests)
+                self._label_digests.update(outcome.label_digests)
+                if tracer is not None:
+                    tracer.adopt(outcome.spans)
 
-            return run_shards_parallel(spec, pending, self._workers, store)
+            with span("fanout", workers=self._workers, shards=len(pending)):
+                return run_shards_parallel(spec, pending, self._workers, store)
         finally:
             shutil.rmtree(fanout_dir, ignore_errors=True)
 
@@ -539,6 +589,8 @@ class StreamingPipeline:
         by_url: dict,
         failed_urls: set[str],
     ) -> ShardState:
+        tracer = current_tracer()
+        ledger_on = self._ledger is not None
         state = ShardState(shard_id=shard_id)
         accumulator = SiftAccumulator(groups=state.tallies)
         # A fresh engine per shard, like each cluster node ran its own
@@ -551,25 +603,83 @@ class StreamingPipeline:
         extension = (
             CrawlExtension(self._database) if self._retain else None
         )
-        for site in sites:
-            website = by_url.get(site.url)
-            if website is None or site.url in failed_urls:
-                state.pages_failed += 1
-                continue
-            page = browser.load(website)
-            if extension is not None:
-                extension.capture_page(page)
-            # iter_labeled drains the oracle through its chunked batch
-            # path (label_request_many), amortizing decision-cache lock
-            # rounds per page while keeping stream order and the
-            # label_cache_* note accounting byte-identical.
-            for analyzed in labeler.iter_labeled(
-                page.requests, counters=counters
-            ):
-                accumulator.add(analyzed)
-                if self._retain:
-                    self._retained.requests.append(analyzed)
-            state.pages_crawled += 1
+        # Crawl vs label time interleaves per site, so the stage spans are
+        # accumulated (Tracer.add) rather than contiguous; both the clock
+        # reads and the per-site ledger hashing are skipped entirely when
+        # no tracer/ledger is attached — the instrumented hot path costs
+        # nothing by default.
+        crawl_seconds = label_seconds = 0.0
+        with span("shard", shard=shard_id, sites=len(sites)):
+            for site in sites:
+                website = by_url.get(site.url)
+                if website is None or site.url in failed_urls:
+                    state.pages_failed += 1
+                    if ledger_on:
+                        self._crawl_digests[site.url] = "failed"
+                        self._label_digests[site.url] = "failed"
+                    continue
+                if tracer is None:
+                    page = browser.load(website)
+                else:
+                    loaded = time.perf_counter()
+                    page = browser.load(website)
+                    crawl_seconds += time.perf_counter() - loaded
+                if extension is not None:
+                    extension.capture_page(page)
+                if ledger_on:
+                    # str concat + one bulk stream_digest, not per-event
+                    # f-strings through StreamHasher.update(): this loop
+                    # runs per request and is what keeps the attached
+                    # ledger inside the <5% bench_obs overhead budget.
+                    self._crawl_digests[site.url] = stream_digest(
+                        [
+                            event.url
+                            + ("|1|" if event.script_initiated else "|0|")
+                            + event.resource_type
+                            for event in page.requests
+                        ]
+                    )
+                    label_parts: list[str] = []
+                    label_append = label_parts.append
+                labeled = time.perf_counter() if tracer is not None else 0.0
+                # iter_labeled drains the oracle through its chunked batch
+                # path (label_request_many), amortizing decision-cache lock
+                # rounds per page while keeping stream order and the
+                # label_cache_* note accounting byte-identical.
+                for analyzed in labeler.iter_labeled(
+                    page.requests, counters=counters
+                ):
+                    accumulator.add(analyzed)
+                    if ledger_on:
+                        # The url is deliberately absent: label order is
+                        # the script-initiated subsequence of the crawl
+                        # stream, so once the crawl digests agree the
+                        # urls at each label position already agree.
+                        label_append(
+                            analyzed.label.value
+                            + "|" + analyzed.script
+                            + "|" + analyzed.method
+                        )
+                    if self._retain:
+                        self._retained.requests.append(analyzed)
+                if tracer is not None:
+                    label_seconds += time.perf_counter() - labeled
+                if ledger_on:
+                    self._label_digests[site.url] = stream_digest(label_parts)
+                state.pages_crawled += 1
+            if tracer is not None:
+                tracer.add(
+                    "shard.crawl",
+                    crawl_seconds,
+                    shard=shard_id,
+                    pages=state.pages_crawled,
+                )
+                tracer.add(
+                    "shard.label",
+                    label_seconds,
+                    shard=shard_id,
+                    requests=accumulator.total_requests,
+                )
         state.labeled_requests = accumulator.total_requests
         state.excluded_non_script = counters.excluded_non_script
         state.excluded_unparseable = counters.excluded_unparseable
@@ -587,18 +697,22 @@ class StreamingPipeline:
         # (appended at crawl time, and shards never re-crawl) is shared.
         labeled = LabeledCrawl(requests=self._retained.requests)
         pages_crawled = pages_failed = 0
-        for shard_id in range(self._shards):
-            state = self._states[shard_id]
-            accumulator.merge(state.tallies, state.labeled_requests)
-            pages_crawled += state.pages_crawled
-            pages_failed += state.pages_failed
-            labeled.excluded_non_script += state.excluded_non_script
-            labeled.excluded_unparseable += state.excluded_unparseable
-            for script, (tracking, functional) in state.participation.items():
-                entry = labeled.participation.setdefault(script, [0, 0])
-                entry[0] += tracking
-                entry[1] += functional
-        report = accumulator.report(sifter_for(self.config))
+        with span("sift", shards=self._shards):
+            for shard_id in range(self._shards):
+                state = self._states[shard_id]
+                accumulator.merge(state.tallies, state.labeled_requests)
+                pages_crawled += state.pages_crawled
+                pages_failed += state.pages_failed
+                labeled.excluded_non_script += state.excluded_non_script
+                labeled.excluded_unparseable += state.excluded_unparseable
+                for script, (tracking, functional) in state.participation.items():
+                    entry = labeled.participation.setdefault(script, [0, 0])
+                    entry[0] += tracking
+                    entry[1] += functional
+            report = accumulator.report(sifter_for(self.config))
+        if self._ledger is not None and not self._ledger_recorded:
+            self._record_ledger(web, accumulator, report)
+            self._ledger_recorded = True
         notes: dict[str, float] = {
             "shards": float(self._shards),
             "workers": float(self._workers),
@@ -640,6 +754,91 @@ class StreamingPipeline:
             pages_failed=pages_failed,
             notes=notes,
         )
+
+    def _record_ledger(
+        self,
+        web: SyntheticWeb,
+        accumulator: SiftAccumulator,
+        report: SiftReport,
+    ) -> None:
+        """Record the full stage chain into the attached ledger.
+
+        Every stage's state is shard-count- and worker-count-invariant:
+        list/matcher identity comes from the matcher itself (identical
+        whether parsed fresh or loaded from an artifact), the crawl and
+        label stages are per-*site* stream digests keyed by URL, and the
+        sift stage is the merged tally map — so all execution paths of
+        one study must produce the identical chain, and the first
+        divergent stage localizes any determinism bug.
+        """
+        ledger = self._ledger
+        assert ledger is not None
+        matcher = self._oracle.matcher
+        plain = matcher.wrapped if isinstance(matcher, CachedMatcher) else matcher
+        automaton = plain.automaton
+        ledger.record(
+            "filterlists",
+            {"lists": list(plain.list_names), "rule_count": plain.rule_count},
+        )
+        ledger.record(
+            "matcher",
+            {
+                "rule_count": plain.rule_count,
+                "revision": plain.revision,
+                "automaton_keys": (
+                    automaton.vocabulary_size if automaton else 0
+                ),
+                "unsupported_rules": plain.unsupported_rule_count,
+            },
+        )
+        ledger.record(
+            "web",
+            {"fingerprint": _web_fingerprint(web), "sites": len(web.websites)},
+        )
+        ledger.record(
+            "crawl",
+            self._crawl_digests,
+            sites=len(self._crawl_digests),
+            shards_resumed=self._resumed_shards,
+        )
+        ledger.record(
+            "labels",
+            self._label_digests,
+            requests=int(accumulator.total_requests),
+        )
+        ledger.record(
+            "sift",
+            {
+                "tallies": sorted(
+                    [*key, tracking, functional]
+                    for key, (tracking, functional) in accumulator.groups.items()
+                ),
+                "total_requests": accumulator.total_requests,
+            },
+            distinct_resources=accumulator.distinct_resources,
+        )
+        ledger.record("report", _report_state(report), levels=len(report.levels))
+
+
+def _report_state(report: SiftReport) -> dict:
+    """A :class:`SiftReport` reduced to its canonical-JSON-able content."""
+    return {
+        "total_requests": report.total_requests,
+        "levels": [
+            {
+                "granularity": level.granularity,
+                "resources": {
+                    key: [
+                        result.counts.tracking,
+                        result.counts.functional,
+                        result.resource_class.value,
+                    ]
+                    for key, result in level.resources.items()
+                },
+            }
+            for level in report.levels
+        ],
+    }
 
 
 def _web_fingerprint(web: SyntheticWeb) -> int:

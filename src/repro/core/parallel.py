@@ -92,6 +92,16 @@ class ShardOutcome:
     *first* outcome only so the parent can sum without double counting;
     ``transfer_seconds`` is this shard's slice load; ``compute_seconds``
     is the crawl+label+sift itself.
+
+    ``spans`` carries the worker-side trace for this shard as exported
+    span dicts — always at least the ``worker.startup`` /
+    ``worker.transfer`` / ``worker.compute`` synthetic spans (the parent
+    derives the overhead *notes* from these), plus the full in-shard
+    span tree when the parent ran with a tracer attached.  The parent
+    :meth:`~repro.obs.trace.Tracer.adopt`\\ s them under its fan-out
+    span.  ``crawl_digests`` / ``label_digests`` are the per-site
+    determinism-ledger fingerprints (``(url, digest)`` pairs) collected
+    when the parent runs with a ledger; empty otherwise.
     """
 
     shard_id: int
@@ -101,6 +111,9 @@ class ShardOutcome:
     startup_seconds: float = 0.0
     transfer_seconds: float = 0.0
     compute_seconds: float = 0.0
+    spans: tuple = ()
+    crawl_digests: tuple = ()
+    label_digests: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -219,6 +232,12 @@ class WorkerSpec:
     object itself (the pre-artifact transfer path) and workers use it
     verbatim, keeping worker output identical to sequential for any
     oracle type.
+
+    ``trace`` / ``ledger`` mirror the parent's observability state: with
+    ``trace`` the worker activates a local tracer around each shard (so
+    the full in-shard span tree ships back), with ``ledger`` the worker
+    collects per-site determinism fingerprints.  Both default off — the
+    baseline parallel path pays nothing.
     """
 
     config: "PipelineConfig"
@@ -226,6 +245,8 @@ class WorkerSpec:
     store_dir: str
     oracle_artifact: str
     oracle: "object | None" = None
+    trace: bool = False
+    ledger: bool = False
 
 
 class ShardExecutionError(RuntimeError):
@@ -263,6 +284,7 @@ class _ShardWorker:
 
     def __init__(self, spec: WorkerSpec) -> None:
         from ..filterlists.oracle import FilterListOracle
+        from ..obs.ledger import Ledger
         from .engine import StreamingPipeline
 
         started = time.perf_counter()
@@ -272,9 +294,16 @@ class _ShardWorker:
             else FilterListOracle.from_artifact(spec.oracle_artifact)
         )
         self._pipeline = StreamingPipeline(
-            spec.config, shards=spec.shards, oracle=oracle
+            spec.config,
+            shards=spec.shards,
+            oracle=oracle,
+            # A throwaway ledger switches on per-site digest collection;
+            # the digests travel back with each outcome and the *parent's*
+            # ledger records the merged chain.
+            ledger=Ledger() if spec.ledger else None,
         )
         self._store = ShardSliceStore(spec.store_dir)
+        self._trace = spec.trace
         self._startup_seconds = time.perf_counter() - started
         self._startup_reported = False
         self._last_stats = self._stats()
@@ -284,28 +313,54 @@ class _ShardWorker:
         return (stats.hits, stats.misses) if stats is not None else (0, 0)
 
     def run(self, shard_id: int) -> ShardOutcome:
+        from ..obs.trace import Tracer
+
+        # One tracer per shard run: the worker.* synthetic spans always
+        # ship (the parent derives its overhead notes from them); the full
+        # in-shard span tree only when the parent traces too.
+        tracer = Tracer()
+        startup_seconds = (
+            0.0 if self._startup_reported else self._startup_seconds
+        )
+        if startup_seconds:
+            tracer.add("worker.startup", startup_seconds)
         loaded = time.perf_counter()
         shard_slice = self._store.load(shard_id)
         transfer_seconds = time.perf_counter() - loaded
-        computed = time.perf_counter()
-        state = self._pipeline._crawl_shard(
-            shard_id,
-            shard_slice.sites,
-            shard_slice.by_url,
-            shard_slice.failed_urls,
-        )
-        compute_seconds = time.perf_counter() - computed
+        tracer.add("worker.transfer", transfer_seconds, shard=shard_id)
+        if self._trace:
+            with tracer.activate():
+                with tracer.span("worker.compute", shard=shard_id) as record:
+                    state = self._pipeline._crawl_shard(
+                        shard_id,
+                        shard_slice.sites,
+                        shard_slice.by_url,
+                        shard_slice.failed_urls,
+                    )
+            compute_seconds = record.duration
+        else:
+            computed = time.perf_counter()
+            state = self._pipeline._crawl_shard(
+                shard_id,
+                shard_slice.sites,
+                shard_slice.by_url,
+                shard_slice.failed_urls,
+            )
+            compute_seconds = time.perf_counter() - computed
+            tracer.add("worker.compute", compute_seconds, shard=shard_id)
+        crawl_digests, label_digests = self._pipeline.take_site_digests()
         hits, misses = self._stats()
         outcome = ShardOutcome(
             shard_id=shard_id,
             state_json=state.to_json(),
             cache_hits=hits - self._last_stats[0],
             cache_misses=misses - self._last_stats[1],
-            startup_seconds=(
-                0.0 if self._startup_reported else self._startup_seconds
-            ),
+            startup_seconds=startup_seconds,
             transfer_seconds=transfer_seconds,
             compute_seconds=compute_seconds,
+            spans=tuple(tracer.export()),
+            crawl_digests=crawl_digests,
+            label_digests=label_digests,
         )
         self._startup_reported = True
         self._last_stats = (hits, misses)
@@ -314,6 +369,12 @@ class _ShardWorker:
 
 def _init_worker(spec: WorkerSpec) -> None:
     global _WORKER
+    # Forked children inherit the parent's contextvars — including the
+    # span that was active at fork time, whose id would alias into this
+    # process's own tracer.  Start from a clean observability context.
+    from ..obs.trace import reset_context
+
+    reset_context()
     _WORKER = _ShardWorker(spec)
 
 

@@ -22,6 +22,7 @@ from ..crawler.cluster import CrawlCluster
 from ..crawler.storage import RequestDatabase
 from ..filterlists.oracle import FilterListOracle
 from ..labeling.labeler import LabeledCrawl, RequestLabeler
+from ..obs.ledger import Ledger
 from ..webmodel.generator import SyntheticWeb, SyntheticWebGenerator
 from .engine import PipelineConfig, PipelineResult, StreamingPipeline, sifter_for
 from .results import SiftReport
@@ -47,12 +48,16 @@ class TrackerSiftPipeline:
         *,
         oracle: FilterListOracle | None = None,
         workers: int = 1,
+        ledger: Ledger | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         if workers < 1:
             raise ValueError("need at least one worker")
         self._workers = workers
         self._oracle = oracle or FilterListOracle()
+        # Determinism ledger, passed through to the engine each run().
+        # Run once per ledger: every run() appends a fresh stage chain.
+        self._ledger = ledger
         # One caching view shared by every run() of this pipeline: repeat
         # runs reuse warm decisions, the caller's oracle stays unmutated.
         self._cached_oracle = self._oracle.cached_view()
@@ -89,6 +94,7 @@ class TrackerSiftPipeline:
             workers=self._workers,
             oracle=self._cached_oracle,
             retain_events=self._workers == 1,
+            ledger=self._ledger,
         )
         return engine.run(web)
 

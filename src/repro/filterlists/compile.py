@@ -63,6 +63,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs.trace import span
 from .cache import CachedMatcher
 from .image import ImageMatcher, build_image
 from .matcher import FilterMatcher
@@ -262,11 +263,12 @@ def compile_matcher(
     lists: tuple[ParsedList, ...] = (),
 ) -> dict:
     """Write a built matcher to ``path`` atomically; returns the metadata."""
-    data, meta = _encode(matcher, lists)
-    path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_bytes(data)
-    os.replace(tmp, path)
+    with span("artifact.compile", path=str(path)):
+        data, meta = _encode(matcher, lists)
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
     meta["bytes"] = len(data)
     return meta
 
@@ -290,7 +292,8 @@ def _read_bytes(path: str | Path) -> bytes:
 
 def load_artifact(path: str | Path) -> OracleArtifact:
     """Load and validate a compiled artifact from disk."""
-    return loads_artifact(_read_bytes(path))
+    with span("artifact.load", path=str(path)):
+        return loads_artifact(_read_bytes(path))
 
 
 def load_matcher(path: str | Path) -> FilterMatcher:
@@ -315,6 +318,11 @@ def open_image(path: str | Path) -> ImageMatcher:
     import mmap
 
     path = Path(path)
+    with span("artifact.map", path=str(path)):
+        return _open_image(path, mmap)
+
+
+def _open_image(path: Path, mmap) -> ImageMatcher:
     try:
         handle = open(path, "rb")
     except OSError as error:

@@ -1,0 +1,40 @@
+"""Unified observability: tracing, metrics, and the determinism ledger.
+
+Three pillars, one shared nervous system for every execution path:
+
+* :mod:`repro.obs.trace` — structured spans over the monotonic clock,
+  nested via contextvars (thread- and asyncio-safe), exported as JSONL
+  and summarized into per-stage breakdowns and a critical path
+  (``trackersift trace summarize``).
+* :mod:`repro.obs.metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters, gauges and fixed-bucket histograms with a per-process
+  local mode and a cross-process shared-``Array`` mode (the supervisor's
+  metrics board), plus Prometheus text exposition.
+* :mod:`repro.obs.ledger` — the determinism fingerprint ledger: every
+  stage of every execution path records a sha256 fingerprint of its
+  canonical-JSON intermediate state into an ordered chain, so two paths
+  that diverge are localized to the *first* differing stage instead of a
+  differing final report (``trackersift ledger diff``).
+
+Everything is stdlib-only, and everything is opt-in on the hot paths:
+an engine or service without a tracer/ledger attached pays one ``None``
+check per stage, never per request.
+"""
+
+from .ledger import Ledger, LedgerEntry, StreamHasher, canonical_json, fingerprint
+from .metrics import MetricsRegistry, prometheus_from_dict
+from .trace import Tracer, current_tracer, span, summarize_spans
+
+__all__ = [
+    "Ledger",
+    "LedgerEntry",
+    "StreamHasher",
+    "canonical_json",
+    "fingerprint",
+    "MetricsRegistry",
+    "prometheus_from_dict",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "summarize_spans",
+]

@@ -1,0 +1,35 @@
+"""The one sanctioned runtime-output channel for library code.
+
+``src/repro`` is a library first: modules under it must not scatter
+naked ``print`` calls (a lint in ``scripts/lint_prints.py`` enforces
+this).  Long-running entry points that legitimately talk to an operator
+— the serve front ends, the supervisor — route through :func:`say`,
+which keeps output suppressible (tests, embedding) and flushed (these
+messages are progress markers around blocking calls, so they must not
+sit in a buffer while the process serves).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+__all__ = ["say", "quiet"]
+
+_lock = threading.Lock()
+_quiet = False
+
+
+def quiet(enabled: bool = True) -> None:
+    """Globally suppress :func:`say` output (embedding / tests)."""
+    global _quiet
+    _quiet = enabled
+
+
+def say(message: str) -> None:
+    """Write one operator-facing line to stdout, flushed."""
+    if _quiet:
+        return
+    with _lock:
+        sys.stdout.write(message + "\n")
+        sys.stdout.flush()

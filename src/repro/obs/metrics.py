@@ -1,0 +1,535 @@
+"""One metrics registry for every layer, local and cross-process.
+
+Before this module each layer kept its own ad-hoc counters: the
+decision cache carried a stats dataclass, the engine stuffed floats
+into ``PipelineResult.notes``, the service held a ``_Counters``
+dataclass plus a bespoke latency window, and the supervisor published
+into a hand-indexed shared ``multiprocessing.Array``.  They all still
+exist as *shapes* (tests pin them), but are now backed by two
+primitives defined here:
+
+* :class:`MetricsRegistry` — per-process, thread-safe, get-or-create
+  counters, gauges, fixed-bucket histograms, and
+  :class:`LatencyWindow`\\ s, with a JSON view (:meth:`~MetricsRegistry.as_dict`)
+  and Prometheus text exposition (:meth:`~MetricsRegistry.prometheus_text`).
+* :class:`SharedBoard` — the cross-process mode: named scalar fields
+  per worker slot (plus a latency-sample ring and a parent-owned fleet
+  region) over a lock-free shared ``Array`` of doubles, single writer
+  per region, torn reads acceptable (monitoring, not ledger).  The
+  supervisor's metrics board is an instance of this with a declared
+  field list instead of hand-maintained ``_F_*`` offsets.
+
+:func:`prometheus_from_dict` flattens *any* metrics JSON payload (the
+service's, or the supervisor's merged cross-worker view) into valid
+Prometheus text exposition, which is how ``/metrics`` serves both
+formats without two bookkeeping paths that could drift.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyWindow",
+    "MetricsRegistry",
+    "SharedBoard",
+    "prometheus_from_dict",
+    "nearest_rank",
+    "wants_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
+]
+
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, float("inf"),
+)
+
+
+def nearest_rank(data: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over *sorted* data: ceil(q/100*n), 1-based.
+
+    The one percentile definition every latency view in the repo uses
+    (service window, merged cross-worker board), factored out so they
+    cannot drift."""
+    if not data:
+        return 0.0
+    rank = -(-q * len(data) // 100)
+    return data[min(len(data) - 1, max(0, int(rank) - 1))]
+
+
+class Counter:
+    """Monotonic counter; thread-safe."""
+
+    __slots__ = ("name", "description", "_lock", "_value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value; settable, or computed by a callback.
+
+    Callback gauges (``Gauge(name, fn=...)``) let the registry expose
+    live state owned elsewhere — the snapshot's cache stats, the fleet's
+    alive-worker count — without mirroring writes onto the hot path.
+    """
+
+    __slots__ = ("name", "description", "_lock", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise RuntimeError(f"gauge {self.name} is callback-backed")
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._fn is not None:
+            raise RuntimeError(f"gauge {self.name} is callback-backed")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    __slots__ = ("name", "description", "buckets", "_lock", "_counts",
+                 "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = sorted(set(float(b) for b in buckets))
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.name = name
+        self.description = description
+        self.buckets = tuple(bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if count <= 0:
+            return
+        with self._lock:
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += count
+                    break
+            self._sum += value * count
+            self._count += count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            key = "+Inf" if bound == float("inf") else repr(bound)
+            cumulative[key] = running
+        return {"count": count, "sum": total, "buckets": cumulative}
+
+
+class LatencyWindow:
+    """Sliding window of recent latencies, for p50/p99 metrics.
+
+    This is the service's original ``_LatencyWindow``, promoted into the
+    registry; the attribute/semantic surface (``count``, ``total``,
+    ``_samples``, :meth:`drain_since`) is pinned by the serve tests and
+    by the supervisor's board publisher.
+    """
+
+    def __init__(self, size: int = 4096) -> None:
+        self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
+
+    def observe_many(self, seconds_each: float, count: int) -> None:
+        """Record ``count`` samples of ``seconds_each`` under one lock —
+        the batch path's per-decision latency, amortized over the batch."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._samples.extend([seconds_each] * count)
+            self.count += count
+            self.total += seconds_each * count
+
+    def drain_since(self, cursor: int) -> tuple[int, list[float]]:
+        """Samples recorded after observation number ``cursor`` (bounded
+        by the window), plus the new cursor — the incremental read the
+        supervisor's shared-board publisher makes, so per-worker latency
+        samples reach the merged ``/metrics`` view without re-copying
+        the whole window every tick."""
+        with self._lock:
+            new = self.count
+            fresh = new - cursor
+            if fresh <= 0:
+                return new, []
+            take = min(fresh, len(self._samples))
+            data = list(self._samples)[-take:] if take else []
+        return new, data
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            data = sorted(self._samples)
+            count, total = self.count, self.total
+        return {
+            "observed": count,
+            "window": len(data),
+            "mean_ms": (total / count * 1e3) if count else 0.0,
+            "p50_ms": nearest_rank(data, 50) * 1e3,
+            "p99_ms": nearest_rank(data, 99) * 1e3,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments; thread-safe.
+
+    Instrument names are Prometheus-style (``snake_case``); the
+    registry rejects re-registering a name as a different kind, which
+    is the drift this layer exists to prevent.
+    """
+
+    def __init__(self, prefix: str = "trackersift") -> None:
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._latencies: dict[str, LatencyWindow] = {}
+
+    def _get_or_create(self, table: dict, name: str, factory):
+        for other in (self._counters, self._gauges, self._histograms,
+                      self._latencies):
+            if other is not table and name in other:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+        with self._lock:
+            if name not in table:
+                table[name] = factory()
+            return table[name]
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(
+            self._counters, name, lambda: Counter(name, description)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        description: str = "",
+        fn: Callable[[], float] | None = None,
+    ) -> Gauge:
+        gauge = self._get_or_create(
+            self._gauges, name, lambda: Gauge(name, description, fn=fn)
+        )
+        if fn is not None and gauge._fn is None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            self._histograms, name, lambda: Histogram(name, description, buckets)
+        )
+
+    def latency(self, name: str, size: int = 4096) -> LatencyWindow:
+        return self._get_or_create(
+            self._latencies, name, lambda: LatencyWindow(size)
+        )
+
+    # -- views ---------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON view: one key per instrument kind, values by name."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            latencies = dict(self._latencies)
+        return {
+            "counters": {name: c.value for name, c in counters.items()},
+            "gauges": {name: g.value for name, g in gauges.items()},
+            "histograms": {
+                name: h.snapshot() for name, h in histograms.items()
+            },
+            "latency": {
+                name: window.snapshot() for name, window in latencies.items()
+            },
+        }
+
+    def prometheus_text(self) -> str:
+        """Typed Prometheus text exposition of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            latencies = dict(self._latencies)
+        lines: list[str] = []
+        for name in sorted(counters):
+            counter = counters[name]
+            full = f"{self.prefix}_{name}"
+            if counter.description:
+                lines.append(f"# HELP {full} {counter.description}")
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {counter.value}")
+        for name in sorted(gauges):
+            gauge = gauges[name]
+            full = f"{self.prefix}_{name}"
+            if gauge.description:
+                lines.append(f"# HELP {full} {gauge.description}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_format_value(gauge.value)}")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            full = f"{self.prefix}_{name}"
+            snap = hist.snapshot()
+            if hist.description:
+                lines.append(f"# HELP {full} {hist.description}")
+            lines.append(f"# TYPE {full} histogram")
+            for le, cumulative in snap["buckets"].items():
+                lines.append(f'{full}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{full}_sum {_format_value(snap['sum'])}")
+            lines.append(f"{full}_count {snap['count']}")
+        for name in sorted(latencies):
+            snap = latencies[name].snapshot()
+            full = f"{self.prefix}_{name}"
+            lines.append(f"# TYPE {full}_observed counter")
+            lines.append(f"{full}_observed {snap['observed']}")
+            for stat in ("mean_ms", "p50_ms", "p99_ms"):
+                lines.append(f"# TYPE {full}_{stat} gauge")
+                lines.append(f"{full}_{stat} {_format_value(snap[stat])}")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Cross-process shared mode
+# ---------------------------------------------------------------------------
+
+class SharedBoard:
+    """Named-field view over a lock-free shared ``Array('d')``.
+
+    Layout: ``workers`` slots of ``len(fields) + ring`` doubles (scalar
+    fields, then a latency-sample ring addressed by the slot's
+    ``cursor`` field), followed by one parent-owned *fleet* region of
+    ``len(fleet_fields)`` doubles.  Single writer per region — each
+    worker owns its slot, the parent owns the fleet region — and torn
+    reads are acceptable: this is monitoring, not the ledger.
+
+    Construct either around a fresh shared array (:meth:`create`) or
+    around an existing raw array a worker inherited over fork
+    (:meth:`view`).
+    """
+
+    CURSOR = "cursor"
+
+    def __init__(
+        self,
+        array,
+        fields: Sequence[str],
+        workers: int,
+        ring: int,
+        fleet_fields: Sequence[str] = (),
+    ) -> None:
+        if self.CURSOR not in fields and ring:
+            raise ValueError("a sample ring needs a 'cursor' field")
+        self.array = array
+        self.fields = tuple(fields)
+        self.workers = workers
+        self.ring = ring
+        self.fleet_fields = tuple(fleet_fields)
+        self._index = {name: i for i, name in enumerate(self.fields)}
+        self._fleet_index = {
+            name: i for i, name in enumerate(self.fleet_fields)
+        }
+        self.slot_size = len(self.fields) + ring
+        self._fleet_base = workers * self.slot_size
+
+    @classmethod
+    def size(
+        cls,
+        fields: Sequence[str],
+        workers: int,
+        ring: int,
+        fleet_fields: Sequence[str] = (),
+    ) -> int:
+        return workers * (len(fields) + ring) + len(fleet_fields)
+
+    @classmethod
+    def create(
+        cls,
+        context,
+        fields: Sequence[str],
+        workers: int,
+        ring: int,
+        fleet_fields: Sequence[str] = (),
+    ) -> "SharedBoard":
+        array = context.Array(
+            "d", cls.size(fields, workers, ring, fleet_fields), lock=False
+        )
+        return cls(array, fields, workers, ring, fleet_fields)
+
+    # -- worker slots --------------------------------------------------------
+    def write_slot(self, worker: int, values: Mapping[str, float]) -> None:
+        base = worker * self.slot_size
+        for name, value in values.items():
+            self.array[base + self._index[name]] = float(value)
+
+    def read_slot(self, worker: int) -> dict:
+        base = worker * self.slot_size
+        return {
+            name: self.array[base + index]
+            for name, index in self._index.items()
+        }
+
+    def append_samples(self, worker: int, samples: Iterable[float]) -> None:
+        """Write samples into the slot's ring at its cursor, advancing it.
+
+        The cursor counts *all* samples ever written (monotonic), so
+        readers know how many ring entries are valid (``min(cursor,
+        ring)``) and the supervisor's merged percentile view stays a
+        recent-window estimate, same as the in-process window."""
+        base = worker * self.slot_size
+        ring_base = base + len(self.fields)
+        cursor_at = base + self._index[self.CURSOR]
+        write_at = int(self.array[cursor_at])
+        for sample in samples:
+            self.array[ring_base + (write_at % self.ring)] = sample
+            write_at += 1
+        self.array[cursor_at] = float(write_at)
+
+    def read_samples(self, worker: int) -> list[float]:
+        base = worker * self.slot_size
+        ring_base = base + len(self.fields)
+        valid = min(int(self.array[base + self._index[self.CURSOR]]), self.ring)
+        return list(self.array[ring_base : ring_base + valid]) if valid else []
+
+    # -- fleet region (parent-owned) ----------------------------------------
+    def write_fleet(self, values: Mapping[str, float]) -> None:
+        for name, value in values.items():
+            self.array[self._fleet_base + self._fleet_index[name]] = float(value)
+
+    def read_fleet(self) -> dict:
+        return {
+            name: self.array[self._fleet_base + index]
+            for name, index in self._fleet_index.items()
+        }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition from arbitrary metrics JSON
+# ---------------------------------------------------------------------------
+
+def _sanitize(component: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in str(component)
+    )
+    return cleaned or "_"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _flatten(value, path: list[str], out: list[tuple[str, str]]) -> None:
+    if isinstance(value, bool):
+        out.append(("_".join(path), "1" if value else "0"))
+    elif isinstance(value, (int, float)):
+        out.append(("_".join(path), _format_value(value)))
+    elif isinstance(value, Mapping):
+        for key in value:
+            _flatten(value[key], path + [_sanitize(key)], out)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _flatten(item, path + [str(index)], out)
+    # strings and None carry no numeric value: skipped.
+
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def wants_prometheus(query: str, accept: str) -> bool:
+    """Shared ``/metrics`` content negotiation for both HTTP front ends.
+
+    Prometheus text is served for ``?format=prometheus`` or an ``Accept``
+    header naming ``text/plain``; everything else keeps the JSON default
+    (existing dashboards and the supervisor's merge path rely on it).
+    """
+    for pair in query.split("&"):
+        if pair == "format=prometheus":
+            return True
+    return "text/plain" in (accept or "")
+
+
+def prometheus_from_dict(payload: Mapping, prefix: str = "trackersift") -> str:
+    """Flatten a metrics JSON payload into Prometheus text exposition.
+
+    Every numeric leaf becomes a gauge named by its underscore-joined
+    path (``{"decisions": {"served": 6}}`` →
+    ``trackersift_decisions_served 6``); booleans become 0/1; strings
+    are skipped.  Both ``/metrics`` front ends expose Prometheus through
+    this one function over the *same* dict they serve as JSON, so the
+    two formats cannot disagree.
+    """
+    flat: list[tuple[str, str]] = []
+    _flatten(payload, [prefix], flat)
+    lines: list[str] = []
+    for name, value in flat:
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value}")
+    return "\n".join(lines) + "\n"

@@ -43,6 +43,7 @@ from ..filterlists.compile import compile_lists
 from ..filterlists.lists import default_lists
 from ..filterlists.oracle import FilterListOracle
 from ..filterlists.parser import ParsedList
+from ..obs.ledger import Ledger, StreamHasher, diff_ledgers
 from ..serve.service import BlockingService
 from ..webmodel.generator import SyntheticWeb, SyntheticWebGenerator
 from .churn import churn_revisions
@@ -86,6 +87,8 @@ class PathResult:
     summary: list[dict] | None = None
     shard_state_sha256: str | None = None
     decisions_sha256: str | None = None
+    #: this path's determinism fingerprint chain (see repro.obs.ledger).
+    ledger: Ledger | None = None
 
     @property
     def requests_per_second(self) -> float:
@@ -251,21 +254,26 @@ class ScenarioRunner:
         outcome: ScenarioOutcome,
     ) -> PathResult:
         config = spec.config()
+        ledger = Ledger(path)
         started = time.perf_counter()
         engine: StreamingPipeline | None = None
         if path == "batch":
             result = TrackerSiftPipeline(
-                config, oracle=FilterListOracle(*final_lists)
+                config, oracle=FilterListOracle(*final_lists), ledger=ledger
             ).run(web)
         elif path == "stream-1":
             result = StreamingPipeline(
-                config, shards=1, oracle=FilterListOracle(*final_lists)
+                config,
+                shards=1,
+                oracle=FilterListOracle(*final_lists),
+                ledger=ledger,
             ).run(web)
         elif path == "stream-13":
             engine = StreamingPipeline(
                 config,
                 shards=spec.cluster_nodes,
                 oracle=FilterListOracle(*final_lists),
+                ledger=ledger,
             )
             result = engine.run(web)
         elif path == "fanout-2":
@@ -274,6 +282,7 @@ class ScenarioRunner:
                 shards=spec.cluster_nodes,
                 workers=2,
                 oracle=FilterListOracle(*final_lists),
+                ledger=ledger,
             )
             result = engine.run(web)
         elif path == "artifact-fanout":
@@ -287,6 +296,7 @@ class ScenarioRunner:
                     shards=spec.cluster_nodes,
                     workers=2,
                     oracle=FilterListOracle.from_artifact(artifact),
+                    ledger=ledger,
                 )
                 result = engine.run(web)
         else:  # pragma: no cover - guarded in __init__
@@ -301,6 +311,7 @@ class ScenarioRunner:
             wall_seconds=wall,
             requests=labeled,
             summary=result.report.summary(),
+            ledger=ledger,
         )
         if engine is not None:
             record.shard_state_sha256 = _sha256(
@@ -334,6 +345,12 @@ class ScenarioRunner:
         """
         started = time.perf_counter()
         service = BlockingService(*revisions[0])
+        # The service's determinism chain, plus an offline-built reference
+        # chain fed from the *expected* decisions — the two must agree
+        # stage for stage (snapshot identity + decision-stream digest per
+        # revision, in revision order).
+        ledger = service.attach_ledger(Ledger("service"))
+        reference_streams: dict[int, StreamHasher] = {}
         rev_oracles: dict[int, FilterListOracle] = {}
 
         def oracle_for(rev_index: int) -> FilterListOracle:
@@ -363,6 +380,12 @@ class ScenarioRunner:
             served = replay(chunk)
             decided += len(served)
             expected = offline_decisions(oracle_for(rev_index), chunk)
+            reference_streams.setdefault(
+                rev_index + 1, StreamHasher()
+            ).update_many(
+                f"{d['url']}|{d['label']}|{int(d['blocked'])}"
+                for d in expected
+            )
             if served != expected:
                 first = next(
                     (
@@ -389,6 +412,32 @@ class ScenarioRunner:
                 f"service: snapshot revision {service.snapshot.revision} "
                 f"after {len(revisions) - 1} reload(s), expected {len(revisions)}"
             )
+        # Flush the chain *before* the verification-only full replay —
+        # that replay re-decides the whole trace against the final
+        # snapshot and must not pollute the per-revision streams.
+        service.finalize_ledger()
+        reference = Ledger("service-reference")
+        for revision in range(1, len(revisions) + 1):
+            reference.record(
+                "serve.snapshot",
+                {
+                    "revision": revision,
+                    "rule_count": oracle_for(revision - 1).rule_count,
+                },
+                revision=revision,
+            )
+            hasher = reference_streams.get(revision)
+            reference.record_digest(
+                "serve.decisions",
+                (hasher or StreamHasher()).hexdigest(),
+                revision=revision,
+            )
+        diff = diff_ledgers(reference, ledger)
+        if not diff["identical"]:
+            outcome.mismatches.append(
+                f"service: ledger diverged from the offline reference at "
+                f"stage {diff['stage']!r} (index {diff['index']})"
+            )
         final = replay(trace)
         decided += len(final)
         record = PathResult(
@@ -396,6 +445,7 @@ class ScenarioRunner:
             wall_seconds=time.perf_counter() - started,
             requests=decided,
             decisions_sha256=decisions_digest(final),
+            ledger=ledger,
         )
         return record
 
@@ -414,6 +464,14 @@ class ScenarioRunner:
                     f"{record.path}: labeled {record.requests} requests, "
                     f"{pipeline[0].path} labeled {pipeline[0].requests}"
                 )
+            if record.ledger is not None and pipeline[0].ledger is not None:
+                diff = diff_ledgers(pipeline[0].ledger, record.ledger)
+                if not diff["identical"]:
+                    outcome.mismatches.append(
+                        f"{record.path}: ledger diverged from "
+                        f"{pipeline[0].path} at stage {diff['stage']!r} "
+                        f"(index {diff['index']})"
+                    )
         sharded = [
             outcome.paths[p] for p in _SHARDED_PATHS if p in outcome.paths
         ]

@@ -40,6 +40,11 @@ import json
 import threading
 from pathlib import Path
 
+from ..obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_from_dict,
+    wants_prometheus,
+)
 from .service import BlockingService, apply_reload_payload
 
 __all__ = ["AsyncBlockingServer", "AsyncServerThread"]
@@ -61,13 +66,21 @@ class _ProtocolError(Exception):
 
 
 class _Request:
-    __slots__ = ("method", "target", "body", "keep_alive")
+    __slots__ = ("method", "target", "body", "keep_alive", "accept")
 
-    def __init__(self, method: str, target: str, body: bytes, keep_alive: bool):
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        keep_alive: bool,
+        accept: str = "",
+    ):
         self.method = method
         self.target = target
         self.body = body
         self.keep_alive = keep_alive
+        self.accept = accept
 
 
 def _parse_requests(buffer: bytes) -> tuple[list[_Request], bytes]:
@@ -120,7 +133,11 @@ def _parse_requests(buffer: bytes) -> tuple[list[_Request], bytes]:
             keep_alive = connection != "close"
         else:
             keep_alive = connection == "keep-alive"
-        requests.append(_Request(method, target, body, keep_alive))
+        requests.append(
+            _Request(
+                method, target, body, keep_alive, headers.get("accept", "")
+            )
+        )
         buffer = buffer[total:]
 
 
@@ -129,6 +146,20 @@ def _json_bytes(status: int, payload: dict, keep_alive: bool) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
         "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def _text_bytes(
+    status: int, text: str, content_type: str, keep_alive: bool
+) -> bytes:
+    body = text.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
@@ -230,6 +261,7 @@ class AsyncBlockingServer:
         artifact_dir: str | Path | None = None,
         supervised: bool = False,
         metrics_provider=None,
+        health_provider=None,
         worker_tag: int | None = None,
     ) -> None:
         self.service = service if service is not None else BlockingService()
@@ -242,6 +274,7 @@ class AsyncBlockingServer:
         )
         self._supervised = supervised
         self._metrics_provider = metrics_provider
+        self._health_provider = health_provider
         self._worker_tag = worker_tag
         self._server: asyncio.AbstractServer | None = None
         self._coalescer: _Coalescer | None = None
@@ -361,15 +394,22 @@ class AsyncBlockingServer:
             outcomes.append(self._dispatch(request))
         keep_alive = True
         for request, outcome in zip(requests, outcomes):
+            keep_alive = request.keep_alive and not self._draining
             if isinstance(outcome, _PendingDecide):
                 share, revision = await outcome.future
-                status, payload = 200, self._decide_payload(
+                payload = self._decide_payload(
                     outcome.single, share, revision
+                )
+                writer.write(_json_bytes(200, payload, keep_alive))
+            elif len(outcome) == 3:
+                # (status, text, content_type) — the Prometheus exposition.
+                status, text, content_type = outcome
+                writer.write(
+                    _text_bytes(status, text, content_type, keep_alive)
                 )
             else:
                 status, payload = outcome
-            keep_alive = request.keep_alive and not self._draining
-            writer.write(_json_bytes(status, payload, keep_alive))
+                writer.write(_json_bytes(status, payload, keep_alive))
             if not request.keep_alive:
                 keep_alive = False
                 break
@@ -380,12 +420,21 @@ class AsyncBlockingServer:
         answers or a coalescer future for decide work."""
         method, target = request.method, request.target
         if method == "GET":
-            if target == "/healthz":
-                return 200, self.service.healthz()
-            if target == "/metrics":
-                provider = self._metrics_provider or self.service.metrics
+            path, _, query = target.partition("?")
+            if path == "/healthz":
+                provider = self._health_provider or self.service.healthz
                 return 200, provider()
-            if target in ("/v1/decide", "/v1/reload"):
+            if path == "/metrics":
+                provider = self._metrics_provider or self.service.metrics
+                payload = provider()
+                if wants_prometheus(query, request.accept):
+                    return (
+                        200,
+                        prometheus_from_dict(payload),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                return 200, payload
+            if path in ("/v1/decide", "/v1/reload"):
                 return 405, {"error": f"{target} requires POST"}
             return 404, {"error": f"unknown path: {target}"}
         if method != "POST":

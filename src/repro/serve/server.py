@@ -33,8 +33,15 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import urlsplit
 
 from ..filterlists.parser import parse_filter_list
+from ..obs import console
+from ..obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_from_dict,
+    wants_prometheus,
+)
 from .service import BlockingService, apply_reload_payload
 
 __all__ = ["BlockingServer", "load_list_files", "build_server", "run_server"]
@@ -110,12 +117,31 @@ class _ServeHandler(BaseHTTPRequestHandler):
         with self.server.slots:  # type: ignore[attr-defined]
             self._handle_post()
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _handle_get(self) -> None:
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
             self._send_json(200, self._service.healthz())
-        elif self.path == "/metrics":
-            self._send_json(200, self._service.metrics())
-        elif self.path in ("/v1/decide", "/v1/reload"):
+        elif parts.path == "/metrics":
+            # Same dict both ways: JSON by default, Prometheus text for
+            # ``?format=prometheus`` or ``Accept: text/plain`` scrapers.
+            payload = self._service.metrics()
+            if wants_prometheus(parts.query, self.headers.get("Accept", "")):
+                self._send_text(
+                    200,
+                    prometheus_from_dict(payload),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(200, payload)
+        elif parts.path in ("/v1/decide", "/v1/reload"):
             self._send_json(405, {"error": f"{self.path} requires POST"})
         else:
             self._send_json(404, {"error": f"unknown path: {self.path}"})
@@ -328,16 +354,16 @@ def run_server(
         artifact_path=artifact_path,
     )
     snapshot = server.service.snapshot
-    print(
+    console.say(
         f"trackersift serve: listening on {server.url} "
         f"({threads} decide threads, {snapshot.rule_count} rules from "
         f"{', '.join(snapshot.list_names) or 'embedded defaults'})"
     )
-    print(
+    console.say(
         "endpoints: POST /v1/decide  POST /v1/reload  GET /healthz  GET /metrics"
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("trackersift serve: shutting down")
+        console.say("trackersift serve: shutting down")
     return 0

@@ -32,14 +32,16 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..filterlists.lists import default_lists
 from ..filterlists.maintenance import ListDiff, diff_lists
 from ..filterlists.oracle import FilterListOracle
 from ..filterlists.parser import ParsedList, parse_filter_list
 from ..filterlists.rules import ResourceType
+from ..obs.ledger import Ledger, StreamHasher
+from ..obs.metrics import LatencyWindow, MetricsRegistry, prometheus_from_dict
+from ..obs.trace import current_tracer
 
 __all__ = ["Snapshot", "BlockingService", "apply_reload_payload"]
 
@@ -131,76 +133,10 @@ class Snapshot:
         return tuple(parsed.name for parsed in self.lists)
 
 
-class _LatencyWindow:
-    """Sliding window of recent decision latencies, for p50/p99 metrics."""
-
-    def __init__(self, size: int = 4096) -> None:
-        self._samples: deque[float] = deque(maxlen=size)
-        self._lock = threading.Lock()
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        with self._lock:
-            self._samples.append(seconds)
-            self.count += 1
-            self.total += seconds
-
-    def observe_many(self, seconds_each: float, count: int) -> None:
-        """Record ``count`` samples of ``seconds_each`` under one lock —
-        the batch path's per-decision latency, amortized over the batch."""
-        if count <= 0:
-            return
-        with self._lock:
-            self._samples.extend([seconds_each] * count)
-            self.count += count
-            self.total += seconds_each * count
-
-    def drain_since(self, cursor: int) -> tuple[int, list[float]]:
-        """Samples recorded after observation number ``cursor`` (bounded
-        by the window), plus the new cursor — the incremental read the
-        supervisor's shared-metrics-board publisher makes, so per-worker
-        latency samples reach the merged ``/metrics`` view without
-        re-copying the whole window every tick."""
-        with self._lock:
-            new = self.count
-            fresh = new - cursor
-            if fresh <= 0:
-                return new, []
-            take = min(fresh, len(self._samples))
-            data = list(self._samples)[-take:] if take else []
-        return new, data
-
-    def snapshot(self) -> dict:
-        with self._lock:
-            data = sorted(self._samples)
-            count, total = self.count, self.total
-
-        def nearest(q: float) -> float:
-            # Nearest-rank percentile: ceil(q/100 * n), 1-based.
-            if not data:
-                return 0.0
-            rank = -(-q * len(data) // 100)
-            return data[min(len(data) - 1, max(0, int(rank) - 1))]
-
-        return {
-            "observed": count,
-            "window": len(data),
-            "mean_ms": (total / count * 1e3) if count else 0.0,
-            "p50_ms": nearest(50) * 1e3,
-            "p99_ms": nearest(99) * 1e3,
-        }
-
-
-@dataclass
-class _Counters:
-    """Decision counters, guarded by one lock (shared across threads)."""
-
-    lock: threading.Lock = field(default_factory=threading.Lock)
-    decisions: int = 0
-    batches: int = 0
-    blocked: int = 0
-    reloads: int = 0
+# The latency window grew up here and was promoted into the shared
+# metrics layer; the historical name stays importable for callers that
+# predate the move.
+_LatencyWindow = LatencyWindow
 
 
 class BlockingService:
@@ -238,8 +174,34 @@ class BlockingService:
                 lists = default_lists()
             self._snapshot = Snapshot.build(tuple(lists), revision=1)
         self._reload_lock = threading.Lock()
-        self._counters = _Counters()
-        self._latency = _LatencyWindow()
+        self.registry = MetricsRegistry()
+        self._decisions_served = self.registry.counter(
+            "decisions_served", "blocking decisions answered"
+        )
+        self._decisions_batches = self.registry.counter(
+            "decisions_batches", "client-visible batch calls drained"
+        )
+        self._decisions_blocked = self.registry.counter(
+            "decisions_blocked", "decisions that said block"
+        )
+        self._reloads = self.registry.counter(
+            "reloads", "snapshot reloads published"
+        )
+        self._latency = self.registry.latency("decision_seconds")
+        self.registry.gauge(
+            "snapshot_revision",
+            "current serving snapshot revision",
+            fn=lambda: self._snapshot.revision,
+        )
+        self.registry.gauge(
+            "snapshot_rule_count",
+            "rules in the serving snapshot",
+            fn=lambda: self._snapshot.rule_count,
+        )
+        self._ledger: Ledger | None = None
+        self._ledger_lock = threading.Lock()
+        self._decision_streams: dict[int, StreamHasher] = {}
+        self._revision_identity: dict[int, int] = {}
         self._started = time.monotonic()
 
     # -- read side ---------------------------------------------------------
@@ -334,6 +296,11 @@ class BlockingService:
         so p50/p99 stay comparable between the single and batched paths.
         """
         snapshot = self._snapshot
+        tracer = current_tracer()
+        if tracer is not None:
+            stats = snapshot.oracle.cache_stats
+            hits_before = stats.hits if stats else 0
+            misses_before = stats.misses if stats else 0
         started = time.perf_counter()
         labeled = snapshot.oracle.label_request_many(validated)
         elapsed = time.perf_counter() - started
@@ -355,10 +322,28 @@ class BlockingService:
                     "revision": snapshot.revision,
                 }
             )
-        with self._counters.lock:
-            self._counters.decisions += count
-            self._counters.blocked += blocked_count
-            self._counters.batches += batches
+        self._decisions_served.inc(count)
+        self._decisions_blocked.inc(blocked_count)
+        self._decisions_batches.inc(batches)
+        if self._ledger is not None:
+            self._ledger_observe(
+                snapshot.revision,
+                (
+                    f"{d['url']}|{d['label']}|{int(d['blocked'])}"
+                    for d in decisions
+                ),
+            )
+        if tracer is not None:
+            stats = snapshot.oracle.cache_stats
+            tracer.add(
+                "serve.batch",
+                elapsed,
+                requests=count,
+                coalesced_batches=batches,
+                revision=snapshot.revision,
+                cache_hits=(stats.hits - hits_before) if stats else 0,
+                cache_misses=(stats.misses - misses_before) if stats else 0,
+            )
         return {
             "decisions": decisions,
             "count": len(decisions),
@@ -383,10 +368,14 @@ class BlockingService:
         labeled = snapshot.oracle.label_request(url, resource, page_url)
         self._latency.observe(time.perf_counter() - started)
         blocked = labeled.label.is_tracking
-        with self._counters.lock:
-            self._counters.decisions += 1
-            if blocked:
-                self._counters.blocked += 1
+        self._decisions_served.inc()
+        if blocked:
+            self._decisions_blocked.inc()
+        if self._ledger is not None:
+            self._ledger_observe(
+                snapshot.revision,
+                (f"{url}|{labeled.label.value}|{int(blocked)}",),
+            )
         return {
             "url": url,
             "label": labeled.label.value,
@@ -451,8 +440,8 @@ class BlockingService:
         with self._reload_lock:
             old = self._snapshot
             self._snapshot = new  # the atomic publish
-        with self._counters.lock:
-            self._counters.reloads += 1
+        self._reloads.inc()
+        self._note_revision(new)
         old_matcher = getattr(old.oracle.matcher, "wrapped", old.oracle.matcher)
         close = getattr(old_matcher, "close", None)
         if close is not None:
@@ -475,8 +464,8 @@ class BlockingService:
             new = build(old.revision + 1)
             per_list, total = self._churn(old.lists, new.lists)
             self._snapshot = new  # the atomic publish
-        with self._counters.lock:
-            self._counters.reloads += 1
+        self._reloads.inc()
+        self._note_revision(new)
         return {
             "revision": new.revision,
             "previous_revision": old.revision,
@@ -553,11 +542,10 @@ class BlockingService:
         """Cache counters, latency percentiles, snapshot and uptime."""
         snapshot = self._snapshot
         stats = snapshot.oracle.cache_stats
-        with self._counters.lock:
-            decisions = self._counters.decisions
-            batches = self._counters.batches
-            blocked = self._counters.blocked
-            reloads = self._counters.reloads
+        decisions = self._decisions_served.value
+        batches = self._decisions_batches.value
+        blocked = self._decisions_blocked.value
+        reloads = self._reloads.value
         return {
             "uptime_seconds": self.uptime_seconds,
             "snapshot": {
@@ -584,6 +572,90 @@ class BlockingService:
             },
             "latency": self._latency.snapshot(),
         }
+
+    def metrics_text(self) -> str:
+        """:meth:`metrics` as Prometheus text exposition.
+
+        Flattened from the *same* dict the JSON endpoint serves
+        (:func:`repro.obs.metrics.prometheus_from_dict`), so the two
+        formats cannot disagree about a value.
+        """
+        return prometheus_from_dict(self.metrics())
+
+    # -- determinism ledger --------------------------------------------------
+    def attach_ledger(self, ledger: Ledger) -> Ledger:
+        """Record this service's determinism chain into *ledger*.
+
+        While attached, every decision feeds an incremental
+        :class:`~repro.obs.ledger.StreamHasher` keyed by the snapshot
+        revision that answered it, and every published snapshot registers
+        its identity.  :meth:`finalize_ledger` flushes the chain — one
+        snapshot-identity stage plus one decision-stream digest per
+        revision, in revision order — and detaches.  Recording is opt-in:
+        an unattached service pays one ``None`` check per batch.
+        """
+        with self._ledger_lock:
+            self._ledger = ledger
+            self._decision_streams = {}
+            snapshot = self._snapshot
+            self._revision_identity = {snapshot.revision: snapshot.rule_count}
+        return ledger
+
+    def detach_ledger(self) -> None:
+        """Stop recording without emitting anything (e.g. before a
+        verification-only replay that must not pollute the chain)."""
+        with self._ledger_lock:
+            self._ledger = None
+            self._decision_streams = {}
+            self._revision_identity = {}
+
+    def finalize_ledger(self) -> Ledger | None:
+        """Flush per-revision stages into the attached ledger; detach.
+
+        Returns the ledger, or ``None`` when none was attached.
+        """
+        with self._ledger_lock:
+            ledger = self._ledger
+            if ledger is None:
+                return None
+            streams = self._decision_streams
+            identity = self._revision_identity
+            self._ledger = None
+            self._decision_streams = {}
+            self._revision_identity = {}
+        for revision in sorted(set(identity) | set(streams)):
+            ledger.record(
+                "serve.snapshot",
+                {
+                    "revision": revision,
+                    "rule_count": identity.get(revision),
+                },
+                revision=revision,
+            )
+            hasher = streams.get(revision)
+            ledger.record_digest(
+                "serve.decisions",
+                hasher.hexdigest() if hasher else StreamHasher().hexdigest(),
+                revision=revision,
+                decisions=hasher.count if hasher else 0,
+            )
+        return ledger
+
+    def _note_revision(self, snapshot: Snapshot) -> None:
+        if self._ledger is None:
+            return
+        with self._ledger_lock:
+            if self._ledger is not None:
+                self._revision_identity[snapshot.revision] = snapshot.rule_count
+
+    def _ledger_observe(self, revision: int, items) -> None:
+        with self._ledger_lock:
+            if self._ledger is None:
+                return
+            hasher = self._decision_streams.get(revision)
+            if hasher is None:
+                hasher = self._decision_streams[revision] = StreamHasher()
+            hasher.update_many(items)
 
 
 def apply_reload_payload(

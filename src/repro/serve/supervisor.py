@@ -50,31 +50,31 @@ import time
 from pathlib import Path
 
 from ..filterlists.compile import ArtifactError, read_artifact_meta
+from ..obs import console
+from ..obs.metrics import MetricsRegistry, SharedBoard, nearest_rank
 
 __all__ = ["ServeSupervisor", "run_supervisor", "merge_board"]
 
-# Shared metrics board layout: per-worker slot of doubles, single writer
-# (the owning worker), torn reads acceptable (monitoring, not ledger).
-_F_PID = 0
-_F_REVISION = 1
-_F_SERVED = 2
-_F_BATCHES = 3
-_F_BLOCKED = 4
-_F_RELOADS = 5
-_F_HITS = 6
-_F_MISSES = 7
-_F_ENTRIES = 8
-_F_OBSERVED = 9
-_F_TOTAL_S = 10
-_F_CURSOR = 11
-_FIXED = 12
+# Shared metrics board layout: per-worker slot of named doubles plus a
+# latency-sample ring, followed by a parent-owned fleet region — see
+# :class:`repro.obs.metrics.SharedBoard`.  Single writer per region,
+# torn reads acceptable (monitoring, not ledger).
+_SLOT_FIELDS = (
+    "pid", "revision", "served", "batches", "blocked", "reloads",
+    "hits", "misses", "entries", "observed", "total_s", "cursor",
+)
+_FLEET_FIELDS = ("spawned", "alive")
 DEFAULT_RING = 512
 
 _PUBLISH_INTERVAL = 0.05
 
 
-def _slot_size(ring: int) -> int:
-    return _FIXED + ring
+def _as_board(board, workers: int, ring: int) -> SharedBoard:
+    """Accept either a :class:`SharedBoard` or the raw shared array a
+    forked worker inherited, and return the named-field view."""
+    if isinstance(board, SharedBoard):
+        return board
+    return SharedBoard(board, _SLOT_FIELDS, workers, ring, _FLEET_FIELDS)
 
 
 def merge_board(board, workers: int, ring: int) -> dict:
@@ -84,28 +84,27 @@ def merge_board(board, workers: int, ring: int) -> dict:
     compute the identical merged view.  Workers that have not published
     yet (pid still 0) are skipped.
     """
-    slot = _slot_size(ring)
+    view = _as_board(board, workers, ring)
     per_worker = []
     served = batches = blocked = reloads = hits = misses = entries = 0
     observed = 0
     total_s = 0.0
     samples: list[float] = []
     for index in range(workers):
-        base = index * slot
-        pid = int(board[base + _F_PID])
+        slot = view.read_slot(index)
+        pid = int(slot["pid"])
         if pid == 0:
             continue
-        revision = int(board[base + _F_REVISION])
         row = {
             "worker": index,
             "pid": pid,
-            "revision": revision,
-            "served": int(board[base + _F_SERVED]),
-            "batches": int(board[base + _F_BATCHES]),
-            "blocked": int(board[base + _F_BLOCKED]),
-            "reloads": int(board[base + _F_RELOADS]),
-            "cache_hits": int(board[base + _F_HITS]),
-            "cache_misses": int(board[base + _F_MISSES]),
+            "revision": int(slot["revision"]),
+            "served": int(slot["served"]),
+            "batches": int(slot["batches"]),
+            "blocked": int(slot["blocked"]),
+            "reloads": int(slot["reloads"]),
+            "cache_hits": int(slot["hits"]),
+            "cache_misses": int(slot["misses"]),
         }
         per_worker.append(row)
         served += row["served"]
@@ -114,25 +113,20 @@ def merge_board(board, workers: int, ring: int) -> dict:
         reloads += row["reloads"]
         hits += row["cache_hits"]
         misses += row["cache_misses"]
-        entries += int(board[base + _F_ENTRIES])
-        observed += int(board[base + _F_OBSERVED])
-        total_s += board[base + _F_TOTAL_S]
-        valid = min(int(board[base + _F_CURSOR]), ring)
-        if valid:
-            samples.extend(board[base + _FIXED : base + _FIXED + valid])
+        entries += int(slot["entries"])
+        observed += int(slot["observed"])
+        total_s += slot["total_s"]
+        samples.extend(view.read_samples(index))
     samples.sort()
 
-    def nearest(q: float) -> float:
-        if not samples:
-            return 0.0
-        rank = -(-q * len(samples) // 100)
-        return samples[min(len(samples) - 1, max(0, int(rank) - 1))]
-
+    fleet = view.read_fleet()
     revisions = sorted({row["revision"] for row in per_worker})
     lookups = hits + misses
     return {
         "workers": per_worker,
         "worker_pids": [row["pid"] for row in per_worker],
+        "workers_spawned": int(fleet.get("spawned", 0)),
+        "workers_alive": int(fleet.get("alive", 0)),
         "revisions": revisions,
         "revision_consistent": len(revisions) <= 1,
         "decisions": {
@@ -151,8 +145,8 @@ def merge_board(board, workers: int, ring: int) -> dict:
             "observed": observed,
             "window": len(samples),
             "mean_ms": (total_s / observed * 1e3) if observed else 0.0,
-            "p50_ms": nearest(50) * 1e3,
-            "p99_ms": nearest(99) * 1e3,
+            "p50_ms": nearest_rank(samples, 50) * 1e3,
+            "p99_ms": nearest_rank(samples, 99) * 1e3,
         },
     }
 
@@ -161,36 +155,32 @@ def merge_board(board, workers: int, ring: int) -> dict:
 # Worker process
 # ---------------------------------------------------------------------------
 
-def _publish_slot(service, board, base: int, ring: int, cursor: int) -> int:
+def _publish_slot(service, board: SharedBoard, index: int, cursor: int) -> int:
     """Copy this worker's counters + fresh latency samples into its board
     slot; returns the advanced latency cursor.  Reaches into the
-    service's private counters deliberately — the supervisor is the one
-    sanctioned cross-process reader, and ``service.metrics()`` would sort
-    the whole latency window on every publish tick."""
+    service's registry instruments deliberately — the supervisor is the
+    one sanctioned cross-process reader, and ``service.metrics()`` would
+    sort the whole latency window on every publish tick."""
     snapshot = service.snapshot
     stats = snapshot.oracle.cache_stats
-    with service._counters.lock:
-        served = service._counters.decisions
-        batches = service._counters.batches
-        blocked = service._counters.blocked
-        reloads = service._counters.reloads
     drained, fresh = service._latency.drain_since(cursor)
-    board[base + _F_PID] = float(os.getpid())
-    board[base + _F_REVISION] = float(snapshot.revision)
-    board[base + _F_SERVED] = float(served)
-    board[base + _F_BATCHES] = float(batches)
-    board[base + _F_BLOCKED] = float(blocked)
-    board[base + _F_RELOADS] = float(reloads)
-    board[base + _F_HITS] = float(stats.hits if stats else 0)
-    board[base + _F_MISSES] = float(stats.misses if stats else 0)
-    board[base + _F_ENTRIES] = float(len(snapshot.oracle.matcher))
-    board[base + _F_OBSERVED] = float(service._latency.count)
-    board[base + _F_TOTAL_S] = service._latency.total
-    write_at = int(board[base + _F_CURSOR])
-    for sample in fresh:
-        board[base + _FIXED + (write_at % ring)] = sample
-        write_at += 1
-    board[base + _F_CURSOR] = float(write_at)
+    board.write_slot(
+        index,
+        {
+            "pid": os.getpid(),
+            "revision": snapshot.revision,
+            "served": service._decisions_served.value,
+            "batches": service._decisions_batches.value,
+            "blocked": service._decisions_blocked.value,
+            "reloads": service._reloads.value,
+            "hits": stats.hits if stats else 0,
+            "misses": stats.misses if stats else 0,
+            "entries": len(snapshot.oracle.matcher),
+            "observed": service._latency.count,
+            "total_s": service._latency.total,
+        },
+    )
+    board.append_samples(index, fresh)
     return drained
 
 
@@ -215,6 +205,24 @@ def _worker_main(
 
     async def main() -> None:
         service = BlockingService(image=artifact)
+        shared = _as_board(board, workers, ring)
+
+        def health() -> dict:
+            # Liveness plus fleet status: the parent keeps the board's
+            # fleet region current as it reaps crashed siblings, so any
+            # worker's /healthz reports "degraded" while the fleet is
+            # short-handed — a probe hitting a live worker still sees
+            # that capacity is reduced.
+            payload = service.healthz()
+            fleet = shared.read_fleet()
+            spawned = int(fleet.get("spawned", 0))
+            alive = int(fleet.get("alive", 0))
+            payload["workers_spawned"] = spawned
+            payload["workers_alive"] = alive
+            if spawned and alive < spawned:
+                payload["status"] = "degraded"
+            return payload
+
         server = AsyncBlockingServer(
             service,
             host=host,
@@ -222,14 +230,14 @@ def _worker_main(
             sock=inherited_sock,
             reuse_port=reuse_port,
             supervised=True,
-            metrics_provider=lambda: merge_board(board, workers, ring),
+            metrics_provider=lambda: merge_board(shared, workers, ring),
+            health_provider=health,
             worker_tag=os.getpid(),
         )
         await server.start()
         loop = asyncio.get_running_loop()
         stopping = asyncio.Event()
-        base = index * _slot_size(ring)
-        cursor = _publish_slot(service, board, base, ring, 0)
+        cursor = _publish_slot(service, shared, index, 0)
 
         def start_drain() -> None:
             stopping.set()
@@ -279,14 +287,14 @@ def _worker_main(
             local = cursor
             while not stopping.is_set():
                 await asyncio.sleep(_PUBLISH_INTERVAL)
-                local = _publish_slot(service, board, base, ring, local)
+                local = _publish_slot(service, shared, index, local)
 
         publish_task = asyncio.create_task(publisher())
         await stopping.wait()
         loop.remove_reader(conn.fileno())
         await server.drain(timeout=10.0)
         publish_task.cancel()
-        _publish_slot(service, board, base, ring, 0)
+        _publish_slot(service, shared, index, 0)
         conn.send({"op": "drained", "worker": os.getpid()})
         conn.close()
 
@@ -330,9 +338,28 @@ class ServeSupervisor:
         self._listen_sock: socket.socket | None = None
         self._processes: list = []
         self._pipes: list = []
-        self._board = None
+        self._board: SharedBoard | None = None
         self._revision = 1
         self._started = False
+        self.registry = MetricsRegistry()
+        self.registry.gauge(
+            "workers_spawned",
+            "serve workers forked at startup",
+            fn=lambda: (
+                self._board.read_fleet().get("spawned", 0.0)
+                if self._board is not None
+                else 0.0
+            ),
+        )
+        self.registry.gauge(
+            "workers_alive",
+            "serve workers currently alive",
+            fn=lambda: (
+                self._board.read_fleet().get("alive", 0.0)
+                if self._board is not None
+                else 0.0
+            ),
+        )
 
     # -- socket strategy ---------------------------------------------------
     @property
@@ -382,8 +409,8 @@ class ServeSupervisor:
         # Fork, not spawn: workers inherit the board, pipes, and (in
         # inherited-socket mode) the listening socket without pickling.
         context = multiprocessing.get_context("fork")
-        self._board = context.Array(
-            "d", self.workers * _slot_size(self.ring), lock=False
+        self._board = SharedBoard.create(
+            context, _SLOT_FIELDS, self.workers, self.ring, _FLEET_FIELDS
         )
         reuse_port = self.strategy == "reuseport"
         for index in range(self.workers):
@@ -398,7 +425,7 @@ class ServeSupervisor:
                     self._listen_sock,
                     reuse_port,
                     worker_end,
-                    self._board,
+                    self._board.array,
                     self.workers,
                     self.ring,
                 ),
@@ -423,8 +450,48 @@ class ServeSupervisor:
                 raise RuntimeError(
                     f"worker {index} sent {message!r} instead of ready"
                 )
+        self._board.write_fleet(
+            {"spawned": self.workers, "alive": self.workers}
+        )
         self._started = True
         return self
+
+    def reap(self) -> list[dict]:
+        """Remove exited workers from the fleet, keep serving degraded.
+
+        A crashed worker used to silently shrink capacity (in REUSEPORT
+        mode the kernel keeps load-balancing over the survivors) with no
+        externally visible signal.  Now the parent notices, closes the
+        dead worker's pipe, and updates the board's fleet region so every
+        surviving worker's ``/healthz`` reports ``degraded`` and the
+        merged ``/metrics`` carries ``workers_alive < workers_spawned``.
+        Returns one record per reaped worker.
+        """
+        dead = [
+            (process, pipe)
+            for process, pipe in zip(self._processes, self._pipes)
+            if not process.is_alive()
+        ]
+        if not dead:
+            return []
+        reaped = []
+        for process, pipe in dead:
+            process.join(timeout=0)
+            reaped.append({"pid": process.pid, "exitcode": process.exitcode})
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        survivors = [
+            (process, pipe)
+            for process, pipe in zip(self._processes, self._pipes)
+            if process.is_alive()
+        ]
+        self._processes = [process for process, _ in survivors]
+        self._pipes = [pipe for _, pipe in survivors]
+        if self._board is not None:
+            self._board.write_fleet({"alive": len(self._processes)})
+        return reaped
 
     def reload(
         self, artifact: str | Path | None = None, timeout: float = 30.0
@@ -520,8 +587,12 @@ class ServeSupervisor:
     # -- CLI blocking mode -------------------------------------------------
     def serve_forever(self) -> int:
         """Block until SIGTERM/SIGINT, draining gracefully (exit 0).
-        SIGHUP re-reads the boot artifact as a coordinated reload."""
+        SIGHUP re-reads the boot artifact as a coordinated reload.
+        Crashed workers are reaped and the fleet keeps serving degraded
+        (every survivor's ``/healthz`` says so); only a fully dead fleet
+        exits non-zero."""
         stop = {"flag": False}
+        fleet_dead = False
 
         def on_stop(signum, frame) -> None:
             stop["flag"] = True
@@ -529,12 +600,12 @@ class ServeSupervisor:
         def on_hup(signum, frame) -> None:
             try:
                 report = self.reload(self.artifact)
-                print(
+                console.say(
                     f"trackersift serve: reloaded revision "
                     f"{report['revision']} on {len(report['workers'])} workers"
                 )
             except (ArtifactError, RuntimeError, OSError) as error:
-                print(f"trackersift serve: reload failed: {error}")
+                console.say(f"trackersift serve: reload failed: {error}")
 
         previous = {
             signal.SIGTERM: signal.signal(signal.SIGTERM, on_stop),
@@ -544,18 +615,26 @@ class ServeSupervisor:
         try:
             while not stop["flag"]:
                 time.sleep(0.2)
-                for index, process in enumerate(self._processes):
-                    if not process.is_alive():
-                        print(
-                            f"trackersift serve: worker {index} "
-                            f"(pid {process.pid}) exited "
-                            f"{process.exitcode}; shutting down"
-                        )
-                        stop["flag"] = True
+                for record in self.reap():
+                    console.say(
+                        f"trackersift serve: worker pid {record['pid']} "
+                        f"exited {record['exitcode']}; continuing degraded "
+                        f"({len(self._processes)}/{self.workers} workers "
+                        "alive)"
+                    )
+                if not self._processes:
+                    console.say(
+                        "trackersift serve: every worker has exited; "
+                        "shutting down"
+                    )
+                    fleet_dead = True
+                    stop["flag"] = True
         finally:
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
         codes = self.shutdown()
+        if fleet_dead:
+            return 1
         return 0 if all(code == 0 for code in codes) else 1
 
 
@@ -571,12 +650,12 @@ def run_supervisor(
     )
     supervisor.start()
     meta = supervisor.artifact_meta
-    print(
+    console.say(
         f"trackersift serve: {workers} workers on {supervisor.url} "
         f"({supervisor.strategy} sockets, {meta.get('rule_count')} rules, "
         f"shared image {meta.get('image_bytes')} bytes)"
     )
-    print(
+    console.say(
         "endpoints: POST /v1/decide  GET /healthz  GET /metrics  "
         "(reload: SIGHUP to the supervisor)"
     )

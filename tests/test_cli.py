@@ -298,21 +298,23 @@ class TestProfileFlag:
             )
             == 0
         )
-        profile = ckpt.with_name(ckpt.name + "-profile.txt")
-        assert profile.exists()
+        # Filenames are runid-stamped (timestamp+pid): sibling of the
+        # checkpoint dir, never inside it (resume must not trip over it).
+        candidates = list(tmp_path.glob(f"{ckpt.name}-*-profile.txt"))
+        assert len(candidates) == 1
+        profile = candidates[0]
         text = profile.read_text(encoding="utf-8")
         assert "cumulative" in text
         assert "trackersift sift" in text
         assert str(profile) in capsys.readouterr().out
-        # Never inside the checkpoint dir: resume must not trip over it.
-        assert not (ckpt / profile.name).exists()
+        assert not list(ckpt.glob("*-profile.txt"))
 
     def test_profile_without_checkpoint_dir_uses_cwd(
         self, tmp_path, capsys, monkeypatch
     ):
         monkeypatch.chdir(tmp_path)
         assert main(ARGS + ["--profile", "study"]) == 0
-        assert (tmp_path / "trackersift-profile.txt").exists()
+        assert list(tmp_path.glob("trackersift-study-*-profile.txt"))
 
     def test_profile_handles_nameless_checkpoint_dir(
         self, tmp_path, capsys, monkeypatch
@@ -328,11 +330,72 @@ class TestProfileFlag:
             )
             == 0
         )
-        sibling = tmp_path.parent / f"{tmp_path.name}-profile.txt"
-        assert sibling.exists() or (tmp_path / "trackersift-profile.txt").exists()
-        if sibling.exists():
+        siblings = list(tmp_path.parent.glob(f"{tmp_path.name}-*-profile.txt"))
+        local = list(tmp_path.glob("trackersift-sift-*-profile.txt"))
+        assert siblings or local
+        for sibling in siblings:
             sibling.unlink()
 
     def test_profile_rejected_outside_study_sift(self):
         with pytest.raises(SystemExit, match="--profile"):
             main(ARGS + ["--profile", "figure3"])
+
+
+class TestObservabilityFlags:
+    def test_trace_out_and_summarize_roundtrip(self, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(ARGS + ["--trace-out", str(spans), "study"]) == 0
+        out = capsys.readouterr().out
+        assert "trace: wrote" in out
+        assert spans.exists()
+        assert main(["trace", "summarize", str(spans)]) == 0
+        summary = capsys.readouterr().out
+        assert "critical path" in summary
+        assert "web.generate" in summary
+        assert "sift" in summary
+
+    def test_ledger_out_and_identical_diff(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(ARGS + ["--ledger-out", str(a), "study"]) == 0
+        assert main(
+            ARGS + ["--ledger-out", str(b), "--streaming", "sift"]
+        ) == 0
+        capsys.readouterr()
+        # Batch and streaming runs of the same config fingerprint
+        # identically, stage by stage.
+        assert main(["ledger", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_ledger_diff_names_divergent_stage(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(ARGS + ["--ledger-out", str(a), "study"]) == 0
+        assert main(
+            ["--sites", "60", "--seed", "6", "--ledger-out", str(b), "study"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["ledger", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        # Different seed → the synthetic web is the first stage to change.
+        assert "web" in out
+
+    def test_trace_out_rejected_outside_study_sift(self):
+        with pytest.raises(SystemExit, match="--trace-out/--ledger-out"):
+            main(ARGS + ["--trace-out", "x.jsonl", "figure3"])
+
+    def test_trace_requires_summarize_action(self):
+        with pytest.raises(SystemExit, match="trace summarize"):
+            main(["trace"])
+
+    def test_ledger_diff_requires_two_files(self):
+        with pytest.raises(SystemExit, match="ledger diff"):
+            main(["ledger", "diff", "only-one.jsonl"])
+
+    def test_extra_args_rejected_for_other_commands(self):
+        with pytest.raises(SystemExit, match="unexpected argument"):
+            main(["scenario", "list", "whatever"])
+
+    def test_missing_trace_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace:"):
+            main(["trace", "summarize", str(tmp_path / "absent.jsonl")])

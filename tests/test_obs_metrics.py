@@ -1,0 +1,224 @@
+"""Metrics registry: instruments, Prometheus exposition, shared board.
+
+The exposition tests validate against the Prometheus text format rules
+(one sample per line, ``# TYPE`` before samples, ``le`` buckets
+cumulative and ending at ``+Inf``) rather than just substring-matching,
+because a scraper is the real consumer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    LatencyWindow,
+    MetricsRegistry,
+    SharedBoard,
+    nearest_rank,
+    prometheus_from_dict,
+    wants_prometheus,
+)
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|[0-9.]+)$"
+)
+
+
+def assert_valid_exposition(text: str) -> dict[str, str]:
+    """Parse Prometheus text exposition; returns {metric line: value}."""
+    samples: dict[str, str] = {}
+    typed: set[str] = set()
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[3] in ("counter", "gauge", "histogram")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#") or not line:
+            continue
+        assert SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
+        name, value = line.rsplit(" ", 1)
+        samples[name] = value
+        base = name.split("{")[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = base.removesuffix(suffix)
+        assert any(base.startswith(t.removesuffix("_bucket")) for t in typed | {base}), name
+    return samples
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("requests") is registry.counter("requests")
+        registry.counter("requests").inc(3)
+        assert registry.as_dict()["counters"]["requests"] == 3
+
+    def test_name_collisions_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            registry.gauge("x")
+
+    def test_callback_gauge_reads_live_state(self):
+        state = {"alive": 3}
+        registry = MetricsRegistry()
+        gauge = registry.gauge("workers_alive", fn=lambda: state["alive"])
+        state["alive"] = 1
+        assert gauge.value == 1.0
+        with pytest.raises(RuntimeError, match="callback-backed"):
+            gauge.set(9)
+
+    def test_histogram_buckets_are_cumulative_to_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert list(snap["buckets"].values()) == [2, 3, 3, 4]
+        assert list(snap["buckets"])[-1] == "+Inf"
+
+    def test_prometheus_text_is_valid_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("decisions", "decisions served").inc(6)
+        registry.gauge("revision").set(2)
+        registry.histogram("decide_seconds", buckets=(0.1,)).observe(0.05)
+        registry.latency("decide_latency").observe(0.002)
+        text = registry.prometheus_text()
+        samples = assert_valid_exposition(text)
+        assert samples["trackersift_decisions"] == "6"
+        assert samples["trackersift_revision"] == "2"
+        assert samples['trackersift_decide_seconds_bucket{le="0.1"}'] == "1"
+        assert samples["trackersift_decide_seconds_count"] == "1"
+        assert "trackersift_decide_latency_observed" in samples
+        assert "# HELP trackersift_decisions decisions served" in text
+
+
+class TestLatencyWindow:
+    def test_percentiles_and_batch_observe(self):
+        window = LatencyWindow(size=100)
+        window.observe_many(0.010, 9)
+        window.observe(0.100)
+        snap = window.snapshot()
+        assert snap["observed"] == 10
+        assert snap["p50_ms"] == pytest.approx(10.0)
+        assert snap["p99_ms"] == pytest.approx(100.0)
+
+    def test_drain_since_is_incremental(self):
+        window = LatencyWindow(size=10)
+        window.observe_many(0.001, 3)
+        cursor, fresh = window.drain_since(0)
+        assert cursor == 3 and len(fresh) == 3
+        cursor, fresh = window.drain_since(cursor)
+        assert fresh == []
+        window.observe(0.002)
+        cursor, fresh = window.drain_since(cursor)
+        assert fresh == [0.002]
+
+    def test_nearest_rank_bounds(self):
+        assert nearest_rank([], 99) == 0.0
+        assert nearest_rank([1.0], 50) == 1.0
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+
+class TestContentNegotiation:
+    def test_query_param_wins(self):
+        assert wants_prometheus("format=prometheus", "")
+        assert wants_prometheus("a=b&format=prometheus", "application/json")
+        assert not wants_prometheus("format=json", "")
+
+    def test_accept_header(self):
+        assert wants_prometheus("", "text/plain")
+        assert wants_prometheus("", "text/plain; version=0.0.4")
+        assert not wants_prometheus("", "application/json")
+        assert not wants_prometheus("", "")
+
+    def test_content_type_pinned(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+
+class TestPrometheusFromDict:
+    def test_flattens_nested_numeric_leaves(self):
+        payload = {
+            "decisions": {"served": 6, "blocked": 2},
+            "workers": [{"alive": True}, {"alive": False}],
+            "revision": 3,
+            "status": "serving",  # strings carry no numeric value
+        }
+        text = prometheus_from_dict(payload)
+        samples = assert_valid_exposition(text)
+        assert samples["trackersift_decisions_served"] == "6"
+        assert samples["trackersift_workers_0_alive"] == "1"
+        assert samples["trackersift_workers_1_alive"] == "0"
+        assert samples["trackersift_revision"] == "3"
+        assert not any("status" in name for name in samples)
+
+    def test_sanitizes_awkward_keys(self):
+        text = prometheus_from_dict({"p99-ms": 1.5})
+        assert "trackersift_p99_ms 1.5" in text
+
+
+class TestSharedBoard:
+    FIELDS = ("cursor", "decisions", "errors")
+
+    def _board(self, workers=2, ring=4, fleet=("spawned", "alive")):
+        return SharedBoard.create(
+            multiprocessing.get_context("fork"),
+            self.FIELDS,
+            workers,
+            ring,
+            fleet_fields=fleet,
+        )
+
+    def test_slots_are_independent(self):
+        board = self._board()
+        board.write_slot(0, {"decisions": 5})
+        board.write_slot(1, {"decisions": 7, "errors": 1})
+        assert board.read_slot(0)["decisions"] == 5.0
+        assert board.read_slot(0)["errors"] == 0.0
+        assert board.read_slot(1) == {"cursor": 0.0, "decisions": 7.0, "errors": 1.0}
+
+    def test_sample_ring_wraps_and_bounds_valid_reads(self):
+        board = self._board(ring=3)
+        board.append_samples(0, [0.1, 0.2])
+        assert board.read_samples(0) == pytest.approx([0.1, 0.2])
+        board.append_samples(0, [0.3, 0.4])  # wraps: cursor 4, ring 3
+        assert len(board.read_samples(0)) == 3
+        assert board.read_slot(0)["cursor"] == 4.0
+
+    def test_fleet_region_is_separate_from_slots(self):
+        board = self._board()
+        board.write_fleet({"spawned": 4, "alive": 3})
+        board.write_slot(1, {"errors": 9})
+        assert board.read_fleet() == {"spawned": 4.0, "alive": 3.0}
+
+    def test_ring_requires_cursor_field(self):
+        with pytest.raises(ValueError, match="cursor"):
+            SharedBoard.create(
+                multiprocessing.get_context("fork"), ("decisions",), 1, 4
+            )
+
+    def test_fleet_survives_fork(self):
+        """A forked child sees the parent's fleet writes — the mechanism
+        behind every worker's /healthz degrading when a sibling dies."""
+        ctx = multiprocessing.get_context("fork")
+        board = self._board()
+        board.write_fleet({"spawned": 2, "alive": 2})
+
+        def child(array, queue):
+            view = SharedBoard(
+                array, self.FIELDS, 2, 4, fleet_fields=("spawned", "alive")
+            )
+            queue.put(view.read_fleet())
+
+        queue = ctx.Queue()
+        process = ctx.Process(target=child, args=(board.array, queue))
+        process.start()
+        fleet = queue.get(timeout=10)
+        process.join(timeout=10)
+        assert fleet == {"spawned": 2.0, "alive": 2.0}

@@ -1,0 +1,197 @@
+"""Structured tracing: span nesting, adoption, summaries, engine spans.
+
+The engine's observability contract has two halves:
+
+1. The tracing primitives behave — nesting follows the context, worker
+   exports re-parent without id aliasing, summaries attribute self time
+   correctly, and disabled tracing costs a shared no-op.
+2. The instrumented pipeline emits the expected span tree — every stage
+   of a parallel run shows up, including the worker-side spans shipped
+   back through :class:`~repro.core.parallel.ShardOutcome`, and the
+   worker_*_seconds overhead notes agree with those spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, TrackerSiftPipeline
+from repro.obs.trace import (
+    Tracer,
+    add_span,
+    current_tracer,
+    read_spans,
+    render_summary,
+    span,
+    summarize_spans,
+)
+
+
+class TestTracer:
+    def test_nesting_follows_context(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    pass
+        assert inner.parent_id == outer.span_id
+        assert not outer.parent_id  # the no-parent sentinel
+        # Children complete first, so they append first.
+        assert [r.name for r in tracer.records] == ["inner", "outer"]
+
+    def test_span_without_tracer_is_shared_noop(self):
+        assert current_tracer() is None
+        first = span("anything", key=1)
+        second = span("else")
+        assert first is second  # the whole cost of disabled tracing
+        with first:
+            pass
+        assert add_span("late", 0.5) is None
+
+    def test_add_records_synthetic_duration(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("parent") as parent:
+                record = tracer.add("accumulated", 1.25, shard=3)
+        assert record.duration == 1.25
+        assert record.parent_id == parent.span_id
+        assert record.attrs == {"shard": 3}
+
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        worker = Tracer()
+        with worker.activate():
+            with worker.span("worker.compute"):
+                worker.add("shard.crawl", 0.1)
+        exported = worker.export()
+
+        parent = Tracer()
+        with parent.activate():
+            with parent.span("fanout") as fanout:
+                assert parent.adopt(exported) == 2
+                # Adopting the same export twice must never alias ids.
+                assert parent.adopt(exported) == 2
+        by_name: dict[str, list] = {}
+        for record in parent.records:
+            by_name.setdefault(record.name, []).append(record)
+        assert len(by_name["worker.compute"]) == 2
+        assert len({r.span_id for r in parent.records}) == len(parent.records)
+        for compute in by_name["worker.compute"]:
+            assert compute.parent_id == fanout.span_id
+        compute_ids = {r.span_id for r in by_name["worker.compute"]}
+        for crawl in by_name["shard.crawl"]:
+            assert crawl.parent_id in compute_ids
+
+    def test_exception_still_closes_and_records_span(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        assert [r.name for r in tracer.records] == ["doomed"]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("a", sites=2):
+                tracer.add("b", 0.5)
+        path = tracer.write_jsonl(tmp_path / "spans.jsonl")
+        records = read_spans(path)
+        assert [r["name"] for r in records] == ["b", "a"]
+        assert records[1]["attrs"] == {"sites": 2}
+
+
+class TestSummaries:
+    def _record(self, span_id, parent_id, name, duration):
+        return {
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": name,
+            "start": 0.0,
+            "duration": duration,
+            "attrs": {},
+        }
+
+    def test_self_time_subtracts_children(self):
+        records = [
+            self._record(1, 0, "run", 10.0),
+            self._record(2, 1, "crawl", 6.0),
+            self._record(3, 1, "sift", 3.0),
+        ]
+        summary = summarize_spans(records)
+        assert summary["wall_seconds"] == 10.0
+        assert summary["stages"]["run"]["self_seconds"] == pytest.approx(1.0)
+        assert summary["stages"]["crawl"]["total_seconds"] == 6.0
+
+    def test_critical_path_picks_heaviest_chain(self):
+        records = [
+            self._record(1, 0, "run", 10.0),
+            self._record(2, 1, "light", 1.0),
+            self._record(3, 1, "heavy", 6.0),
+            self._record(4, 3, "leaf", 5.0),
+        ]
+        summary = summarize_spans(records)
+        names = [hop["name"] for hop in summary["critical_path"]]
+        assert names == ["run", "heavy", "leaf"]
+        assert summary["critical_path_seconds"] == pytest.approx(21.0)
+        rendered = render_summary(summary)
+        assert "critical path" in rendered
+        assert "heavy" in rendered
+
+    def test_read_spans_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_spans(path)
+        path.write_text('{"nameless": true}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="need at least a 'name'"):
+            read_spans(path)
+
+
+class TestPipelineSpans:
+    def _traced_run(self, workers: int) -> Tracer:
+        tracer = Tracer()
+        config = PipelineConfig(sites=40, seed=9, cluster_nodes=4)
+        with tracer.activate():
+            TrackerSiftPipeline(config, workers=workers).run()
+        return tracer
+
+    def test_sequential_run_emits_stage_tree(self):
+        tracer = self._traced_run(workers=1)
+        names = {record.name for record in tracer.records}
+        assert {"web.generate", "shard", "shard.crawl", "shard.label", "sift"} <= names
+        shard_spans = [r for r in tracer.records if r.name == "shard"]
+        assert len(shard_spans) == 4
+
+    def test_parallel_run_adopts_worker_spans(self):
+        tracer = self._traced_run(workers=2)
+        by_name: dict[str, list] = {}
+        for record in tracer.records:
+            by_name.setdefault(record.name, []).append(record)
+        # Worker-side spans came back through ShardOutcome and were
+        # re-parented under the fanout span.
+        assert len(by_name["worker.compute"]) == 4
+        assert len(by_name["worker.transfer"]) == 4
+        assert "fanout" in by_name and "fanout.materialize" in by_name
+        fanout_id = by_name["fanout"][0].span_id
+        for compute in by_name["worker.compute"]:
+            assert compute.parent_id == fanout_id
+        # The in-shard tree shipped too (parent was tracing).
+        assert len(by_name["shard"]) == 4
+
+    def test_overhead_notes_derive_from_spans(self):
+        tracer = Tracer()
+        config = PipelineConfig(sites=40, seed=9, cluster_nodes=4)
+        with tracer.activate():
+            result = TrackerSiftPipeline(config, workers=2).run()
+        notes = result.notes
+        spans_total = sum(
+            r.duration
+            for r in tracer.records
+            if r.name in ("worker.startup", "worker.transfer", "worker.compute")
+        )
+        notes_total = (
+            notes["worker_startup_seconds"]
+            + notes["worker_transfer_seconds"]
+            + notes["worker_compute_seconds"]
+        )
+        assert notes_total == pytest.approx(spans_total)

@@ -76,6 +76,44 @@ def test_fast_pack_matches_golden(fast_outcomes, name):
     assert not outcome.golden_mismatches, outcome.golden_mismatches
 
 
+@pytest.mark.tier1
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_ledger_chains_identical_across_pipeline_paths(fast_outcomes, name):
+    """The determinism-ledger gate: every offline path fingerprints the
+    same stage chain — not just the same final report.  A divergence
+    names its first stage, which is the debugging entry point."""
+    from repro.obs.ledger import diff_ledgers
+
+    outcome = fast_outcomes[name]
+    reference = outcome.paths[_PIPELINE_PATHS[0]].ledger
+    assert reference is not None
+    assert reference.stages() == (
+        "filterlists", "matcher", "web", "crawl", "labels", "sift", "report",
+    )
+    for path in _PIPELINE_PATHS[1:]:
+        ledger = outcome.paths[path].ledger
+        assert ledger is not None, f"{name}/{path}: no ledger recorded"
+        diff = diff_ledgers(reference, ledger)
+        assert diff["identical"], (
+            f"{name}/{path}: ledger diverged first at stage "
+            f"{diff['stage']!r} (index {diff['index']})"
+        )
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_service_ledger_covers_every_revision(fast_outcomes, name):
+    """The serve path's ledger records a snapshot identity plus a
+    decision-stream digest per revision; the runner has already checked
+    it against the offline reference (any divergence would be in
+    ``mismatches``, asserted empty by the cell tests)."""
+    outcome = fast_outcomes[name]
+    ledger = outcome.paths["service"].ledger
+    assert ledger is not None
+    assert set(ledger.stages()) == {"serve.snapshot", "serve.decisions"}
+    assert len(ledger.entries) == 2 * outcome.revisions
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("name", SLOW_NAMES)
 def test_full_matrix_pack(name):

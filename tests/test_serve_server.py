@@ -206,6 +206,51 @@ class TestObservabilityEndpoints:
         assert metrics["latency"]["observed"] == 3
         assert metrics["snapshot"]["lists"] == ["mini"]
 
+    def _get_text(self, server, path, headers=None):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+        try:
+            conn.request("GET", path, headers=headers or {})
+            response = conn.getresponse()
+            return (
+                response.status,
+                response.getheader("Content-Type") or "",
+                response.read().decode("utf-8"),
+            )
+        finally:
+            conn.close()
+
+    def test_metrics_default_stays_json(self, server, client):
+        client.decide("https://tracker.example/spy.js")
+        status, content_type, body = self._get_text(server, "/metrics")
+        assert status == 200
+        assert "application/json" in content_type
+        assert json.loads(body)["decisions"]["served"] == 1
+
+    def test_metrics_format_prometheus_query(self, server, client):
+        client.decide("https://tracker.example/spy.js")
+        status, content_type, body = self._get_text(
+            server, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        # Valid exposition: TYPE comments plus bare name-value samples,
+        # and the same numbers the JSON view serves.
+        assert "# TYPE trackersift_decisions_served gauge" in body
+        assert "trackersift_decisions_served 1" in body.splitlines()
+        assert body.endswith("\n")
+        for line in body.splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2
+
+    def test_metrics_accept_header_negotiates_prometheus(self, server, client):
+        client.decide("https://tracker.example/spy.js")
+        status, content_type, body = self._get_text(
+            server, "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "trackersift_decisions_served 1" in body.splitlines()
+
 
 class TestConcurrentServing:
     def test_load_with_hot_reload_never_drops_or_mislabels(self, server):

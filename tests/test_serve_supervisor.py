@@ -153,6 +153,49 @@ class TestMetrics:
             direct = supervisor.metrics()
             assert direct["worker_pids"] == merged["worker_pids"]
 
+    def test_fleet_counts_published_while_healthy(self, artifacts):
+        boot, _ = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            merged = supervisor.metrics()
+            assert merged["workers_spawned"] == 2
+            assert merged["workers_alive"] == 2
+            with BlockingClient(supervisor.host, supervisor.port) as client:
+                health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["workers_alive"] == 2
+
+
+class TestCrashRecovery:
+    def test_reaped_crash_degrades_health_but_keeps_serving(self, artifacts):
+        """Kill one worker: the supervisor reaps it, the merged metrics
+        show the shrunken fleet, every survivor's /healthz reports
+        degraded, and decisions keep flowing."""
+        boot, _ = artifacts
+        with ServeSupervisor(boot, workers=2) as supervisor:
+            victim = supervisor.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            reaped = []
+            while not reaped and time.monotonic() < deadline:
+                reaped = supervisor.reap()
+                time.sleep(0.05)
+            assert [record["pid"] for record in reaped] == [victim]
+            assert len(supervisor.worker_pids) == 1
+            # Reaping twice is a no-op, not a double-count.
+            assert supervisor.reap() == []
+            merged = supervisor.metrics()
+            assert merged["workers_spawned"] == 2
+            assert merged["workers_alive"] == 1
+            # The survivor serves, and its health says degraded.
+            for _ in range(10):
+                with BlockingClient(supervisor.host, supervisor.port) as client:
+                    decision = client.decide("https://doubleclick.net/x.js")
+                    assert decision["blocked"] is True
+                    health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["workers_spawned"] == 2
+            assert health["workers_alive"] == 1
+
 
 class TestDrainAndExit:
     def test_midflight_batch_completes_through_shutdown(self, artifacts):
