@@ -1,0 +1,251 @@
+"""Chaos gate: a fixed fault schedule must cost wall-clock, never bytes.
+
+Runs the study through the lease-based fan-out four ways — sequential
+fault-free (the truth), parallel fault-free (the overhead baseline),
+parallel under a pinned chaos schedule (1 hard worker crash + 1 worker
+hang + 2 transient crawl faults), and parallel with one *permanently*
+failing shard under quarantine policy.  The gates:
+
+* **identity_under_faults** (always enforced): the chaotic run's
+  ``SiftReport.summary()``, per-shard ``ShardState.to_json()``, and
+  ledger chain are byte-identical to sequential — retries, steals, and
+  replacement workers are invisible in the output;
+* **retryable_quarantine_zero** (always enforced): every fault in the
+  pinned schedule is below the retry cap, so nothing is quarantined;
+* **permanent_quarantine_exact** (always enforced): the permanent run
+  quarantines exactly the injected shard, completes, and says
+  ``degraded`` in its notes;
+* **bounded_overhead**: chaos wall-clock stays within a fixed budget of
+  the fault-free parallel run (hang detection is the dominant term —
+  one lease timeout — plus capped retry backoff).  Recorded always,
+  enforced only at full scale: at smoke scale the fixed fault budget
+  dwarfs the crawl itself.
+
+Results land in ``output/BENCH_chaos.json`` (``faults`` + ``ledger``
+sections per ``scripts/validate_bench.py``).
+"""
+
+import time
+
+from repro.core.engine import PipelineConfig, StreamingPipeline
+from repro.core.parallel import LeasePolicy
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.ledger import Ledger
+
+from conftest import (
+    BENCH_SEED,
+    BENCH_SITES,
+    BENCH_SMOKE,
+    write_artifact,
+    write_json_artifact,
+)
+
+SHARDS = 6
+WORKERS = 2
+#: The pinned schedule: >=1 crash, >=1 hang, >=2 transient faults.
+CHAOS_SCHEDULE = (
+    FaultSpec(site="worker.shard", kind="transient", key=0, executions=(1,)),
+    FaultSpec(site="worker.shard", kind="crash", key=1, executions=(1,)),
+    FaultSpec(
+        site="worker.shard", kind="hang", key=3, executions=(1,), seconds=30.0
+    ),
+    FaultSpec(site="worker.shard", kind="transient", key=4, executions=(1,)),
+)
+PERMANENT_SHARD = 2
+POLICY = LeasePolicy(
+    lease_seconds=1.5,
+    heartbeat_seconds=0.05,
+    retry_base_seconds=0.02,
+    retry_cap_seconds=0.1,
+    restart_base_seconds=0.02,
+    max_failures=3,
+)
+#: Seconds the chaos run may add over fault-free parallel: one hang
+#: detection (lease_seconds) + a killed worker respawn + capped, jittered
+#: retry backoff for four faults, with slack for loaded CI hosts.
+OVERHEAD_BUDGET_SECONDS = 10.0
+
+
+def _run(config, web, *, workers, plan=None, policy=None, ledger=None):
+    engine = StreamingPipeline(
+        config,
+        shards=SHARDS,
+        workers=workers,
+        fault_plan=plan if plan is not None else FaultPlan(specs=()),
+        lease_policy=policy,
+        ledger=ledger,
+    )
+    started = time.perf_counter()
+    result = engine.run(web)
+    return engine, result, time.perf_counter() - started
+
+
+def test_chaos_schedule_is_invisible_in_the_output(output_dir):
+    config = PipelineConfig(sites=BENCH_SITES, seed=BENCH_SEED)
+    web = StreamingPipeline(config).generate()
+
+    seq_ledger = Ledger("sequential")
+    sequential, seq_result, seq_wall = _run(
+        config, web, workers=1, ledger=seq_ledger
+    )
+    _, par_result, par_wall = _run(config, web, workers=WORKERS, policy=POLICY)
+    chaos_ledger = Ledger("chaos")
+    chaos_plan = FaultPlan(specs=CHAOS_SCHEDULE, name="pinned-chaos")
+    chaotic, chaos_result, chaos_wall = _run(
+        config,
+        web,
+        workers=WORKERS,
+        plan=chaos_plan,
+        policy=POLICY,
+        ledger=chaos_ledger,
+    )
+
+    # Identity: the chaos run reproduced sequential byte for byte.
+    seq_states = [state.to_json() for state in sequential.shard_states()]
+    chaos_states = [state.to_json() for state in chaotic.shard_states()]
+    states_identical = seq_states == chaos_states
+    chains_identical = seq_ledger.chain() == chaos_ledger.chain()
+    summaries_identical = (
+        chaos_result.report.summary() == seq_result.report.summary()
+    )
+    assert states_identical, "chaotic shard states diverged from sequential"
+    assert chains_identical, "chaotic ledger chain diverged from sequential"
+    assert summaries_identical, "chaotic report diverged from sequential"
+
+    # Every injected fault actually bit (retries/hangs/crashes counted),
+    # and none of them quarantined anything.
+    notes = chaos_result.notes
+    assert notes["lease_worker_crashes"] >= 1.0
+    assert notes["lease_worker_hangs"] >= 1.0
+    assert notes["lease_retries"] >= float(len(CHAOS_SCHEDULE))
+    retryable_quarantined = int(notes["shards_quarantined"])
+    assert retryable_quarantined == 0
+    assert "degraded" not in notes
+
+    # The permanent fault: exactly the injected shard is quarantined,
+    # the run completes and says so.
+    permanent_plan = FaultPlan(
+        specs=(
+            FaultPlan.permanent("worker.shard", "transient", PERMANENT_SHARD),
+        ),
+        name="pinned-permanent",
+    )
+    quarantined_engine, degraded_result, permanent_wall = _run(
+        config, web, workers=WORKERS, plan=permanent_plan, policy=POLICY
+    )
+    assert quarantined_engine.quarantined_shards == (PERMANENT_SHARD,)
+    assert degraded_result.notes["degraded"] == 1.0
+    assert degraded_result.notes["quarantined_shard_ids"] == str(
+        PERMANENT_SHARD
+    )
+
+    overhead_seconds = chaos_wall - par_wall
+    overhead_enforced = not BENCH_SMOKE
+    overhead_skip_reason = (
+        None
+        if overhead_enforced
+        else (
+            "BENCH_SMOKE=1: the fixed fault budget (hang detection, retry "
+            "backoff) dwarfs a smoke-scale crawl"
+        )
+    )
+
+    injected = {"crash": 0, "hang": 0, "transient": 0}
+    for spec in CHAOS_SCHEDULE:
+        injected[spec.kind] += 1
+
+    lines = [
+        f"Chaos gate — {BENCH_SITES} sites, seed {BENCH_SEED}, "
+        f"{SHARDS} shards, {WORKERS} workers",
+        f"pinned schedule: {injected['crash']} crash, {injected['hang']} "
+        f"hang, {injected['transient']} transient",
+        f"sequential (fault-free): {seq_wall:6.2f}s",
+        f"parallel   (fault-free): {par_wall:6.2f}s",
+        f"parallel   (chaos):      {chaos_wall:6.2f}s "
+        f"(+{overhead_seconds:.2f}s over fault-free parallel)",
+        f"parallel   (permanent):  {permanent_wall:6.2f}s "
+        f"(quarantined shard {PERMANENT_SHARD}, run degraded but complete)",
+        f"retries {notes['lease_retries']:.0f}, worker crashes "
+        f"{notes['lease_worker_crashes']:.0f}, hangs "
+        f"{notes['lease_worker_hangs']:.0f}, workers restarted "
+        f"{notes['lease_workers_restarted']:.0f}",
+        "states / ledger chains / summaries identical under chaos: yes",
+        f"retryable faults quarantined: {retryable_quarantined} (gate: 0)",
+        "permanent fault quarantined exactly its shard: yes",
+    ]
+    if overhead_skip_reason is not None:
+        lines.append(f"GATE SKIPPED (bounded_overhead): {overhead_skip_reason}")
+    artifact = "\n".join(lines) + "\n"
+    write_artifact(output_dir, "chaos.txt", artifact)
+    print("\n" + artifact)
+
+    write_json_artifact(
+        output_dir,
+        "BENCH_chaos.json",
+        {
+            "bench": "chaos",
+            "shards": SHARDS,
+            "workers": WORKERS,
+            "walls": {
+                "sequential_seconds": seq_wall,
+                "parallel_seconds": par_wall,
+                "chaos_seconds": chaos_wall,
+                "permanent_seconds": permanent_wall,
+            },
+            "faults": {
+                "injected": injected,
+                "quarantined": retryable_quarantined,
+                "identical_under_faults": bool(
+                    states_identical and chains_identical and summaries_identical
+                ),
+            },
+            "ledger": {
+                "stages": list(chaos_ledger.stages()),
+                "chains_identical": chains_identical,
+            },
+            "lease": {
+                "retries": notes["lease_retries"],
+                "steals": notes["leases_stolen"],
+                "steal_wins": notes["lease_steals_won"],
+                "worker_crashes": notes["lease_worker_crashes"],
+                "worker_hangs": notes["lease_worker_hangs"],
+                "workers_restarted": notes["lease_workers_restarted"],
+            },
+            "quarantine": {
+                "permanent_shard": PERMANENT_SHARD,
+                "quarantined_shards": list(
+                    quarantined_engine.quarantined_shards
+                ),
+                "degraded": True,
+            },
+            "gates": {
+                "identity_under_faults": {
+                    "enforced": True,
+                    "achieved": 1.0,
+                },
+                "retryable_quarantine_zero": {
+                    "enforced": True,
+                    "achieved": float(retryable_quarantined),
+                },
+                "permanent_quarantine_exact": {
+                    "enforced": True,
+                    "achieved": float(
+                        len(quarantined_engine.quarantined_shards)
+                    ),
+                    "required_count": 1.0,
+                },
+                "bounded_overhead": {
+                    "enforced": overhead_enforced,
+                    "achieved": overhead_seconds,
+                    "max_overhead_seconds": OVERHEAD_BUDGET_SECONDS,
+                    "skip_reason": overhead_skip_reason,
+                },
+            },
+        },
+    )
+
+    if overhead_enforced:
+        assert overhead_seconds <= OVERHEAD_BUDGET_SECONDS, (
+            f"chaos run added {overhead_seconds:.2f}s over fault-free "
+            f"parallel — past the {OVERHEAD_BUDGET_SECONDS:.0f}s budget"
+        )

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Chaos smoke, run by ``scripts/check.sh``.
+
+End-to-end over the real fault plane, seconds to run:
+
+1. **Fan-out under chaos.**  A fault plan (one hard worker crash, one
+   transient crawl fault) is injected through the production path — the
+   ``TRACKERSIFT_FAULTS`` environment variable — and a 2-worker run must
+   produce byte-identical shard states and report to the fault-free
+   sequential run, with the retries visible in the notes.
+2. **Quarantine.**  A permanently failing shard is retried to the cap,
+   quarantined into ``quarantine.json``, and the run completes with an
+   explicit degraded summary naming the shard.
+3. **Fleet self-healing.**  A supervised serve worker is SIGKILLed;
+   ``maintain()`` restarts it with backoff, the replacement serves
+   identically, restart counters appear in merged ``/metrics``, and
+   ``/healthz`` returns to ``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.engine import PipelineConfig, StreamingPipeline  # noqa: E402
+from repro.core.parallel import LeasePolicy  # noqa: E402
+from repro.faults import (  # noqa: E402
+    FAULT_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.filterlists.compile import compile_lists  # noqa: E402
+from repro.serve.client import BlockingClient  # noqa: E402
+from repro.serve.service import default_lists  # noqa: E402
+from repro.serve.supervisor import ServeSupervisor  # noqa: E402
+
+SITES = 50
+SEED = 9
+SHARDS = 4
+POLICY = LeasePolicy(
+    retry_base_seconds=0.01,
+    retry_cap_seconds=0.05,
+    restart_base_seconds=0.01,
+    heartbeat_seconds=0.05,
+    max_failures=2,
+)
+
+
+def _chaotic_fanout_is_invisible(web) -> None:
+    config = PipelineConfig(sites=SITES, seed=SEED)
+    sequential = StreamingPipeline(config, shards=SHARDS, workers=1)
+    truth = sequential.run(web)
+
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(site="worker.shard", kind="crash", key=1, executions=(1,)),
+            FaultSpec(
+                site="worker.shard", kind="transient", key=2, executions=(1,)
+            ),
+        ),
+        name="smoke-chaos",
+    )
+    # Through the production injection path: the env var, not a kwarg.
+    os.environ[FAULT_ENV_VAR] = plan.to_json()
+    try:
+        chaotic = StreamingPipeline(
+            config, shards=SHARDS, workers=2, lease_policy=POLICY
+        )
+        result = chaotic.run(web)
+    finally:
+        del os.environ[FAULT_ENV_VAR]
+    assert result.notes["lease_retries"] >= 2.0, result.notes
+    assert result.notes["lease_worker_crashes"] >= 1.0, result.notes
+    assert result.notes["shards_quarantined"] == 0.0, result.notes
+    seq_states = [state.to_json() for state in sequential.shard_states()]
+    chaos_states = [state.to_json() for state in chaotic.shard_states()]
+    assert seq_states == chaos_states, "chaos changed bytes"
+    assert result.report.summary() == truth.report.summary()
+    print(
+        f"chaos_smoke: fan-out under chaos byte-identical "
+        f"({result.notes['lease_retries']:.0f} retries, "
+        f"{result.notes['lease_worker_crashes']:.0f} worker crash(es))"
+    )
+
+
+def _quarantine_is_explicit(web, tmp: Path) -> None:
+    config = PipelineConfig(sites=SITES, seed=SEED)
+    ckpt = tmp / "ckpt"
+    engine = StreamingPipeline(
+        config,
+        shards=SHARDS,
+        workers=2,
+        checkpoint_dir=ckpt,
+        fault_plan=FaultPlan(
+            specs=(FaultPlan.permanent("worker.shard", "transient", 3),)
+        ),
+        lease_policy=POLICY,
+    )
+    result = engine.run(web)
+    assert engine.quarantined_shards == (3,), engine.quarantined_shards
+    assert result.notes["degraded"] == 1.0, result.notes
+    assert result.notes["quarantined_shard_ids"] == "3", result.notes
+    record = json.loads((ckpt / "quarantine.json").read_text())
+    assert [row["shard"] for row in record["quarantined"]] == [3], record
+    print(
+        "chaos_smoke: permanent fault quarantined shard 3 after "
+        f"{len(record['quarantined'][0]['failures'])} failures, "
+        "run degraded but complete"
+    )
+
+
+def _fleet_self_heals(tmp: Path) -> None:
+    boot = tmp / "boot.tsoracle"
+    compile_lists(boot, *default_lists())
+    supervisor = ServeSupervisor(boot, workers=2, restart_base_seconds=0.05)
+    supervisor.start()
+    try:
+        victim = supervisor.worker_pids[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            supervisor.maintain()
+            pids = supervisor.worker_pids
+            if len(pids) == 2 and victim not in pids:
+                break
+            time.sleep(0.05)
+        assert len(pids) == 2 and victim not in pids, (victim, pids)
+        time.sleep(0.3)  # publish ticks
+        merged = supervisor.metrics()
+        assert merged["workers_alive"] == 2, merged
+        assert merged["workers_restarted"] == 1, merged
+        with BlockingClient(supervisor.host, supervisor.port) as client:
+            decision = client.decide("https://doubleclick.net/x.js")
+            assert decision["blocked"] is True, decision
+            health = client.healthz()
+        assert health["status"] == "ok", health
+    finally:
+        supervisor.shutdown()
+    print(
+        f"chaos_smoke: SIGKILLed worker {victim} restarted "
+        f"(fleet whole again, /healthz ok, workers_restarted=1)"
+    )
+
+
+def main() -> int:
+    web = StreamingPipeline(PipelineConfig(sites=SITES, seed=SEED)).generate()
+    with tempfile.TemporaryDirectory(prefix="trackersift-chaos-smoke-") as tmp:
+        _chaotic_fanout_is_invisible(web)
+        _quarantine_is_explicit(web, Path(tmp))
+        _fleet_self_heals(Path(tmp))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

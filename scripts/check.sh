@@ -39,8 +39,13 @@ BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_parallel.py \
     benchmarks/bench_artifacts.py \
     benchmarks/bench_obs.py \
+    benchmarks/bench_chaos.py \
     "benchmarks/bench_matcher.py::test_lazy_construction_beats_eager_compilation" \
     "benchmarks/bench_matcher.py::test_matcher_core_gates"
+
+echo
+echo "== chaos smoke (env-injected faults, quarantine, fleet self-heal) =="
+python scripts/chaos_smoke.py
 
 echo
 echo "== serve smoke (start server, decide, hot reload, shut down) =="

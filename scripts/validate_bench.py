@@ -32,7 +32,12 @@ PRs without per-bench knowledge, so they share a minimal contract:
 * optional ``ledger``: the determinism-fingerprint record — ``stages``
   (non-empty list of strings) and ``chains_identical`` (bool); a
   non-identical chain must name its ``first_divergence`` in a non-empty
-  string, mirroring the skip_reason rule: divergence must fail loudly.
+  string, mirroring the skip_reason rule: divergence must fail loudly;
+* optional ``faults``: the chaos-injection record (``BENCH_chaos.json``)
+  — ``injected`` (a non-empty mapping of fault kind to a non-negative
+  count, at least one positive), ``quarantined`` (int >= 0), and
+  ``identical_under_faults`` (bool); a run that was *not* identical
+  under faults must name its ``first_divergence`` in a non-empty string.
 
 Usage: ``python scripts/validate_bench.py benchmarks/output/BENCH_*.json``
 Exits non-zero listing every violation.
@@ -129,6 +134,44 @@ def validate_bench(payload: dict, name: str) -> list[str]:
                     isinstance(divergence, str) and divergence.strip() != "",
                     "ledger chains diverged but carry no first_divergence — "
                     "divergence must fail loudly",
+                )
+
+    faults = payload.get("faults")
+    if faults is not None:
+        check(isinstance(faults, dict), "'faults' must be an object")
+        if isinstance(faults, dict):
+            injected = faults.get("injected")
+            check(
+                isinstance(injected, dict)
+                and injected
+                and all(
+                    isinstance(count, int)
+                    and not isinstance(count, bool)
+                    and count >= 0
+                    for count in injected.values()
+                )
+                and any(count > 0 for count in injected.values()),
+                "faults.injected must be a non-empty mapping of fault kind "
+                "to a non-negative count, with at least one fault injected",
+            )
+            quarantined = faults.get("quarantined")
+            check(
+                isinstance(quarantined, int)
+                and not isinstance(quarantined, bool)
+                and quarantined >= 0,
+                "faults.quarantined must be a non-negative integer",
+            )
+            identical = faults.get("identical_under_faults")
+            check(
+                isinstance(identical, bool),
+                "faults.identical_under_faults must be a boolean",
+            )
+            if identical is False:
+                divergence = faults.get("first_divergence")
+                check(
+                    isinstance(divergence, str) and divergence.strip() != "",
+                    "faults changed the output but carry no first_divergence "
+                    "— chaos divergence must fail loudly",
                 )
 
     scenarios = payload.get("scenarios")

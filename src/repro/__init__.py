@@ -98,6 +98,13 @@ byte-identical reports, ``ShardState`` JSON and blocking decisions
 against committed golden manifests (``trackersift scenario run
 --matrix``; gated per PR by the tier-1 matrix test and
 ``benchmarks/bench_scenarios.py``).
+
+The fan-out is chaos-hardened: a lease-based work-stealing scheduler
+retries, steals, and quarantines around worker crashes, hangs, and
+stragglers without changing a byte of output, and every fault is
+reproducible through the seed-driven :mod:`repro.faults` plane (the
+``TRACKERSIFT_FAULTS`` environment variable or the ``fault_plan``
+kwarg; gated by ``benchmarks/bench_chaos.py``).
 """
 
 from .core import (
@@ -113,6 +120,7 @@ from .core import (
     run_study,
     sift_requests,
 )
+from .faults import FaultPlan, FaultSpec
 from .filterlists import FilterListOracle, Label
 from .labeling import AnalyzedRequest, LabeledCrawl, RequestLabeler
 from .scenarios import SCENARIO_PACKS, ScenarioRunner, ScenarioSpec
@@ -124,7 +132,7 @@ from .serve import (
 )
 from .webmodel import PAPER, SyntheticWeb, SyntheticWebGenerator, generate_web
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",
@@ -141,6 +149,8 @@ __all__ = [
     "run_study",
     "FilterListOracle",
     "Label",
+    "FaultPlan",
+    "FaultSpec",
     "BlockingService",
     "BlockingServer",
     "BlockingClient",

@@ -39,11 +39,13 @@ it stopped::
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel imports us)
+    from .parallel import LeasePolicy
 
 from ..browser.engine import BrowserEngine
 from ..browser.extension import CrawlExtension
@@ -51,6 +53,8 @@ from ..crawler.cluster import NODE_ENGINE_SEED, node_failure_seed, round_robin_s
 from ..crawler.crawler import page_load_fails
 from ..crawler.storage import RequestDatabase
 from ..crawler.tranco import RankedSite
+from ..durable import atomic_write_text, set_aside
+from ..faults import FaultPlan, SimulatedCrash
 from ..filterlists.cache import CachedMatcher
 from ..filterlists.oracle import FilterListOracle
 from ..labeling.labeler import AnalyzedRequest, LabeledCrawl, RequestLabeler
@@ -260,6 +264,8 @@ class StreamingPipeline:
         checkpoint_dir: str | Path | None = None,
         retain_events: bool = False,
         ledger: Ledger | None = None,
+        lease_policy: "LeasePolicy | None" = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self._shards = shards if shards is not None else self.config.cluster_nodes
@@ -291,6 +297,23 @@ class StreamingPipeline:
         self._retain = retain_events
         self._states: dict[int, ShardState] = {}
         self._resumed_shards = 0
+        # Chaos plumbing: an explicit FaultPlan wins; otherwise the
+        # TRACKERSIFT_FAULTS env var lets scripts chaos a run through the
+        # real CLI.  None (the overwhelmingly common case) costs nothing.
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        self._lease_policy = lease_policy
+        # Lease-scheduler counters accumulated across fan-outs (a resumed
+        # run may fan out more than once) — folded into result notes.
+        self._lease_notes: dict[str, float] = {}
+        # Shards the lease scheduler gave up on this run: the study still
+        # completes, explicitly degraded, and a later resume retries them.
+        self._quarantined: dict[int, list[str]] = {}
+        # Corrupt checkpoint files detected (set aside + recomputed).
+        self._checkpoints_discarded = 0
+        # Per-shard checkpoint-write executions (for fault coordinates).
+        self._store_counts: dict[int, int] = {}
         self._web: SyntheticWeb | None = None
         # True when the web came from self.generate() (kept for the web
         # re-pinning logic in process_shards).
@@ -337,6 +360,11 @@ class StreamingPipeline:
     @property
     def ledger(self) -> Ledger | None:
         return self._ledger
+
+    @property
+    def quarantined_shards(self) -> tuple[int, ...]:
+        """Shards this run gave up on (empty unless explicitly degraded)."""
+        return tuple(sorted(self._quarantined))
 
     def shard_states(self) -> tuple[ShardState, ...]:
         """Completed shard states in shard order (the mergeable units)."""
@@ -410,7 +438,22 @@ class StreamingPipeline:
         manifest_path = self._checkpoint_dir / "manifest.json"
         manifest = self._manifest()
         if manifest_path.exists():
-            existing = json.loads(manifest_path.read_text(encoding="utf-8"))
+            try:
+                existing = json.loads(
+                    manifest_path.read_text(encoding="utf-8")
+                )
+            except (ValueError, UnicodeDecodeError):
+                # A torn manifest means the shard files cannot be trusted
+                # to belong to this configuration: set everything aside
+                # (preserved for diagnosis) and start the directory fresh.
+                set_aside(manifest_path)
+                for stale in sorted(self._checkpoint_dir.glob("shard-*.json")):
+                    set_aside(stale)
+                    self._checkpoints_discarded += 1
+                _atomic_write(
+                    manifest_path, json.dumps(manifest, sort_keys=True)
+                )
+                return
             if existing != manifest:
                 raise ValueError(
                     f"checkpoint directory {self._checkpoint_dir} was written "
@@ -427,15 +470,50 @@ class StreamingPipeline:
                 continue
             path = self._shard_path(shard_id)
             if path.exists():
-                self._states[shard_id] = ShardState.from_json(
-                    path.read_text(encoding="utf-8")
-                )
+                try:
+                    self._states[shard_id] = ShardState.from_json(
+                        path.read_text(encoding="utf-8")
+                    )
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    # A corrupt checkpoint (torn write from a pre-durable
+                    # version, bit rot) must not poison resume: set the
+                    # bad bytes aside and recompute exactly this shard.
+                    set_aside(path)
+                    self._checkpoints_discarded += 1
+                    continue
                 self._resumed_shards += 1
 
     def _store(self, state: ShardState) -> None:
+        execution = self._store_counts.get(state.shard_id, 0) + 1
+        self._store_counts[state.shard_id] = execution
+        fault = (
+            self._fault_plan.at("engine.checkpoint", state.shard_id, execution)
+            if self._fault_plan is not None
+            else None
+        )
+        if fault is not None and fault.kind == "crash-before-checkpoint":
+            raise SimulatedCrash(
+                f"injected crash before checkpointing shard {state.shard_id}"
+            )
         self._states[state.shard_id] = state
         if self._checkpoint_dir is not None:
-            _atomic_write(self._shard_path(state.shard_id), state.to_json())
+            payload = state.to_json()
+            path = self._shard_path(state.shard_id)
+            if fault is not None and fault.kind in ("corrupt", "truncate"):
+                # Simulates a torn/bit-rotted checkpoint left by a
+                # non-durable writer: the file exists at its final name
+                # but does not parse — exactly what _load_checkpoints
+                # must set aside and recompute.
+                path.write_bytes(
+                    FaultPlan.corrupt_bytes(payload.encode("utf-8"), fault)
+                )
+            else:
+                _atomic_write(path, payload)
+            if fault is not None and fault.kind == "crash-after-checkpoint":
+                raise SimulatedCrash(
+                    "injected crash after checkpointing shard "
+                    f"{state.shard_id}"
+                )
 
     # -- execution -----------------------------------------------------------
     def process_shards(
@@ -521,7 +599,7 @@ class StreamingPipeline:
             ShardOutcome,
             ShardSliceStore,
             WorkerSpec,
-            run_shards_parallel,
+            run_shards_leased,
         )
 
         tracer = current_tracer()
@@ -539,6 +617,25 @@ class StreamingPipeline:
                     pending, shard_sites, by_url, failed_urls
                 )
             self._fanout_materialize_seconds += time.perf_counter() - started
+            artifact_fault = (
+                self._fault_plan.at("fanout.artifact", None, 1)
+                if self._fault_plan is not None
+                else None
+            )
+            if artifact_fault is not None and artifact_fault.kind in (
+                "corrupt",
+                "truncate",
+            ):
+                # Damage the compiled oracle the workers are about to
+                # load: every boot fails its checksum, the fleet cannot
+                # come up, and the scheduler must fail loudly instead of
+                # serving wrong decisions.
+                artifact_path = Path(oracle_artifact)
+                artifact_path.write_bytes(
+                    FaultPlan.corrupt_bytes(
+                        artifact_path.read_bytes(), artifact_fault
+                    )
+                )
             spec = WorkerSpec(
                 config=self.config,
                 shards=self._shards,
@@ -554,6 +651,7 @@ class StreamingPipeline:
                 ),
                 trace=tracer is not None,
                 ledger=self._ledger is not None,
+                fault_plan=self._fault_plan,
             )
 
             def store(outcome: ShardOutcome) -> None:
@@ -578,9 +676,36 @@ class StreamingPipeline:
                     tracer.adopt(outcome.spans)
 
             with span("fanout", workers=self._workers, shards=len(pending)):
-                return run_shards_parallel(spec, pending, self._workers, store)
+                report = run_shards_leased(
+                    spec,
+                    pending,
+                    self._workers,
+                    store,
+                    policy=self._lease_policy,
+                )
+            self._absorb_lease_report(report)
+            return report.completed
         finally:
             shutil.rmtree(fanout_dir, ignore_errors=True)
+
+    def _absorb_lease_report(self, report) -> None:
+        """Fold one fan-out's :class:`LeaseReport` into run-level state."""
+        from .parallel import LeasePolicy
+
+        for key, value in report.to_notes().items():
+            self._lease_notes[key] = self._lease_notes.get(key, 0.0) + value
+        self._quarantined.update(report.quarantined)
+        # A gauge, not a counter: recompute after the merge.
+        self._lease_notes["shards_quarantined"] = float(len(self._quarantined))
+        if report.quarantined and self._checkpoint_dir is not None:
+            policy = self._lease_policy or LeasePolicy()
+            atomic_write_text(
+                self._checkpoint_dir / "quarantine.json",
+                json.dumps(
+                    report.quarantine_record(policy.max_failures),
+                    sort_keys=True,
+                ),
+            )
 
     def _crawl_shard(
         self,
@@ -699,6 +824,12 @@ class StreamingPipeline:
         pages_crawled = pages_failed = 0
         with span("sift", shards=self._shards):
             for shard_id in range(self._shards):
+                if shard_id in self._quarantined:
+                    # Explicitly degraded: the shard exhausted its retry
+                    # budget and its contribution is absent from every
+                    # aggregate below — flagged in notes, recorded in
+                    # quarantine.json, retried by the next resume.
+                    continue
                 state = self._states[shard_id]
                 accumulator.merge(state.tallies, state.labeled_requests)
                 pages_crawled += state.pages_crawled
@@ -720,6 +851,14 @@ class StreamingPipeline:
             "labeled_requests": float(accumulator.total_requests),
             "distinct_resources": float(accumulator.distinct_resources),
         }
+        notes.update(self._lease_notes)
+        if self._checkpoints_discarded:
+            notes["checkpoints_discarded"] = float(self._checkpoints_discarded)
+        if self._quarantined:
+            notes["degraded"] = 1.0
+            notes["quarantined_shard_ids"] = ",".join(
+                str(shard_id) for shard_id in sorted(self._quarantined)
+            )
         if self._workers > 1:
             # Fan-out overhead breakdown: parent-side materialization of
             # the slice store + compiled oracle, and the summed per-worker
@@ -877,6 +1016,6 @@ def sifter_for(config: PipelineConfig) -> HierarchicalSifter:
 
 
 def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+    # Kept as the engine's single write seam (tests monkeypatch it);
+    # durability itself lives in repro.durable.
+    atomic_write_text(path, text)

@@ -1,0 +1,98 @@
+"""Crash-safe file writes: write-temp → fsync → atomic rename.
+
+Every durable artifact in the repo — shard checkpoints, the checkpoint
+manifest, compiled ``.tsoracle`` artifacts, quarantine reports — goes
+through these two helpers.  The old ``tmp.write_text(); os.replace()``
+idiom was *atomic* (a reader never sees a half-written file at the final
+path) but not *durable*: without an ``fsync`` the rename can land on disk
+before the data blocks do, so a power cut shortly after a "successful"
+checkpoint could leave a zero-length or torn file at the final name —
+exactly the poisoned-resume failure mode the chaos tests inject.
+
+The protocol here is the standard one:
+
+1. write the full payload to ``<path>.tmp`` in the same directory
+   (``os.replace`` must not cross filesystems),
+2. ``flush`` + ``os.fsync`` the temp file so the *data* is on disk,
+3. ``os.replace`` onto the final name (atomic on POSIX),
+4. ``fsync`` the containing directory so the *rename* is on disk.
+
+A crash at any point leaves either the old file or the new file at the
+final path, never a blend and never a torn tail.  Readers that can still
+encounter corruption (pre-existing files, bit rot, a non-durable writer
+from an older version) use :func:`set_aside` to move the bad bytes out of
+the way — with a deterministic name, preserved for diagnosis — instead of
+crashing on them.
+
+``durable=False`` skips both fsyncs (keeping only atomicity) for
+throwaway files like bench smoke output where the fsync cost is pure
+overhead; every checkpoint-shaped caller leaves it on.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir", "set_aside"]
+
+#: suffix appended (to the full name) when corrupt files are set aside.
+SET_ASIDE_SUFFIX = ".corrupt"
+
+
+def fsync_dir(directory: Path | str) -> None:
+    """Flush a directory's entries to disk (commits renames/creates).
+
+    Platforms whose directory handles reject fsync (some network
+    filesystems, Windows) degrade to atomic-but-not-durable, the old
+    behaviour everywhere.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Path | str, data: bytes, *, durable: bool = True
+) -> None:
+    """Write ``data`` to ``path`` atomically (and durably by default)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if durable:
+        fsync_dir(path.parent)
+
+
+def atomic_write_text(
+    path: Path | str, text: str, *, durable: bool = True
+) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically/durably."""
+    atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
+
+
+def set_aside(path: Path | str) -> Path:
+    """Move a corrupt file out of the way instead of crashing on it.
+
+    The file is renamed to ``<name>.corrupt`` next to itself (replacing
+    any previous set-aside of the same name — the latest corruption is
+    the interesting one) so resume logic can treat the slot as absent
+    while the bad bytes stay available for diagnosis.  Returns the
+    set-aside path.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + SET_ASIDE_SUFFIX)
+    os.replace(path, target)
+    fsync_dir(path.parent)
+    return target

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for chaos-hardening every execution path.
+
+The paper's arms-race setting — flaky crawls, churning lists, adversarial
+sites — means the interesting behaviour of this system is how it degrades
+under failure, not just how it performs on the happy path.  This package
+is the injection plane the chaos tests, the chaos scenario pack,
+``benchmarks/bench_chaos.py`` and ``scripts/chaos_smoke.py`` drive:
+a :class:`~repro.faults.plan.FaultPlan` is pure data (seed-driven,
+JSON-round-trippable, env-injectable) that names exactly which execution
+of which unit of work fails, and how — so a chaos run is as reproducible
+as a clean one, and byte-identity gates can compare the two.
+
+See :mod:`repro.faults.plan` for the spec model and the injection sites.
+"""
+
+from .plan import (
+    FAULT_ENV_VAR,
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+    TransientFault,
+)
+
+__all__ = [
+    "FAULT_ENV_VAR",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "SimulatedCrash",
+    "TransientFault",
+]

@@ -56,7 +56,6 @@ from __future__ import annotations
 import gc
 import hashlib
 import json
-import os
 import pickle
 import struct
 from contextlib import contextmanager
@@ -262,13 +261,13 @@ def compile_matcher(
     path: str | Path,
     lists: tuple[ParsedList, ...] = (),
 ) -> dict:
-    """Write a built matcher to ``path`` atomically; returns the metadata."""
+    """Write a built matcher to ``path`` atomically and durably;
+    returns the metadata."""
+    from ..durable import atomic_write_bytes
+
     with span("artifact.compile", path=str(path)):
         data, meta = _encode(matcher, lists)
-        path = Path(path)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
+        atomic_write_bytes(Path(path), data)
     meta["bytes"] = len(data)
     return meta
 

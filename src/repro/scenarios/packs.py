@@ -116,6 +116,19 @@ def _packs() -> tuple[ScenarioSpec, ...]:
             trace=TraceSpec(requests=400, seed=163),
             fast=False,
         ),
+        ScenarioSpec(
+            name="chaos-fault-storm",
+            description=(
+                "the chaos gate's workload: a flaky mid-size crawl whose "
+                "golden must survive injected worker crashes, hangs, and "
+                "transient faults byte-for-byte (faults ride the "
+                "TRACKERSIFT_FAULTS env plane, never the spec)"
+            ),
+            sites=60,
+            failure_rate=0.08,
+            trace=TraceSpec(requests=400, seed=167),
+            fast=False,
+        ),
     )
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -44,14 +45,36 @@ class ServeError(RuntimeError):
 
 
 class BlockingClient:
-    """Thin JSON client over one keep-alive connection (single-threaded)."""
+    """Thin JSON client over one keep-alive connection (single-threaded).
+
+    ``timeout`` is the socket connect *and* read timeout, so a hung
+    server surfaces as ``socket.timeout`` (an ``OSError``) instead of
+    blocking the caller forever.  Idempotent calls (everything except
+    ``/v1/reload``) are retried up to ``retries`` times on transport
+    errors, with jittered exponential backoff between attempts; the
+    jitter stream is seeded (``jitter_seed``) so retry schedules are
+    reproducible in tests and benchmarks.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 10.0,
+        retries: int = 2,
+        retry_base_seconds: float = 0.05,
+        retry_cap_seconds: float = 1.0,
+        jitter_seed: int = 0,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_base_seconds = retry_base_seconds
+        self.retry_cap_seconds = retry_cap_seconds
+        self._rng = random.Random(jitter_seed)
         self._conn: http.client.HTTPConnection | None = None
 
     def close(self) -> None:
@@ -83,19 +106,35 @@ class BlockingClient:
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
-        # A reused keep-alive socket may have been closed under us between
-        # calls; one transparent replay on a fresh connection covers that.
         # Never replay a reload: it is the one non-idempotent endpoint, and
         # a response lost *after* the server acted would otherwise swap the
         # snapshot twice (the second churn report diffing the new lists
-        # against themselves).  Fresh-connection failures are real errors.
-        retriable = self._conn is not None and path != "/v1/reload"
-        try:
-            status, raw = self._exchange(method, path, body, headers)
-        except (http.client.HTTPException, ConnectionError, OSError):
-            if not retriable:
-                raise
-            status, raw = self._exchange(method, path, body, headers)
+        # against themselves).  Everything else is safe to retry: a reused
+        # keep-alive socket closed under us gets one immediate, uncounted
+        # replay on a fresh connection, and genuine transport failures
+        # (reset, refused, read timeout) get up to ``retries`` further
+        # attempts with jittered exponential backoff.
+        idempotent = path != "/v1/reload"
+        stale_replay = idempotent and self._conn is not None
+        attempts_left = self.retries if idempotent else 0
+        attempt = 0
+        while True:
+            try:
+                status, raw = self._exchange(method, path, body, headers)
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                if stale_replay:
+                    stale_replay = False
+                    continue
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                attempt += 1
+                delay = min(
+                    self.retry_cap_seconds,
+                    self.retry_base_seconds * 2 ** (attempt - 1),
+                )
+                time.sleep(delay * (1.0 + self._rng.random()))
         parsed = json.loads(raw) if raw else {}
         if status >= 400:
             message = parsed.get("error", "") if isinstance(parsed, dict) else ""

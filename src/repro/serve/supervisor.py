@@ -38,6 +38,14 @@ independent servers would hold N unpickled copies of the rule index.
   group) stops accepting, lets every in-flight request finish and flush,
   then exits 0; SIGHUP re-reads the boot artifact path as a coordinated
   reload.
+* **Self-healing fleet.** A crashed worker is reaped (survivors report
+  ``degraded`` on ``/healthz``, merged ``/metrics`` shows
+  ``workers_alive < workers_spawned``) and then *restarted* by
+  :meth:`ServeSupervisor.maintain` with per-slot exponential backoff and
+  a restart cap; the replacement is converged to the fleet's current
+  artifact revision before it counts as alive, restart totals surface as
+  ``workers_restarted`` / ``restart_backoff_seconds``, and ``/healthz``
+  returns to ``ok`` once the fleet is whole again.
 """
 
 from __future__ import annotations
@@ -63,7 +71,7 @@ _SLOT_FIELDS = (
     "pid", "revision", "served", "batches", "blocked", "reloads",
     "hits", "misses", "entries", "observed", "total_s", "cursor",
 )
-_FLEET_FIELDS = ("spawned", "alive")
+_FLEET_FIELDS = ("spawned", "alive", "restarted", "backoff")
 DEFAULT_RING = 512
 
 _PUBLISH_INTERVAL = 0.05
@@ -127,6 +135,8 @@ def merge_board(board, workers: int, ring: int) -> dict:
         "worker_pids": [row["pid"] for row in per_worker],
         "workers_spawned": int(fleet.get("spawned", 0)),
         "workers_alive": int(fleet.get("alive", 0)),
+        "workers_restarted": int(fleet.get("restarted", 0)),
+        "restart_backoff_seconds": float(fleet.get("backoff", 0.0)),
         "revisions": revisions,
         "revision_consistent": len(revisions) <= 1,
         "decisions": {
@@ -195,11 +205,20 @@ def _worker_main(
     board,
     workers: int,
     ring: int,
+    incarnation: int = 1,
 ) -> None:
     """Entry point of one forked worker: asyncio server on the shared
-    port, control pipe on the loop, board publisher, own drain signals."""
+    port, control pipe on the loop, board publisher, own drain signals.
+
+    ``incarnation`` counts spawns of this worker slot (1 = original, 2 =
+    first restart, …) — it is the execution coordinate the
+    ``serve.worker`` fault-injection site matches on, so a chaos plan can
+    crash exactly the first incarnation and prove the restarted one
+    serves identically.
+    """
     import asyncio
 
+    from ..faults import FaultPlan
     from .protocol import AsyncBlockingServer
     from .service import BlockingService
 
@@ -238,6 +257,19 @@ def _worker_main(
         loop = asyncio.get_running_loop()
         stopping = asyncio.Event()
         cursor = _publish_slot(service, shared, index, 0)
+
+        # Chaos hook (env-injected; None costs nothing): a ``crash``
+        # fault at this (worker, incarnation) coordinate hard-exits the
+        # process after ``seconds`` of normal serving — the supervisor's
+        # maintain() loop must notice and restart us.
+        plan = FaultPlan.from_env()
+        fault = (
+            plan.at("serve.worker", index, incarnation)
+            if plan is not None
+            else None
+        )
+        if fault is not None and fault.kind == "crash":
+            loop.call_later(fault.seconds, os._exit, 72)
 
         def start_drain() -> None:
             stopping.set()
@@ -323,6 +355,9 @@ class ServeSupervisor:
         host: str = "127.0.0.1",
         port: int = 0,
         ring: int = DEFAULT_RING,
+        max_worker_restarts: int = 5,
+        restart_base_seconds: float = 0.5,
+        restart_cap_seconds: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -332,12 +367,30 @@ class ServeSupervisor:
         self.artifact_meta = read_artifact_meta(self.artifact)
         self.workers = workers
         self.ring = ring
+        # Restart policy: a dead worker slot is respawned after an
+        # exponential per-slot backoff (base doubling to cap), at most
+        # max_worker_restarts times per slot — a crash-looping worker
+        # degrades the fleet instead of spinning the supervisor.
+        self.max_worker_restarts = max_worker_restarts
+        self.restart_base_seconds = restart_base_seconds
+        self.restart_cap_seconds = restart_cap_seconds
         self._host = host
         self._port = port
         self._reserve_sock: socket.socket | None = None
         self._listen_sock: socket.socket | None = None
+        # Index-stable worker slots: entry i belongs to worker slot i
+        # forever; a dead worker leaves a None hole until maintain()
+        # respawns it (restart bookkeeping is per-slot).
         self._processes: list = []
         self._pipes: list = []
+        self._incarnations: list[int] = []
+        self._restarts: list[int] = []
+        self._backoffs: list[float] = []
+        self._restart_at: list[float] = []
+        self._total_restarts = 0
+        self._total_backoff = 0.0
+        self._context = None
+        self._reuse_port = False
         self._board: SharedBoard | None = None
         self._revision = 1
         self._started = False
@@ -356,6 +409,24 @@ class ServeSupervisor:
             "serve workers currently alive",
             fn=lambda: (
                 self._board.read_fleet().get("alive", 0.0)
+                if self._board is not None
+                else 0.0
+            ),
+        )
+        self.registry.gauge(
+            "workers_restarted",
+            "serve workers restarted after death",
+            fn=lambda: (
+                self._board.read_fleet().get("restarted", 0.0)
+                if self._board is not None
+                else 0.0
+            ),
+        )
+        self.registry.gauge(
+            "restart_backoff_seconds",
+            "total backoff delay applied before worker restarts",
+            fn=lambda: (
+                self._board.read_fleet().get("backoff", 0.0)
                 if self._board is not None
                 else 0.0
             ),
@@ -399,59 +470,117 @@ class ServeSupervisor:
 
     @property
     def worker_pids(self) -> list[int]:
-        return [process.pid for process in self._processes]
+        return [
+            process.pid for process in self._processes if process is not None
+        ]
+
+    def _alive_count(self) -> int:
+        return sum(
+            1
+            for process in self._processes
+            if process is not None and process.is_alive()
+        )
 
     # -- lifecycle ---------------------------------------------------------
+    def _spawn_worker(self, index: int) -> None:
+        """(Re)spawn worker slot ``index`` — pipe, process, bookkeeping."""
+        self._incarnations[index] += 1
+        parent_end, worker_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                str(self.artifact),
+                self._host,
+                self._port,
+                self._listen_sock,
+                self._reuse_port,
+                worker_end,
+                self._board.array,
+                self.workers,
+                self.ring,
+                self._incarnations[index],
+            ),
+            name=f"trackersift-serve-worker-{index}",
+        )
+        process.start()
+        worker_end.close()
+        self._processes[index] = process
+        self._pipes[index] = parent_end
+
+    def _await_ready(self, index: int, timeout: float) -> dict:
+        pipe = self._pipes[index]
+        if pipe is None or timeout <= 0 or not pipe.poll(timeout):
+            raise RuntimeError(
+                f"worker {index} did not become ready within {timeout:.0f}s"
+            )
+        message = pipe.recv()
+        if message.get("op") != "ready":
+            raise RuntimeError(
+                f"worker {index} sent {message!r} instead of ready"
+            )
+        return message
+
+    def _converge_worker(self, index: int, timeout: float = 30.0) -> None:
+        """Bring a freshly restarted worker to the fleet's revision.
+
+        A restarted worker boots the *current* artifact but at revision 1;
+        if the fleet has reloaded past that, publish a catch-up swap so
+        ``revision_consistent`` holds again.
+        """
+        if self._revision <= 1:
+            return
+        pipe = self._pipes[index]
+        pipe.send(
+            {
+                "op": "reload",
+                "path": str(self.artifact),
+                "revision": self._revision,
+            }
+        )
+        if not pipe.poll(timeout):
+            raise RuntimeError(f"worker {index} catch-up reload timed out")
+        message = pipe.recv()
+        if message.get("op") != "reload-ack":
+            raise RuntimeError(
+                f"worker {index} catch-up reload failed: {message!r}"
+            )
+
     def start(self, ready_timeout: float = 30.0) -> "ServeSupervisor":
         if self._started:
             raise RuntimeError("supervisor already started")
         self._bind()
         # Fork, not spawn: workers inherit the board, pipes, and (in
         # inherited-socket mode) the listening socket without pickling.
-        context = multiprocessing.get_context("fork")
+        self._context = multiprocessing.get_context("fork")
         self._board = SharedBoard.create(
-            context, _SLOT_FIELDS, self.workers, self.ring, _FLEET_FIELDS
+            self._context, _SLOT_FIELDS, self.workers, self.ring, _FLEET_FIELDS
         )
-        reuse_port = self.strategy == "reuseport"
+        self._reuse_port = self.strategy == "reuseport"
+        self._processes = [None] * self.workers
+        self._pipes = [None] * self.workers
+        self._incarnations = [0] * self.workers
+        self._restarts = [0] * self.workers
+        self._backoffs = [self.restart_base_seconds] * self.workers
+        self._restart_at = [0.0] * self.workers
+        self._total_restarts = 0
+        self._total_backoff = 0.0
         for index in range(self.workers):
-            parent_end, worker_end = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    index,
-                    str(self.artifact),
-                    self._host,
-                    self._port,
-                    self._listen_sock,
-                    reuse_port,
-                    worker_end,
-                    self._board.array,
-                    self.workers,
-                    self.ring,
-                ),
-                name=f"trackersift-serve-worker-{index}",
-            )
-            process.start()
-            worker_end.close()
-            self._processes.append(process)
-            self._pipes.append(parent_end)
+            self._spawn_worker(index)
         deadline = time.monotonic() + ready_timeout
-        for index, pipe in enumerate(self._pipes):
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or not pipe.poll(remaining):
+        for index in range(self.workers):
+            try:
+                self._await_ready(index, deadline - time.monotonic())
+            except RuntimeError:
                 self.shutdown(timeout=2.0)
-                raise RuntimeError(
-                    f"worker {index} did not become ready within "
-                    f"{ready_timeout:.0f}s"
-                )
-            message = pipe.recv()
-            if message.get("op") != "ready":
-                self.shutdown(timeout=2.0)
-                raise RuntimeError(
-                    f"worker {index} sent {message!r} instead of ready"
-                )
+                raise
         self._board.write_fleet(
-            {"spawned": self.workers, "alive": self.workers}
+            {
+                "spawned": self.workers,
+                "alive": self.workers,
+                "restarted": 0,
+                "backoff": 0.0,
+            }
         )
         self._started = True
         return self
@@ -462,36 +591,100 @@ class ServeSupervisor:
         A crashed worker used to silently shrink capacity (in REUSEPORT
         mode the kernel keeps load-balancing over the survivors) with no
         externally visible signal.  Now the parent notices, closes the
-        dead worker's pipe, and updates the board's fleet region so every
-        surviving worker's ``/healthz`` reports ``degraded`` and the
-        merged ``/metrics`` carries ``workers_alive < workers_spawned``.
-        Returns one record per reaped worker.
+        dead worker's pipe, leaves an index-stable hole for
+        :meth:`maintain` to refill, and updates the board's fleet region
+        so every surviving worker's ``/healthz`` reports ``degraded`` and
+        the merged ``/metrics`` carries ``workers_alive <
+        workers_spawned``.  Returns one record per reaped worker.
         """
-        dead = [
-            (process, pipe)
-            for process, pipe in zip(self._processes, self._pipes)
-            if not process.is_alive()
-        ]
-        if not dead:
-            return []
         reaped = []
-        for process, pipe in dead:
+        now = time.monotonic()
+        for index, process in enumerate(self._processes):
+            if process is None or process.is_alive():
+                continue
             process.join(timeout=0)
-            reaped.append({"pid": process.pid, "exitcode": process.exitcode})
-            try:
-                pipe.close()
-            except OSError:
-                pass
-        survivors = [
-            (process, pipe)
-            for process, pipe in zip(self._processes, self._pipes)
-            if process.is_alive()
-        ]
-        self._processes = [process for process, _ in survivors]
-        self._pipes = [pipe for _, pipe in survivors]
-        if self._board is not None:
-            self._board.write_fleet({"alive": len(self._processes)})
+            reaped.append(
+                {
+                    "worker": index,
+                    "pid": process.pid,
+                    "exitcode": process.exitcode,
+                }
+            )
+            pipe = self._pipes[index]
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+            self._processes[index] = None
+            self._pipes[index] = None
+            # Arm this slot's restart clock: maintain() respawns it once
+            # the backoff window has passed.
+            self._restart_at[index] = now + self._backoffs[index]
+        if reaped and self._board is not None:
+            self._board.write_fleet({"alive": self._alive_count()})
         return reaped
+
+    def maintain(self, ready_timeout: float = 30.0) -> dict:
+        """Reap dead workers and restart them with exponential backoff.
+
+        The supervisor's periodic self-healing step (called every tick by
+        :meth:`serve_forever`): each empty worker slot whose backoff
+        window has passed and whose restart budget remains is respawned;
+        the new worker is awaited ready and converged to the fleet's
+        current revision, so it serves identically to the one it
+        replaces.  Returns ``{"reaped": [...], "restarted": [...]}``.
+        """
+        events = {"reaped": self.reap(), "restarted": []}
+        now = time.monotonic()
+        for index in range(self.workers):
+            if self._processes[index] is not None:
+                continue
+            if self._restarts[index] >= self.max_worker_restarts:
+                continue
+            if now < self._restart_at[index]:
+                continue
+            delay = self._backoffs[index]
+            self._spawn_worker(index)
+            self._restarts[index] += 1
+            self._total_restarts += 1
+            self._total_backoff += delay
+            self._backoffs[index] = min(
+                self._backoffs[index] * 2.0, self.restart_cap_seconds
+            )
+            try:
+                self._await_ready(index, ready_timeout)
+                self._converge_worker(index)
+            except RuntimeError:
+                # The replacement itself failed: clear the slot (its
+                # restart budget was consumed) and try again next round
+                # with a longer backoff.
+                process = self._processes[index]
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+                pipe = self._pipes[index]
+                if pipe is not None:
+                    try:
+                        pipe.close()
+                    except OSError:
+                        pass
+                self._processes[index] = None
+                self._pipes[index] = None
+                self._restart_at[index] = now + self._backoffs[index]
+                continue
+            events["restarted"].append(
+                {"worker": index, "pid": self._processes[index].pid}
+            )
+        if self._board is not None:
+            self._board.write_fleet(
+                {
+                    "alive": self._alive_count(),
+                    "restarted": self._total_restarts,
+                    "backoff": self._total_backoff,
+                }
+            )
+        return events
 
     def reload(
         self, artifact: str | Path | None = None, timeout: float = 30.0
@@ -509,11 +702,16 @@ class ServeSupervisor:
         path = Path(artifact).resolve() if artifact is not None else self.artifact
         meta = read_artifact_meta(path)  # parent-side validation gate
         revision = self._revision + 1
-        for pipe in self._pipes:
+        targets = [
+            (index, pipe)
+            for index, pipe in enumerate(self._pipes)
+            if pipe is not None
+        ]
+        for _, pipe in targets:
             pipe.send({"op": "reload", "path": str(path), "revision": revision})
         acks = []
         deadline = time.monotonic() + timeout
-        for index, pipe in enumerate(self._pipes):
+        for index, pipe in targets:
             remaining = deadline - time.monotonic()
             if remaining <= 0 or not pipe.poll(remaining):
                 raise RuntimeError(f"worker {index} reload ack timed out")
@@ -549,24 +747,28 @@ class ServeSupervisor:
     def shutdown(self, timeout: float = 15.0) -> list[int]:
         """Graceful drain: publish drain to every pipe, join, escalate to
         terminate/kill only past the deadline.  Returns exit codes."""
+        processes = [p for p in self._processes if p is not None]
         for pipe in self._pipes:
+            if pipe is None:
+                continue
             try:
                 pipe.send({"op": "drain"})
             except (BrokenPipeError, OSError):
                 pass
         deadline = time.monotonic() + timeout
-        for process in self._processes:
+        for process in processes:
             process.join(timeout=max(0.0, deadline - time.monotonic()))
-        for process in self._processes:
+        for process in processes:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=2.0)
             if process.is_alive():  # pragma: no cover - last resort
                 process.kill()
                 process.join(timeout=2.0)
-        codes = [process.exitcode for process in self._processes]
+        codes = [process.exitcode for process in processes]
         for pipe in self._pipes:
-            pipe.close()
+            if pipe is not None:
+                pipe.close()
         for sock in (self._reserve_sock, self._listen_sock):
             if sock is not None:
                 sock.close()
@@ -588,9 +790,10 @@ class ServeSupervisor:
     def serve_forever(self) -> int:
         """Block until SIGTERM/SIGINT, draining gracefully (exit 0).
         SIGHUP re-reads the boot artifact as a coordinated reload.
-        Crashed workers are reaped and the fleet keeps serving degraded
-        (every survivor's ``/healthz`` says so); only a fully dead fleet
-        exits non-zero."""
+        Crashed workers are reaped and restarted with exponential backoff
+        (the fleet serves degraded in between — every survivor's
+        ``/healthz`` says so); only a fleet that is fully dead with every
+        restart budget spent exits non-zero."""
         stop = {"flag": False}
         fleet_dead = False
 
@@ -615,17 +818,28 @@ class ServeSupervisor:
         try:
             while not stop["flag"]:
                 time.sleep(0.2)
-                for record in self.reap():
+                events = self.maintain()
+                for record in events["reaped"]:
                     console.say(
                         f"trackersift serve: worker pid {record['pid']} "
                         f"exited {record['exitcode']}; continuing degraded "
-                        f"({len(self._processes)}/{self.workers} workers "
+                        f"({self._alive_count()}/{self.workers} workers "
                         "alive)"
                     )
-                if not self._processes:
+                for record in events["restarted"]:
                     console.say(
-                        "trackersift serve: every worker has exited; "
-                        "shutting down"
+                        f"trackersift serve: worker {record['worker']} "
+                        f"restarted as pid {record['pid']} "
+                        f"({self._alive_count()}/{self.workers} workers "
+                        "alive)"
+                    )
+                if self._alive_count() == 0 and all(
+                    count >= self.max_worker_restarts
+                    for count in self._restarts
+                ):
+                    console.say(
+                        "trackersift serve: every worker has exited and "
+                        "the restart budget is spent; shutting down"
                     )
                     fleet_dead = True
                     stop["flag"] = True

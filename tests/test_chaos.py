@@ -1,0 +1,384 @@
+"""Chaos tests: injected faults must never change what a study computes.
+
+The contract under test spans the whole fan-out plane:
+
+* any interleaving of worker crashes, hangs, transient exceptions, and
+  straggler steals yields byte-identical ``ShardState.to_json()`` and
+  ledger chains versus the sequential run (faults cost retries and
+  wall-clock, never bytes);
+* shards whose faults exceed the retry cap — and exactly those — are
+  quarantined into ``quarantine.json`` while the run completes with an
+  explicit degraded summary;
+* a crash before/after/inside a checkpoint write tears at most one
+  shard, and resume recomputes only that shard;
+* :class:`BlockingClient` rides out a dropped connection or a hung read
+  with bounded, jittered retries — except for the non-idempotent reload.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import PipelineConfig, StreamingPipeline
+from repro.core.parallel import LeasePolicy
+from repro.durable import SET_ASIDE_SUFFIX
+from repro.faults import FaultPlan, FaultSpec, SimulatedCrash
+from repro.obs.ledger import Ledger
+from repro.serve.client import BlockingClient
+
+SITES = 40
+SEED = 7
+SHARDS = 5
+
+#: Tight timings so chaos runs stay test-sized; semantics are unchanged.
+FAST = LeasePolicy(
+    retry_base_seconds=0.01,
+    retry_cap_seconds=0.05,
+    restart_base_seconds=0.01,
+    heartbeat_seconds=0.05,
+    lease_seconds=8.0,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_web():
+    return StreamingPipeline(PipelineConfig(sites=SITES, seed=SEED)).generate()
+
+
+@pytest.fixture(scope="module")
+def baseline(chaos_web):
+    """The fault-free sequential truth every chaotic run must reproduce."""
+    ledger = Ledger("sequential")
+    engine = StreamingPipeline(
+        PipelineConfig(sites=SITES, seed=SEED),
+        shards=SHARDS,
+        workers=1,
+        ledger=ledger,
+    )
+    result = engine.run(chaos_web)
+    return {
+        "states": [state.to_json() for state in engine.shard_states()],
+        "chain": ledger.chain(),
+        "summary": result.report.summary(),
+    }
+
+
+class TestFaultInterleavings:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(fault_seed=st.integers(min_value=0, max_value=2**20))
+    def test_sampled_fault_plans_are_invisible_in_the_output(
+        self, chaos_web, baseline, fault_seed
+    ):
+        """Property: a seeded random plan of recoverable faults (transient
+        raises, hard worker crashes, stealable stragglers) produces
+        byte-identical shard states AND an identical ledger chain — and
+        quarantines nothing, because every fault is below the retry cap."""
+        plan = FaultPlan.sample(fault_seed, list(range(SHARDS)))
+        ledger = Ledger(plan.name)
+        engine = StreamingPipeline(
+            PipelineConfig(sites=SITES, seed=SEED),
+            shards=SHARDS,
+            workers=2,
+            fault_plan=plan,
+            lease_policy=FAST,
+            ledger=ledger,
+        )
+        result = engine.run(chaos_web)
+        assert [s.to_json() for s in engine.shard_states()] == baseline["states"]
+        assert ledger.chain() == baseline["chain"]
+        assert result.notes["shards_quarantined"] == 0.0
+        assert "degraded" not in result.notes
+        # Faults were actually injected and absorbed, not skipped.
+        assert result.notes["lease_retries"] + result.notes["leases_stolen"] >= 0
+
+    def test_quarantine_is_exactly_the_over_cap_shards(
+        self, tmp_path, chaos_web, baseline
+    ):
+        """One permanently failing shard, one recoverable one: the run
+        completes degraded, quarantining exactly the permanent shard —
+        recorded in ``quarantine.json`` with its full failure history."""
+        plan = FaultPlan(
+            specs=(
+                FaultPlan.permanent("worker.shard", "transient", 2),
+                FaultSpec(
+                    site="worker.shard", kind="crash", key=4, executions=(1,)
+                ),
+            )
+        )
+        policy = LeasePolicy(
+            max_failures=3,
+            retry_base_seconds=0.01,
+            retry_cap_seconds=0.05,
+            restart_base_seconds=0.01,
+        )
+        ckpt = tmp_path / "ckpt"
+        engine = StreamingPipeline(
+            PipelineConfig(sites=SITES, seed=SEED),
+            shards=SHARDS,
+            workers=2,
+            checkpoint_dir=ckpt,
+            fault_plan=plan,
+            lease_policy=policy,
+        )
+        result = engine.run(chaos_web)
+        assert engine.quarantined_shards == (2,)
+        assert result.notes["degraded"] == 1.0
+        assert result.notes["quarantined_shard_ids"] == "2"
+        assert result.notes["shards_quarantined"] == 1.0
+        # Shard 4's crash was retried below the cap: not quarantined.
+        assert result.notes["lease_retries"] >= 3.0
+        record = json.loads((ckpt / "quarantine.json").read_text())
+        assert record["max_failures"] == 3
+        quarantined = {row["shard"]: row for row in record["quarantined"]}
+        assert set(quarantined) == {2}
+        assert len(quarantined[2]["failures"]) == 3
+        assert all(
+            "TransientFault" in reason for reason in quarantined[2]["failures"]
+        )
+        # The surviving shards are still byte-faithful to sequential.
+        states = {s.shard_id: s.to_json() for s in engine.shard_states()}
+        assert set(states) == {0, 1, 3, 4}
+        for shard_id, payload in states.items():
+            assert payload == baseline["states"][shard_id]
+
+        # A later fault-free run over the same checkpoints heals the
+        # quarantined shard: it was never checkpointed, so it recomputes.
+        healed = StreamingPipeline(
+            PipelineConfig(sites=SITES, seed=SEED),
+            shards=SHARDS,
+            workers=1,
+            checkpoint_dir=ckpt,
+        )
+        final = healed.run(chaos_web)
+        assert final.notes["shards_resumed"] == 4.0
+        assert "degraded" not in final.notes
+        assert final.report.summary() == baseline["summary"]
+
+
+class TestTornCheckpoints:
+    CONFIG = dict(sites=SITES, seed=SEED)
+
+    def _engine(self, ckpt, plan=None, workers=1):
+        return StreamingPipeline(
+            PipelineConfig(**self.CONFIG),
+            shards=SHARDS,
+            workers=workers,
+            checkpoint_dir=ckpt,
+            fault_plan=plan if plan is not None else FaultPlan(specs=()),
+        )
+
+    def test_crash_after_checkpoint_keeps_the_written_shard(
+        self, tmp_path, chaos_web, baseline
+    ):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="engine.checkpoint",
+                    kind="crash-after-checkpoint",
+                    key=1,
+                    executions=(1,),
+                ),
+            )
+        )
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(SimulatedCrash):
+            self._engine(ckpt, plan).process_shards(chaos_web)
+        # The write completed before the "crash": both shards survive.
+        names = sorted(path.name for path in ckpt.glob("shard-*.json"))
+        assert names == ["shard-0000.json", "shard-0001.json"]
+        result = self._engine(ckpt).run(chaos_web)
+        assert result.notes["shards_resumed"] == 2.0
+        assert result.report.summary() == baseline["summary"]
+
+    def test_crash_before_checkpoint_loses_only_that_shard(
+        self, tmp_path, chaos_web, baseline
+    ):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="engine.checkpoint",
+                    kind="crash-before-checkpoint",
+                    key=1,
+                    executions=(1,),
+                ),
+            )
+        )
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(SimulatedCrash):
+            self._engine(ckpt, plan).process_shards(chaos_web)
+        names = sorted(path.name for path in ckpt.glob("shard-*.json"))
+        assert names == ["shard-0000.json"]
+        result = self._engine(ckpt).run(chaos_web)
+        assert result.notes["shards_resumed"] == 1.0
+        assert result.report.summary() == baseline["summary"]
+
+    @pytest.mark.parametrize("kind", ["truncate", "corrupt"])
+    def test_torn_checkpoint_is_set_aside_and_only_it_recomputes(
+        self, tmp_path, chaos_web, baseline, kind
+    ):
+        """The crash-mid-write case: a checkpoint that exists at its final
+        name but does not parse.  Resume must set it aside (keeping the
+        evidence), recompute exactly that shard, and still converge."""
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="engine.checkpoint", kind=kind, key=2, executions=(1,)
+                ),
+            )
+        )
+        ckpt = tmp_path / "ckpt"
+        self._engine(ckpt, plan).process_shards(chaos_web)
+        assert len(list(ckpt.glob("shard-*.json"))) == SHARDS
+        resumed = self._engine(ckpt)
+        result = resumed.run(chaos_web)
+        assert result.notes["shards_resumed"] == float(SHARDS - 1)
+        assert result.notes["checkpoints_discarded"] == 1.0
+        aside = sorted(
+            path.name for path in ckpt.glob(f"*{SET_ASIDE_SUFFIX}")
+        )
+        assert aside == [f"shard-0002.json{SET_ASIDE_SUFFIX}"]
+        assert result.report.summary() == baseline["summary"]
+        assert [
+            s.to_json() for s in resumed.shard_states()
+        ] == baseline["states"]
+
+    def test_corrupt_manifest_discards_the_whole_checkpoint_set(
+        self, tmp_path, chaos_web, baseline
+    ):
+        """A manifest that does not parse means no shard file can be
+        trusted to belong to this config: everything is set aside and the
+        run recomputes from scratch — correctly, not fatally."""
+        ckpt = tmp_path / "ckpt"
+        self._engine(ckpt).process_shards(chaos_web, limit=3)
+        (ckpt / "manifest.json").write_bytes(b"\x00not json\xff")
+        result = self._engine(ckpt).run(chaos_web)
+        assert result.notes.get("shards_resumed", 0.0) == 0.0
+        aside = list(ckpt.glob(f"*{SET_ASIDE_SUFFIX}"))
+        assert len(aside) == 4  # the manifest plus three orphaned shards
+        assert result.report.summary() == baseline["summary"]
+
+
+class _FlakyHTTPServer:
+    """One-endpoint HTTP server that sabotages its first connections.
+
+    ``mode='drop'`` closes the first ``bad`` connections before reading;
+    ``mode='hang'`` accepts them and never answers (the client's read
+    timeout must fire).  Later connections answer every request on the
+    socket with a canned JSON body.
+    """
+
+    def __init__(self, mode: str, bad: int = 1) -> None:
+        self.mode = mode
+        self.bad = bad
+        self.connections = 0
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self._held: list = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections <= self.bad:
+                if self.mode == "drop":
+                    conn.close()
+                else:
+                    self._held.append(conn)  # hang: hold silently
+                continue
+            threading.Thread(
+                target=self._answer, args=(conn,), daemon=True
+            ).start()
+
+    def _answer(self, conn) -> None:
+        body = json.dumps({"ok": True, "connection": self.connections})
+        payload = (
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n{body}"
+        ).encode()
+        with conn:
+            buffered = b""
+            while True:
+                try:
+                    chunk = conn.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buffered += chunk
+                if b"\r\n\r\n" in buffered:
+                    conn.sendall(payload)
+                    buffered = b""
+
+    def close(self) -> None:
+        self._sock.close()
+        for conn in self._held:
+            conn.close()
+
+
+@pytest.fixture
+def flaky_server(request):
+    server = _FlakyHTTPServer(*request.param)
+    yield server
+    server.close()
+
+
+class TestClientRetry:
+    @pytest.mark.parametrize(
+        "flaky_server", [("drop", 1), ("drop", 2)], indirect=True
+    )
+    def test_decide_rides_out_dropped_connections(self, flaky_server):
+        with BlockingClient(
+            "127.0.0.1",
+            flaky_server.port,
+            timeout=2.0,
+            retries=2,
+            retry_base_seconds=0.01,
+            retry_cap_seconds=0.02,
+        ) as client:
+            assert client.decide("https://example.com/x.js")["ok"] is True
+        assert flaky_server.connections == flaky_server.bad + 1
+
+    @pytest.mark.parametrize("flaky_server", [("hang", 1)], indirect=True)
+    def test_read_timeout_fires_and_the_retry_succeeds(self, flaky_server):
+        with BlockingClient(
+            "127.0.0.1",
+            flaky_server.port,
+            timeout=0.25,
+            retries=1,
+            retry_base_seconds=0.01,
+        ) as client:
+            assert client.decide("https://example.com/x.js")["ok"] is True
+        assert flaky_server.connections == 2
+
+    @pytest.mark.parametrize("flaky_server", [("drop", 1)], indirect=True)
+    def test_zero_retries_surfaces_the_transport_error(self, flaky_server):
+        with BlockingClient(
+            "127.0.0.1", flaky_server.port, timeout=2.0, retries=0
+        ) as client:
+            with pytest.raises(OSError):
+                client.decide("https://example.com/x.js")
+
+    @pytest.mark.parametrize("flaky_server", [("drop", 1)], indirect=True)
+    def test_reload_is_never_retried(self, flaky_server):
+        """The one non-idempotent endpoint: a lost reload response may
+        mean the server already swapped snapshots, so replaying it could
+        reload twice — the client must surface the error instead."""
+        with BlockingClient(
+            "127.0.0.1", flaky_server.port, timeout=2.0, retries=3
+        ) as client:
+            with pytest.raises(OSError):
+                client.reload()
+        assert flaky_server.connections == 1

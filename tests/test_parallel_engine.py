@@ -9,8 +9,6 @@ same per-shard crawl the sequential engine runs, and per-site determinism
 pure function of the shard's site list.
 """
 
-import multiprocessing
-
 import pytest
 
 from repro.core.engine import PipelineConfig, StreamingPipeline
@@ -140,35 +138,34 @@ class TestParallelCheckpointResume:
         assert result.report.summary() == uninterrupted.report.summary()
 
 
-def _exploding_run_shard(shard_id):
-    """Module-level (hence picklable) stand-in for ``parallel._run_shard``
-    that crashes shard 3; forked workers inherit this module as-is."""
-    import repro.core.parallel as parallel_module
-
-    if shard_id == 3:
-        raise RuntimeError("synthetic shard crash")
-    assert parallel_module._WORKER is not None
-    return parallel_module._WORKER.run(shard_id)
-
-
 class TestWorkerCrash:
-    @pytest.mark.skipif(
-        multiprocessing.get_start_method() != "fork",
-        reason="crash injection relies on fork inheriting the patched module",
-    )
-    def test_completed_shards_survive_a_worker_crash(
-        self, tmp_path, small_web, monkeypatch
+    def test_completed_shards_survive_a_permanent_fault(
+        self, tmp_path, small_web
     ):
-        """A crashing shard loses only itself: outcomes that completed are
-        stored (and checkpointed) before the error propagates."""
-        import repro.core.parallel as parallel_module
+        """A shard that fails every attempt loses only itself: in strict
+        mode the remaining shards finish, are stored (and checkpointed),
+        and then :class:`ShardExecutionError` names the lost shard."""
+        from repro.core.parallel import LeasePolicy
+        from repro.faults import FaultPlan
 
-        real_run_shard = parallel_module._run_shard
-        monkeypatch.setattr(parallel_module, "_run_shard", _exploding_run_shard)
+        plan = FaultPlan(
+            specs=(FaultPlan.permanent("worker.shard", "transient", 3),)
+        )
+        policy = LeasePolicy(
+            quarantine=False,
+            max_failures=2,
+            retry_base_seconds=0.01,
+            retry_cap_seconds=0.05,
+        )
         config = PipelineConfig(sites=SITES, seed=SEED)
         ckpt = tmp_path / "ckpt"
         engine = StreamingPipeline(
-            config, shards=5, workers=2, checkpoint_dir=ckpt
+            config,
+            shards=5,
+            workers=2,
+            checkpoint_dir=ckpt,
+            fault_plan=plan,
+            lease_policy=policy,
         )
         with pytest.raises(ShardExecutionError) as excinfo:
             engine.process_shards(small_web)
@@ -183,7 +180,7 @@ class TestWorkerCrash:
             "shard-0004.json",
         ]
 
-        monkeypatch.setattr(parallel_module, "_run_shard", real_run_shard)
+        # Resume without the fault plan: only shard 3 is recomputed.
         resumed = StreamingPipeline(
             config, shards=5, workers=2, checkpoint_dir=ckpt
         )
@@ -191,6 +188,39 @@ class TestWorkerCrash:
         assert result.notes["shards_resumed"] == 4.0
         _, uninterrupted = _run(config, small_web, shards=5, workers=1)
         assert result.report.summary() == uninterrupted.report.summary()
+
+    def test_worker_process_crash_is_retried_transparently(self, small_web):
+        """A hard worker crash (os._exit mid-lease) costs a retry and a
+        replacement process, never the run — and the output stays
+        byte-identical to sequential."""
+        from repro.core.parallel import LeasePolicy
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.shard", kind="crash", key=3, executions=(1,)
+                ),
+            )
+        )
+        policy = LeasePolicy(
+            retry_base_seconds=0.01,
+            retry_cap_seconds=0.05,
+            restart_base_seconds=0.01,
+        )
+        config = PipelineConfig(sites=SITES, seed=SEED)
+        sequential, _ = _run(config, small_web, shards=5, workers=1)
+        chaotic = StreamingPipeline(
+            config, shards=5, workers=2, fault_plan=plan, lease_policy=policy
+        )
+        result = chaotic.run(small_web)
+        assert result.notes["lease_worker_crashes"] >= 1.0
+        assert result.notes["lease_retries"] >= 1.0
+        assert result.notes["shards_quarantined"] == 0.0
+        assert "degraded" not in result.notes
+        seq_states = [state.to_json() for state in sequential.shard_states()]
+        par_states = [state.to_json() for state in chaotic.shard_states()]
+        assert seq_states == par_states
 
 
 class TestValidation:

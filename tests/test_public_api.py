@@ -9,7 +9,7 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -25,6 +25,7 @@ class TestTopLevel:
             "repro.crawler",
             "repro.labeling",
             "repro.core",
+            "repro.faults",
             "repro.analysis",
             "repro.serve",
             "repro.cli",
@@ -79,6 +80,9 @@ class TestDocstrings:
             "repro.serve.service",
             "repro.serve.server",
             "repro.serve.client",
+            "repro.faults.plan",
+            "repro.durable",
+            "repro.core.parallel",
         ],
     )
     def test_module_documented(self, module):

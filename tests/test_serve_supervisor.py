@@ -196,6 +196,49 @@ class TestCrashRecovery:
             assert health["workers_spawned"] == 2
             assert health["workers_alive"] == 1
 
+    def test_sigkilled_worker_is_restarted_and_serves_identically(
+        self, artifacts
+    ):
+        """SIGKILL one worker after a reload: ``maintain()`` restarts it
+        with backoff, converges the replacement to the fleet's current
+        revision, restart counters surface in merged ``/metrics``, and
+        ``/healthz`` returns to ``ok`` once the fleet is whole."""
+        boot, hotfix = artifacts
+        with ServeSupervisor(
+            boot, workers=2, restart_base_seconds=0.05
+        ) as supervisor:
+            supervisor.reload(hotfix)  # fleet now at revision 2
+            victim = supervisor.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                supervisor.maintain()
+                pids = supervisor.worker_pids
+                if len(pids) == 2 and victim not in pids:
+                    break
+                time.sleep(0.05)
+            assert len(pids) == 2 and victim not in pids
+            time.sleep(0.3)  # publish ticks
+            merged = supervisor.metrics()
+            assert merged["workers_alive"] == 2
+            assert merged["workers_restarted"] == 1
+            assert merged["restart_backoff_seconds"] >= 0.05
+            # The replacement answers at the reloaded revision — the
+            # restart is invisible to clients beyond the pid change.
+            seen = set()
+            for _ in range(40):
+                with BlockingClient(supervisor.host, supervisor.port) as client:
+                    decision = client.decide("https://hotfix-tracker.example/x")
+                    assert decision["blocked"] is True
+                    assert decision["revision"] == 2
+                    seen.add(decision["worker"])
+                    health = client.healthz()
+                if seen == set(pids):
+                    break
+            assert seen == set(pids)
+            assert health["status"] == "ok"
+            assert health["workers_alive"] == 2
+
 
 class TestDrainAndExit:
     def test_midflight_batch_completes_through_shutdown(self, artifacts):
