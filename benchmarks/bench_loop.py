@@ -1,0 +1,230 @@
+"""Arms-race gate: the control loop must win back what the adversary takes.
+
+Runs :class:`repro.loop.ControlLoop` against a mutating tracker for a
+fixed schedule — a quiet opening round, then alternating ``relocate``
+(busiest blocked hosts jump to fresh, never-listed domains) and
+``drift`` (seeded cache-buster tokens) moves.  Every round sifts the
+mutated web under the analyst's ground-truth vantage, regenerates the
+hotfix list, validates it (functional-blocker rejection, breakage
+grading, surrogate verification, parse→match round trip), and hot
+reloads the survivors with per-rule churn attribution.  The gates, all
+enforced at every scale (they are correctness, not wall-clock):
+
+* **relocate_recovery**: after each relocate the tracking-blocked
+  fraction recovers to its pre-mutation level (±0.01) within
+  ``RECOVERY_REVISIONS`` revisions, monotonically — the loop never
+  oscillates while winning coverage back;
+* **relocate_bites**: each relocate actually moved requests and cost
+  coverage, so recovery is earned rather than vacuous;
+* **drift_zero_drop**: cache-buster drift never costs coverage — the
+  emitted host rules are token-immune by construction;
+* **functional_zero**: no revision ever blocks a functional request
+  URL (the paper's breakage side of the trade-off);
+* **roundtrip_per_revision**: every kept rule in every revision
+  matches through the compiled candidate oracle (parse→match round
+  trip);
+* **reload_identity**: every revision parses cleanly, serves
+  decisions identical to an independently built oracle, and reports
+  churn attribution consistent with the reload's by-name pairing.
+
+Results land in ``output/BENCH_loop.json`` (``loop`` + ``gates``
+sections per ``scripts/validate_bench.py``).
+"""
+
+import time
+
+from repro.loop import ControlLoop
+from repro.webmodel.generator import SyntheticWebGenerator
+
+from conftest import BENCH_SEED, BENCH_SMOKE, write_artifact, write_json_artifact
+
+LOOP_SITES = 40 if BENCH_SMOKE else 120
+SCHEDULE = (
+    (None, "relocate", "drift")
+    if BENCH_SMOKE
+    else (None, "relocate", "drift", "relocate", "drift")
+)
+#: Revisions the loop gets to win back a relocation, counted from the
+#: revision that first sifts the mutated web.
+RECOVERY_REVISIONS = 2
+COVERAGE_TOLERANCE = 0.01
+
+
+def test_loop_arms_race_gates(output_dir):
+    web = SyntheticWebGenerator(sites=LOOP_SITES, seed=BENCH_SEED).build()
+    loop = ControlLoop(web, seed=BENCH_SEED)
+    started = time.perf_counter()
+    report = loop.run(SCHEDULE)
+    wall = time.perf_counter() - started
+    rounds = report.rounds
+
+    failures: list[str] = []
+
+    # relocate_recovery + relocate_bites: each relocation costs coverage
+    # and is won back, monotonically, within the revision budget.
+    recovery_ok = True
+    relocate_bites = True
+    for position, record in enumerate(rounds):
+        if record.mutation is None or record.mutation.kind != "relocate":
+            continue
+        baseline = (
+            rounds[position - 1].coverage_after.coverage if position else 1.0
+        )
+        if record.mutation.rewritten_requests == 0 or (
+            record.coverage_before.coverage >= baseline - 1e-9
+        ):
+            relocate_bites = False
+            failures.append(
+                f"round {record.index}: relocate moved "
+                f"{record.mutation.rewritten_requests} request(s) but cost "
+                f"no coverage ({baseline:.3f} -> "
+                f"{record.coverage_before.coverage:.3f})"
+            )
+        window = [
+            r.coverage_after.coverage
+            for r in rounds[position : position + RECOVERY_REVISIONS]
+        ]
+        monotone = all(b >= a - 1e-9 for a, b in zip(window, window[1:]))
+        recovered = any(c >= baseline - COVERAGE_TOLERANCE for c in window)
+        if not (monotone and recovered):
+            recovery_ok = False
+            failures.append(
+                f"round {record.index}: relocate not won back within "
+                f"{RECOVERY_REVISIONS} revision(s) — baseline "
+                f"{baseline:.3f}, post-reload window {window} "
+                f"(monotone={monotone})"
+            )
+
+    # drift_zero_drop: token drift is invisible to the served host rules.
+    drift_ok = True
+    for position, record in enumerate(rounds):
+        if record.mutation is None or record.mutation.kind != "drift":
+            continue
+        previous = (
+            rounds[position - 1].coverage_after.coverage if position else 1.0
+        )
+        if record.coverage_before.coverage < previous - 1e-9:
+            drift_ok = False
+            failures.append(
+                f"round {record.index}: drift dropped coverage "
+                f"{previous:.3f} -> {record.coverage_before.coverage:.3f} — "
+                "host rules must be token-immune"
+            )
+
+    functional_blocked = max(
+        r.coverage_after.functional_url_blocked for r in rounds
+    )
+    functional_ok = functional_blocked == 0
+    if not functional_ok:
+        failures.append(
+            f"{functional_blocked} functional request(s) blocked by a "
+            "served revision"
+        )
+
+    roundtrip_ok = all(r.roundtrip_ok for r in rounds)
+    if not roundtrip_ok:
+        bad = next(r for r in rounds if not r.roundtrip_ok)
+        failures.append(
+            f"round {bad.index}: {len(bad.roundtrip_failures)} kept rule(s) "
+            f"failed the parse->match round trip: {bad.roundtrip_failures[:3]}"
+        )
+    identity_ok = all(
+        r.identity_ok and r.parse_ok and r.attribution_consistent
+        for r in rounds
+    )
+    if not identity_ok:
+        bad = next(
+            r
+            for r in rounds
+            if not (r.identity_ok and r.parse_ok and r.attribution_consistent)
+        )
+        failures.append(
+            f"round {bad.index}: reload identity gate failed "
+            f"(parse_ok={bad.parse_ok}, identity_ok={bad.identity_ok}, "
+            f"attribution_consistent={bad.attribution_consistent})"
+        )
+
+    mutations = {"quiet": 0, "relocate": 0, "drift": 0}
+    for record in rounds:
+        mutations[record.mutation.kind if record.mutation else "quiet"] += 1
+
+    lines = [
+        f"Arms-race gate — {LOOP_SITES} sites, seed {BENCH_SEED}, "
+        f"{len(rounds)} round(s) in {wall:.2f}s",
+        "schedule: "
+        + ", ".join(m if m else "quiet" for m in SCHEDULE),
+    ]
+    for record in rounds:
+        move = record.mutation.kind if record.mutation else "quiet"
+        lines.append(
+            f"  round {record.index}  rev {record.revision:3d}  {move:8s} "
+            f"coverage {record.coverage_before.coverage:.3f} -> "
+            f"{record.coverage_after.coverage:.3f}  "
+            f"rules {record.rules_kept}/{record.rules_emitted} kept, "
+            f"{len(record.rules_rejected)} rejected, "
+            f"{record.surrogates_kept} surrogate(s)"
+        )
+    lines += [
+        f"relocations recovered within {RECOVERY_REVISIONS} revision(s): "
+        + ("yes" if recovery_ok else "NO"),
+        "drift cost zero coverage: " + ("yes" if drift_ok else "NO"),
+        f"functional requests blocked (gate: 0): {functional_blocked}",
+        "parse->match round trip per revision: "
+        + ("yes" if roundtrip_ok else "NO"),
+        "reload identity + churn attribution per revision: "
+        + ("yes" if identity_ok else "NO"),
+    ]
+    lines.extend(f"FAIL: {failure}" for failure in failures)
+    artifact = "\n".join(lines) + "\n"
+    write_artifact(output_dir, "loop.txt", artifact)
+    print("\n" + artifact)
+
+    def _gate(ok: bool) -> dict:
+        return {"enforced": True, "achieved": 1.0 if ok else 0.0}
+
+    write_json_artifact(
+        output_dir,
+        "BENCH_loop.json",
+        {
+            "bench": "loop",
+            "sites": LOOP_SITES,
+            "wall_seconds": wall,
+            "loop": {
+                "rounds": len(rounds),
+                "trajectory": report.trajectory(),
+                "mutations": mutations,
+                "recovery_revisions": RECOVERY_REVISIONS,
+                "recovery_ok": recovery_ok,
+                "drift_zero_drop": drift_ok,
+                "functional_zero": functional_ok,
+                "roundtrip_ok": roundtrip_ok,
+                "identity_ok": identity_ok,
+                **(
+                    {"failure_reason": "; ".join(failures)}
+                    if failures
+                    else {}
+                ),
+            },
+            "gates": {
+                "relocate_recovery": {
+                    **_gate(recovery_ok),
+                    "max_revisions": float(RECOVERY_REVISIONS),
+                },
+                "relocate_bites": _gate(relocate_bites),
+                "drift_zero_drop": _gate(drift_ok),
+                "functional_zero": {
+                    **_gate(functional_ok),
+                    "required_blocked": 0.0,
+                },
+                "roundtrip_per_revision": _gate(roundtrip_ok),
+                "reload_identity": _gate(identity_ok),
+            },
+        },
+    )
+
+    assert relocate_bites, failures
+    assert recovery_ok, failures
+    assert drift_ok, failures
+    assert functional_ok, failures
+    assert roundtrip_ok, failures
+    assert identity_ok, failures

@@ -48,6 +48,15 @@ echo "== chaos smoke (env-injected faults, quarantine, fleet self-heal) =="
 python scripts/chaos_smoke.py
 
 echo
+echo "== loop smoke (sift -> rulegen -> validation -> hot reload, adversary replayed) =="
+python scripts/loop_smoke.py
+
+echo
+echo "== arms-race gate smoke (recovery, drift immunity, per-revision identity) =="
+BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
+    benchmarks/bench_loop.py
+
+echo
 echo "== serve smoke (start server, decide, hot reload, shut down) =="
 BENCH_SMOKE=1 python -m pytest -q -p no:cacheprovider \
     benchmarks/bench_serve.py

@@ -33,6 +33,13 @@ PRs without per-bench knowledge, so they share a minimal contract:
   (non-empty list of strings) and ``chains_identical`` (bool); a
   non-identical chain must name its ``first_divergence`` in a non-empty
   string, mirroring the skip_reason rule: divergence must fail loudly;
+* optional ``loop``: the arms-race record (``BENCH_loop.json``) —
+  ``rounds`` (positive int), ``trajectory`` (non-empty list of numbers:
+  post-reload tracking coverage per revision), and the boolean verdicts
+  ``recovery_ok`` / ``drift_zero_drop`` / ``functional_zero`` /
+  ``roundtrip_ok`` / ``identity_ok``; any ``False`` verdict must name
+  its ``failure_reason`` in a non-empty string — a silently failed
+  recovery reads as the loop having won the race when it lost;
 * optional ``faults``: the chaos-injection record (``BENCH_chaos.json``)
   — ``injected`` (a non-empty mapping of fault kind to a non-negative
   count, at least one positive), ``quarantined`` (int >= 0), and
@@ -134,6 +141,48 @@ def validate_bench(payload: dict, name: str) -> list[str]:
                     isinstance(divergence, str) and divergence.strip() != "",
                     "ledger chains diverged but carry no first_divergence — "
                     "divergence must fail loudly",
+                )
+
+    loop = payload.get("loop")
+    if loop is not None:
+        check(isinstance(loop, dict), "'loop' must be an object")
+        if isinstance(loop, dict):
+            rounds = loop.get("rounds")
+            check(
+                isinstance(rounds, int)
+                and not isinstance(rounds, bool)
+                and rounds > 0,
+                "loop.rounds must be a positive integer",
+            )
+            trajectory = loop.get("trajectory")
+            check(
+                isinstance(trajectory, list)
+                and trajectory
+                and all(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    for value in trajectory
+                ),
+                "loop.trajectory must be a non-empty list of numbers",
+            )
+            verdicts = (
+                "recovery_ok",
+                "drift_zero_drop",
+                "functional_zero",
+                "roundtrip_ok",
+                "identity_ok",
+            )
+            for field in verdicts:
+                check(
+                    isinstance(loop.get(field), bool),
+                    f"loop.{field} must be a boolean",
+                )
+            if any(loop.get(field) is False for field in verdicts):
+                reason = loop.get("failure_reason")
+                check(
+                    isinstance(reason, str) and reason.strip() != "",
+                    "a failed loop verdict carries no failure_reason — a "
+                    "silent loss reads as the loop having won the race",
                 )
 
     faults = payload.get("faults")

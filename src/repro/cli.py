@@ -36,6 +36,14 @@ Subcommands mirror the paper's workflow plus the library's extensions:
   manifests; ``--matrix`` runs every pack (default: the fast ones),
   ``--packs``/``--paths`` select subsets, ``--update-golden``
   regenerates the manifests after an intended behaviour change,
+* ``loop``      — ``loop run`` closes the paper's loop
+  (:mod:`repro.loop`): sift → rule generation → validation → hot
+  reload, with an adversary mutating the web between rounds;
+  ``--pack`` replays a scenario pack's web (e.g. ``arms-race``),
+  ``--rounds`` sets the schedule length (quiet round, then
+  alternating relocate/drift moves), ``--out`` writes the full JSON
+  report (without it the report prints to stdout); exits 1 when any
+  revision fails a validation gate,
 * ``trace``     — ``trace summarize <spans.jsonl>`` renders the
   per-stage time breakdown and critical path of a ``--trace-out``
   export (:mod:`repro.obs.trace`),
@@ -99,7 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replicates", type=int, default=100, help="bootstrap replicates"
     )
     parser.add_argument(
-        "--out", type=str, default="", help="output path (rules/export)"
+        "--out", type=str, default="", help="output path (rules/export/compile/loop)"
     )
     parser.add_argument(
         "--streaming",
@@ -232,6 +240,25 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--pack",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "loop run: build the loop's web from this scenario pack "
+            "(e.g. arms-race) instead of --sites/--seed"
+        ),
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help=(
+            "loop run: number of rounds — a quiet round, then "
+            "alternating relocate/drift adversary moves (default: 3)"
+        ),
+    )
+    parser.add_argument(
         "command",
         choices=[
             "study",
@@ -247,6 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "serve",
             "compile",
             "scenario",
+            "loop",
             "trace",
             "ledger",
         ],
@@ -256,7 +284,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "action",
         nargs="?",
         default=None,
-        help="subcommand: scenario list|run, trace summarize, ledger diff",
+        help=(
+            "subcommand: scenario list|run, loop run, trace summarize, "
+            "ledger diff"
+        ),
     )
     parser.add_argument(
         "extra",
@@ -435,6 +466,73 @@ def _cmd_scenario(args) -> int:
         f"{len(runner.paths)} execution path(s) — "
         + ("all identical" if failed == 0 else f"{failed} FAILED")
     )
+    return 1 if failed else 0
+
+
+def _cmd_loop(args) -> int:
+    import json
+
+    from .loop import ControlLoop, LoopError
+    from .webmodel.generator import SyntheticWebGenerator
+
+    if args.action != "run":
+        raise SystemExit(
+            "loop: expected an action — `trackersift loop run "
+            "[--pack arms-race] [--rounds N] [--out report.json]`"
+        )
+    rounds = args.rounds if args.rounds is not None else 3
+    if rounds < 1:
+        raise SystemExit("loop: --rounds must be at least 1")
+    if args.pack:
+        from .scenarios import get_pack
+
+        try:
+            spec = get_pack(args.pack)
+        except KeyError as error:
+            raise SystemExit(f"loop: {error.args[0]}")
+        loop = ControlLoop.from_pack(spec)
+    else:
+        web = SyntheticWebGenerator(sites=args.sites, seed=args.seed).build()
+        loop = ControlLoop(web, seed=args.seed, threshold=args.threshold)
+    # Round 1 sifts the quiet web; every later round opens with an
+    # adversary move the loop then has to win back.
+    schedule = tuple(
+        None if index == 0 else ("relocate" if index % 2 else "drift")
+        for index in range(rounds)
+    )
+    try:
+        report = loop.run(schedule)
+    except LoopError as error:
+        raise SystemExit(f"loop: {error}")
+    failed = 0
+    for record in report.rounds:
+        gates_ok = (
+            record.parse_ok
+            and record.roundtrip_ok
+            and record.identity_ok
+            and record.attribution_consistent
+            and record.coverage_after.functional_url_blocked == 0
+        )
+        if not gates_ok:
+            failed += 1
+        move = record.mutation.kind if record.mutation else "quiet"
+        print(
+            f"round {record.index}  rev {record.revision:3d}  "
+            f"{move:8s} coverage {record.coverage_before.coverage:.3f} -> "
+            f"{record.coverage_after.coverage:.3f}  "
+            f"rules {record.rules_kept}/{record.rules_emitted} kept  "
+            f"gates {'ok' if gates_ok else 'FAIL'}"
+        )
+    payload = report.to_dict()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"loop: wrote report for {rounds} round(s) to {args.out}")
+    else:
+        print(json.dumps(payload, indent=2))
     return 1 if failed else 0
 
 
@@ -629,7 +727,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.command}: --packs/--paths/--matrix/--update-golden "
             "apply to the scenario command only"
         )
-    if args.command not in ("scenario", "trace", "ledger") and args.action is not None:
+    loop_flags = args.pack is not None or args.rounds is not None
+    if args.command != "loop" and loop_flags:
+        raise SystemExit(
+            f"{args.command}: --pack/--rounds apply to the loop command only"
+        )
+    if (
+        args.command not in ("scenario", "loop", "trace", "ledger")
+        and args.action is not None
+    ):
         raise SystemExit(
             f"{args.command}: takes no subcommand (got {args.action!r})"
         )
@@ -677,6 +783,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compile(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "loop":
+        return _cmd_loop(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "ledger":

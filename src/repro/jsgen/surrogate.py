@@ -49,6 +49,12 @@ def generate_surrogate_source(
     spans: list[tuple[int, int, str]] = []
     missing: list[str] = []
     for name in removed_methods:
+        if not name.strip():
+            # A blank name would resolve to an *anonymous* function — in
+            # generated sources that is the IIFE wrapper itself, and
+            # stubbing it would hollow out every kept method.
+            missing.append(name)
+            continue
         try:
             info = analysis.function(name)
         except KeyError:
@@ -91,7 +97,12 @@ def verify_surrogate_source(
         for info in original_analysis.functions:
             if not info.name or info.name in surrogate.stubbed:
                 continue
-            rewritten = analysis.function(info.name)
+            try:
+                rewritten = analysis.function(info.name)
+            except KeyError:
+                # A kept method vanished from the rewrite: the surrogate
+                # is broken, which is a verification failure — not a crash.
+                return False
             if sorted(rewritten.network_urls) != sorted(info.network_urls):
                 return False
     return True

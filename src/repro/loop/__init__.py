@@ -1,0 +1,30 @@
+"""The sift → rulegen → validation → hot-reload control loop (paper §7).
+
+:class:`ControlLoop` closes the feedback path between the offline study
+and the online serving stack, and :class:`~repro.loop.adversary.Adversary`
+plays the tracker's side so the loop can be run as the arms race the
+paper describes.  See :mod:`repro.loop.control` for the full contract.
+"""
+
+from .adversary import Adversary, AdversaryMove
+from .control import (
+    HOTFIX_LIST,
+    ControlLoop,
+    CoverageStat,
+    GroundTruthOracle,
+    LoopError,
+    LoopReport,
+    RoundRecord,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryMove",
+    "ControlLoop",
+    "CoverageStat",
+    "GroundTruthOracle",
+    "HOTFIX_LIST",
+    "LoopError",
+    "LoopReport",
+    "RoundRecord",
+]

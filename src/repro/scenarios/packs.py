@@ -117,6 +117,17 @@ def _packs() -> tuple[ScenarioSpec, ...]:
             fast=False,
         ),
         ScenarioSpec(
+            name="arms-race",
+            description=(
+                "the control loop's workload: a mid-size crawl a mutating "
+                "tracker keeps relocating under, replayed by "
+                "``ControlLoop.from_pack`` as quiet/relocate/drift rounds"
+            ),
+            sites=60,
+            trace=TraceSpec(requests=400, seed=173),
+            fast=False,
+        ),
+        ScenarioSpec(
             name="chaos-fault-storm",
             description=(
                 "the chaos gate's workload: a flaky mid-size crawl whose "

@@ -70,13 +70,23 @@ class Snapshot:
     oracle: FilterListOracle
     lists: tuple[ParsedList, ...]
     revision: int
+    #: who produced this revision (e.g. ``"loop-round-3"``); free-form,
+    #: surfaced in reload reports, /healthz, and /metrics so an operator
+    #: can tell a control-loop hotfix from a manual rollback.
+    provenance: str = ""
 
     @classmethod
-    def build(cls, lists: tuple[ParsedList, ...], revision: int) -> "Snapshot":
+    def build(
+        cls,
+        lists: tuple[ParsedList, ...],
+        revision: int,
+        provenance: str = "",
+    ) -> "Snapshot":
         return cls(
             oracle=FilterListOracle(*lists, cache=True),
             lists=lists,
             revision=revision,
+            provenance=provenance,
         )
 
     @classmethod
@@ -386,7 +396,7 @@ class BlockingService:
         }
 
     # -- reload side -------------------------------------------------------
-    def reload(self, *lists: ParsedList) -> dict:
+    def reload(self, *lists: ParsedList, provenance: str = "") -> dict:
         """Swap in a new list snapshot; returns the churn report.
 
         With no arguments the embedded default lists are re-parsed (a
@@ -394,12 +404,16 @@ class BlockingService:
         cache are built entirely before the swap; the swap itself is one
         reference assignment, so in-flight decisions finish on the old
         snapshot and the service is never without an answer.
+
+        ``provenance`` stamps the published snapshot with who produced it
+        (the control loop passes ``loop-round-N``); it rides along in the
+        reload report and the observability endpoints.
         """
         if not lists:
             lists = default_lists()
         frozen = tuple(lists)
         return self._publish(
-            lambda revision: Snapshot.build(frozen, revision)
+            lambda revision: Snapshot.build(frozen, revision, provenance)
         )
 
     def reload_artifact(self, path) -> dict:
@@ -470,6 +484,7 @@ class BlockingService:
             "revision": new.revision,
             "previous_revision": old.revision,
             "rule_count": new.rule_count,
+            "provenance": new.provenance,
             "lists": per_list,
             "churn": {
                 "added": len(total.added),
@@ -480,12 +495,32 @@ class BlockingService:
             "reload_seconds": time.perf_counter() - started,
         }
 
-    def reload_text(self, *named_texts: tuple[str, str]) -> dict:
-        """Parse ``(name, text)`` pairs and reload with the result."""
+    def reload_text(
+        self,
+        *named_texts: tuple[str, str],
+        provenance: str = "",
+        strict: bool = False,
+    ) -> dict:
+        """Parse ``(name, text)`` pairs and reload with the result.
+
+        With ``strict=True`` a candidate whose text produces *any* parse
+        errors is rejected with :class:`ValueError` before anything is
+        built — the serving snapshot and revision are untouched.  The
+        reload endpoint uses this so a non-parsing candidate 400s instead
+        of silently serving the salvageable subset of its rules.
+        """
         parsed = tuple(
             parse_filter_list(text, name=name) for name, text in named_texts
         )
-        return self.reload(*parsed)
+        if strict:
+            for candidate in parsed:
+                if candidate.error_lines:
+                    raise ValueError(
+                        f"list {candidate.name!r} failed to parse: "
+                        f"{len(candidate.error_lines)} bad line(s), first: "
+                        f"{candidate.error_lines[0]!r}"
+                    )
+        return self.reload(*parsed, provenance=provenance)
 
     @staticmethod
     def _churn(
@@ -535,6 +570,7 @@ class BlockingService:
             "status": "ok",
             "revision": snapshot.revision,
             "rule_count": snapshot.rule_count,
+            "provenance": snapshot.provenance,
             "uptime_seconds": self.uptime_seconds,
         }
 
@@ -551,6 +587,7 @@ class BlockingService:
             "snapshot": {
                 "revision": snapshot.revision,
                 "rule_count": snapshot.rule_count,
+                "provenance": snapshot.provenance,
                 "lists": list(snapshot.list_names),
                 # Coverage-gap ledger: rules the oracle skipped at index
                 # time, per unsupported reason — silent drops would make
@@ -700,9 +737,12 @@ def apply_reload_payload(
                 "inside the server's --artifact directory"
             )
         return service.reload_artifact(Path(artifact_dir) / artifact)
+    provenance = payload.get("provenance", "")
+    if not isinstance(provenance, str):
+        raise ValueError("'provenance' must be a string")
     specs = payload.get("lists")
     if specs is None:
-        return service.reload()
+        return service.reload(provenance=provenance)
     if not isinstance(specs, list) or not specs:
         raise ValueError("'lists' must be a non-empty list of objects")
     named_texts = []
@@ -712,4 +752,9 @@ def apply_reload_payload(
         named_texts.append(
             (str(spec.get("name", f"list{index}")), spec["text"])
         )
-    return service.reload_text(*named_texts)
+    # Strict: a candidate that does not fully parse is a client error
+    # (HTTP 400) with the serving snapshot and revision untouched —
+    # never a partial reload of whatever lines survived.
+    return service.reload_text(
+        *named_texts, provenance=provenance, strict=True
+    )

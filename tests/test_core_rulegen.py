@@ -1,31 +1,83 @@
 """Rule generation and blocking-strategy evaluation."""
 
-import pytest
+import string
 
-from repro.core.classifier import ResourceClass
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import ResourceClass, ResourceCounts
+from repro.core.results import LevelReport, ResourceResult, SiftReport
 from repro.core.rulegen import (
     BlockingStrategy,
     compare_strategies,
     evaluate_strategy,
     generate_recommendation,
+    host_rule,
+    script_rule,
 )
 from repro.filterlists.matcher import FilterMatcher
 from repro.filterlists.parser import parse_filter_list
+from repro.filterlists.rules import RequestContext, ResourceType
+
+
+def _tracking(key: str) -> ResourceResult:
+    return ResourceResult(
+        key=key,
+        counts=ResourceCounts(tracking=5, functional=0),
+        resource_class=ResourceClass.TRACKING,
+    )
+
+
+def _report(
+    domain=(), hostname=(), script=(), method=()
+) -> SiftReport:
+    """A hand-built SiftReport where every listed key is TRACKING."""
+    levels = []
+    for granularity, keys in (
+        ("domain", domain),
+        ("hostname", hostname),
+        ("script", script),
+        ("method", method),
+    ):
+        levels.append(
+            LevelReport(
+                granularity=granularity,
+                resources={key: _tracking(key) for key in keys},
+            )
+        )
+    return SiftReport(levels=levels, total_requests=0)
 
 
 class TestRecommendation:
     def test_rule_counts_match_report(self, study):
+        # Contract: every axis emits exactly the *distinct* normalized
+        # rules its tracking keys produce, minus any rule a coarser axis
+        # already emitted (cross-axis dedup, coarsest wins).
         rec = generate_recommendation(study.report)
         report = study.report
-        assert len(rec.domain_rules) == report.domain.entity_count(
-            ResourceClass.TRACKING
+        domain_targets = {
+            host_rule(r.key)
+            for r in report.domain.by_class(ResourceClass.TRACKING)
+        } - {None}
+        assert set(rec.domain_rules) == domain_targets
+        hostname_targets = {
+            host_rule(r.key)
+            for r in report.hostname.by_class(ResourceClass.TRACKING)
+        } - {None}
+        assert set(rec.hostname_rules) == hostname_targets - domain_targets
+        script_targets = {
+            script_rule(r.key)
+            for r in report.script.by_class(ResourceClass.TRACKING)
+        } - {None}
+        assert (
+            set(rec.script_rules)
+            == script_targets - domain_targets - hostname_targets
         )
-        assert len(rec.hostname_rules) == report.hostname.entity_count(
-            ResourceClass.TRACKING
-        )
-        assert len(rec.script_rules) == report.script.entity_count(
-            ResourceClass.TRACKING
-        )
+        combined = rec.all_rules()
+        assert len(combined) == len(set(combined))
+        # The synthetic study's keys are all well-formed.
+        assert not rec.dropped_keys
 
     def test_surrogates_cover_mixed_scripts_with_tracking_methods(self, study):
         rec = generate_recommendation(study.report)
@@ -63,6 +115,147 @@ class TestRecommendation:
         text = rec.to_filter_list()
         if rec.surrogates:
             assert "! surrogate:" in text
+
+
+class TestEmitEdgeCases:
+    """Regressions for the emit-side bugs the control loop depends on."""
+
+    def test_shallow_report_recommends_from_present_levels_only(self):
+        # A clean population stops the hierarchical sift before the finer
+        # levels exist; the recommendation must come from what is there,
+        # not crash reaching for levels the sift never produced.
+        report = SiftReport(
+            levels=[
+                LevelReport(
+                    granularity="domain",
+                    resources={"tracker.com": _tracking("tracker.com")},
+                )
+            ],
+            total_requests=0,
+        )
+        rec = generate_recommendation(report)
+        assert rec.domain_rules == ["||tracker.com^"]
+        assert rec.hostname_rules == []
+        assert rec.script_rules == []
+        assert rec.surrogates == []
+        assert rec.dropped_keys == []
+
+    def test_cross_axis_dedup_coarsest_axis_wins(self):
+        # The same host surfaces as a domain key and (differently
+        # decorated) as a hostname key: one rule, on the domain axis.
+        report = _report(
+            domain=["tracker.com"],
+            hostname=["Tracker.COM."],
+        )
+        rec = generate_recommendation(report)
+        assert rec.domain_rules == ["||tracker.com^"]
+        assert rec.hostname_rules == []
+        assert rec.dropped_keys == []
+
+    def test_within_axis_dedup_counts_once_per_axis(self):
+        # http/https variants of one script collapse to one rule.
+        report = _report(
+            script=[
+                "https://cdn.example.com/js/a.js",
+                "http://cdn.example.com/js/a.js",
+            ]
+        )
+        rec = generate_recommendation(report)
+        assert rec.script_rules == ["||cdn.example.com/js/a.js^$script"]
+
+    def test_unnormalizable_key_is_dropped_loudly(self):
+        report = _report(hostname=["bad host", "ok.example"])
+        rec = generate_recommendation(report)
+        assert rec.hostname_rules == ["||ok.example^"]
+        assert rec.dropped_keys == ["bad host"]
+
+    def test_malformed_method_key_emits_no_empty_directive(self):
+        # A method key with no "@", an empty method, or an empty script
+        # must never become a surrogate directive.
+        report = _report(
+            method=[
+                "https://cdn.example.com/js/a.js@collect",
+                "https://cdn.example.com/js/b.js@",  # empty method
+                "@orphanMethod",  # empty script
+                "no-separator-at-all",
+            ]
+        )
+        rec = generate_recommendation(report)
+        assert len(rec.surrogates) == 1
+        directive = rec.surrogates[0]
+        assert directive.script == "https://cdn.example.com/js/a.js"
+        assert directive.removed_methods == ("collect",)
+        assert all(directive.removed_methods)
+        assert set(rec.dropped_keys) == {
+            "https://cdn.example.com/js/b.js@",
+            "@orphanMethod",
+            "no-separator-at-all",
+        }
+
+    def test_idn_host_rule_is_punycoded(self):
+        rec = generate_recommendation(_report(domain=["münchen.de"]))
+        assert rec.domain_rules == ["||xn--mnchen-3ya.de^"]
+
+
+_LABEL = st.text(
+    alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8
+)
+_IDN_LABEL = st.sampled_from(["münchen", "bücher", "тест", "例え"])
+_HOST_LABELS = st.lists(
+    st.one_of(_LABEL, _LABEL, _IDN_LABEL), min_size=2, max_size=4
+)
+
+
+class TestRoundTripProperty:
+    """Satellite 1: emit rule for a resource → compiled matcher blocks it.
+
+    Emit-side normalization (lowercase, trailing-dot strip, IDNA) must
+    mirror ``RequestShape``'s match-side normalization, so the rule a
+    sifted key produces blocks the URLs that produced the key — however
+    the key was decorated when the crawler observed it.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(labels=_HOST_LABELS, upper=st.booleans(), dotted=st.booleans())
+    def test_host_rule_round_trip(self, labels, upper, dotted):
+        host = ".".join(labels)
+        observed = host.upper() if upper else host
+        if dotted:
+            observed += "."
+        rule = host_rule(observed)
+        assume(rule is not None)  # IDNA can refuse pathological labels
+        parsed = parse_filter_list(rule + "\n", name="prop")
+        assert not parsed.error_lines
+        assert len(parsed.blocking_rules) == 1
+        matcher = FilterMatcher(parsed.rules)
+        for probe_host in (observed, host):
+            assert matcher.should_block_url(
+                f"https://{probe_host}/track/pixel.gif"
+            ), f"{rule} failed to block host {probe_host!r}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        labels=_HOST_LABELS,
+        segments=st.lists(_LABEL, min_size=1, max_size=3),
+        upper=st.booleans(),
+        dotted=st.booleans(),
+    )
+    def test_script_rule_round_trip(self, labels, segments, upper, dotted):
+        host = ".".join(labels)
+        observed = host.upper() if upper else host
+        if dotted:
+            observed += "."
+        url = f"https://{observed}/{'/'.join(segments)}.js"
+        rule = script_rule(url)
+        assume(rule is not None)
+        parsed = parse_filter_list(rule + "\n", name="prop")
+        assert not parsed.error_lines
+        assert len(parsed.blocking_rules) == 1
+        matcher = FilterMatcher(parsed.rules)
+        context = RequestContext(url=url, resource_type=ResourceType.SCRIPT)
+        assert matcher.should_block(context), (
+            f"{rule} failed to block the script URL it was emitted for"
+        )
 
 
 class TestStrategyEvaluation:

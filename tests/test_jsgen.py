@@ -234,3 +234,105 @@ class TestSurrogateSource:
         )
         assert source_surrogate.complete
         assert verify_surrogate_source(source_surrogate, original)
+
+
+def _single_method_script(name: str, *, with_requests: bool = True) -> ScriptSpec:
+    invocations = []
+    if with_requests:
+        invocations = [
+            Invocation(
+                site="https://pub.example/",
+                requests=[
+                    PlannedRequest(
+                        url="https://t.example/pixel/1.gif",
+                        tracking=True,
+                        resource_type="ping",
+                    )
+                ],
+            )
+        ]
+    return ScriptSpec(
+        url="https://cdn.example/adversarial.js",
+        category=Category.MIXED,
+        methods=[
+            MethodSpec(
+                name=name, category=Category.TRACKING, invocations=invocations
+            )
+        ],
+    )
+
+
+class TestAdversarialMethodNames:
+    """Corners of the surrogate path the control loop depends on
+    (ISSUE 10 satellite: unicode identifiers, keywords, empty bodies)."""
+
+    @pytest.mark.parametrize("name", ["собрать", "função", "名前.メソッド"])
+    def test_unicode_names_report_missing_not_crash(self, name):
+        # The ASCII tokenizer fragments unicode identifiers, so the
+        # function cannot be located — that must surface as ``missing``,
+        # never as an exception or a wrong-span stub.
+        source = script_to_source(_single_method_script(name))
+        surrogate = generate_surrogate_source(source, (name,))
+        assert surrogate.stubbed == ()
+        assert surrogate.missing == (name,)
+        assert not surrogate.complete
+        assert verify_surrogate_source(surrogate)
+
+    @pytest.mark.parametrize("name", ["delete", "return", "typeof"])
+    def test_js_keywords_as_names_are_stubbed(self, name):
+        # Generated sources happily name a function after a keyword; the
+        # analyzer treats it as an identifier and the stub must land.
+        source = script_to_source(_single_method_script(name))
+        surrogate = generate_surrogate_source(source, (name,))
+        assert surrogate.stubbed == (name,)
+        assert surrogate.complete
+        assert verify_surrogate_source(surrogate)
+        assert analyze_source(surrogate.source).function(name).network_urls == []
+
+    @pytest.mark.parametrize("name", ["", "   "])
+    def test_blank_name_never_stubs_the_iife_wrapper(self, name):
+        # A blank removal used to resolve to the anonymous IIFE wrapper
+        # and hollow out the whole module, kept methods included.
+        script = sample_script()
+        source = script_to_source(script)
+        surrogate = generate_surrogate_source(source, (name,))
+        assert surrogate.stubbed == ()
+        assert surrogate.missing == (name,)
+        rewritten = analyze_source(surrogate.source)
+        assert rewritten.function("render").network_urls == [
+            "https://cdn.example/img/x.png"
+        ]
+
+    def test_empty_body_method_stubs_cleanly(self):
+        source = script_to_source(
+            _single_method_script("noop", with_requests=False)
+        )
+        original = analyze_source(source)
+        surrogate = generate_surrogate_source(source, ("noop",))
+        assert surrogate.stubbed == ("noop",)
+        assert surrogate.complete
+        assert verify_surrogate_source(surrogate, original)
+
+    def test_verify_fails_closed_when_kept_method_vanishes(self):
+        # A surrogate whose rewrite lost a kept method must verify False,
+        # not raise (the loop treats False as "reject the directive").
+        source = script_to_source(sample_script())
+        original = analyze_source(source)
+        from repro.jsgen.surrogate import SurrogateSource
+
+        # nothing stubbed, so verification reaches the kept-method sweep
+        # and finds every original function gone from the rewrite
+        broken = SurrogateSource(
+            source="/* gutted */\n(function () { })();\n",
+            stubbed=(),
+            missing=(),
+        )
+        assert verify_surrogate_source(broken, original) is False
+
+    def test_anonymous_is_not_a_nameable_target(self):
+        # `anonymous` renders as an unnamed callback push, so it cannot
+        # be located by name: reported missing, sources left intact.
+        source = script_to_source(_single_method_script("anonymous"))
+        surrogate = generate_surrogate_source(source, ("anonymous",))
+        assert surrogate.missing == ("anonymous",)
+        assert "__callbacks.push(function () {" in surrogate.source

@@ -192,6 +192,82 @@ class TestReload:
         assert snapshot.list_names == ("easylist", "easyprivacy")
 
 
+class TestLoopReloadContract:
+    """The reload behaviors the control loop leans on (ISSUE 10 sat. 3)."""
+
+    def test_add_only_candidate_is_incremental_not_full_replacement(self):
+        # Round 1: the incumbent grows a hotfix list alongside its base.
+        service = BlockingService(
+            parse_filter_list("||a.example^\n||b.example^\n", name="base")
+        )
+        service.reload(
+            parse_filter_list("||a.example^\n||b.example^\n", name="base"),
+            parse_filter_list("||t1.example^\n", name="hotfix"),
+        )
+        # Round 2: the candidate only *adds* rules to its namesake hotfix.
+        report = service.reload(
+            parse_filter_list("||a.example^\n||b.example^\n", name="base"),
+            parse_filter_list(
+                "||t1.example^\n||t2.example^\n||t3.example^\n", name="hotfix"
+            ),
+        )
+        by_name = {entry["name"]: entry for entry in report["lists"]}
+        # Paired by name with the incumbent: the prior hotfix rule is
+        # unchanged, only the genuinely new rules count as added — not a
+        # 1-removed/3-added full replacement.
+        assert by_name["hotfix"]["added"] == 2
+        assert by_name["hotfix"]["removed"] == 0
+        assert by_name["hotfix"]["unchanged"] == 1
+        assert by_name["base"]["added"] == 0
+        assert by_name["base"]["removed"] == 0
+        assert by_name["base"]["unchanged"] == 2
+        assert report["churn"]["added"] == 2
+        assert report["churn"]["removed"] == 0
+        assert report["churn"]["unchanged"] == 3
+
+    def test_non_parsing_candidate_rejected_without_revision_bump(self):
+        from repro.serve.service import apply_reload_payload
+
+        service = _mini_service("||incumbent.example^\n")
+        before = service.snapshot
+        payload = {
+            "lists": [
+                # A bare exception marker has an empty pattern — one of
+                # the few things the tolerant parser refuses outright.
+                {"name": "hotfix", "text": "||ok.example^\n@@\n"}
+            ]
+        }
+        with pytest.raises(ValueError, match="failed to parse"):
+            apply_reload_payload(service, payload, artifact_dir=None)
+        # 400-path contract: revision untouched, incumbent still serving,
+        # and none of the candidate's salvageable rules leaked in.
+        assert service.snapshot is before
+        assert service.snapshot.revision == 1
+        assert service.decide("https://incumbent.example/x")["blocked"]
+        assert not service.decide("https://ok.example/x")["blocked"]
+
+    def test_reload_provenance_is_stamped_and_surfaced(self):
+        service = _mini_service()
+        report = service.reload(
+            parse_filter_list("||new.example^\n", name="mini"),
+            provenance="loop-round-1",
+        )
+        assert report["provenance"] == "loop-round-1"
+        assert service.snapshot.provenance == "loop-round-1"
+        assert service.healthz()["provenance"] == "loop-round-1"
+        assert service.metrics()["snapshot"]["provenance"] == "loop-round-1"
+
+    def test_reload_text_strict_accepts_clean_candidates(self):
+        service = _mini_service()
+        report = service.reload_text(
+            ("hotfix", "||clean.example^\n"),
+            provenance="loop-round-2",
+            strict=True,
+        )
+        assert report["provenance"] == "loop-round-2"
+        assert service.decide("https://clean.example/x")["blocked"]
+
+
 class TestObservability:
     def test_metrics_counters_and_latency(self):
         service = _mini_service()
